@@ -1,0 +1,144 @@
+// Ablation (Sec. II vs III-A/C): software cache coloring vs hardware (DSU)
+// cache partitioning for the same isolation goal. The paper's claim: "By
+// decoupling partitioning from memory management code, hardware-based cache
+// partitioning imposes fewer restrictions on memory allocation and permits
+// better utilisation of the cache and downstream memory resources."
+//
+// Both mechanisms isolate an RT working set from a thrashing co-runner on
+// the same shared cache; the table compares isolation quality, effective
+// capacity left to the co-runner, and the coloring-only costs (page-table
+// fragments, allocation restrictions).
+#include <cstdio>
+
+#include "cache/cache.hpp"
+#include "cache/coloring.hpp"
+#include "cache/dsu.hpp"
+#include "common/table.hpp"
+
+using namespace pap;
+using cache::Addr;
+
+namespace {
+
+struct Outcome {
+  double rt_hit_rate_after_thrash;
+  double noisy_usable_fraction;  // of total cache capacity
+  std::uint64_t mapping_fragments;
+};
+
+// Shared geometry: 512 sets x 16 ways x 64B = 512 KiB.
+constexpr std::uint32_t kSets = 512;
+constexpr std::uint32_t kWays = 16;
+const std::uint64_t kRtWs = 64ull * 1024;     // RT working set
+const std::uint64_t kNoisyWs = 4ull << 20;    // thrashing range
+
+Outcome run_dsu() {
+  cache::DsuCluster dsu(kSets, kWays);
+  cache::GroupOwners owners{};
+  owners[0] = 1;  // RT scheme gets group 0 (4 of 16 ways)
+  (void)dsu.write_partition_register(cache::encode_clusterpartcr(owners));
+  for (Addr a = 0; a < kRtWs; a += 64) dsu.access_scheme(1, a);
+  for (Addr a = 1ull << 30; a < (1ull << 30) + kNoisyWs; a += 64) {
+    dsu.access_scheme(0, a);
+  }
+  int hits = 0, total = 0;
+  for (Addr a = 0; a < kRtWs; a += 64) {
+    ++total;
+    if (dsu.access_scheme(1, a).hit) ++hits;
+  }
+  Outcome o;
+  o.rt_hit_rate_after_thrash = static_cast<double>(hits) / total;
+  // The noisy scheme can still allocate in the 12 unassigned ways of every
+  // set: 12/16 of the capacity, with no address restrictions.
+  o.noisy_usable_fraction = 12.0 / 16.0;
+  o.mapping_fragments = 1;  // hardware: contiguous allocation untouched
+  return o;
+}
+
+Outcome run_coloring() {
+  const cache::CacheConfig cfg{kSets, kWays, 64};
+  // 4 KiB pages over a 32 KiB set span: 8 colors; RT gets 2 (1/4 of sets,
+  // chosen to cover its working set), the co-runner the other 6.
+  cache::PageColorAllocator alloc(cfg, 4096, 1ull << 30);
+  (void)alloc.assign_colors(1, {0, 1});
+  (void)alloc.assign_colors(2, {2, 3, 4, 5, 6, 7});
+  cache::Cache cache(cfg);
+
+  const auto rt_pages = alloc.alloc_pages(1, kRtWs / 4096).value();
+  const auto noisy_pages = alloc.alloc_pages(2, kNoisyWs / 4096).value();
+  for (const auto page : rt_pages) {
+    for (Addr off = 0; off < 4096; off += 64) cache.access(1, page + off);
+  }
+  for (const auto page : noisy_pages) {
+    for (Addr off = 0; off < 4096; off += 64) cache.access(2, page + off);
+  }
+  int hits = 0, total = 0;
+  for (const auto page : rt_pages) {
+    for (Addr off = 0; off < 4096; off += 64) {
+      ++total;
+      if (cache.access(1, page + off).hit) ++hits;
+    }
+  }
+  Outcome o;
+  o.rt_hit_rate_after_thrash = static_cast<double>(hits) / total;
+  o.noisy_usable_fraction = alloc.effective_cache_fraction(2);
+  o.mapping_fragments = alloc.mapping_fragments(2);
+  return o;
+}
+
+Outcome run_unpartitioned() {
+  cache::Cache cache(cache::CacheConfig{kSets, kWays, 64});
+  for (Addr a = 0; a < kRtWs; a += 64) cache.access(1, a);
+  for (Addr a = 1ull << 30; a < (1ull << 30) + kNoisyWs; a += 64) {
+    cache.access(2, a);
+  }
+  int hits = 0, total = 0;
+  for (Addr a = 0; a < kRtWs; a += 64) {
+    ++total;
+    if (cache.access(1, a).hit) ++hits;
+  }
+  return {static_cast<double>(hits) / total, 1.0, 1};
+}
+
+}  // namespace
+
+int main() {
+  print_heading("Ablation — cache coloring (SW) vs DSU partitioning (HW)");
+  const auto none = run_unpartitioned();
+  const auto dsu = run_dsu();
+  const auto col = run_coloring();
+
+  TextTable t({"mechanism", "RT hit rate after thrash",
+               "co-runner usable cache", "co-runner mapping fragments",
+               "allocation restrictions"});
+  t.row()
+      .cell("none (COTS default)")
+      .cell(none.rt_hit_rate_after_thrash, 3)
+      .cell(none.noisy_usable_fraction, 3)
+      .cell(static_cast<std::int64_t>(none.mapping_fragments))
+      .cell("none");
+  t.row()
+      .cell("DSU way groups (HW)")
+      .cell(dsu.rt_hit_rate_after_thrash, 3)
+      .cell(dsu.noisy_usable_fraction, 3)
+      .cell(static_cast<std::int64_t>(dsu.mapping_fragments))
+      .cell("none");
+  t.row()
+      .cell("page coloring (SW)")
+      .cell(col.rt_hit_rate_after_thrash, 3)
+      .cell(col.noisy_usable_fraction, 3)
+      .cell(static_cast<std::int64_t>(col.mapping_fragments))
+      .cell("frames restricted to colors");
+  t.print();
+
+  // Shape: both mechanisms isolate (hit rate ~1) where the baseline fails;
+  // coloring pays in physical-memory fragmentation, HW does not.
+  const bool pass = none.rt_hit_rate_after_thrash < 0.5 &&
+                    dsu.rt_hit_rate_after_thrash > 0.95 &&
+                    col.rt_hit_rate_after_thrash > 0.95 &&
+                    col.mapping_fragments > dsu.mapping_fragments;
+  std::printf("\nshape check (both isolate; SW coloring pays fragmentation "
+              "costs): %s\n",
+              pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}

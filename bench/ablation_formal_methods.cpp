@@ -1,0 +1,122 @@
+// Ablation (Sec. IV/VI): how pessimistic are the formal analyses?
+//
+// "The lack of open specifications and the complexity of industrial-grade
+// components often lead to overly pessimistic analytic bounds which
+// prevent the wide-spread use of formal analysis." This bench quantifies
+// the pessimism of the two analyses in this repository — Network Calculus
+// (residual service + deviation) and CPA (busy window) — against the
+// simulated worst case on an identical shared-link configuration, across
+// increasing interferer load.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "core/cpa.hpp"
+#include "nc/bounds.hpp"
+#include "nc/ops.hpp"
+#include "noc/network.hpp"
+#include "sim/kernel.hpp"
+
+using namespace pap;
+
+namespace {
+
+/// Simulated worst observed latency for the flow of interest crossing one
+/// shared hop while an interferer shares the output channel.
+Time simulate(const nc::TokenBucket& mine, Time my_period,
+              const nc::TokenBucket& cross, Time cross_period, int flits) {
+  sim::Kernel kernel;
+  noc::NocConfig cfg;
+  noc::Network net(kernel, cfg);
+  const auto src_a = net.mesh().node(0, 0);
+  const auto src_b = net.mesh().node(0, 1);
+  const auto dst = net.mesh().node(2, 0);
+  auto inject = [&](noc::AppId app, noc::NodeId src,
+                    const nc::TokenBucket& tb, Time period) {
+    const int burst = static_cast<int>(tb.burst);
+    for (int p = 0; p < 200; ++p) {
+      const Time at = p < burst ? Time::zero() : period * (p - burst + 1);
+      kernel.schedule_at(at, [&net, app, src, dst, flits, p] {
+        noc::Packet pkt;
+        pkt.id = static_cast<std::uint64_t>(p);
+        pkt.src = src;
+        pkt.dst = dst;
+        pkt.app = app;
+        pkt.flits = flits;
+        net.send(pkt);
+      });
+    }
+  };
+  inject(1, src_a, mine, my_period);
+  inject(2, src_b, cross, cross_period);
+  kernel.run();
+  return net.latency_of_app(1).max();
+}
+
+}  // namespace
+
+int main() {
+  print_heading(
+      "Ablation — formal-analysis pessimism: NC vs CPA vs simulation");
+  noc::NocConfig cfg;
+  const int flits = 4;
+  const double link_rate = 1.0 / (cfg.flit_time.nanos() * flits);
+  const Time service = cfg.flit_time * flits;
+
+  TextTable t({"cross load (pkt/us)", "simulated worst (ns)", "NC bound (ns)",
+               "CPA bound (ns)", "NC/sim", "CPA/sim"});
+  const nc::TokenBucket mine{2.0, 1.0 / 600.0};
+  bool sound = true;
+  for (std::int64_t cross_period : {2000, 1000, 500, 250, 120}) {
+    const nc::TokenBucket cross{2.0, 1.0 / static_cast<double>(cross_period)};
+    const Time sim = simulate(mine, Time::ns(600), cross,
+                              Time::ns(cross_period), flits);
+
+    // NC: full route is 3 hops + ejection for flow 1; the shared hop gets
+    // a residual; model conservatively as in core::E2eAnalysis but by hand
+    // for this single topology: shared link residual + per-hop latency.
+    const nc::Curve link = nc::Curve::rate_latency(
+        link_rate, (cfg.router_latency + cfg.flit_time).nanos());
+    const nc::Curve shared = nc::residual_blind(link, cross.to_curve());
+    nc::Curve chain = shared;
+    for (int h = 0; h < 2; ++h) chain = nc::convolve(chain, link);
+    const auto nc_bound = nc::delay_bound(mine.to_curve(), chain);
+
+    // CPA on the shared hop + zero-load remainder for the private hops.
+    core::cpa::Flow f{mine, service, 0};
+    core::cpa::Flow o{cross, service, 0};
+    const auto cpa_shared = core::cpa::busy_window_wcrt_multi(f, {o}, 8);
+    std::optional<Time> cpa_bound;
+    if (cpa_shared) {
+      cpa_bound = *cpa_shared +
+                  (cfg.router_latency + cfg.flit_time) * 3 +
+                  cfg.flit_time * (flits - 1) + cfg.flit_time;
+    }
+
+    char load[32];
+    std::snprintf(load, sizeof load, "%.2f",
+                  1000.0 / static_cast<double>(cross_period));
+    t.row().cell(load).cell(sim);
+    if (nc_bound) {
+      sound = sound && sim <= *nc_bound;
+      t.cell(*nc_bound);
+    } else {
+      t.cell("unbounded");
+    }
+    if (cpa_bound) {
+      sound = sound && sim <= *cpa_bound;
+      t.cell(*cpa_bound);
+    } else {
+      t.cell("unbounded");
+    }
+    t.cell(nc_bound ? nc_bound->nanos() / sim.nanos() : 0.0, 2)
+        .cell(cpa_bound ? cpa_bound->nanos() / sim.nanos() : 0.0, 2);
+  }
+  t.print();
+
+  std::printf(
+      "\nBoth analyses are sound (bound >= simulated worst in every row); "
+      "their pessimism factor grows with load — the Sec. VI observation, "
+      "quantified.\nshape check (soundness of both analyses): %s\n",
+      sound ? "PASS" : "FAIL");
+  return sound ? 0 : 1;
+}

@@ -1,0 +1,121 @@
+// Ablation (Sec. II): scheduling approaches — partitioned vs global
+// fixed-priority ("partitioned scheduling ... shows better predictability
+// than global scheduling in multi-core settings as interference effects can
+// be better localized") and reservation-based (CBS) isolation vs TDMA
+// ("reservation-based scheduling approaches show advantages in offering
+// composable QoS guarantees ... while allowing more flexibility than
+// TDMA-based scheduling").
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "sched/cbs.hpp"
+#include "sched/fixed_priority.hpp"
+#include "sched/tdma.hpp"
+#include "sim/kernel.hpp"
+
+using namespace pap;
+using namespace pap::sched;
+
+namespace {
+
+PeriodicTask task(TaskId id, Time period, Time wcet, int prio, int core) {
+  PeriodicTask t;
+  t.id = id;
+  t.period = period;
+  t.wcet = wcet;
+  t.priority = prio;
+  t.core = core;
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  print_heading("Ablation — partitioned vs global fixed priority");
+  // A critical task plus a bursty storm of medium-priority tasks. Under
+  // partitioned placement the critical task owns core 1; under global
+  // placement the storm can migrate onto every core.
+  TaskSet set;
+  set.tasks = {
+      task(1, Time::ms(1), Time::us(200), 3, 1),   // critical, core 1
+      task(2, Time::us(500), Time::us(200), 0, 0),  // storm...
+      task(3, Time::us(500), Time::us(200), 1, 0),
+      task(4, Time::us(700), Time::us(250), 2, 0),
+  };
+  TextTable t({"placement", "critical worst resp (us)",
+               "critical p99 (us)", "misses", "preemptions"});
+  Time part_worst;
+  Time glob_worst;
+  for (auto placement : {FixedPriorityScheduler::Placement::kPartitioned,
+                         FixedPriorityScheduler::Placement::kGlobal}) {
+    sim::Kernel k;
+    FixedPriorityScheduler sched(k, set, 2, placement);
+    sched.run_until(Time::ms(200));
+    const auto h = sched.response_times(1);
+    const bool partitioned =
+        placement == FixedPriorityScheduler::Placement::kPartitioned;
+    (partitioned ? part_worst : glob_worst) = h.max();
+    t.row()
+        .cell(partitioned ? "partitioned (pinned)" : "global")
+        .cell(h.max().micros(), 1)
+        .cell(h.percentile(99).micros(), 1)
+        .cell(static_cast<std::int64_t>(sched.deadline_misses()))
+        .cell(static_cast<std::int64_t>(sched.preemptions()));
+  }
+  t.print();
+
+  print_heading("Ablation — CBS reservation vs TDMA for the same share");
+  // Both give a 20% share. CBS (2ms/10ms) serves a sporadic 1 ms job;
+  // TDMA with a 2 ms slot in a 10 ms frame does the same. Flexibility =
+  // response when the job arrives at the worst phase.
+  const CbsParams cbs_params{Time::ms(2), Time::ms(10)};
+  TextTable r({"mechanism", "share", "best-phase response (ms)",
+               "worst-phase response (ms)"});
+  {
+    // CBS: job arriving to an idle server starts immediately.
+    sim::Kernel k;
+    CbsScheduler cbs(k);
+    auto* server = cbs.add_server(cbs_params).value();
+    Time best;
+    k.schedule_at(Time::ms(3), [&] {
+      Job j;
+      j.task = 1;
+      cbs.submit(server, j, Time::ms(1));
+    });
+    k.run();
+    best = cbs.records().back().response();
+    // Worst phase for CBS: budget just exhausted by earlier work under
+    // contention — bounded by the service curve: delay <= 2(P-Q) + C/(Q/P).
+    const auto curve = server->service_curve();
+    const double worst_ns =
+        curve.latency + Time::ms(1).nanos() / curve.rate;
+    r.row()
+        .cell("CBS (2ms / 10ms)")
+        .cell(0.2, 2)
+        .cell(best.nanos() / 1e6, 2)
+        .cell(worst_ns / 1e6, 2);
+  }
+  {
+    // TDMA: the same job must wait for the slot.
+    TdmaSchedule tdma({{1, Time::ms(2)}, {0, Time::ms(8)}});
+    const Time best_arrival = Time::ms(10);   // slot start
+    const Time worst_arrival = Time::ms(2);   // just missed the slot
+    const Time best =
+        tdma.completion_time(1, best_arrival, Time::ms(1)) - best_arrival;
+    const Time worst =
+        tdma.completion_time(1, worst_arrival, Time::ms(1)) - worst_arrival;
+    r.row()
+        .cell("TDMA (2ms slot / 10ms)")
+        .cell(0.2, 2)
+        .cell(best.nanos() / 1e6, 2)
+        .cell(worst.nanos() / 1e6, 2);
+  }
+  r.print();
+
+  const bool pass = part_worst <= glob_worst;
+  std::printf(
+      "\nshape check (partitioned critical task at least as predictable as "
+      "global): %s\n",
+      pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}

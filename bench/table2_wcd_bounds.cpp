@@ -1,0 +1,99 @@
+// Reproduces Table II: "UPPER AND LOWER BOUNDS ON THE WCD (NS)" for the
+// FR-FCFS DDR3-1600 controller with W_high = 55, N_wd = 16, N_cap = 16,
+// write rates 4-7 Gbps with a burst of 8 requests (Section IV-A).
+//
+// The queue position N = 13 calibrates the 4 Gbps upper bound to the
+// paper's (the paper does not state N); see EXPERIMENTS.md. Extra rows
+// past 7 Gbps show the saturation regime where the fixpoint diverges.
+#include <cstdio>
+
+#include "common/csv.hpp"
+#include "common/table.hpp"
+#include "dram/timing.hpp"
+#include "dram/wcd.hpp"
+
+using namespace pap;
+
+namespace {
+struct PaperRow {
+  double gbps;
+  double lower;
+  double upper;
+};
+constexpr PaperRow kPaper[] = {
+    {4, 1971.711, 1977.542},
+    {5, 2957.983, 2963.814},
+    {6, 3934.259, 3950.086},
+    {7, 5886.811, 6908.902},
+};
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto timings = dram::ddr3_1600();
+  dram::ControllerParams ctrl;
+  ctrl.n_cap = 16;
+  ctrl.w_high = 55;
+  ctrl.w_low = 28;
+  ctrl.n_wd = 16;
+  ctrl.banks = 1;
+  const int kN = 13;
+
+  print_heading(
+      "Table II — upper and lower bounds on the WCD (ns), DDR3-1600");
+  TextTable t({"write rate", "lower (ours)", "lower (paper)", "err%",
+               "upper (ours)", "upper (paper)", "err%"});
+  bool all_close = true;
+  for (const auto& row : kPaper) {
+    const auto b = dram::table2_row(timings, ctrl, row.gbps, kN);
+    const double el = 100.0 * (b.lower.nanos() - row.lower) / row.lower;
+    const double eu = 100.0 * (b.upper.nanos() - row.upper) / row.upper;
+    all_close = all_close && std::abs(el) < 1.0 && std::abs(eu) < 1.0;
+    char label[32];
+    std::snprintf(label, sizeof label, "%.0f Gbps", row.gbps);
+    t.row()
+        .cell(label)
+        .cell(b.lower)
+        .cell(row.lower, 3)
+        .cell(el, 2)
+        .cell(b.upper)
+        .cell(row.upper, 3)
+        .cell(eu, 2);
+  }
+  t.print();
+
+  print_heading("Beyond the paper: approaching write-service saturation");
+  TextTable s({"write rate", "lower (ns)", "upper (ns)", "gap (ns)",
+               "converged"});
+  for (double g : {6.5, 7.0, 7.2, 7.5, 8.0}) {
+    const auto b = dram::table2_row(timings, ctrl, g, kN);
+    char label[32];
+    std::snprintf(label, sizeof label, "%.1f Gbps", g);
+    s.row()
+        .cell(label)
+        .cell(b.lower)
+        .cell(b.upper)
+        .cell(b.upper - b.lower)
+        .cell(b.converged ? "yes" : "NO (diverged)");
+  }
+  s.print();
+
+  // Optional machine-readable dump for external plotting:
+  //   table2_wcd_bounds out.csv
+  if (argc > 1) {
+    CsvWriter csv(argv[1], {"write_gbps", "lower_ns", "upper_ns",
+                            "paper_lower_ns", "paper_upper_ns"});
+    for (const auto& row : kPaper) {
+      const auto b = dram::table2_row(timings, ctrl, row.gbps, kN);
+      csv.write_row({std::to_string(row.gbps), std::to_string(b.lower.nanos()),
+                     std::to_string(b.upper.nanos()),
+                     std::to_string(row.lower), std::to_string(row.upper)});
+    }
+    std::printf("CSV written to %s\n", argv[1]);
+  }
+
+  std::printf(
+      "\nshape check: bounds within 1%% of the paper at 4-7 Gbps, gap "
+      "blow-up at 7 Gbps: %s\n",
+      all_close ? "PASS" : "FAIL");
+  return all_close ? 0 : 1;
+}

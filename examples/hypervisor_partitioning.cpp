@@ -1,0 +1,121 @@
+// Hypervisor-orchestrated platform partitioning (Sections II & III).
+//
+// The hypervisor is the paper's agent for every isolation mechanism. This
+// example builds a 4-core vehicle integration platform with three VMs —
+// an ASIL-D sensor-fusion RTOS, an ASIL-C planner, and a QM GPOS — and
+// walks the full configuration the paper describes:
+//   * core ownership and dedicated scheme IDs for the critical VMs,
+//   * private DSU L3 partition groups (CLUSTERPARTCR),
+//   * MPAM vPARTID delegation + a camera DMA stream bound through the SMMU,
+//   * per-VM memory budgets (Memguard),
+// then runs mixed per-VM workloads and prints the isolation evidence.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "platform/hypervisor.hpp"
+#include "platform/workload.hpp"
+#include "sim/kernel.hpp"
+
+using namespace pap;
+using namespace pap::platform;
+
+int main() {
+  sim::Kernel kernel;
+  SocConfig cfg;
+  cfg.clusters = 1;
+  cfg.cores_per_cluster = 4;
+  Soc soc(kernel, cfg);
+  Hypervisor hv(soc);
+
+  // --- 1. Virtual machines. ----------------------------------------------
+  const auto rtos = hv.create_vm("fusion-rtos", {0}, sched::Asil::kD);
+  const auto planner = hv.create_vm("planner", {1}, sched::Asil::kC);
+  const auto gpos = hv.create_vm("gpos", {2, 3}, sched::Asil::kQM);
+  if (!rtos || !planner || !gpos) return 1;
+
+  // --- 2. Isolation configuration. ---------------------------------------
+  if (!hv.isolate_cache(rtos.value(), 1).is_ok()) return 1;
+  if (!hv.isolate_cache(planner.value(), 1).is_ok()) return 1;
+  if (!hv.set_memory_budget(gpos.value(), 60).is_ok()) return 1;
+  if (!hv.set_memory_budget(rtos.value(), 1'000'000).is_ok()) return 1;
+  if (!hv.set_memory_budget(planner.value(), 1'000'000).is_ok()) return 1;
+  if (!hv.delegate_partids(rtos.value(), 4).is_ok()) return 1;
+  if (!hv.bind_device(rtos.value(), /*camera stream=*/0x30).is_ok()) return 1;
+
+  print_heading("Derived platform configuration");
+  TextTable t({"VM", "ASIL", "cores", "scheme ID", "private L3 groups"});
+  for (const auto& vm : hv.vms()) {
+    std::string cores;
+    for (int c : vm.cores) cores += (cores.empty() ? "" : ",") +
+                                    std::to_string(c);
+    t.row()
+        .cell(vm.name)
+        .cell(to_string(vm.asil))
+        .cell(cores)
+        .cell(static_cast<int>(vm.scheme))
+        .cell(vm.private_l3_groups);
+  }
+  t.print();
+  std::printf("CLUSTERPARTCR = 0x%08X\n", hv.partition_register(0));
+  const auto cam = hv.smmu().label(0x30);
+  std::printf("camera DMA stream 0x30 -> pPARTID %u (same partition as the "
+              "RTOS CPUs)\n",
+              cam ? cam.value().partid : 0);
+  std::printf("criticality isolation audit: %s\n",
+              hv.criticality_isolated() ? "PASS" : "FAIL");
+
+  // --- 3. Run mixed workloads on the configured platform. -----------------
+  RtReader::Config rt;
+  rt.core = 0;
+  rt.period = Time::us(10);
+  rt.reads_per_batch = 32;
+  rt.working_set = 64 * 1024;
+  RtReader fusion(kernel, soc, rt);
+
+  RtReader::Config pl = rt;
+  pl.core = 1;
+  pl.base = 1ull << 26;
+  pl.period = Time::us(20);
+  RtReader plan(kernel, soc, pl);
+
+  BandwidthHog::Config h1;
+  h1.core = 2;
+  BandwidthHog hog1(kernel, soc, h1);
+  BandwidthHog::Config h2;
+  h2.core = 3;
+  h2.base = 3ull << 30;
+  h2.seed = 99;
+  BandwidthHog hog2(kernel, soc, h2);
+
+  fusion.start();
+  plan.start();
+  hog1.start();
+  hog2.start();
+  kernel.run(Time::ms(2));
+  fusion.stop();
+  plan.stop();
+  hog1.stop();
+  hog2.stop();
+
+  print_heading("Per-VM results under full GPOS pressure");
+  TextTable r({"workload", "p50 (ns)", "p99 (ns)", "max (ns)"});
+  r.row()
+      .cell("fusion-rtos (ASIL-D)")
+      .cell(fusion.latency().percentile(50))
+      .cell(fusion.latency().percentile(99))
+      .cell(fusion.latency().max());
+  r.row()
+      .cell("planner (ASIL-C)")
+      .cell(plan.latency().percentile(50))
+      .cell(plan.latency().percentile(99))
+      .cell(plan.latency().max());
+  r.print();
+  std::printf("GPOS throughput: %llu accesses (budgeted by Memguard)\n",
+              static_cast<unsigned long long>(hog1.accesses() +
+                                              hog2.accesses()));
+  const bool ok = hv.criticality_isolated() &&
+                  fusion.latency().percentile(99) < Time::us(1);
+  std::printf("\n%s\n", ok ? "isolated platform behaves as configured"
+                           : "FAIL");
+  return ok ? 0 : 1;
+}

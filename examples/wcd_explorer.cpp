@@ -1,0 +1,70 @@
+// Design-space exploration with the WCD analysis — the use the paper
+// closes Sec. IV-A with: "one can design controllers with appropriate
+// parameter values (e.g., W_high, N_wd, N_cap), so as to meet pre-specified
+// guarantees."
+//
+// Given a target WCD budget for a read miss at queue position N, sweep the
+// controller parameters and report which configurations meet it, plus each
+// configuration's cost to write throughput (batch frequency).
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "dram/timing.hpp"
+#include "dram/wcd.hpp"
+
+using namespace pap;
+
+int main(int argc, char** argv) {
+  // Optional arguments: <write-Gbps> <target-ns>
+  const double gbps = argc > 1 ? std::atof(argv[1]) : 5.0;
+  const double target_ns = argc > 2 ? std::atof(argv[2]) : 3500.0;
+  const int kN = 13;
+
+  std::printf(
+      "Searching controller configurations for WCD(N=%d) <= %.0f ns under "
+      "%.1f Gbps writes (DDR3-1600)\n",
+      kN, target_ns, gbps);
+
+  const auto timings = dram::ddr3_1600();
+  const auto writes =
+      nc::TokenBucket::from_rate(Rate::gbps(gbps), kCacheLineBytes, 8.0);
+
+  TextTable t({"N_cap", "N_wd", "W_high", "upper WCD (ns)", "gap (ns)",
+               "meets target", "write batch cost (ns)"});
+  int meeting = 0;
+  int total = 0;
+  for (int n_cap : {4, 8, 16, 32}) {
+    for (int n_wd : {8, 16, 32}) {
+      for (int w_high : {32, 55, 96}) {
+        if (w_high < n_wd) continue;
+        dram::ControllerParams ctrl;
+        ctrl.n_cap = n_cap;
+        ctrl.n_wd = n_wd;
+        ctrl.w_high = w_high;
+        ctrl.w_low = w_high / 2;
+        ctrl.banks = 1;
+        dram::WcdAnalysis analysis(timings, ctrl, writes);
+        const auto b = analysis.bounds(kN);
+        ++total;
+        const bool meets = b.converged && b.upper.nanos() <= target_ns;
+        if (meets) ++meeting;
+        t.row()
+            .cell(n_cap)
+            .cell(n_wd)
+            .cell(w_high)
+            .cell(b.upper)
+            .cell(b.upper - b.lower)
+            .cell(meets ? "yes" : "no")
+            .cell(analysis.write_batch_time());
+      }
+    }
+  }
+  t.print();
+  std::printf("\n%d of %d configurations meet the %.0f ns target.\n", meeting,
+              total, target_ns);
+  std::printf(
+      "Note the trade-off: small N_cap tightens the read WCD but caps the "
+      "row-hit promotion benefit; small N_wd bounds each interruption but "
+      "pays turnarounds more often.\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+#include "cache/cache.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace pap::cache {
+
+namespace {
+std::string key(RequesterId who, const char* what) {
+  return std::to_string(who) + "." + what;
+}
+}  // namespace
+
+Cache::Cache(const CacheConfig& config) : config_(config) {
+  PAP_CHECK_MSG(config_.valid(), "invalid cache geometry");
+  lines_.assign(static_cast<std::size_t>(config_.sets) * config_.ways, Line{});
+  filter_ = [ways = config_.ways](RequesterId, std::uint32_t) {
+    return ways >= 64 ? ~0ull : ((1ull << ways) - 1);
+  };
+}
+
+void Cache::set_allocation_filter(AllocationFilter filter) {
+  PAP_CHECK(filter != nullptr);
+  filter_ = std::move(filter);
+}
+
+std::uint32_t Cache::set_index(Addr addr) const {
+  return static_cast<std::uint32_t>((addr / config_.line_bytes) %
+                                    config_.sets);
+}
+
+Cache::Line* Cache::find(std::uint32_t set, Addr tag) {
+  Line* base = &lines_[static_cast<std::size_t>(set) * config_.ways];
+  for (std::uint32_t w = 0; w < config_.ways; ++w) {
+    if (base[w].valid && base[w].tag == tag) return &base[w];
+  }
+  return nullptr;
+}
+
+AccessResult Cache::access(RequesterId who, Addr addr) {
+  ++tick_;
+  const std::uint32_t set = set_index(addr);
+  const Addr tag = addr / config_.line_bytes;
+  AccessResult result;
+
+  if (Line* line = find(set, tag)) {
+    // Hits are never restricted by partitioning.
+    line->last_use = tick_;
+    result.hit = true;
+    counters_.inc(key(who, "hits"));
+    return result;
+  }
+  counters_.inc(key(who, "misses"));
+
+  const std::uint64_t mask = filter_(who, set);
+  if (mask == 0) {
+    // No allocation rights: the access bypasses the cache.
+    counters_.inc(key(who, "bypasses"));
+    return result;
+  }
+
+  // Victim: invalid allowed way first, else LRU among allowed ways.
+  Line* base = &lines_[static_cast<std::size_t>(set) * config_.ways];
+  Line* victim = nullptr;
+  std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
+  for (std::uint32_t w = 0; w < config_.ways; ++w) {
+    if (!(mask >> w & 1)) continue;
+    if (!base[w].valid) {
+      victim = &base[w];
+      break;
+    }
+    if (base[w].last_use < oldest) {
+      oldest = base[w].last_use;
+      victim = &base[w];
+    }
+  }
+  PAP_CHECK(victim != nullptr);  // mask != 0 guarantees a candidate
+  if (victim->valid) {
+    result.evicted = victim->tag * config_.line_bytes;
+    counters_.inc(key(victim->owner, "evictions_suffered"));
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->owner = who;
+  victim->last_use = tick_;
+  result.allocated = true;
+  return result;
+}
+
+void Cache::flush() {
+  for (auto& l : lines_) l.valid = false;
+}
+
+std::uint64_t Cache::ways_owned_by(std::uint32_t set, RequesterId who) const {
+  PAP_CHECK(set < config_.sets);
+  const Line* base = &lines_[static_cast<std::size_t>(set) * config_.ways];
+  std::uint64_t mask = 0;
+  for (std::uint32_t w = 0; w < config_.ways; ++w) {
+    if (base[w].valid && base[w].owner == who) mask |= 1ull << w;
+  }
+  return mask;
+}
+
+std::uint64_t Cache::occupancy(RequesterId who) const {
+  std::uint64_t n = 0;
+  for (const auto& l : lines_) {
+    if (l.valid && l.owner == who) ++n;
+  }
+  return n;
+}
+
+}  // namespace pap::cache

@@ -1,0 +1,127 @@
+#include "cache/coloring.hpp"
+
+#include <algorithm>
+
+namespace pap::cache {
+
+PageColorAllocator::PageColorAllocator(const CacheConfig& cache,
+                                       std::uint32_t page_bytes,
+                                       std::uint64_t memory_bytes)
+    : page_bytes_(page_bytes) {
+  PAP_CHECK_MSG(cache.valid(), "invalid cache geometry");
+  PAP_CHECK_MSG(page_bytes >= cache.line_bytes,
+                "pages must be at least one cache line");
+  const std::uint64_t cache_span =
+      static_cast<std::uint64_t>(cache.sets) * cache.line_bytes;
+  PAP_CHECK_MSG(cache_span % page_bytes == 0,
+                "page size must divide the cache set span for coloring");
+  num_colors_ = static_cast<std::uint32_t>(cache_span / page_bytes);
+  PAP_CHECK_MSG(num_colors_ >= 1, "cache too small for this page size");
+  const std::uint64_t total_frames = memory_bytes / page_bytes;
+  frames_per_color_ = total_frames / num_colors_;
+  PAP_CHECK_MSG(frames_per_color_ >= 1, "memory too small");
+  color_owner_.assign(num_colors_, -1);
+  next_frame_in_color_.assign(num_colors_, 0);
+}
+
+PageColorAllocator::PartitionState& PageColorAllocator::state(PartitionId p) {
+  for (auto& [id, st] : partitions_) {
+    if (id == p) return st;
+  }
+  partitions_.emplace_back(p, PartitionState{});
+  return partitions_.back().second;
+}
+
+const PageColorAllocator::PartitionState* PageColorAllocator::state_if(
+    PartitionId p) const {
+  for (const auto& [id, st] : partitions_) {
+    if (id == p) return &st;
+  }
+  return nullptr;
+}
+
+Status PageColorAllocator::assign_colors(
+    PartitionId partition, const std::vector<std::uint32_t>& colors) {
+  for (auto c : colors) {
+    if (c >= num_colors_) {
+      return Status::error("color " + std::to_string(c) + " out of range");
+    }
+    if (color_owner_[c] >= 0 &&
+        color_owner_[c] != static_cast<std::int64_t>(partition)) {
+      return Status::error("color " + std::to_string(c) +
+                           " already owned by partition " +
+                           std::to_string(color_owner_[c]));
+    }
+  }
+  auto& st = state(partition);
+  for (auto c : colors) {
+    if (color_owner_[c] < 0) {
+      color_owner_[c] = partition;
+      st.colors.push_back(c);
+    }
+  }
+  return Status::ok();
+}
+
+Expected<std::vector<Addr>> PageColorAllocator::alloc_pages(
+    PartitionId partition, std::size_t n) {
+  auto& st = state(partition);
+  if (st.colors.empty()) {
+    return Expected<std::vector<Addr>>::error(
+        "partition has no colors assigned");
+  }
+  std::vector<Addr> pages;
+  pages.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Round-robin across the partition's colors for balanced set usage.
+    bool placed = false;
+    for (std::size_t attempt = 0; attempt < st.colors.size(); ++attempt) {
+      const std::uint32_t c = st.colors[st.next_color_idx];
+      st.next_color_idx =
+          (st.next_color_idx + 1) % static_cast<std::uint32_t>(st.colors.size());
+      if (next_frame_in_color_[c] < frames_per_color_) {
+        // Physical layout: frame f of color c sits at
+        // (f * num_colors + c) * page_bytes, the natural interleaving.
+        const Addr addr =
+            (next_frame_in_color_[c] * num_colors_ + c) *
+            static_cast<Addr>(page_bytes_);
+        ++next_frame_in_color_[c];
+        pages.push_back(addr);
+        st.allocated.push_back(addr);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      return Expected<std::vector<Addr>>::error(
+          "out of frames in partition's colors");
+    }
+  }
+  return pages;
+}
+
+std::uint32_t PageColorAllocator::color_of(Addr addr) const {
+  return static_cast<std::uint32_t>((addr / page_bytes_) % num_colors_);
+}
+
+double PageColorAllocator::effective_cache_fraction(
+    PartitionId partition) const {
+  const auto* st = state_if(partition);
+  if (!st) return 0.0;
+  return static_cast<double>(st->colors.size()) / num_colors_;
+}
+
+std::uint64_t PageColorAllocator::mapping_fragments(
+    PartitionId partition) const {
+  const auto* st = state_if(partition);
+  if (!st || st->allocated.empty()) return 0;
+  // Count maximal runs of physically contiguous frames in allocation order;
+  // each run needs (at least) one mapping entry / TLB reach unit.
+  std::uint64_t fragments = 1;
+  for (std::size_t i = 1; i < st->allocated.size(); ++i) {
+    if (st->allocated[i] != st->allocated[i - 1] + page_bytes_) ++fragments;
+  }
+  return fragments;
+}
+
+}  // namespace pap::cache

@@ -1,0 +1,81 @@
+// Software cache coloring (Section II of the paper; cf. COLORIS [5]).
+//
+// "Cache coloring ... us[es] the fact that (depending on the organization
+// of the cache) certain address ranges will map to the same cache line.
+// Choosing the mapping of virtual memory pages to physical pages with this
+// in mind ... a partitioning of the cache is possible. This is coming with
+// the price of a factual smaller cache for each partition and additionally
+// fine-grained page-mapping that can cause side-effects in terms of
+// page-table walks."
+//
+// The model: physical memory is divided into page frames; the *color* of a
+// frame is the slice of cache sets its lines land in. An allocator hands
+// each partition only frames of its assigned colors, so partitions can
+// never evict each other — no hardware support needed. The costs the paper
+// calls out are surfaced as queryable metrics: effective cache fraction
+// per partition, and the number of distinct page mappings (page-table
+// pressure) relative to allocating contiguous spans.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "common/status.hpp"
+
+namespace pap::cache {
+
+using PartitionId = std::uint32_t;
+
+class PageColorAllocator {
+ public:
+  /// Colors are derived from the cache geometry:
+  ///   colors = (sets * line_bytes) / page_bytes
+  /// (how many distinct page-sized windows tile the cache's set range).
+  PageColorAllocator(const CacheConfig& cache, std::uint32_t page_bytes,
+                     std::uint64_t memory_bytes);
+
+  std::uint32_t num_colors() const { return num_colors_; }
+
+  /// Give `partition` exclusive use of `colors` (each 0..num_colors-1).
+  /// Fails if a color is already owned by another partition.
+  Status assign_colors(PartitionId partition,
+                       const std::vector<std::uint32_t>& colors);
+
+  /// Allocate `n` page frames for the partition, round-robin across its
+  /// colors. Returns physical base addresses. Fails when the partition has
+  /// no colors or memory is exhausted.
+  Expected<std::vector<Addr>> alloc_pages(PartitionId partition,
+                                          std::size_t n);
+
+  /// Color of a physical address.
+  std::uint32_t color_of(Addr addr) const;
+
+  /// Fraction of the cache usable by the partition — "the price of a
+  /// factual smaller cache".
+  double effective_cache_fraction(PartitionId partition) const;
+
+  /// Number of distinct (non-contiguous) frame mappings handed out to the
+  /// partition: a proxy for page-table pressure vs. contiguous allocation.
+  std::uint64_t mapping_fragments(PartitionId partition) const;
+
+  std::uint32_t page_bytes() const { return page_bytes_; }
+
+ private:
+  struct PartitionState {
+    std::vector<std::uint32_t> colors;
+    std::uint32_t next_color_idx = 0;
+    std::vector<Addr> allocated;  // in allocation order
+  };
+  PartitionState& state(PartitionId p);
+  const PartitionState* state_if(PartitionId p) const;
+
+  std::uint32_t page_bytes_;
+  std::uint32_t num_colors_;
+  std::uint64_t frames_per_color_;
+  std::vector<std::int64_t> color_owner_;     // -1 = free
+  std::vector<std::uint64_t> next_frame_in_color_;
+  std::vector<std::pair<PartitionId, PartitionState>> partitions_;
+};
+
+}  // namespace pap::cache

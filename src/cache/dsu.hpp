@@ -1,0 +1,103 @@
+// Arm DynamIQ Shared Unit (DSU) L3 cache-partitioning model
+// (Section III-A and Fig. 2 of the paper).
+//
+// Modelled, following the paper's description of the DSU TRM:
+//  * 3-bit scheme IDs: software agents fall into one of 8 groups, set by
+//    privileged software;
+//  * hypervisor delegation: per-VM override mask/value registers replace
+//    masked scheme-ID bits with hypervisor-controlled values, so a guest OS
+//    can only choose among the scheme IDs delegated to it;
+//  * the shared L3 is 12- or 16-way set-associative, logically split into
+//    4 partition groups of 3 or 4 ways; each group is either private to one
+//    scheme ID or unassigned (allocatable by anyone);
+//  * partitioning is configured through a 32-bit register
+//    (CLUSTERPARTCR): bit (schemeID*4 + group) marks `group` private to
+//    `schemeID`. The paper's worked example — hypervisor = scheme 7, GPOS
+//    VM = scheme 0, RTOS VM = schemes {2, 3} — encodes to 0x80004201,
+//    reproduced bit-exactly in tests and in bench fig2_dsu_partitioning.
+//    (Note: the running text of the paper enumerates the group numbers in
+//    the opposite order from the register encoding; we follow the encoding,
+//    0x80004201, which is self-consistent: scheme 0 -> group 0,
+//    scheme 2 -> group 1, scheme 3 -> group 2, scheme 7 -> group 3.)
+//
+// Partitioning restricts *allocations* only; lookups hit in any way.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "cache/cache.hpp"
+#include "common/status.hpp"
+
+namespace pap::cache {
+
+using SchemeId = std::uint8_t;  ///< 3 bits, 0..7
+
+constexpr int kNumSchemeIds = 8;
+constexpr int kNumPartitionGroups = 4;
+
+/// Hypervisor-controlled scheme-ID override for one VM: guest bits selected
+/// by `mask` are replaced with the corresponding bits of `value`.
+struct SchemeIdOverride {
+  std::uint8_t mask = 0;   ///< 1 = bit controlled by hypervisor
+  std::uint8_t value = 0;  ///< replacement bits (only masked bits used)
+
+  SchemeId apply(std::uint8_t guest_requested) const {
+    return static_cast<SchemeId>(
+        ((guest_requested & ~mask) | (value & mask)) & 0x7);
+  }
+};
+
+/// Decoded view of the partition control register: owner of each group, or
+/// nullopt when the group is unassigned.
+using GroupOwners =
+    std::array<std::optional<SchemeId>, kNumPartitionGroups>;
+
+/// Encode group ownership into the 32-bit CLUSTERPARTCR value.
+std::uint32_t encode_clusterpartcr(const GroupOwners& owners);
+
+/// Decode a register value. Fails when any group has more than one owner
+/// bit set (a group can be private to at most one scheme ID).
+Expected<GroupOwners> decode_clusterpartcr(std::uint32_t value);
+
+class DsuCluster {
+ public:
+  /// `ways` must be 12 or 16 (3- or 4-way partition groups).
+  DsuCluster(std::uint32_t l3_sets, std::uint32_t ways);
+
+  /// Program the partition control register. Invalid encodings are
+  /// rejected and leave the previous configuration in place.
+  Status write_partition_register(std::uint32_t value);
+  std::uint32_t partition_register() const { return partcr_; }
+  const GroupOwners& group_owners() const { return owners_; }
+
+  /// Install/clear a hypervisor override for a VM (index 0..7 here).
+  void set_vm_override(std::uint32_t vm, SchemeIdOverride ov);
+  SchemeId effective_scheme_id(std::uint32_t vm,
+                               std::uint8_t guest_requested) const;
+
+  /// Ways the given scheme ID may allocate into: its private groups plus
+  /// all unassigned groups.
+  std::uint64_t allocation_mask(SchemeId scheme) const;
+
+  /// Access the L3 as (vm, guest scheme ID): the override is applied, then
+  /// the partition filter.
+  AccessResult access(std::uint32_t vm, std::uint8_t guest_scheme, Addr addr);
+
+  /// Direct access by effective scheme ID (for non-virtualised agents).
+  AccessResult access_scheme(SchemeId scheme, Addr addr);
+
+  Cache& l3() { return l3_; }
+  const Cache& l3() const { return l3_; }
+  std::uint32_t ways_per_group() const { return ways_per_group_; }
+
+ private:
+  Cache l3_;
+  std::uint32_t ways_per_group_;
+  std::uint32_t partcr_ = 0;
+  GroupOwners owners_{};  // all unassigned initially
+  std::array<SchemeIdOverride, kNumSchemeIds> overrides_{};
+};
+
+}  // namespace pap::cache

@@ -1,0 +1,33 @@
+#include "common/csv.hpp"
+
+#include "common/check.hpp"
+
+namespace pap {
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> headers)
+    : out_(path), columns_(headers.size()) {
+  if (out_.is_open()) write_row(headers);
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string quoted = "\"";
+  for (char ch : field) {
+    if (ch == '"') quoted += '"';
+    quoted += ch;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  if (!out_.is_open()) return;
+  PAP_CHECK(cells.size() == columns_);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+}  // namespace pap

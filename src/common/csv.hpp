@@ -1,0 +1,26 @@
+// Minimal CSV writer so bench output can also be captured machine-readably
+// (e.g. for external plotting of the reproduced figures).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace pap {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row immediately.
+  CsvWriter(const std::string& path, std::vector<std::string> headers);
+
+  bool is_open() const { return out_.is_open(); }
+
+  void write_row(const std::vector<std::string>& cells);
+
+ private:
+  static std::string escape(const std::string& field);
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+}  // namespace pap

@@ -1,0 +1,31 @@
+// Minimal leveled logger. Simulators log at Debug level (off by default so
+// benches stay quiet and fast); scenario runners log milestones at Info.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace pap {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are suppressed.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+void log_message(LogLevel level, const std::string& msg);
+
+inline void log_debug(const std::string& msg) {
+  log_message(LogLevel::kDebug, msg);
+}
+inline void log_info(const std::string& msg) {
+  log_message(LogLevel::kInfo, msg);
+}
+inline void log_warn(const std::string& msg) {
+  log_message(LogLevel::kWarn, msg);
+}
+inline void log_error(const std::string& msg) {
+  log_message(LogLevel::kError, msg);
+}
+
+}  // namespace pap

@@ -1,0 +1,85 @@
+// Statistics collection for simulation experiments: running moments,
+// percentile-capable latency histograms, and min/max tracking. Used by every
+// bench that reports a latency distribution (motivation_interference,
+// fig4_frfcfs_model, the platform scenarios, ...).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace pap {
+
+/// Streaming mean/variance/min/max over doubles (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::int64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< Sample variance (n-1 denominator).
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+ private:
+  std::int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Latency histogram with exact percentiles.
+///
+/// Samples are kept (as picosecond integers); for this repository's scales
+/// (at most a few million samples per experiment) exactness beats the memory
+/// savings of bucketing, and worst-case analysis work cares about exact
+/// maxima.
+class LatencyHistogram {
+ public:
+  void add(Time sample);
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  Time min() const;
+  Time max() const;
+  Time mean() const;
+  /// Exact percentile by nearest-rank; p in [0, 100].
+  Time percentile(double p) const;
+
+  /// Render "count/mean/p50/p99/max" on one line, for logs and tables.
+  std::string summary() const;
+
+  /// Fixed-width ASCII bar chart of the distribution (for bench output).
+  std::string ascii_chart(int buckets = 20, int width = 40) const;
+
+ private:
+  void ensure_sorted() const;
+  mutable std::vector<std::int64_t> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// Counter map utility: named monotonically increasing counters, used by the
+/// cache / DRAM / NoC models to expose occurrence counts (hits, misses,
+/// row conflicts, switches, stalls, ...).
+class Counters {
+ public:
+  void inc(const std::string& name, std::int64_t by = 1);
+  std::int64_t get(const std::string& name) const;
+  const std::vector<std::pair<std::string, std::int64_t>>& entries() const {
+    return entries_;
+  }
+  void reset();
+
+ private:
+  // Small, ordered by first use; linear lookup is fine for the handful of
+  // counters each component exposes, and preserves insertion order in output.
+  std::vector<std::pair<std::string, std::int64_t>> entries_;
+};
+
+}  // namespace pap

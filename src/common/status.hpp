@@ -1,0 +1,59 @@
+// Lightweight status/expected types for configuration-time validation.
+//
+// Mechanism configuration (cache partition bitmaps, regulator budgets, RM
+// rate tables) is user input: invalid values are reported, not aborted on.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace pap {
+
+/// Result of a validation step: either OK or an explanatory message.
+class Status {
+ public:
+  static Status ok() { return Status{}; }
+  static Status error(std::string message) { return Status{std::move(message)}; }
+
+  bool is_ok() const { return !message_.has_value(); }
+  explicit operator bool() const { return is_ok(); }
+  const std::string& message() const {
+    static const std::string kOk = "OK";
+    return message_ ? *message_ : kOk;
+  }
+
+ private:
+  Status() = default;
+  explicit Status(std::string m) : message_(std::move(m)) {}
+  std::optional<std::string> message_;
+};
+
+/// A value or an error message. Minimal stand-in for std::expected (C++23).
+template <typename T>
+class Expected {
+ public:
+  Expected(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  static Expected error(std::string message) {
+    return Expected{Err{std::move(message)}};
+  }
+
+  bool has_value() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return has_value(); }
+
+  const T& value() const& { return std::get<T>(data_); }
+  T& value() & { return std::get<T>(data_); }
+  T&& value() && { return std::get<T>(std::move(data_)); }
+
+  const std::string& error_message() const { return std::get<Err>(data_).msg; }
+
+ private:
+  struct Err {
+    std::string msg;
+  };
+  explicit Expected(Err e) : data_(std::move(e)) {}
+  std::variant<T, Err> data_;
+};
+
+}  // namespace pap

@@ -1,0 +1,75 @@
+#include "common/table.hpp"
+
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace pap {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+TextTable& TextTable::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+TextTable& TextTable::cell(const std::string& v) {
+  PAP_CHECK_MSG(!rows_.empty(), "call row() before cell()");
+  PAP_CHECK_MSG(rows_.back().size() < headers_.size(), "too many cells in row");
+  rows_.back().push_back(v);
+  return *this;
+}
+
+TextTable& TextTable::cell(const char* v) { return cell(std::string(v)); }
+
+TextTable& TextTable::cell(std::int64_t v) { return cell(std::to_string(v)); }
+TextTable& TextTable::cell(std::size_t v) { return cell(std::to_string(v)); }
+TextTable& TextTable::cell(int v) { return cell(std::to_string(v)); }
+
+TextTable& TextTable::cell(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return cell(os.str());
+}
+
+TextTable& TextTable::cell(Time t) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(3) << t.nanos();
+  return cell(os.str());
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      widths[c] = std::max(widths[c], r[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    os << "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& v = c < cells.size() ? cells[c] : std::string{};
+      os << " " << std::setw(static_cast<int>(widths[c])) << v << " |";
+    }
+    os << "\n";
+  };
+  emit_row(headers_);
+  os << "|";
+  for (auto w : widths) os << std::string(w + 2, '-') << "|";
+  os << "\n";
+  for (const auto& r : rows_) emit_row(r);
+  return os.str();
+}
+
+void TextTable::print() const { std::fputs(render().c_str(), stdout); }
+
+void print_heading(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace pap

@@ -1,0 +1,43 @@
+// ASCII table rendering for bench binaries.
+//
+// Every bench regenerates a table or figure from the paper; this helper
+// prints them in an aligned, diff-friendly format so EXPERIMENTS.md can
+// paste bench output verbatim next to the paper's numbers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace pap {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Start a new row; subsequent cell() calls fill it left to right.
+  TextTable& row();
+  TextTable& cell(const std::string& v);
+  TextTable& cell(const char* v);
+  TextTable& cell(std::int64_t v);
+  TextTable& cell(std::size_t v);
+  TextTable& cell(int v);
+  TextTable& cell(double v, int precision = 3);
+  TextTable& cell(Time t);  ///< rendered in ns with 3 decimals
+
+  std::string render() const;
+  void print() const;  ///< render() to stdout
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Print a section heading in a consistent style across benches.
+void print_heading(const std::string& title);
+
+}  // namespace pap

@@ -1,0 +1,55 @@
+// Bandwidth / data-size helpers shared by the DRAM, NoC and regulation
+// libraries. Rates are carried as bytes-per-second doubles at analysis
+// boundaries and converted to integer inter-arrival picosecond periods
+// inside simulators.
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.hpp"
+
+namespace pap {
+
+/// Data sizes are plain byte counts; keep the typedef for readability.
+using Bytes = std::uint64_t;
+
+constexpr Bytes kCacheLineBytes = 64;
+
+/// A transfer rate. Stored in bits per second, as the paper quotes write
+/// rates in Gbps (Table II).
+class Rate {
+ public:
+  constexpr Rate() = default;
+  static constexpr Rate bits_per_sec(double v) { return Rate{v}; }
+  static constexpr Rate gbps(double v) { return Rate{v * 1e9}; }
+  static constexpr Rate mbps(double v) { return Rate{v * 1e6}; }
+  static constexpr Rate bytes_per_sec(double v) { return Rate{v * 8.0}; }
+
+  constexpr double in_bits_per_sec() const { return bps_; }
+  constexpr double in_gbps() const { return bps_ / 1e9; }
+  constexpr double in_bytes_per_sec() const { return bps_ / 8.0; }
+
+  /// Requests per second for a given request payload.
+  constexpr double requests_per_sec(Bytes request_bytes) const {
+    return bps_ / (8.0 * static_cast<double>(request_bytes));
+  }
+
+  /// Mean time between requests of `request_bytes` at this rate.
+  Time period_per_request(Bytes request_bytes) const {
+    return Time::from_ns(1e9 / requests_per_sec(request_bytes));
+  }
+
+  constexpr bool is_zero() const { return bps_ == 0.0; }
+
+  friend constexpr Rate operator+(Rate a, Rate b) { return Rate{a.bps_ + b.bps_}; }
+  friend constexpr Rate operator-(Rate a, Rate b) { return Rate{a.bps_ - b.bps_}; }
+  friend constexpr Rate operator*(Rate a, double k) { return Rate{a.bps_ * k}; }
+  friend constexpr double operator/(Rate a, Rate b) { return a.bps_ / b.bps_; }
+  friend constexpr auto operator<=>(Rate, Rate) = default;
+
+ private:
+  constexpr explicit Rate(double bps) : bps_(bps) {}
+  double bps_ = 0.0;
+};
+
+}  // namespace pap

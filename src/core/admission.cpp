@@ -1,0 +1,87 @@
+#include "core/admission.hpp"
+
+#include <algorithm>
+
+namespace pap::core {
+
+AdmissionController::AdmissionController(PlatformModel model)
+    : analysis_(std::move(model)) {}
+
+Expected<AdmissionGrant> AdmissionController::request(
+    const AppRequirement& req) {
+  for (const auto& a : admitted_) {
+    if (a.app == req.app) {
+      ++rejections_;
+      return Expected<AdmissionGrant>::error("app " + std::to_string(req.app) +
+                                             " already admitted");
+    }
+  }
+
+  // Route computation (Sec. IV): try the requested dimension order first;
+  // if the proof fails, retry on the flipped order — the minimal
+  // alternative route through the other dimension's links.
+  std::string first_error;
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    AppRequirement candidate = req;
+    if (attempt == 1) {
+      candidate.route_order =
+          req.route_order == noc::Mesh2D::RouteOrder::kXY
+              ? noc::Mesh2D::RouteOrder::kYX
+              : noc::Mesh2D::RouteOrder::kXY;
+    }
+    std::vector<AppRequirement> tentative = admitted_;
+    tentative.push_back(candidate);
+
+    // Every application — existing and new — must keep a proven bound.
+    std::string error;
+    for (const auto& a : tentative) {
+      const auto bound = analysis_.e2e_bound(a, tentative);
+      if (!bound) {
+        error = "admitting '" + req.name + "' would leave '" + a.name +
+                "' without a bounded end-to-end delay (resource saturated)";
+        break;
+      }
+      if (*bound > a.deadline) {
+        error = "admitting '" + req.name + "' would break '" + a.name +
+                "': bound " + bound->to_string() + " > deadline " +
+                a.deadline.to_string();
+        break;
+      }
+    }
+    if (!error.empty()) {
+      if (attempt == 0) first_error = std::move(error);
+      continue;
+    }
+
+    admitted_ = std::move(tentative);
+    ++admissions_;
+    AdmissionGrant grant;
+    grant.app = req.app;
+    grant.noc_shaper = req.traffic;  // the contract becomes the enforced rate
+    grant.e2e_bound = *analysis_.e2e_bound(admitted_.back(), admitted_);
+    grant.route_order = admitted_.back().route_order;
+    return grant;
+  }
+  ++rejections_;
+  return Expected<AdmissionGrant>::error(first_error +
+                                         " (alternate route also fails)");
+}
+
+Status AdmissionController::release(noc::AppId app) {
+  const auto before = admitted_.size();
+  std::erase_if(admitted_,
+                [&](const AppRequirement& a) { return a.app == app; });
+  if (admitted_.size() == before) {
+    return Status::error("app " + std::to_string(app) + " not admitted");
+  }
+  return Status::ok();
+}
+
+std::optional<Time> AdmissionController::current_bound(noc::AppId app) const {
+  for (const auto& a : admitted_) {
+    if (a.app == app) return analysis_.e2e_bound(a, admitted_);
+  }
+  return std::nullopt;
+}
+
+}  // namespace pap::core

@@ -1,0 +1,56 @@
+// End-to-end admission control (Section V, Fig. 6).
+//
+// "Admission control can be used as an alternative method to provide
+// applications with a global resource arbitration. It allows to decouple
+// the data layer where transmission is performed, from the control layer
+// responsible for allocation and arbitration of available resources. ...
+// Whenever an application is granted admission, E2E access allocation of a
+// sequence of shared network and memory resources is achieved."
+//
+// The controller admits an application iff, *with the newcomer included*,
+// every admitted application still has a proven end-to-end delay bound
+// within its deadline — computed with the compositional NC analysis of
+// e2e_analysis.hpp. On admission it returns the shaper parameters every
+// enforcement point must be programmed with (the rates the RM distributes
+// via confMsg).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "core/e2e_analysis.hpp"
+#include "core/qos_spec.hpp"
+
+namespace pap::core {
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(PlatformModel model);
+
+  /// Try to admit `req`. On success the grant is recorded and returned;
+  /// on failure the error names the application whose guarantee would
+  /// break (possibly the newcomer itself).
+  Expected<AdmissionGrant> request(const AppRequirement& req);
+
+  /// Release a previously admitted application (terMsg processing).
+  Status release(noc::AppId app);
+
+  /// Re-proved bound of an admitted app under the current mix.
+  std::optional<Time> current_bound(noc::AppId app) const;
+
+  const std::vector<AppRequirement>& admitted() const { return admitted_; }
+  const E2eAnalysis& analysis() const { return analysis_; }
+
+  std::uint64_t admissions() const { return admissions_; }
+  std::uint64_t rejections() const { return rejections_; }
+
+ private:
+  E2eAnalysis analysis_;
+  std::vector<AppRequirement> admitted_;
+  std::uint64_t admissions_ = 0;
+  std::uint64_t rejections_ = 0;
+};
+
+}  // namespace pap::core

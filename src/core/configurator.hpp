@@ -1,0 +1,60 @@
+// Automated platform configurator.
+//
+// "Finding an optimal configuration for these interacting mechanisms is
+// highly dependent on the characteristics of applications and the HW
+// platform. Thus, automated profiling as well as sophisticated
+// configuration tooling is required." (Sec. II)
+//
+// Given the application QoS requirements and a platform model, the
+// configurator derives a consistent configuration of every mechanism in
+// this library — DSU scheme IDs and partition register, Memguard budgets,
+// the RM rate table — and *validates* it with the formal end-to-end
+// analysis (admission of every app must succeed), returning either a fully
+// validated configuration or the reason none exists.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/dsu.hpp"
+#include "common/status.hpp"
+#include "core/admission.hpp"
+#include "core/qos_spec.hpp"
+#include "rm/rate_table.hpp"
+
+namespace pap::core {
+
+struct MechanismConfig {
+  /// DSU: scheme ID per app and the partition control register value.
+  std::vector<std::pair<noc::AppId, cache::SchemeId>> scheme_ids;
+  std::uint32_t clusterpartcr = 0;
+
+  /// Memguard: DRAM-access budget per app per regulation period.
+  Time memguard_period;
+  std::vector<std::pair<noc::AppId, std::uint64_t>> memguard_budgets;
+
+  /// RM rate table (non-symmetric: critical guarantees pinned).
+  rm::RateTable rate_table = rm::RateTable::symmetric(
+      Rate::gbps(1), kCacheLineBytes, 1.0);
+
+  /// Proven end-to-end bounds per app (the validation evidence).
+  std::vector<AdmissionGrant> grants;
+
+  std::string summary() const;
+};
+
+class Configurator {
+ public:
+  explicit Configurator(PlatformModel model, Rate noc_budget);
+
+  /// Derive and validate a configuration for `apps`. Fails when the
+  /// formal analysis cannot prove every deadline.
+  Expected<MechanismConfig> configure(std::vector<AppRequirement> apps) const;
+
+ private:
+  PlatformModel model_;
+  Rate noc_budget_;
+};
+
+}  // namespace pap::core

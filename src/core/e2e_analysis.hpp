@@ -1,0 +1,106 @@
+// End-to-end service composition across heterogeneous shared resources —
+// the analysis behind Fig. 6: a transmission crosses its source's
+// injection link, a sequence of wormhole NoC links, and optionally the
+// FR-FCFS DRAM controller; each resource contributes a service curve, the
+// chain is their min-plus convolution, and the horizontal deviation
+// against the application's token bucket is the provable end-to-end delay
+// bound ("pay bursts only once").
+//
+// Cross-traffic handling (soundness over tightness):
+//  * every link a flow crosses — including the injection link it shares
+//    with co-located applications — contributes a blind-multiplexing
+//    residual of the link's service under the other flows' arrival curves;
+//  * interferer burstiness grows along paths. Bursts at hop k are
+//    propagated with per-link *aggregate delay bounds*: the links are FIFO
+//    (FCFS grant order in the simulator), so h(alpha_total, beta_link)
+//    bounds any packet's delay through the link, and a flow's burst at hop
+//    k is b + r * (sum of the delay bounds of its first k links). Link
+//    delays and bursts form a monotone fixpoint, iterated to convergence;
+//    links whose aggregate rate reaches capacity (or whose fixpoint
+//    diverges) make every flow crossing them unbounded.
+// The randomized cross-validation in tests/e2e_fuzz_test.cpp checks the
+// resulting bounds against the NoC simulator over random flow sets.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/qos_spec.hpp"
+#include "dram/frfcfs.hpp"
+#include "dram/timing.hpp"
+#include "dram/wcd.hpp"
+#include "nc/bounds.hpp"
+#include "nc/ops.hpp"
+#include "noc/network.hpp"
+
+namespace pap::core {
+
+struct PlatformModel {
+  noc::NocConfig noc;
+  dram::Timings dram = dram::ddr3_1600();
+  dram::ControllerParams dram_ctrl;
+  /// Aggregate write traffic at the controller assumed by the WCD analysis
+  /// (requests; the admission controller adds admitted apps' writes).
+  nc::TokenBucket background_writes{8.0, 0.0};
+  /// Depth of the DRAM service curve (max queue position analysed).
+  int dram_service_depth = 32;
+};
+
+/// A shared segment on a flow's path: a router output channel, or the
+/// source node's injection link.
+struct PathLink {
+  noc::LinkId link{0, noc::Direction::kLocal};
+  bool injection = false;
+  friend bool operator==(const PathLink&, const PathLink&) = default;
+};
+
+class E2eAnalysis {
+ public:
+  explicit E2eAnalysis(PlatformModel model);
+
+  /// Link capacity in packets/ns for `flits`-sized packets.
+  double link_rate(int flits) const;
+
+  /// Per-hop base latency (arbitration-free router traversal).
+  Time hop_latency() const;
+
+  /// The flow's path: injection link, then the XY route's channels.
+  std::vector<PathLink> links_of(const AppRequirement& req) const;
+
+  /// Residual service curve of the NoC path of `req` under the admitted
+  /// cross traffic `others` (convolution over its links), or nullopt when
+  /// a link on the path is saturated / the burst fixpoint diverges.
+  std::optional<nc::Curve> path_service(
+      const AppRequirement& req,
+      const std::vector<AppRequirement>& others) const;
+
+  /// Residual DRAM read service for `req` given all admitted apps
+  /// (their writes feed the write-batch interference; their reads occupy
+  /// queue positions ahead).
+  nc::Curve dram_service(const AppRequirement& req,
+                         const std::vector<AppRequirement>& others) const;
+
+  /// Full end-to-end bound: NoC path (+ DRAM when used).
+  std::optional<Time> e2e_bound(const AppRequirement& req,
+                                const std::vector<AppRequirement>& others) const;
+
+  const PlatformModel& model() const { return model_; }
+
+ private:
+  /// Per-flow, per-hop burst sizes (in each flow's own packets) after the
+  /// link-delay fixpoint; empty optional when it diverges.
+  struct PropagatedBursts {
+    // bursts[f][h]: burst of flow f at its h-th link.
+    std::vector<std::vector<double>> bursts;
+    std::vector<bool> flow_unbounded;
+  };
+  std::optional<PropagatedBursts> propagate(
+      const std::vector<AppRequirement>& flows) const;
+
+  nc::Curve link_beta_flits(bool injection) const;
+
+  PlatformModel model_;
+  noc::Mesh2D mesh_;
+};
+
+}  // namespace pap::core

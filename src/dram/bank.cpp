@@ -1,0 +1,58 @@
+#include "dram/bank.hpp"
+
+#include <algorithm>
+
+namespace pap::dram {
+
+Time Bank::access(Time start, std::uint32_t row, bool write,
+                  bool auto_precharge) {
+  Time at = std::max(start, ready_);
+  Time completion;
+  if (row_open(row)) {
+    // Row hit: CAS + burst. Consecutive hits pipeline on the data bus; the
+    // caller spaces them by tBurst, we only enforce bank readiness here.
+    completion = at + t_->tCL + t_->tBurst;
+    ready_ = at + t_->tBurst;
+  } else {
+    // Row miss: optionally PRE the open row, then ACT (subject to tRC),
+    // then CAS + burst.
+    Time act_at = at;
+    if (any_row_open()) act_at += t_->tRP;
+    act_at = std::max(act_at, next_act_);
+    completion = act_at + t_->tRCD + t_->tCL + t_->tBurst;
+    next_act_ = act_at + t_->row_cycle();
+    open_row_ = row;
+    ready_ = completion - t_->tBurst;  // command engine free before data ends
+  }
+  if (write) {
+    // Write recovery keeps the bank busy after the data burst.
+    ready_ = std::max(ready_, completion + t_->tWR);
+  }
+  if (auto_precharge) {
+    // Closed-page policy: the row closes with the access; the precharge
+    // overlaps the data burst and is already covered by the tRC spacing.
+    open_row_.reset();
+  }
+  return completion;
+}
+
+Time Bank::precharge_all(Time start) {
+  Time at = std::max(start, ready_);
+  if (any_row_open()) {
+    at += t_->tRP;
+    open_row_.reset();
+  }
+  ready_ = at;
+  return at;
+}
+
+Time Bank::refresh(Time start) {
+  Time at = precharge_all(start);
+  at += t_->tRFC;
+  ready_ = at;
+  next_act_ = std::max(next_act_, at);
+  open_row_.reset();
+  return at;
+}
+
+}  // namespace pap::dram

@@ -1,0 +1,54 @@
+// Per-bank state machine: row-buffer tracking and command-timing costs.
+//
+// "Each bank contains a matrix-like structure where data is located along
+// with a row buffer. ... all data exchanges are performed through the
+// corresponding row buffer" (Sec. V). The controller consults this model to
+// price each request as a row hit or a row miss and to respect the row-cycle
+// constraint (tRC) between activations of the same bank.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/time.hpp"
+#include "dram/timing.hpp"
+
+namespace pap::dram {
+
+class Bank {
+ public:
+  explicit Bank(const Timings& t) : t_(&t) {}
+
+  bool row_open(std::uint32_t row) const {
+    return open_row_.has_value() && *open_row_ == row;
+  }
+  bool any_row_open() const { return open_row_.has_value(); }
+
+  /// Would a request to `row` be a row hit right now?
+  bool is_hit(std::uint32_t row) const { return row_open(row); }
+
+  /// Serve an access to `row` starting no earlier than `start`; returns the
+  /// completion time of the data burst and updates the bank state. `write`
+  /// adds the write-recovery component to the busy window. With
+  /// `auto_precharge` the row is closed immediately after the access
+  /// (closed-page policy): the next access can never be a row hit.
+  Time access(Time start, std::uint32_t row, bool write,
+              bool auto_precharge = false);
+
+  /// Close any open row (e.g. before a refresh) — models a PRE-all.
+  Time precharge_all(Time start);
+
+  /// Refresh occupies the bank for tRFC and leaves all rows closed.
+  Time refresh(Time start);
+
+  /// Earliest time a new activation may be issued (row-cycle constraint).
+  Time next_activate_allowed() const { return next_act_; }
+
+ private:
+  const Timings* t_;
+  std::optional<std::uint32_t> open_row_;
+  Time next_act_;      ///< earliest next ACT (tRC from the previous ACT)
+  Time ready_;         ///< bank busy until this instant
+};
+
+}  // namespace pap::dram

@@ -1,0 +1,242 @@
+#include "dram/frfcfs.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace pap::dram {
+
+FrFcfsController::FrFcfsController(sim::Kernel& kernel, const Timings& timings,
+                                   const ControllerParams& params)
+    : kernel_(kernel),
+      timings_(timings),
+      params_(params),
+      refresh_timer_(kernel, kernel.now() + timings.tREFI, timings.tREFI,
+                     [this] {
+                       refresh_due_ = true;
+                       kick();
+                     }) {
+  PAP_CHECK_MSG(timings_.valid(), "invalid DRAM timing set");
+  PAP_CHECK_MSG(params_.valid(), "invalid controller parameters");
+  banks_.assign(static_cast<std::size_t>(params_.banks), Bank{timings_});
+}
+
+void FrFcfsController::submit(Request request) {
+  PAP_CHECK(request.bank < static_cast<std::uint32_t>(params_.banks));
+  request.arrival = kernel_.now();
+  if (request.op == Op::kRead) {
+    read_q_.push_back(request);
+    counters_.inc("reads_submitted");
+  } else {
+    write_q_.push_back(request);
+    counters_.inc("writes_submitted");
+  }
+  kick();
+}
+
+void FrFcfsController::kick() {
+  if (busy_) return;
+  busy_ = true;
+  kernel_.schedule_at(std::max(kernel_.now(), ready_at_),
+                      [this] { dispatch(); });
+}
+
+bool FrFcfsController::should_switch_to_writes() const {
+  // Fig. 5: in read mode, go to writes when the read queue is empty and at
+  // least W_low writes wait, or unconditionally at W_high. The
+  // one-read-per-batch guard prevents the degenerate instant re-switch that
+  // would starve reads outright (the worst-case pattern of Sec. IV-A is
+  // "one read miss followed by a batch of N_wd writes").
+  if (write_q_.empty()) return false;
+  if (read_q_.empty() &&
+      write_q_.size() >= static_cast<std::size_t>(params_.w_low)) {
+    return true;
+  }
+  if (must_serve_read_ && !read_q_.empty()) return false;
+  return write_q_.size() >= static_cast<std::size_t>(params_.w_high);
+}
+
+void FrFcfsController::set_master_priority(std::uint32_t master,
+                                           std::uint8_t priority) {
+  for (auto& [m, p] : master_priorities_) {
+    if (m == master) {
+      p = priority;
+      return;
+    }
+  }
+  master_priorities_.emplace_back(master, priority);
+}
+
+std::uint8_t FrFcfsController::master_priority(std::uint32_t master) const {
+  for (const auto& [m, p] : master_priorities_) {
+    if (m == master) return p;
+  }
+  return 255;
+}
+
+int FrFcfsController::pick_read() {
+  if (read_q_.empty()) return -1;
+  // MPAM priority partitioning: restrict the candidate set to the highest-
+  // priority master class present in the queue.
+  std::uint8_t best_prio = 255;
+  for (const auto& r : read_q_) {
+    best_prio = std::min(best_prio, master_priority(r.master));
+  }
+  auto eligible = [&](const Request& r) {
+    return master_priority(r.master) == best_prio;
+  };
+  // Closed-page policy: rows never stay open, so there is nothing to
+  // promote; FCFS within the class.
+  if (params_.page_policy == PagePolicy::kOpenRow &&
+      hit_streak_ < params_.n_cap) {
+    // FR-FCFS: the oldest eligible row hit is promoted over older misses,
+    // but only for up to N_cap consecutive promotions.
+    for (std::size_t i = 0; i < read_q_.size(); ++i) {
+      const Request& r = read_q_[i];
+      if (eligible(r) && banks_[r.bank].is_hit(r.row)) {
+        return static_cast<int>(i);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < read_q_.size(); ++i) {
+    if (eligible(read_q_[i])) return static_cast<int>(i);  // class FCFS head
+  }
+  return 0;  // unreachable: best_prio comes from the queue
+}
+
+void FrFcfsController::switch_mode(Mode m, Time turnaround) {
+  mode_ = m;
+  ready_at_ = std::max(ready_at_, kernel_.now()) + turnaround;
+  last_was_hit_ = false;  // turnaround breaks any data-bus pipeline
+  if (m == Mode::kWrite) {
+    writes_in_batch_ = 0;
+    counters_.inc("switches_to_write");
+  } else if (m == Mode::kRead) {
+    hit_streak_ = 0;
+    must_serve_read_ = true;
+    counters_.inc("switches_to_read");
+  }
+  if (on_mode_) on_mode_(kernel_.now(), m, write_q_.size());
+}
+
+void FrFcfsController::do_refresh() {
+  refresh_due_ = false;
+  counters_.inc("refreshes");
+  Time done = std::max(kernel_.now(), ready_at_);
+  const Time start = done;
+  for (auto& b : banks_) done = std::max(done, b.refresh(start));
+  ready_at_ = done;
+  last_was_hit_ = false;
+  if (on_mode_) on_mode_(kernel_.now(), Mode::kRefresh, write_q_.size());
+  kernel_.schedule_at(done, [this] { dispatch(); });
+}
+
+void FrFcfsController::dispatch() {
+  // Invariant: busy_ == true; we either schedule a follow-up dispatch or
+  // set busy_ = false before returning.
+  if (refresh_due_) {
+    // Refresh takes precedence at every request boundary once its timer
+    // expired ("scheduled when a refresh timer expires, after the
+    // completion of the ongoing read or write request").
+    do_refresh();
+    return;
+  }
+
+  if (mode_ == Mode::kRead) {
+    if (should_switch_to_writes()) {
+      switch_mode(Mode::kWrite, timings_.switch_read_to_write());
+      kernel_.schedule_at(ready_at_, [this] { dispatch(); });
+      return;
+    }
+    const int idx = pick_read();
+    if (idx < 0) {
+      busy_ = false;  // idle; next submit() or refresh kicks us
+      return;
+    }
+    Request r = read_q_[static_cast<std::size_t>(idx)];
+    const bool hit = params_.page_policy == PagePolicy::kOpenRow &&
+                     banks_[r.bank].is_hit(r.row);
+    if (hit) {
+      if (idx != 0) counters_.inc("read_hit_promotions");
+      ++hit_streak_;
+    } else {
+      hit_streak_ = 0;
+    }
+    must_serve_read_ = false;
+    read_q_.erase(read_q_.begin() + idx);
+    serve(r, hit);
+    return;
+  }
+
+  // Write mode.
+  const bool batch_done = writes_in_batch_ >= params_.n_wd;
+  const bool drained =
+      read_q_.empty() &&
+      write_q_.size() <
+          static_cast<std::size_t>(std::max(params_.w_low - params_.n_wd, 0));
+  if ((batch_done && !read_q_.empty()) || write_q_.empty() || drained) {
+    switch_mode(Mode::kRead, timings_.switch_write_to_read());
+    kernel_.schedule_at(ready_at_, [this] { dispatch(); });
+    return;
+  }
+  // Oldest row hit first (no cap on the write side: writes are not
+  // latency-critical, Sec. IV-A), else FCFS.
+  std::size_t idx = 0;
+  if (params_.page_policy == PagePolicy::kOpenRow) {
+    for (std::size_t i = 0; i < write_q_.size(); ++i) {
+      if (banks_[write_q_[i].bank].is_hit(write_q_[i].row)) {
+        idx = i;
+        break;
+      }
+    }
+  }
+  Request w = write_q_[idx];
+  const bool hit = params_.page_policy == PagePolicy::kOpenRow &&
+                   banks_[w.bank].is_hit(w.row);
+  write_q_.erase(write_q_.begin() + idx);
+  ++writes_in_batch_;
+  serve(w, hit);
+}
+
+void FrFcfsController::serve(Request r, bool is_hit) {
+  const Time now = std::max(kernel_.now(), ready_at_);
+  Time completion;
+  if (is_hit) {
+    const bool pipelined = last_was_hit_ && last_bank_ == r.bank &&
+                           last_row_ == r.row && last_data_end_ >= now;
+    if (pipelined) {
+      // Back-to-back hits stream at tBurst spacing.
+      completion = last_data_end_ + timings_.read_hit_cost();
+    } else {
+      completion = now + timings_.read_hit_first_latency();
+    }
+    counters_.inc(r.op == Op::kRead ? "read_hits" : "write_hits");
+  } else {
+    completion = banks_[r.bank].access(
+        now, r.row, r.op == Op::kWrite,
+        params_.page_policy == PagePolicy::kClosedPage);
+    counters_.inc(r.op == Op::kRead ? "read_misses" : "write_misses");
+  }
+  last_was_hit_ = is_hit;
+  last_bank_ = r.bank;
+  last_row_ = r.row;
+  last_data_end_ = completion;
+  // The command engine frees when the data burst ends; write recovery is
+  // tracked inside the bank and only delays that bank's next activation.
+  ready_at_ = completion;
+
+  const Time latency = completion - r.arrival;
+  if (r.op == Op::kRead) {
+    read_latency_.add(latency);
+  } else {
+    write_latency_.add(latency);
+  }
+  if (on_complete_) {
+    kernel_.schedule_at(
+        completion, [this, r, completion] { on_complete_(r, completion); },
+        /*priority=*/-1);
+  }
+  kernel_.schedule_at(completion, [this] { dispatch(); });
+}
+
+}  // namespace pap::dram

@@ -1,0 +1,88 @@
+#include "dram/timing.hpp"
+
+namespace pap::dram {
+
+bool Timings::valid() const {
+  const Time z = Time::zero();
+  if (tCK <= z || tBurst <= z || tRCD <= z || tCL <= z || tRP <= z ||
+      tRAS <= z || tRFC <= z || tWR <= z || tWTR <= z || tRTW <= z ||
+      tREFI <= z) {
+    return false;
+  }
+  if (tREFI <= tRFC) return false;     // refresh would consume the device
+  if (tRAS < tRCD) return false;       // row must stay open past the ACT
+  return true;
+}
+
+Timings ddr3_1600() {
+  Timings t;
+  t.name = "DDR3-1600";
+  t.tCK = Time::from_ns(1.25);
+  t.tBurst = Time::from_ns(5);
+  t.tRCD = Time::from_ns(13.75);
+  t.tCL = Time::from_ns(13.75);
+  t.tRP = Time::from_ns(13.75);
+  t.tRAS = Time::from_ns(35);
+  t.tRRD = Time::from_ns(6);
+  t.tXAW = Time::from_ns(30);
+  t.tRFC = Time::from_ns(260);
+  t.tWR = Time::from_ns(15);
+  t.tWTR = Time::from_ns(7.5);
+  t.tRTP = Time::from_ns(7.5);
+  t.tRTW = Time::from_ns(2.5);
+  t.tCS = Time::from_ns(2.5);
+  t.tREFI = Time::from_ns(7800);
+  t.tXP = Time::from_ns(6);
+  t.tXS = Time::from_ns(270);
+  return t;
+}
+
+Timings ddr4_2400() {
+  // Representative DDR4-2400 (17-17-17) 8 Gbit datasheet values.
+  Timings t;
+  t.name = "DDR4-2400";
+  t.tCK = Time::from_ns(0.833);
+  t.tBurst = Time::from_ns(3.333);  // BL8 at 1200 MHz
+  t.tRCD = Time::from_ns(14.16);
+  t.tCL = Time::from_ns(14.16);
+  t.tRP = Time::from_ns(14.16);
+  t.tRAS = Time::from_ns(32);
+  t.tRRD = Time::from_ns(4.9);
+  t.tXAW = Time::from_ns(21);
+  t.tRFC = Time::from_ns(350);
+  t.tWR = Time::from_ns(15);
+  t.tWTR = Time::from_ns(7.5);
+  t.tRTP = Time::from_ns(7.5);
+  t.tRTW = Time::from_ns(2.5);
+  t.tCS = Time::from_ns(2.5);
+  t.tREFI = Time::from_ns(7800);
+  t.tXP = Time::from_ns(6);
+  t.tXS = Time::from_ns(360);
+  return t;
+}
+
+Timings lpddr4_3200() {
+  // Representative LPDDR4-3200 values (per-channel, BL16).
+  Timings t;
+  t.name = "LPDDR4-3200";
+  t.tCK = Time::from_ns(0.625);
+  t.tBurst = Time::from_ns(5);  // BL16 on a x16 channel
+  t.tRCD = Time::from_ns(18);
+  t.tCL = Time::from_ns(17.5);
+  t.tRP = Time::from_ns(18);
+  t.tRAS = Time::from_ns(42);
+  t.tRRD = Time::from_ns(10);
+  t.tXAW = Time::from_ns(40);
+  t.tRFC = Time::from_ns(280);
+  t.tWR = Time::from_ns(18);
+  t.tWTR = Time::from_ns(10);
+  t.tRTP = Time::from_ns(7.5);
+  t.tRTW = Time::from_ns(2.5);
+  t.tCS = Time::from_ns(2.5);
+  t.tREFI = Time::from_ns(3904);
+  t.tXP = Time::from_ns(7.5);
+  t.tXS = Time::from_ns(300);
+  return t;
+}
+
+}  // namespace pap::dram

@@ -1,0 +1,79 @@
+// DRAM timing parameter sets.
+//
+// Table I of the paper lists the DDR3-1600 parameters (in ns) used for the
+// worst-case delay analysis of Section IV-A; `ddr3_1600()` reproduces them
+// verbatim. The paper notes the method "can be applied to any memory
+// technology (e.g., DDR3, DDR4, LPDDR4, etc.), by just changing the values
+// of the timing parameters" — the extra presets exercise exactly that.
+#pragma once
+
+#include <string>
+
+#include "common/time.hpp"
+
+namespace pap::dram {
+
+struct Timings {
+  std::string name;
+
+  Time tCK;     ///< clock period
+  Time tBurst;  ///< data burst duration on the bus (BL8)
+  Time tRCD;    ///< ACT to internal READ/WRITE
+  Time tCL;     ///< READ to first data (CAS latency)
+  Time tRP;     ///< PRE to ACT
+  Time tRAS;    ///< ACT to PRE (minimum row-open time)
+  Time tRRD;    ///< ACT to ACT, different banks
+  Time tXAW;    ///< four-activate window
+  Time tRFC;    ///< refresh cycle time
+  Time tWR;     ///< write recovery (end of write data to PRE)
+  Time tWTR;    ///< write-to-read turnaround
+  Time tRTP;    ///< read-to-precharge
+  Time tRTW;    ///< read-to-write turnaround
+  Time tCS;     ///< rank/chip-select switch
+  Time tREFI;   ///< refresh interval
+  Time tXP;     ///< power-down exit
+  Time tXS;     ///< self-refresh exit
+
+  // --- Derived quantities used by both the FR-FCFS simulator and the WCD
+  // --- analysis (so that analysis and simulation share one timing model).
+
+  /// Row cycle time tRC: minimum spacing of ACTs to the same bank; the
+  /// steady-state cost of consecutive row-miss reads to one bank.
+  Time row_cycle() const { return tRAS + tRP; }
+
+  /// Completion of a single row-miss read on a bank with another row open:
+  /// PRE + ACT-to-READ + CAS + burst.
+  Time read_miss_completion() const { return tRP + tRCD + tCL + tBurst; }
+
+  /// Completion of a row-miss read on a precharged (idle) bank.
+  Time read_miss_closed_completion() const { return tRCD + tCL + tBurst; }
+
+  /// Cost of a row-hit read when bursts are pipelined back-to-back: the
+  /// data-bus occupancy.
+  Time read_hit_cost() const { return tBurst; }
+
+  /// CAS latency contribution of the first hit in a pipeline.
+  Time read_hit_first_latency() const { return tCL + tBurst; }
+
+  /// Steady-state cost of a row-miss write: ACT-to-WRITE + write latency
+  /// (modelled as tCL) + burst + write recovery + precharge.
+  Time write_cycle() const { return tRCD + tCL + tBurst + tWR + tRP; }
+
+  /// Bus turnaround overhead when the controller switches from serving the
+  /// read queue to the write queue, and back.
+  Time switch_read_to_write() const { return tRTW; }
+  Time switch_write_to_read() const { return tWTR; }
+
+  /// Validate internal consistency (all positive, tRAS covers the
+  /// ACT->READ->data window, refresh interval exceeds refresh cost, ...).
+  bool valid() const;
+};
+
+/// Table I of the paper, verbatim (DDR3-1600, 4 Gbit).
+Timings ddr3_1600();
+
+/// Additional presets demonstrating the "any technology" claim.
+Timings ddr4_2400();
+Timings lpddr4_3200();
+
+}  // namespace pap::dram

@@ -1,0 +1,112 @@
+#include "dram/traffic.hpp"
+
+#include "common/check.hpp"
+
+namespace pap::dram {
+
+ShapedWriteSource::ShapedWriteSource(sim::Kernel& kernel,
+                                     FrFcfsController& controller,
+                                     nc::TokenBucket bucket,
+                                     std::uint32_t bank,
+                                     std::uint32_t master_id)
+    : kernel_(kernel),
+      controller_(controller),
+      shaper_(bucket, kernel.now()),
+      bank_(bank),
+      master_(master_id) {}
+
+void ShapedWriteSource::start() {
+  PAP_CHECK(!running_);
+  running_ = true;
+  emit_next();
+}
+
+void ShapedWriteSource::emit_next() {
+  if (!running_) return;
+  const Time at = shaper_.earliest_release(kernel_.now());
+  kernel_.schedule_at(at, [this] {
+    if (!running_) return;
+    shaper_.on_release(kernel_.now());
+    Request r;
+    r.id = emitted_;
+    r.op = Op::kWrite;
+    r.bank = bank_;
+    r.row = next_row_++;  // rotate rows: every write is a row miss
+    r.master = master_;
+    controller_.submit(r);
+    ++emitted_;
+    emit_next();
+  });
+}
+
+PeriodicReadSource::PeriodicReadSource(sim::Kernel& kernel,
+                                       FrFcfsController& controller,
+                                       Time period, std::uint32_t bank,
+                                       std::uint32_t row_stride,
+                                       std::uint32_t master_id)
+    : kernel_(kernel),
+      controller_(controller),
+      period_(period),
+      bank_(bank),
+      row_stride_(row_stride),
+      master_(master_id) {}
+
+void PeriodicReadSource::start() {
+  PAP_CHECK(!timer_);
+  timer_ = std::make_unique<sim::PeriodicEvent>(
+      kernel_, kernel_.now(), period_, [this] { emit(); });
+}
+
+void PeriodicReadSource::stop() { timer_.reset(); }
+
+void PeriodicReadSource::emit() {
+  Request r;
+  r.id = emitted_;
+  r.op = Op::kRead;
+  r.bank = bank_;
+  r.row = row_;
+  r.master = master_;
+  row_ += row_stride_;
+  controller_.submit(r);
+  ++emitted_;
+}
+
+RandomAccessSource::RandomAccessSource(sim::Kernel& kernel,
+                                       FrFcfsController& controller,
+                                       Config config)
+    : kernel_(kernel),
+      controller_(controller),
+      cfg_(config),
+      rng_(config.seed) {
+  PAP_CHECK(cfg_.banks > 0 && cfg_.rows > 0);
+}
+
+void RandomAccessSource::start() {
+  PAP_CHECK(!running_);
+  running_ = true;
+  emit_next();
+}
+
+void RandomAccessSource::emit_next() {
+  if (!running_) return;
+  const Time gap = Time::from_ns(
+      rng_.exponential(cfg_.mean_inter_arrival.nanos()));
+  kernel_.schedule_in(gap, [this] {
+    if (!running_) return;
+    if (!rng_.chance(cfg_.locality)) {
+      cur_bank_ = static_cast<std::uint32_t>(rng_.next_below(cfg_.banks));
+      cur_row_ = static_cast<std::uint32_t>(rng_.next_below(cfg_.rows));
+    }
+    Request r;
+    r.id = emitted_;
+    r.op = rng_.chance(cfg_.write_fraction) ? Op::kWrite : Op::kRead;
+    r.bank = cur_bank_;
+    r.row = cur_row_;
+    r.master = cfg_.master_id;
+    controller_.submit(r);
+    ++emitted_;
+    emit_next();
+  });
+}
+
+}  // namespace pap::dram

@@ -1,0 +1,104 @@
+// Traffic generators ("masters") for the DRAM controller simulator.
+//
+// The paper's analysis assumes write traffic shaped by a token bucket and
+// adversarial read patterns (same-bank row misses, bursts of promoted row
+// hits). These generators reproduce those patterns, plus randomized mixes
+// for the platform-level experiments.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "common/units.hpp"
+#include "dram/frfcfs.hpp"
+#include "nc/arrival.hpp"
+#include "sim/kernel.hpp"
+
+namespace pap::dram {
+
+/// Greedy token-bucket-shaped write source: emits write requests as fast as
+/// the shaper allows, all to one bank with rotating rows (every request a
+/// row miss) — the adversary of Sec. IV-A.
+class ShapedWriteSource {
+ public:
+  ShapedWriteSource(sim::Kernel& kernel, FrFcfsController& controller,
+                    nc::TokenBucket bucket, std::uint32_t bank,
+                    std::uint32_t master_id);
+
+  void start();
+  void stop() { running_ = false; }
+  std::uint64_t emitted() const { return emitted_; }
+
+ private:
+  void emit_next();
+  sim::Kernel& kernel_;
+  FrFcfsController& controller_;
+  nc::TokenBucketShaper shaper_;
+  std::uint32_t bank_;
+  std::uint32_t master_;
+  std::uint32_t next_row_ = 0;
+  std::uint64_t emitted_ = 0;
+  bool running_ = false;
+};
+
+/// Periodic read source: one read every `period`. `row_stride` = 0 keeps
+/// hitting the same row (row hits once open); != 0 rotates rows (misses).
+class PeriodicReadSource {
+ public:
+  PeriodicReadSource(sim::Kernel& kernel, FrFcfsController& controller,
+                     Time period, std::uint32_t bank, std::uint32_t row_stride,
+                     std::uint32_t master_id);
+
+  void start();
+  void stop();
+  std::uint64_t emitted() const { return emitted_; }
+
+ private:
+  void emit();
+  sim::Kernel& kernel_;
+  FrFcfsController& controller_;
+  Time period_;
+  std::uint32_t bank_;
+  std::uint32_t row_stride_;
+  std::uint32_t master_;
+  std::uint32_t row_ = 0;
+  std::uint64_t emitted_ = 0;
+  std::unique_ptr<sim::PeriodicEvent> timer_;
+};
+
+/// Randomized mixed read/write source with configurable row-hit locality,
+/// for average-case platform experiments (motivation bench).
+class RandomAccessSource {
+ public:
+  struct Config {
+    Time mean_inter_arrival = Time::ns(100);
+    double write_fraction = 0.3;
+    double locality = 0.7;  ///< probability the next access reuses the row
+    std::uint32_t banks = 8;
+    std::uint32_t rows = 1024;
+    std::uint32_t master_id = 0;
+    std::uint64_t seed = 1;
+  };
+
+  RandomAccessSource(sim::Kernel& kernel, FrFcfsController& controller,
+                     Config config);
+
+  void start();
+  void stop() { running_ = false; }
+  std::uint64_t emitted() const { return emitted_; }
+
+ private:
+  void emit_next();
+  sim::Kernel& kernel_;
+  FrFcfsController& controller_;
+  Config cfg_;
+  Rng rng_;
+  std::uint32_t cur_bank_ = 0;
+  std::uint32_t cur_row_ = 0;
+  std::uint64_t emitted_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace pap::dram

@@ -1,0 +1,116 @@
+// MPAM resource monitors (Section III-B-3).
+//
+// "MPAM provides two standard monitoring interfaces ... Cache-storage usage
+// monitors that report the cache utilisation for a given PARTID and PMG[,
+// and] Memory-bandwidth usage monitors that report the number of bytes
+// transferred for a given PARTID and PMG. ... Monitors can be configured to
+// filter requests by type, for example read or write, and by a choice of
+// PARTID and PMG or PARTID only. MPAM monitors can optionally support
+// capture registers that hold the monitor value after a capture event."
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/time.hpp"
+#include "mpam/types.hpp"
+
+namespace pap::mpam {
+
+/// What a monitor instance matches.
+struct MonitorFilter {
+  PartId partid = 0;
+  bool match_pmg = false;  ///< false = "PARTID only"
+  Pmg pmg = 0;
+  std::optional<RequestType> type;  ///< nullopt = both reads and writes
+
+  bool matches(const Label& label, RequestType t) const {
+    if (label.partid != partid) return false;
+    if (match_pmg && label.pmg != pmg) return false;
+    if (type && *type != t) return false;
+    return true;
+  }
+};
+
+/// Memory-bandwidth usage monitor: a byte counter with capture support.
+class MbwuMonitor {
+ public:
+  explicit MbwuMonitor(MonitorFilter filter) : filter_(filter) {}
+
+  /// Account one transfer if it matches the filter.
+  void observe(const Label& label, RequestType type, std::uint64_t bytes) {
+    if (filter_.matches(label, type)) value_ += bytes;
+  }
+
+  std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+  /// Capture event: freeze the current value into the capture register so
+  /// a set of monitors can be read out coherently.
+  void capture() { capture_ = value_; }
+  std::optional<std::uint64_t> captured() const { return capture_; }
+
+  const MonitorFilter& filter() const { return filter_; }
+
+ private:
+  MonitorFilter filter_;
+  std::uint64_t value_ = 0;
+  std::optional<std::uint64_t> capture_;
+};
+
+/// Cache-storage usage monitor: reports bytes resident for the filter.
+/// The MSC pushes occupancy updates; the monitor itself is passive, like
+/// the architecture's memory-mapped registers.
+class CsuMonitor {
+ public:
+  explicit CsuMonitor(MonitorFilter filter) : filter_(filter) {}
+
+  void set_value(std::uint64_t bytes) { value_ = bytes; }
+  std::uint64_t value() const { return value_; }
+
+  void capture() { capture_ = value_; }
+  std::optional<std::uint64_t> captured() const { return capture_; }
+
+  const MonitorFilter& filter() const { return filter_; }
+
+ private:
+  MonitorFilter filter_;
+  std::uint64_t value_ = 0;
+  std::optional<std::uint64_t> capture_;
+};
+
+/// A bank of monitors with a shared capture event ("allowing the values in
+/// multiple registers at a given point in time to be frozen and then read
+/// out sequentially"). Up to 2^16 of each type per resource.
+template <typename Monitor>
+class MonitorBank {
+ public:
+  static constexpr std::size_t kMaxMonitors = 1u << 16;
+
+  /// Returns the monitor index, or nullopt when the bank is full.
+  std::optional<std::size_t> install(MonitorFilter filter) {
+    if (monitors_.size() >= kMaxMonitors) return std::nullopt;
+    monitors_.emplace_back(filter);
+    return monitors_.size() - 1;
+  }
+
+  Monitor& at(std::size_t idx) { return monitors_.at(idx); }
+  const Monitor& at(std::size_t idx) const { return monitors_.at(idx); }
+  std::size_t size() const { return monitors_.size(); }
+
+  /// Broadcast capture event (e.g. driven by a timer interrupt).
+  void capture_all() {
+    for (auto& m : monitors_) m.capture();
+  }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (auto& m : monitors_) fn(m);
+  }
+
+ private:
+  std::vector<Monitor> monitors_;
+};
+
+}  // namespace pap::mpam

@@ -1,0 +1,162 @@
+#include "mpam/msc.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace pap::mpam {
+
+CacheMsc::CacheMsc(const cache::CacheConfig& geometry, std::uint32_t portions)
+    : cache_(geometry),
+      ways_per_portion_(geometry.ways / portions),
+      portions_(portions) {
+  PAP_CHECK_MSG(portions >= 1 && geometry.ways % portions == 0,
+                "portions must evenly divide the cache's ways");
+  PAP_CHECK_MSG(geometry.ways <= 64, "way masks are stored in 64 bits");
+}
+
+std::uint64_t CacheMsc::way_mask_for(PartId partid) const {
+  const auto& allowed = portions_.portions_for(partid);
+  std::uint64_t mask = 0;
+  for (std::uint32_t p = 0; p < portions_.num_portions(); ++p) {
+    if (!allowed[p]) continue;
+    const std::uint64_t portion_ways = (1ull << ways_per_portion_) - 1;
+    mask |= portion_ways << (p * ways_per_portion_);
+  }
+  return mask;
+}
+
+cache::AccessResult CacheMsc::access(const Label& label, cache::Addr addr,
+                                     RequestType type) {
+  const PartId partid = label.partid;
+  std::uint64_t mask = way_mask_for(partid);
+
+  // Maximum-capacity partitioning: at or above the limit, the partition may
+  // only replace its own lines (so its footprint cannot grow).
+  if (capacity_.limited(partid)) {
+    const std::uint64_t total =
+        static_cast<std::uint64_t>(cache_.config().sets) *
+        cache_.config().ways;
+    const std::uint64_t limit = capacity_.line_limit(partid, total);
+    if (cache_.occupancy(partid) >= limit) {
+      mask &= cache_.ways_owned_by(cache_.set_index(addr), partid);
+    }
+  }
+
+  cache_.set_allocation_filter(
+      [mask](cache::RequesterId, std::uint32_t) { return mask; });
+  const auto result = cache_.access(partid, addr);
+
+  // Monitors: bandwidth counts misses that go downstream (the transfer the
+  // MBWU at this level observes); CSU reflects post-access occupancy.
+  if (!result.hit) {
+    mbwu_.for_each([&](MbwuMonitor& m) {
+      m.observe(label, type, cache_.config().line_bytes);
+    });
+  }
+  csu_.for_each([&](CsuMonitor& m) {
+    if (m.filter().partid == partid) {
+      m.set_value(cache_.occupancy_bytes(partid));
+    }
+  });
+  return result;
+}
+
+BandwidthMsc::BandwidthMsc(Rate capacity)
+    : capacity_(capacity), portions_(64) {
+  PAP_CHECK(capacity.in_bits_per_sec() > 0.0);
+}
+
+std::vector<std::pair<PartId, Rate>> BandwidthMsc::apportion(
+    Policy policy,
+    const std::vector<std::pair<PartId, Rate>>& demands) const {
+  std::vector<std::pair<PartId, Rate>> out(demands.size());
+  const double cap = capacity_.in_bits_per_sec();
+  switch (policy) {
+    case Policy::kMinMax:
+      return minmax_.apportion(capacity_, demands);
+
+    case Policy::kPortions: {
+      // Each partition is limited to its quanta share of the channel.
+      for (std::size_t i = 0; i < demands.size(); ++i) {
+        const double limit = cap * portions_.share(demands[i].first);
+        out[i] = {demands[i].first,
+                  Rate::bits_per_sec(
+                      std::min(demands[i].second.in_bits_per_sec(), limit))};
+      }
+      // Scale down if the combined grants exceed the capacity.
+      double total = 0.0;
+      for (const auto& [p, r] : out) total += r.in_bits_per_sec();
+      if (total > cap) {
+        for (auto& [p, r] : out) {
+          r = Rate::bits_per_sec(r.in_bits_per_sec() * cap / total);
+        }
+      }
+      return out;
+    }
+
+    case Policy::kProportionalStride: {
+      std::vector<PartId> competing;
+      competing.reserve(demands.size());
+      for (const auto& [p, r] : demands) competing.push_back(p);
+      const auto shares = stride_.shares(competing);
+      // Water-filling: unfulfilled share capacity is redistributed among
+      // still-hungry partitions in proportion to their strides.
+      std::vector<double> grant(demands.size(), 0.0);
+      double left = cap;
+      std::vector<bool> satisfied(demands.size(), false);
+      for (int round = 0; round < 16 && left > 1e-6; ++round) {
+        double weight_total = 0.0;
+        for (std::size_t i = 0; i < demands.size(); ++i) {
+          if (!satisfied[i]) weight_total += shares[i].second;
+        }
+        if (weight_total <= 0.0) break;
+        bool progress = false;
+        const double unit = left / weight_total;
+        for (std::size_t i = 0; i < demands.size(); ++i) {
+          if (satisfied[i]) continue;
+          const double offer = unit * shares[i].second;
+          const double need = demands[i].second.in_bits_per_sec() - grant[i];
+          const double take = std::min(offer, need);
+          grant[i] += take;
+          left -= take;
+          if (take >= need - 1e-9) {
+            satisfied[i] = true;
+            progress = true;
+          }
+        }
+        if (!progress) break;  // all remaining take full offers
+      }
+      for (std::size_t i = 0; i < demands.size(); ++i) {
+        out[i] = {demands[i].first, Rate::bits_per_sec(grant[i])};
+      }
+      return out;
+    }
+
+    case Policy::kPriority: {
+      // Strict priority: fill in ascending internal-priority order.
+      std::vector<std::size_t> order(demands.size());
+      for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+      std::stable_sort(order.begin(), order.end(), [&](auto a, auto b) {
+        return priority_.priority_of(demands[a].first) <
+               priority_.priority_of(demands[b].first);
+      });
+      double left = cap;
+      for (std::size_t idx : order) {
+        const double take =
+            std::min(demands[idx].second.in_bits_per_sec(), left);
+        out[idx] = {demands[idx].first, Rate::bits_per_sec(take)};
+        left -= take;
+      }
+      return out;
+    }
+  }
+  return out;
+}
+
+void BandwidthMsc::account(const Label& label, RequestType type,
+                           std::uint64_t bytes) {
+  mbwu_.for_each([&](MbwuMonitor& m) { m.observe(label, type, bytes); });
+}
+
+}  // namespace pap::mpam

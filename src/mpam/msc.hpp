@@ -1,0 +1,101 @@
+// Memory System Components (MSCs): resources that accept MPAM-labelled
+// requests and apply the partitioning controls and monitors.
+//
+// Two MSCs are modelled, matching the resources the paper names:
+//  * `CacheMsc` — a shared cache with cache-portion and maximum-capacity
+//    partitioning plus CSU/MBWU monitors. Portions map onto way groups of
+//    the underlying cache (portion i covers ways [i*w, (i+1)*w)).
+//  * `BandwidthMsc` — a bandwidth resource (memory channel or NoC link)
+//    with portion / min-max / proportional-stride / priority partitioning
+//    and MBWU monitors; it apportions a capacity among per-PARTID demands
+//    the way an MPAM-aware memory controller's regulator would.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "common/status.hpp"
+#include "common/units.hpp"
+#include "mpam/monitor.hpp"
+#include "mpam/partition.hpp"
+#include "mpam/types.hpp"
+
+namespace pap::mpam {
+
+class CacheMsc {
+ public:
+  /// `portions` must divide the cache's way count.
+  CacheMsc(const cache::CacheConfig& geometry, std::uint32_t portions);
+
+  CachePortionControl& portion_control() { return portions_; }
+  MaxCapacityControl& capacity_control() { return capacity_; }
+
+  /// Labelled access. Applies, in order: portion bitmap -> way mask, then
+  /// the maximum-capacity limit (at the limit, the partition may only
+  /// victimise its own lines), then performs the access and updates
+  /// monitors.
+  cache::AccessResult access(const Label& label, cache::Addr addr,
+                             RequestType type);
+
+  /// Monitors. CSU monitors track lines by PARTID (the cache model tracks
+  /// ownership per line; PMG-granular CSU is approximated as PARTID-level,
+  /// which the architecture permits monitors to be).
+  MonitorBank<CsuMonitor>& csu_monitors() { return csu_; }
+  MonitorBank<MbwuMonitor>& mbwu_monitors() { return mbwu_; }
+
+  cache::Cache& underlying() { return cache_; }
+  const cache::Cache& underlying() const { return cache_; }
+  std::uint32_t ways_per_portion() const { return ways_per_portion_; }
+
+  /// Occupancy in bytes for a PARTID (what a CSU monitor reports).
+  std::uint64_t occupancy_bytes(PartId partid) const {
+    return cache_.occupancy_bytes(partid);
+  }
+
+ private:
+  std::uint64_t way_mask_for(PartId partid) const;
+
+  cache::Cache cache_;
+  std::uint32_t ways_per_portion_;
+  CachePortionControl portions_;
+  MaxCapacityControl capacity_;
+  MonitorBank<CsuMonitor> csu_;
+  MonitorBank<MbwuMonitor> mbwu_;
+};
+
+class BandwidthMsc {
+ public:
+  explicit BandwidthMsc(Rate capacity);
+
+  BandwidthPortionControl& portion_control() { return portions_; }
+  BandwidthMinMaxControl& minmax_control() { return minmax_; }
+  ProportionalStrideControl& stride_control() { return stride_; }
+  PriorityControl& priority_control() { return priority_; }
+
+  enum class Policy { kPortions, kMinMax, kProportionalStride, kPriority };
+
+  /// Apportion the channel capacity among (partid, demand) pairs under the
+  /// selected policy. Returns grants in input order; grants never exceed
+  /// demand and sum to at most the capacity.
+  std::vector<std::pair<PartId, Rate>> apportion(
+      Policy policy,
+      const std::vector<std::pair<PartId, Rate>>& demands) const;
+
+  /// Account completed traffic into the MBWU monitors.
+  void account(const Label& label, RequestType type, std::uint64_t bytes);
+
+  MonitorBank<MbwuMonitor>& mbwu_monitors() { return mbwu_; }
+  Rate capacity() const { return capacity_; }
+
+ private:
+  Rate capacity_;
+  BandwidthPortionControl portions_;
+  BandwidthMinMaxControl minmax_;
+  ProportionalStrideControl stride_;
+  PriorityControl priority_;
+  MonitorBank<MbwuMonitor> mbwu_;
+};
+
+}  // namespace pap::mpam

@@ -1,0 +1,256 @@
+#include "mpam/partition.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/check.hpp"
+
+namespace pap::mpam {
+
+namespace {
+constexpr std::uint32_t kMaxCachePortions = 1u << 15;
+constexpr std::uint32_t kMaxBandwidthQuanta = 1u << 12;
+}  // namespace
+
+CachePortionControl::CachePortionControl(std::uint32_t num_portions)
+    : num_portions_(num_portions) {
+  PAP_CHECK_MSG(num_portions >= 1 && num_portions <= kMaxCachePortions,
+                "MPAM supports up to 2^15 cache portions");
+  default_all_.assign(num_portions_, true);
+}
+
+Status CachePortionControl::set_bitmap(PartId partid,
+                                       const std::vector<bool>& portions) {
+  if (portions.size() != num_portions_) {
+    return Status::error("bitmap has " + std::to_string(portions.size()) +
+                         " bits, resource has " +
+                         std::to_string(num_portions_) + " portions");
+  }
+  for (auto& [id, bm] : bitmaps_) {
+    if (id == partid) {
+      bm = portions;
+      return Status::ok();
+    }
+  }
+  bitmaps_.emplace_back(partid, portions);
+  return Status::ok();
+}
+
+Status CachePortionControl::set_bitmap_bits(PartId partid,
+                                            std::uint64_t bits) {
+  if (num_portions_ > 64) {
+    return Status::error("use set_bitmap() for resources with > 64 portions");
+  }
+  std::vector<bool> v(num_portions_);
+  for (std::uint32_t i = 0; i < num_portions_; ++i) v[i] = bits >> i & 1;
+  return set_bitmap(partid, v);
+}
+
+const std::vector<bool>& CachePortionControl::portions_for(
+    PartId partid) const {
+  for (const auto& [id, bm] : bitmaps_) {
+    if (id == partid) return bm;
+  }
+  return default_all_;
+}
+
+bool CachePortionControl::share_portion(PartId a, PartId b) const {
+  const auto& pa = portions_for(a);
+  const auto& pb = portions_for(b);
+  for (std::uint32_t i = 0; i < num_portions_; ++i) {
+    if (pa[i] && pb[i]) return true;
+  }
+  return false;
+}
+
+Status MaxCapacityControl::set_limit(PartId partid,
+                                     std::uint16_t fraction_fp16) {
+  for (auto& [id, f] : limits_) {
+    if (id == partid) {
+      f = fraction_fp16;
+      return Status::ok();
+    }
+  }
+  limits_.emplace_back(partid, fraction_fp16);
+  return Status::ok();
+}
+
+void MaxCapacityControl::clear_limit(PartId partid) {
+  std::erase_if(limits_, [&](const auto& e) { return e.first == partid; });
+}
+
+bool MaxCapacityControl::limited(PartId partid) const {
+  return std::any_of(limits_.begin(), limits_.end(),
+                     [&](const auto& e) { return e.first == partid; });
+}
+
+std::uint64_t MaxCapacityControl::line_limit(PartId partid,
+                                             std::uint64_t total_lines) const {
+  for (const auto& [id, f] : limits_) {
+    if (id == partid) {
+      return total_lines * f / 65536;
+    }
+  }
+  return total_lines;
+}
+
+BandwidthPortionControl::BandwidthPortionControl(std::uint32_t num_quanta)
+    : num_quanta_(num_quanta) {
+  PAP_CHECK_MSG(num_quanta >= 1 && num_quanta <= kMaxBandwidthQuanta,
+                "MPAM supports up to 2^12 bandwidth portions");
+  PAP_CHECK_MSG(num_quanta <= 64, "model stores quanta bitmaps in 64 bits");
+}
+
+Status BandwidthPortionControl::set_bitmap_bits(PartId partid,
+                                                std::uint64_t bits) {
+  const std::uint64_t valid_mask =
+      num_quanta_ >= 64 ? ~0ull : (1ull << num_quanta_) - 1;
+  if (bits & ~valid_mask) {
+    return Status::error("bitmap sets quanta beyond the resource's " +
+                         std::to_string(num_quanta_));
+  }
+  for (auto& [id, bm] : bitmaps_) {
+    if (id == partid) {
+      bm = bits;
+      return Status::ok();
+    }
+  }
+  bitmaps_.emplace_back(partid, bits);
+  return Status::ok();
+}
+
+double BandwidthPortionControl::share(PartId partid) const {
+  for (const auto& [id, bm] : bitmaps_) {
+    if (id == partid) {
+      return static_cast<double>(std::popcount(bm)) / num_quanta_;
+    }
+  }
+  return 1.0;  // unprogrammed partitions may use all quanta
+}
+
+Status BandwidthMinMaxControl::set(PartId partid, BandwidthMinMax limits) {
+  if (limits.max_permitted < limits.min_guaranteed) {
+    return Status::error("max_permitted below min_guaranteed");
+  }
+  for (auto& [id, l] : entries_) {
+    if (id == partid) {
+      l = limits;
+      return Status::ok();
+    }
+  }
+  entries_.emplace_back(partid, limits);
+  return Status::ok();
+}
+
+const BandwidthMinMax* BandwidthMinMaxControl::get(PartId partid) const {
+  for (const auto& [id, l] : entries_) {
+    if (id == partid) return &l;
+  }
+  return nullptr;
+}
+
+std::vector<std::pair<PartId, Rate>> BandwidthMinMaxControl::apportion(
+    Rate capacity,
+    const std::vector<std::pair<PartId, Rate>>& demands) const {
+  std::vector<std::pair<PartId, Rate>> granted(demands.size());
+  std::vector<double> want(demands.size());
+  std::vector<double> minimum(demands.size());
+  std::vector<double> maximum(demands.size());
+  double min_total = 0.0;
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    granted[i].first = demands[i].first;
+    want[i] = demands[i].second.in_bits_per_sec();
+    const BandwidthMinMax* l = get(demands[i].first);
+    maximum[i] = l ? l->max_permitted.in_bits_per_sec() : capacity.in_bits_per_sec();
+    // A partition's guaranteed minimum only applies up to its demand.
+    minimum[i] = l ? std::min(l->min_guaranteed.in_bits_per_sec(), want[i]) : 0.0;
+    min_total += minimum[i];
+  }
+  const double cap = capacity.in_bits_per_sec();
+  // Infeasible minimum set (admission control should have prevented this):
+  // scale all minimums down proportionally.
+  const double min_scale = min_total > cap ? cap / min_total : 1.0;
+  double left = cap;
+  std::vector<double> grant(demands.size());
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    grant[i] = minimum[i] * min_scale;
+    left -= grant[i];
+  }
+  // Share the remainder by residual demand, iterating because the per-
+  // partition maximum can cap a grant and free bandwidth for others.
+  for (int round = 0; round < 16 && left > 1e-6; ++round) {
+    double residual_total = 0.0;
+    for (std::size_t i = 0; i < demands.size(); ++i) {
+      residual_total += std::max(
+          0.0, std::min(want[i], maximum[i]) - grant[i]);
+    }
+    if (residual_total <= 1e-9) break;
+    const double share = std::min(1.0, left / residual_total);
+    double given = 0.0;
+    for (std::size_t i = 0; i < demands.size(); ++i) {
+      const double res = std::max(0.0, std::min(want[i], maximum[i]) - grant[i]);
+      const double add = res * share;
+      grant[i] += add;
+      given += add;
+    }
+    left -= given;
+    if (share >= 1.0) break;  // everyone satisfied
+  }
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    granted[i].second = Rate::bits_per_sec(grant[i]);
+  }
+  return granted;
+}
+
+Status ProportionalStrideControl::set_stride(PartId partid,
+                                             std::uint32_t stride) {
+  if (stride == 0) return Status::error("stride must be >= 1");
+  for (auto& [id, s] : strides_) {
+    if (id == partid) {
+      s = stride;
+      return Status::ok();
+    }
+  }
+  strides_.emplace_back(partid, stride);
+  return Status::ok();
+}
+
+std::uint32_t ProportionalStrideControl::stride_of(PartId partid) const {
+  for (const auto& [id, s] : strides_) {
+    if (id == partid) return s;
+  }
+  return 1;
+}
+
+std::vector<std::pair<PartId, double>> ProportionalStrideControl::shares(
+    const std::vector<PartId>& competing) const {
+  double total = 0.0;
+  for (PartId p : competing) total += 1.0 / stride_of(p);
+  std::vector<std::pair<PartId, double>> out;
+  out.reserve(competing.size());
+  for (PartId p : competing) {
+    out.emplace_back(p, total > 0 ? (1.0 / stride_of(p)) / total : 0.0);
+  }
+  return out;
+}
+
+Status PriorityControl::set_priority(PartId partid,
+                                     std::uint8_t internal_priority) {
+  for (auto& [id, pr] : priorities_) {
+    if (id == partid) {
+      pr = internal_priority;
+      return Status::ok();
+    }
+  }
+  priorities_.emplace_back(partid, internal_priority);
+  return Status::ok();
+}
+
+std::uint8_t PriorityControl::priority_of(PartId partid) const {
+  for (const auto& [id, pr] : priorities_) {
+    if (id == partid) return pr;
+  }
+  return 255;
+}
+
+}  // namespace pap::mpam

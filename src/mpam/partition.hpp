@@ -1,0 +1,142 @@
+// The six MPAM standard control interfaces (Section III-B-4):
+//   1. cache-portion partitioning,
+//   2. cache maximum-capacity partitioning,
+//   3. memory-bandwidth portion partitioning,
+//   4. memory-bandwidth minimum and maximum partitioning,
+//   5. memory-bandwidth proportional-stride partitioning,
+//   6. priority partitioning.
+// All are optional in the architecture; each is an independent object here
+// and the MSC wrappers (msc.hpp) combine whichever are present.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/units.hpp"
+#include "mpam/types.hpp"
+
+namespace pap::mpam {
+
+/// Cache-portion partitioning: "subdivides a cache resource into a number
+/// of portions of equal and fixed size, up to a maximum of 2^15 portions.
+/// The ability of a partition to allocate into a portion P_n is determined
+/// by bit B_n in a memory-mapped cache-portion bitmap register. ... a
+/// portion can be shared by a group of partitions, be private to a single
+/// partition, or remain open for allocation by any partition."
+class CachePortionControl {
+ public:
+  explicit CachePortionControl(std::uint32_t num_portions);
+
+  Status set_bitmap(PartId partid, const std::vector<bool>& portions);
+  /// Convenience for <= 64 portions.
+  Status set_bitmap_bits(PartId partid, std::uint64_t bits);
+
+  /// Portions `partid` may allocate into. Partitions with no programmed
+  /// bitmap default to all portions (the architecture's reset state).
+  const std::vector<bool>& portions_for(PartId partid) const;
+
+  std::uint32_t num_portions() const { return num_portions_; }
+
+  /// True when some portion is allocatable by both partids (shared).
+  bool share_portion(PartId a, PartId b) const;
+
+ private:
+  std::uint32_t num_portions_;
+  std::vector<bool> default_all_;
+  std::vector<std::pair<PartId, std::vector<bool>>> bitmaps_;
+};
+
+/// Cache maximum-capacity partitioning: "limits the ability of a partition
+/// to occupy more than a configurable fraction of the cache capacity".
+/// The fraction is a 16-bit fixed-point value in the architecture; we keep
+/// the fixed-point representation to stay register-accurate.
+class MaxCapacityControl {
+ public:
+  MaxCapacityControl() = default;
+
+  /// fraction_fp16 / 65536 is the capacity fraction.
+  Status set_limit(PartId partid, std::uint16_t fraction_fp16);
+  void clear_limit(PartId partid);
+
+  /// Maximum lines `partid` may occupy in a cache of `total_lines`;
+  /// total_lines when unlimited.
+  std::uint64_t line_limit(PartId partid, std::uint64_t total_lines) const;
+  bool limited(PartId partid) const;
+
+ private:
+  std::vector<std::pair<PartId, std::uint16_t>> limits_;
+};
+
+/// Memory-bandwidth portion partitioning: quanta bitmap, up to 2^12
+/// portions; a partition's share is the fraction of quanta it may use.
+class BandwidthPortionControl {
+ public:
+  explicit BandwidthPortionControl(std::uint32_t num_quanta);
+
+  Status set_bitmap_bits(PartId partid, std::uint64_t bits);
+  double share(PartId partid) const;  ///< fraction of quanta usable
+  std::uint32_t num_quanta() const { return num_quanta_; }
+
+ private:
+  std::uint32_t num_quanta_;
+  std::vector<std::pair<PartId, std::uint64_t>> bitmaps_;
+};
+
+/// Memory-bandwidth minimum and maximum partitioning: "a minimum guaranteed
+/// and maximum permitted memory bandwidth that is applied to a partition in
+/// the presence of contention".
+struct BandwidthMinMax {
+  Rate min_guaranteed;
+  Rate max_permitted;
+};
+
+class BandwidthMinMaxControl {
+ public:
+  Status set(PartId partid, BandwidthMinMax limits);
+  const BandwidthMinMax* get(PartId partid) const;
+
+  /// Distribute `capacity` among `demands` (partid, requested rate):
+  /// first satisfy minimums (scaled down proportionally if infeasible),
+  /// then share the remainder by demand, clamped at each maximum.
+  /// Returns (partid, granted) in the input order.
+  std::vector<std::pair<PartId, Rate>> apportion(
+      Rate capacity,
+      const std::vector<std::pair<PartId, Rate>>& demands) const;
+
+ private:
+  std::vector<std::pair<PartId, BandwidthMinMax>> entries_;
+};
+
+/// Memory-bandwidth proportional-stride partitioning: "permitting a
+/// partition to consume bandwidth in proportion to its own stride relative
+/// to the strides of other partitions that are competing". A *smaller*
+/// stride receives proportionally more bandwidth (stride is the cost per
+/// grant, as in stride schedulers).
+class ProportionalStrideControl {
+ public:
+  Status set_stride(PartId partid, std::uint32_t stride);  ///< >= 1
+
+  /// Weights 1/stride, normalised over the competing set; partitions with
+  /// no stride configured compete with stride 1.
+  std::vector<std::pair<PartId, double>> shares(
+      const std::vector<PartId>& competing) const;
+
+ private:
+  std::uint32_t stride_of(PartId partid) const;
+  std::vector<std::pair<PartId, std::uint32_t>> strides_;
+};
+
+/// Priority partitioning: "a way for resources to expose partition-based
+/// configuration of internal arbitration policies". Lower value = more
+/// important (matches interrupt-priority convention).
+class PriorityControl {
+ public:
+  Status set_priority(PartId partid, std::uint8_t internal_priority);
+  std::uint8_t priority_of(PartId partid) const;  ///< default = lowest (255)
+
+ private:
+  std::vector<std::pair<PartId, std::uint8_t>> priorities_;
+};
+
+}  // namespace pap::mpam

@@ -1,0 +1,77 @@
+#include "mpam/policer.hpp"
+
+#include "common/check.hpp"
+
+namespace pap::mpam {
+
+ContractPolicer::ContractPolicer(sim::Kernel& kernel,
+                                 BandwidthRegulator& regulator,
+                                 SampleFn sample, Config config)
+    : kernel_(kernel),
+      regulator_(regulator),
+      sample_(std::move(sample)),
+      cfg_(config),
+      timer_(kernel, kernel.now() + config.window, config.window,
+             [this] { check(); }) {
+  PAP_CHECK(cfg_.window > Time::zero());
+  PAP_CHECK(cfg_.tolerance >= 1.0);
+  PAP_CHECK(cfg_.forgive_after >= 1);
+  PAP_CHECK(sample_ != nullptr);
+}
+
+Status ContractPolicer::add_contract(PartId partid, Rate contracted) {
+  if (contracted.in_bits_per_sec() <= 0.0) {
+    return Status::error("contract must be a positive bandwidth");
+  }
+  for (auto& e : entries_) {
+    if (e.partid == partid) {
+      e.contracted = contracted;
+      return Status::ok();
+    }
+  }
+  Entry e;
+  e.partid = partid;
+  e.contracted = contracted;
+  e.last_bytes = sample_(partid);
+  entries_.push_back(e);
+  return Status::ok();
+}
+
+bool ContractPolicer::clamped(PartId partid) const {
+  for (const auto& e : entries_) {
+    if (e.partid == partid) return e.clamped;
+  }
+  return false;
+}
+
+void ContractPolicer::check() {
+  const double window_s = cfg_.window.seconds();
+  for (auto& e : entries_) {
+    const std::uint64_t bytes = sample_(e.partid);
+    const double observed_bps =
+        static_cast<double>(bytes - e.last_bytes) * 8.0 / window_s;
+    e.last_bytes = bytes;
+    const double limit_bps =
+        e.contracted.in_bits_per_sec() * cfg_.tolerance;
+    if (observed_bps > limit_bps) {
+      e.good_windows = 0;
+      if (!e.clamped) {
+        // Clamp the violator to exactly what it declared.
+        PAP_CHECK(regulator_
+                      .set_limit(e.partid, e.contracted, cfg_.clamp_burst)
+                      .is_ok());
+        e.clamped = true;
+        ++enforcements_;
+      }
+    } else if (e.clamped) {
+      if (++e.good_windows >= cfg_.forgive_after) {
+        regulator_.clear_limit(e.partid);
+        e.clamped = false;
+        e.good_windows = 0;
+        ++forgiveness_;
+      }
+    }
+  }
+}
+
+}  // namespace pap::mpam

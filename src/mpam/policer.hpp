@@ -1,0 +1,75 @@
+// Monitor-driven contract policing — the closed loop between MPAM's
+// monitoring and control planes (Sec. II: predictable performance "can be
+// achieved by actively managing the quality of service (QoS) and limiting
+// the contention and interference on shared resources"; Sec. III-B gives
+// the hardware both eyes (MBWU monitors) and hands (bandwidth controls)).
+//
+// The policer samples each partition's transferred bytes (an MBWU monitor
+// readout, or any cumulative counter) once per window and compares the
+// observed bandwidth with the partition's declared contract:
+//  * a partition exceeding its contract is clamped to it with a hardware
+//    maximum-bandwidth limit (the misbehaving "app-like software" of
+//    Sec. II cannot take more than it declared);
+//  * a clamped partition that stays conformant for `forgive_after`
+//    consecutive windows gets its limit lifted again — trust, but verify.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/units.hpp"
+#include "mpam/regulator.hpp"
+#include "mpam/types.hpp"
+#include "sim/kernel.hpp"
+
+namespace pap::mpam {
+
+class ContractPolicer {
+ public:
+  /// Reads the cumulative byte count a partition has transferred so far.
+  using SampleFn = std::function<std::uint64_t(PartId)>;
+
+  struct Config {
+    Time window = Time::us(100);   ///< sampling period
+    double tolerance = 1.2;        ///< clamp above contract * tolerance
+    int forgive_after = 3;         ///< conformant windows before unclamping
+    double clamp_burst = 8.0;      ///< bucket depth of an imposed limit
+  };
+
+  ContractPolicer(sim::Kernel& kernel, BandwidthRegulator& regulator,
+                  SampleFn sample, Config config);
+  ContractPolicer(sim::Kernel& kernel, BandwidthRegulator& regulator,
+                  SampleFn sample)
+      : ContractPolicer(kernel, regulator, std::move(sample), Config{}) {}
+
+  /// Register a partition's declared bandwidth contract.
+  Status add_contract(PartId partid, Rate contracted);
+
+  bool clamped(PartId partid) const;
+  std::uint64_t enforcement_actions() const { return enforcements_; }
+  std::uint64_t forgiveness_actions() const { return forgiveness_; }
+
+ private:
+  void check();
+
+  struct Entry {
+    PartId partid;
+    Rate contracted;
+    std::uint64_t last_bytes = 0;
+    bool clamped = false;
+    int good_windows = 0;
+  };
+
+  sim::Kernel& kernel_;
+  BandwidthRegulator& regulator_;
+  SampleFn sample_;
+  Config cfg_;
+  std::vector<Entry> entries_;
+  std::uint64_t enforcements_ = 0;
+  std::uint64_t forgiveness_ = 0;
+  sim::PeriodicEvent timer_;
+};
+
+}  // namespace pap::mpam

@@ -1,0 +1,62 @@
+#include "mpam/regulator.hpp"
+
+#include <algorithm>
+
+namespace pap::mpam {
+
+BandwidthRegulator::Entry* BandwidthRegulator::find(PartId partid) {
+  for (auto& e : entries_) {
+    if (e.partid == partid) return &e;
+  }
+  return nullptr;
+}
+
+const BandwidthRegulator::Entry* BandwidthRegulator::find(
+    PartId partid) const {
+  for (const auto& e : entries_) {
+    if (e.partid == partid) return &e;
+  }
+  return nullptr;
+}
+
+Status BandwidthRegulator::set_limit(PartId partid, Rate max_bandwidth,
+                                     double burst_requests) {
+  if (max_bandwidth.in_bits_per_sec() <= 0.0) {
+    return Status::error("maximum bandwidth must be positive");
+  }
+  if (burst_requests < 1.0) {
+    return Status::error("bucket must hold at least one request");
+  }
+  const auto bucket =
+      nc::TokenBucket::from_rate(max_bandwidth, request_bytes_, burst_requests);
+  if (Entry* e = find(partid)) {
+    e->shaper.reconfigure(bucket, Time::zero());
+    return Status::ok();
+  }
+  entries_.push_back(Entry{partid, nc::TokenBucketShaper{bucket}, 0});
+  return Status::ok();
+}
+
+void BandwidthRegulator::clear_limit(PartId partid) {
+  std::erase_if(entries_,
+                [&](const Entry& e) { return e.partid == partid; });
+}
+
+bool BandwidthRegulator::limited(PartId partid) const {
+  return find(partid) != nullptr;
+}
+
+Time BandwidthRegulator::admit(PartId partid, Time now) {
+  Entry* e = find(partid);
+  if (!e) return now;  // unregulated PARTIDs pass through
+  const Time at = e->shaper.reserve(now);
+  if (at > now) ++e->throttled;
+  return at;
+}
+
+std::uint64_t BandwidthRegulator::throttled_requests(PartId partid) const {
+  const Entry* e = find(partid);
+  return e ? e->throttled : 0;
+}
+
+}  // namespace pap::mpam

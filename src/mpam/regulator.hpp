@@ -1,0 +1,66 @@
+// MPAM hardware bandwidth regulation (Section III-B-4 / III-C).
+//
+// The hardware counterpart of the software Memguard (sched/memguard.hpp):
+// per-PARTID memory-bandwidth maximum partitioning enforced *in hardware*
+// at the memory path. Contrasts the paper draws, all modelled here:
+//  * granularity — per PARTID (workload), not per core/domain;
+//  * cost — no replenishment interrupts and no throttle IPIs: the
+//    regulator is a set of hardware token buckets with continuous
+//    (cycle-granular) accrual, so `total_overhead()` is identically zero;
+//  * smoothness — no period quantization: a throttled request is released
+//    the instant its bucket has accrued one request's worth of tokens,
+//    instead of waiting for the next software replenishment period.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/time.hpp"
+#include "common/units.hpp"
+#include "mpam/partition.hpp"
+#include "mpam/types.hpp"
+#include "nc/arrival.hpp"
+
+namespace pap::mpam {
+
+class BandwidthRegulator {
+ public:
+  /// `request_bytes` is the transfer size one admitted request represents
+  /// (a cache line for CPU traffic).
+  explicit BandwidthRegulator(Bytes request_bytes = 64)
+      : request_bytes_(request_bytes) {}
+
+  /// Program the maximum-bandwidth limit for a PARTID. `burst_requests`
+  /// sets the bucket depth (hardware implementations expose this as the
+  /// regulator window).
+  Status set_limit(PartId partid, Rate max_bandwidth,
+                   double burst_requests = 8.0);
+  void clear_limit(PartId partid);
+  bool limited(PartId partid) const;
+
+  /// Admission instant for one request of `partid` issued at `now`:
+  /// `now` when unregulated or tokens are available, else the exact
+  /// accrual instant. Accounts the request.
+  Time admit(PartId partid, Time now);
+
+  std::uint64_t throttled_requests(PartId partid) const;
+
+  /// The software-cost ledger, for symmetry with sched::Memguard — always
+  /// zero by construction (the mechanism lives in hardware).
+  Time total_overhead() const { return Time::zero(); }
+
+ private:
+  struct Entry {
+    PartId partid;
+    nc::TokenBucketShaper shaper;
+    std::uint64_t throttled = 0;
+  };
+  Entry* find(PartId partid);
+  const Entry* find(PartId partid) const;
+
+  Bytes request_bytes_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace pap::mpam

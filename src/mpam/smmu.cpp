@@ -1,0 +1,63 @@
+#include "mpam/smmu.hpp"
+
+#include <algorithm>
+
+namespace pap::mpam {
+
+const Smmu::Row* Smmu::find(StreamId stream) const {
+  for (const auto& row : entries_) {
+    if (row.stream == stream) return &row;
+  }
+  return nullptr;
+}
+
+Status Smmu::configure_stream(StreamId stream, StreamTableEntry entry) {
+  if (entry.owner_vm && !delegation_) {
+    return Status::error(
+        "stream claims VM ownership but the SMMU has no vPARTID registry");
+  }
+  if (entry.owner_vm) {
+    // Validate the mapping now so misconfiguration surfaces at programming
+    // time, like the SMMU's configuration-fault model.
+    auto resolved = delegation_->resolve(*entry.owner_vm, entry.partid,
+                                         entry.pmg, entry.secure);
+    if (!resolved) return Status::error(resolved.error_message());
+  }
+  for (auto& row : entries_) {
+    if (row.stream == stream) {
+      row.entry = entry;
+      return Status::ok();
+    }
+  }
+  entries_.push_back(Row{stream, entry});
+  return Status::ok();
+}
+
+void Smmu::remove_stream(StreamId stream) {
+  std::erase_if(entries_,
+                [&](const Row& r) { return r.stream == stream; });
+}
+
+Expected<Label> Smmu::label(StreamId stream) const {
+  const Row* row = find(stream);
+  if (!row) {
+    return Expected<Label>::error("unconfigured stream " +
+                                  std::to_string(stream));
+  }
+  if (row->entry.owner_vm) {
+    return delegation_->resolve(*row->entry.owner_vm, row->entry.partid,
+                                row->entry.pmg, row->entry.secure);
+  }
+  return Label{row->entry.partid, row->entry.pmg, row->entry.secure};
+}
+
+void Smmu::account(StreamId stream) const {
+  if (const Row* row = find(stream)) ++row->transactions;
+}
+
+std::uint64_t Smmu::transactions(StreamId stream) const {
+  const Row* row = find(stream);
+  return row ? row->transactions : 0;
+}
+
+}  // namespace pap::mpam

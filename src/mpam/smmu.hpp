@@ -1,0 +1,70 @@
+// SMMU-side MPAM labelling (Section III-B: "MPAM identifiers can be
+// attached to memory system requests from CPUs or to device traffic going
+// through a System Memory Management Unit (SMMU)").
+//
+// Devices (DMA engines, GPU/accelerator blocks) do not execute privileged
+// software that could set MPAM system registers; instead the SMMU's stream
+// table assigns each *stream* (device/function) its PARTID and PMG, and —
+// for streams owned by a VM — translates guest vPARTIDs through the same
+// hypervisor-controlled tables as CPU traffic (SMMUv3 spec [12]: mapping
+// via "translation tables under hypervisor control").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/status.hpp"
+#include "mpam/types.hpp"
+#include "mpam/vpartid.hpp"
+
+namespace pap::mpam {
+
+using StreamId = std::uint32_t;
+
+/// One stream-table entry: the labelling configuration for a device stream.
+struct StreamTableEntry {
+  PartId partid = 0;  ///< pPARTID, or vPARTID when owned by a VM
+  Pmg pmg = 0;
+  bool secure = false;
+  std::optional<std::uint32_t> owner_vm;  ///< set => partid is virtual
+};
+
+class Smmu {
+ public:
+  /// `delegation` is the hypervisor's vPARTID registry, shared with the
+  /// CPU side so devices and cores of one VM land in the same partitions.
+  explicit Smmu(const PartIdDelegation* delegation = nullptr)
+      : delegation_(delegation) {}
+
+  /// Install/replace a stream-table entry (privileged operation).
+  Status configure_stream(StreamId stream, StreamTableEntry entry);
+
+  /// Remove a stream (device unbound). Idempotent.
+  void remove_stream(StreamId stream);
+
+  /// Label one incoming device transaction. Fails for unconfigured
+  /// streams (hardware: SMMU fault / default substream) and for broken
+  /// vPARTID mappings.
+  Expected<Label> label(StreamId stream) const;
+
+  /// Number of configured streams.
+  std::size_t stream_count() const { return entries_.size(); }
+
+  /// Per-stream transaction counter (for the monitors' PMG story at the
+  /// device level).
+  void account(StreamId stream) const;
+  std::uint64_t transactions(StreamId stream) const;
+
+ private:
+  struct Row {
+    StreamId stream;
+    StreamTableEntry entry;
+    mutable std::uint64_t transactions = 0;
+  };
+  const Row* find(StreamId stream) const;
+  const PartIdDelegation* delegation_;
+  std::vector<Row> entries_;
+};
+
+}  // namespace pap::mpam

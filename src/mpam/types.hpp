@@ -1,0 +1,53 @@
+// MPAM (Memory System Resource Partitioning and Monitoring) core types,
+// Section III-B of the paper.
+//
+// "Identification in MPAM is based on two types of identifiers: Partition
+// Identifiers (PARTID) that identify the partition that generated a
+// particular request for the purpose of monitoring and control[, and]
+// Performance Monitoring Group (PMG) identifiers that identify agents
+// within a partition for the purpose of monitoring."
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pap::mpam {
+
+using PartId = std::uint16_t;
+using Pmg = std::uint8_t;
+
+/// "PARTIDs exist in one of four spaces" — the cross product of the
+/// TrustZone security state (encoded in the MPAM_NS bit) and whether the
+/// request came from virtualised software.
+enum class PartIdSpace : std::uint8_t {
+  kPhysicalNonSecure,
+  kVirtualNonSecure,
+  kPhysicalSecure,
+  kVirtualSecure,
+};
+
+inline bool is_secure(PartIdSpace s) {
+  return s == PartIdSpace::kPhysicalSecure || s == PartIdSpace::kVirtualSecure;
+}
+inline bool is_virtual(PartIdSpace s) {
+  return s == PartIdSpace::kVirtualNonSecure || s == PartIdSpace::kVirtualSecure;
+}
+
+std::string to_string(PartIdSpace s);
+
+/// The label attached to every memory-system request: PARTID + PMG + the
+/// MPAM_NS security bit. Physical labels only — virtual PARTIDs are
+/// translated before requests reach any MSC (vpartid.hpp).
+struct Label {
+  PartId partid = 0;
+  Pmg pmg = 0;
+  bool secure = false;  ///< MPAM_NS == 0 means secure
+
+  friend bool operator==(const Label&, const Label&) = default;
+};
+
+/// Request classification used by monitor filters ("Monitors can be
+/// configured to filter requests by type, for example read or write").
+enum class RequestType : std::uint8_t { kRead, kWrite };
+
+}  // namespace pap::mpam

@@ -1,0 +1,95 @@
+#include "mpam/vpartid.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace pap::mpam {
+
+std::string to_string(PartIdSpace s) {
+  switch (s) {
+    case PartIdSpace::kPhysicalNonSecure:
+      return "physical non-secure";
+    case PartIdSpace::kVirtualNonSecure:
+      return "virtual non-secure";
+    case PartIdSpace::kPhysicalSecure:
+      return "physical secure";
+    case PartIdSpace::kVirtualSecure:
+      return "virtual secure";
+  }
+  return "?";
+}
+
+VPartIdMap::VPartIdMap(std::size_t table_size) : entries_(table_size) {
+  PAP_CHECK(table_size > 0);
+}
+
+Status VPartIdMap::map(PartId vpartid, PartId ppartid) {
+  if (vpartid >= entries_.size()) {
+    return Status::error("vPARTID " + std::to_string(vpartid) +
+                         " outside the table (size " +
+                         std::to_string(entries_.size()) + ")");
+  }
+  entries_[vpartid] = Entry{true, ppartid};
+  return Status::ok();
+}
+
+Expected<PartId> VPartIdMap::translate(PartId vpartid) const {
+  if (vpartid >= entries_.size() || !entries_[vpartid].valid) {
+    return Expected<PartId>::error("unmapped vPARTID " +
+                                   std::to_string(vpartid));
+  }
+  return entries_[vpartid].ppartid;
+}
+
+std::vector<PartId> VPartIdMap::delegated() const {
+  std::vector<PartId> out;
+  for (const auto& e : entries_) {
+    if (e.valid) out.push_back(e.ppartid);
+  }
+  return out;
+}
+
+const PartIdDelegation::VmEntry* PartIdDelegation::find(
+    std::uint32_t vm) const {
+  for (const auto& e : vms_) {
+    if (e.vm == vm) return &e;
+  }
+  return nullptr;
+}
+
+Status PartIdDelegation::create_vm(std::uint32_t vm, std::size_t table_size) {
+  if (find(vm)) {
+    return Status::error("VM " + std::to_string(vm) + " already exists");
+  }
+  vms_.push_back(VmEntry{vm, VPartIdMap{table_size}});
+  return Status::ok();
+}
+
+Status PartIdDelegation::delegate(std::uint32_t vm, PartId vpartid,
+                                  PartId ppartid) {
+  // Reject double delegation of a pPARTID across VMs.
+  for (const auto& e : vms_) {
+    if (e.vm == vm) continue;
+    const auto others = e.map.delegated();
+    if (std::find(others.begin(), others.end(), ppartid) != others.end()) {
+      return Status::error("pPARTID " + std::to_string(ppartid) +
+                           " already delegated to VM " + std::to_string(e.vm));
+    }
+  }
+  for (auto& e : vms_) {
+    if (e.vm == vm) return e.map.map(vpartid, ppartid);
+  }
+  return Status::error("unknown VM " + std::to_string(vm));
+}
+
+Expected<Label> PartIdDelegation::resolve(std::uint32_t vm, PartId vpartid,
+                                          Pmg pmg, bool secure) const {
+  const VmEntry* e = find(vm);
+  if (!e) return Expected<Label>::error("unknown VM " + std::to_string(vm));
+  auto p = e->map.translate(vpartid);
+  if (!p) return Expected<Label>::error(p.error_message());
+  return Label{p.value(), pmg, secure};
+}
+
+}  // namespace pap::mpam

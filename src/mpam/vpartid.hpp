@@ -1,0 +1,69 @@
+// Virtual PARTID translation (Section III-B-2).
+//
+// "MPAM also provides for virtual PARTIDs (vPARTIDs) in order to allow
+// hypervisors to delegate a subset of pPARTIDs to a guest operating system.
+// Each guest OS can then manage its own contiguous vPARTID space, and
+// vPARTIDs are automatically translated back into pPARTIDs using mapping
+// system registers under hypervisor control."
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.hpp"
+#include "mpam/types.hpp"
+
+namespace pap::mpam {
+
+/// Per-VM translation table: vPARTID -> pPARTID, hypervisor programmed.
+class VPartIdMap {
+ public:
+  /// `table_size` is the size of the guest's contiguous vPARTID space.
+  explicit VPartIdMap(std::size_t table_size);
+
+  /// Program one mapping entry (hypervisor operation).
+  Status map(PartId vpartid, PartId ppartid);
+
+  /// Translate a guest-issued vPARTID; fails for unmapped/out-of-range
+  /// entries (hardware would raise an MPAM error interrupt).
+  Expected<PartId> translate(PartId vpartid) const;
+
+  std::size_t table_size() const { return entries_.size(); }
+
+  /// pPARTIDs currently delegated through this table.
+  std::vector<PartId> delegated() const;
+
+ private:
+  struct Entry {
+    bool valid = false;
+    PartId ppartid = 0;
+  };
+  std::vector<Entry> entries_;
+};
+
+/// The hypervisor-side registry: one VPartIdMap per VM plus validation that
+/// no pPARTID is delegated to two VMs (which would let one VM observe or
+/// perturb another's partition — the isolation MPAM exists to provide).
+class PartIdDelegation {
+ public:
+  /// Create a VM's translation table. Fails if the VM already exists.
+  Status create_vm(std::uint32_t vm, std::size_t table_size);
+
+  /// Delegate `ppartid` to `vm` as `vpartid`.
+  Status delegate(std::uint32_t vm, PartId vpartid, PartId ppartid);
+
+  /// Resolve a request label from a VM: translates the vPARTID and stamps
+  /// the appropriate physical space.
+  Expected<Label> resolve(std::uint32_t vm, PartId vpartid, Pmg pmg,
+                          bool secure) const;
+
+ private:
+  struct VmEntry {
+    std::uint32_t vm;
+    VPartIdMap map;
+  };
+  const VmEntry* find(std::uint32_t vm) const;
+  std::vector<VmEntry> vms_;
+};
+
+}  // namespace pap::mpam

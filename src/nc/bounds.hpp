@@ -1,0 +1,32 @@
+// QoS bounds. "As far as QoS is concerned, the most important bounds are on
+// the backlog, which allows system builders to dimension buffer space ...
+// and on the delay, which allows them to compute component-wise or
+// end-to-end guarantees on the response time of an application" (Sec. IV).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/time.hpp"
+#include "nc/curve.hpp"
+
+namespace pap::nc {
+
+/// Worst-case delay of a flow with arrival curve `alpha` through a server
+/// with service curve `beta` (horizontal deviation), as a Time.
+std::optional<Time> delay_bound(const Curve& alpha, const Curve& beta);
+
+/// Worst-case backlog (vertical deviation), in the flow's work units.
+std::optional<double> backlog_bound(const Curve& alpha, const Curve& beta);
+
+/// End-to-end delay bound across a chain of servers: convolve the service
+/// curves first ("pay bursts only once"), then take the horizontal
+/// deviation. All curves must be convex service curves.
+std::optional<Time> e2e_delay_bound(const Curve& alpha,
+                                    const std::vector<Curve>& betas);
+
+/// Output arrival curve after crossing `beta` — the input bound for the
+/// next resource in the chain when composing hop by hop.
+std::optional<Curve> output_arrival(const Curve& alpha, const Curve& beta);
+
+}  // namespace pap::nc

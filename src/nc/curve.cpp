@@ -1,0 +1,307 @@
+#include "nc/curve.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace pap::nc {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+bool nearly_equal(double a, double b) {
+  const double scale = std::max({1.0, std::fabs(a), std::fabs(b)});
+  return std::fabs(a - b) <= kEps * scale;
+}
+
+double seg_eval(const Segment& s, double x) { return s.y + s.slope * (x - s.x); }
+
+}  // namespace
+
+Curve::Curve() : segments_{Segment{0.0, 0.0, 0.0}} {}
+
+Curve::Curve(std::vector<Segment> segments) : segments_(std::move(segments)) {
+  normalize();
+}
+
+void Curve::normalize() {
+  PAP_CHECK_MSG(!segments_.empty(), "curve needs at least one segment");
+  PAP_CHECK_MSG(nearly_equal(segments_.front().x, 0.0),
+                "first segment must start at x = 0");
+  segments_.front().x = 0.0;
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    PAP_CHECK_MSG(segments_[i].y >= -kEps, "curve must be non-negative");
+    PAP_CHECK_MSG(segments_[i].slope >= -kEps, "curve must be non-decreasing");
+    if (segments_[i].y < 0.0) segments_[i].y = 0.0;
+    if (segments_[i].slope < 0.0) segments_[i].slope = 0.0;
+    if (i + 1 < segments_.size()) {
+      PAP_CHECK_MSG(segments_[i + 1].x > segments_[i].x + kEps ||
+                        nearly_equal(segments_[i + 1].x, segments_[i].x),
+                    "breakpoints must be increasing");
+      PAP_CHECK_MSG(
+          nearly_equal(seg_eval(segments_[i], segments_[i + 1].x),
+                       segments_[i + 1].y),
+          "curve must be continuous");
+    }
+  }
+  // Drop zero-width segments, then merge collinear neighbours.
+  std::vector<Segment> cleaned;
+  cleaned.reserve(segments_.size());
+  for (const auto& s : segments_) {
+    if (!cleaned.empty() && nearly_equal(s.x, cleaned.back().x)) {
+      cleaned.back() = s;  // later definition wins on a zero-width span
+      cleaned.back().x = cleaned.size() == 1 ? 0.0 : cleaned.back().x;
+      continue;
+    }
+    cleaned.push_back(s);
+  }
+  std::vector<Segment> merged;
+  merged.reserve(cleaned.size());
+  for (const auto& s : cleaned) {
+    if (!merged.empty() && nearly_equal(merged.back().slope, s.slope)) {
+      continue;  // same line continues; keep the earlier anchor
+    }
+    merged.push_back(s);
+  }
+  segments_ = std::move(merged);
+}
+
+Curve Curve::affine(double value0, double slope) {
+  return Curve{{Segment{0.0, value0, slope}}};
+}
+
+Curve Curve::constant(double value) { return affine(value, 0.0); }
+
+Curve Curve::rate_latency(double rate, double latency) {
+  PAP_CHECK(rate >= 0.0 && latency >= 0.0);
+  if (latency <= 0.0) return affine(0.0, rate);
+  return Curve{{Segment{0.0, 0.0, 0.0}, Segment{latency, 0.0, rate}}};
+}
+
+Curve Curve::from_points(const std::vector<std::pair<double, double>>& points,
+                         double final_slope) {
+  PAP_CHECK_MSG(!points.empty(), "need at least one point");
+  std::vector<Segment> segs;
+  double px = 0.0;
+  double py = 0.0;
+  if (nearly_equal(points.front().first, 0.0)) {
+    py = points.front().second;
+  }
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto [x, y] = points[i];
+    if (nearly_equal(x, 0.0)) continue;  // handled as value at 0
+    PAP_CHECK_MSG(x > px, "point abscissae must be strictly increasing");
+    PAP_CHECK_MSG(y >= py - kEps, "point values must be non-decreasing");
+    segs.push_back(Segment{px, py, (y - py) / (x - px)});
+    px = x;
+    py = y;
+  }
+  segs.push_back(Segment{px, py, final_slope});
+  return Curve{std::move(segs)};
+}
+
+double Curve::eval(double x) const {
+  PAP_CHECK(x >= 0.0);
+  // Find the last segment with start <= x.
+  auto it = std::upper_bound(
+      segments_.begin(), segments_.end(), x,
+      [](double v, const Segment& s) { return v < s.x; });
+  --it;
+  return seg_eval(*it, x);
+}
+
+std::optional<double> Curve::inverse(double y) const {
+  if (y <= segments_.front().y) return 0.0;
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    const Segment& s = segments_[i];
+    const bool last = (i + 1 == segments_.size());
+    const double end_value =
+        last ? std::numeric_limits<double>::infinity()
+             : seg_eval(s, segments_[i + 1].x);
+    if (y <= end_value + kEps) {
+      if (s.slope <= 0.0) {
+        // Flat segment: y is only reached if it equals the plateau value;
+        // otherwise keep scanning (the next segment starts higher).
+        if (y <= s.y + kEps) return s.x;
+        if (last) return std::nullopt;
+        continue;
+      }
+      if (y <= s.y) return s.x;
+      return s.x + (y - s.y) / s.slope;
+    }
+  }
+  return std::nullopt;
+}
+
+bool Curve::is_concave() const {
+  for (std::size_t i = 1; i < segments_.size(); ++i) {
+    if (segments_[i].slope > segments_[i - 1].slope + kEps) return false;
+  }
+  return true;
+}
+
+bool Curve::is_convex() const {
+  if (segments_.front().y > kEps) return false;
+  for (std::size_t i = 1; i < segments_.size(); ++i) {
+    if (segments_[i].slope < segments_[i - 1].slope - kEps) return false;
+  }
+  return true;
+}
+
+std::vector<Segment> combine_raw(const Curve& a, const Curve& b,
+                                 double (*combine)(double, double)) {
+  // Union of breakpoints.
+  std::vector<double> xs;
+  for (const auto& s : a.segments()) xs.push_back(s.x);
+  for (const auto& s : b.segments()) xs.push_back(s.x);
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end(),
+                       [](double u, double v) { return nearly_equal(u, v); }),
+           xs.end());
+
+  // Insert crossing points so the combination is linear on each interval.
+  std::vector<double> all = xs;
+  auto slope_at = [](const Curve& c, double x) {
+    const auto& segs = c.segments();
+    auto it = std::upper_bound(
+        segs.begin(), segs.end(), x,
+        [](double v, const Segment& s) { return v < s.x; });
+    --it;
+    return it->slope;
+  };
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double x1 = xs[i];
+    const double fa = a.eval(x1);
+    const double fb = b.eval(x1);
+    const double sa = slope_at(a, x1);
+    const double sb = slope_at(b, x1);
+    if (nearly_equal(sa, sb)) continue;
+    const double xc = x1 + (fb - fa) / (sa - sb);
+    const double x2 = (i + 1 < xs.size())
+                          ? xs[i + 1]
+                          : std::numeric_limits<double>::infinity();
+    if (xc > x1 + kEps && xc < x2 - kEps) all.push_back(xc);
+  }
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end(),
+                        [](double u, double v) { return nearly_equal(u, v); }),
+            all.end());
+
+  std::vector<Segment> out;
+  out.reserve(all.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const double x = all[i];
+    const double v = combine(a.eval(x), b.eval(x));
+    double slope;
+    if (i + 1 < all.size()) {
+      const double xn = all[i + 1];
+      slope = (combine(a.eval(xn), b.eval(xn)) - v) / (xn - x);
+    } else {
+      // Final unbounded interval: no crossings remain beyond x, so the
+      // winner is stable; probe one unit ahead.
+      const double v1 = combine(a.eval(x + 1.0), b.eval(x + 1.0));
+      slope = v1 - v;
+    }
+    out.push_back(Segment{x, v, slope});
+  }
+  return out;
+}
+
+Curve combine_pointwise(const Curve& a, const Curve& b,
+                        double (*combine)(double, double)) {
+  return Curve{combine_raw(a, b, combine)};
+}
+
+Curve min(const Curve& a, const Curve& b) {
+  return combine_pointwise(a, b, [](double u, double v) { return std::min(u, v); });
+}
+
+Curve max(const Curve& a, const Curve& b) {
+  return combine_pointwise(a, b, [](double u, double v) { return std::max(u, v); });
+}
+
+Curve add(const Curve& a, const Curve& b) {
+  return combine_pointwise(a, b, [](double u, double v) { return u + v; });
+}
+
+Curve Curve::scaled(double k) const {
+  PAP_CHECK(k >= 0.0);
+  std::vector<Segment> segs = segments_;
+  for (auto& s : segs) {
+    s.y *= k;
+    s.slope *= k;
+  }
+  return Curve{std::move(segs)};
+}
+
+Curve Curve::shifted_right(double dx) const {
+  PAP_CHECK(dx >= 0.0);
+  if (dx == 0.0) return *this;
+  PAP_CHECK_MSG(value_at_zero() <= kEps,
+                "shifting a curve with a burst at 0 would create a jump");
+  std::vector<Segment> segs;
+  segs.push_back(Segment{0.0, 0.0, 0.0});
+  for (const auto& s : segments_) segs.push_back(Segment{s.x + dx, s.y, s.slope});
+  return Curve{std::move(segs)};
+}
+
+Curve positive_nondecreasing_closure(const std::vector<Segment>& raw) {
+  PAP_CHECK(!raw.empty());
+  PAP_CHECK_MSG(nearly_equal(raw.front().x, 0.0), "raw curve must start at 0");
+  // Sweep left to right keeping the running maximum `best` of max(f, 0).
+  // Invariant at the start of each interval [x1, x2): f(x1) <= best, because
+  // best is the supremum of a continuous f over [0, x1] (clamped at 0).
+  std::vector<Segment> out;
+  double best = std::max(0.0, raw.front().y);
+  out.push_back(Segment{0.0, best, 0.0});
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    const Segment& s = raw[i];
+    const bool last = (i + 1 == raw.size());
+    if (s.slope <= 0.0) continue;  // f stays below best; closure stays flat
+    const double x_end = last ? std::numeric_limits<double>::infinity()
+                              : raw[i + 1].x;
+    const double v_end =
+        last ? std::numeric_limits<double>::infinity()
+             : s.y + s.slope * (x_end - s.x);
+    if (v_end <= best + kEps) continue;  // never overtakes within the span
+    // Crossing point where f catches up with the running max.
+    const double xc =
+        s.y >= best ? s.x : s.x + (best - s.y) / s.slope;
+    out.push_back(Segment{xc, best, s.slope});
+    if (last) break;
+    best = v_end;
+    // After the span the next piece may dip below; anchor a flat plateau.
+    out.push_back(Segment{x_end, best, 0.0});
+  }
+  return Curve{std::move(out)};
+}
+
+std::string Curve::to_string() const {
+  std::ostringstream os;
+  os << "{";
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    const auto& s = segments_[i];
+    if (i) os << ", ";
+    os << "(x=" << s.x << ", y=" << s.y << ", m=" << s.slope << ")";
+  }
+  os << "}";
+  return os.str();
+}
+
+bool operator==(const Curve& a, const Curve& b) {
+  if (a.segments_.size() != b.segments_.size()) return false;
+  for (std::size_t i = 0; i < a.segments_.size(); ++i) {
+    if (!nearly_equal(a.segments_[i].x, b.segments_[i].x) ||
+        !nearly_equal(a.segments_[i].y, b.segments_[i].y) ||
+        !nearly_equal(a.segments_[i].slope, b.segments_[i].slope)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace pap::nc

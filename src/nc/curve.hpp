@@ -1,0 +1,119 @@
+// Piecewise-linear curves for Network Calculus (Section IV of the paper).
+//
+// A `Curve` is a non-negative, non-decreasing, continuous piecewise-linear
+// function f: [0, inf) -> [0, inf) with finitely many segments; the last
+// segment extends to infinity with its slope. Arrival curves carry their
+// burst as the value at t = 0 (right-continuous convention, standard for
+// computing deviations); service curves start at f(0) = 0.
+//
+// Units: the x axis is time in nanoseconds; the y axis is "work" in
+// whatever unit the caller chose (bytes for NoC links, requests for the
+// DRAM controller service curve of Sec. IV-A). Operations never mix units —
+// that discipline is on the caller, as in the paper.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pap::nc {
+
+/// One linear piece: on [x, next.x) the curve is y + slope * (t - x).
+struct Segment {
+  double x = 0.0;      ///< start abscissa (ns)
+  double y = 0.0;      ///< value at x
+  double slope = 0.0;  ///< units per ns
+};
+
+class Curve {
+ public:
+  /// The zero function.
+  Curve();
+
+  /// Build from explicit segments. Enforces the class invariants
+  /// (x strictly increasing starting at 0, continuity, non-decreasing,
+  /// non-negative); collinear pieces are merged.
+  explicit Curve(std::vector<Segment> segments);
+
+  /// Affine curve f(t) = value0 + slope * t  (token bucket when value0 > 0).
+  static Curve affine(double value0, double slope);
+
+  /// Constant function.
+  static Curve constant(double value);
+
+  /// f(t) = 0 for t <= latency, then rate * (t - latency). The canonical
+  /// rate-latency service curve beta_{R,T}.
+  static Curve rate_latency(double rate, double latency);
+
+  /// Piecewise-linear interpolation from (0, 0) through `points`
+  /// (x strictly increasing, values non-decreasing), extended beyond the
+  /// last point with `final_slope`. This is how the DRAM WCD analysis turns
+  /// its (t_N, N) points into a service curve ("the curve that joins points
+  /// (t_N, N)"). If the first point has x == 0 its y becomes the value at 0.
+  static Curve from_points(const std::vector<std::pair<double, double>>& points,
+                           double final_slope);
+
+  double eval(double x) const;
+
+  /// First x with f(x) >= y, or nullopt if y is never reached.
+  std::optional<double> inverse(double y) const;
+
+  const std::vector<Segment>& segments() const { return segments_; }
+  double value_at_zero() const { return segments_.front().y; }
+  double final_slope() const { return segments_.back().slope; }
+
+  /// Largest abscissa at which the description changes (0 for affine).
+  double last_breakpoint() const { return segments_.back().x; }
+
+  bool is_concave() const;  ///< slopes non-increasing
+  bool is_convex() const;   ///< slopes non-decreasing and f(0) == 0
+
+  /// Pointwise combinations.
+  friend Curve min(const Curve& a, const Curve& b);
+  friend Curve max(const Curve& a, const Curve& b);
+  friend Curve add(const Curve& a, const Curve& b);
+
+  /// f scaled on the y axis (k >= 0).
+  Curve scaled(double k) const;
+
+  /// f shifted right by dx >= 0 (f(t - dx) for t >= dx, 0 before) — used to
+  /// add a latency term to a service curve.
+  Curve shifted_right(double dx) const;
+
+  std::string to_string() const;
+
+  /// Exact equality of the canonical representation.
+  friend bool operator==(const Curve& a, const Curve& b);
+
+ private:
+  void normalize();
+  // Invariant: non-empty; segments_[0].x == 0; x strictly increasing;
+  // continuous; non-decreasing; non-negative.
+  std::vector<Segment> segments_;
+};
+
+// Namespace-scope declarations of the pointwise combinations (the in-class
+// friend declarations alone are only found via ADL).
+Curve min(const Curve& a, const Curve& b);
+Curve max(const Curve& a, const Curve& b);
+Curve add(const Curve& a, const Curve& b);
+
+/// Merge the breakpoint sets of two curves and apply `combine(fa, fb)`
+/// linearly on each elementary interval, adding crossing points where the
+/// two inputs intersect. `combine` must be min, max or a linear combination
+/// so the result stays piecewise linear. Exposed for ops.cpp and tests.
+Curve combine_pointwise(const Curve& a, const Curve& b,
+                        double (*combine)(double, double));
+
+/// Same combination but returning raw segments without enforcing the Curve
+/// invariants — needed for differences (which may be negative / decreasing)
+/// that are subsequently clamped into a residual service curve (ops.hpp).
+std::vector<Segment> combine_raw(const Curve& a, const Curve& b,
+                                 double (*combine)(double, double));
+
+/// Running max with 0 of a raw piecewise-linear function: produces the
+/// non-negative, non-decreasing closure [f]^+ used by residual service
+/// computations.
+Curve positive_nondecreasing_closure(const std::vector<Segment>& raw);
+
+}  // namespace pap::nc

@@ -1,0 +1,53 @@
+// Network interface with an optional token-bucket injection shaper.
+//
+// "At each source node, a monitor regulates the rate with which the source
+// can inject traffic in the NoC" (Sec. V). The NIC is that regulation
+// point: the rm:: client layer programs its shaper; unshaped NICs inject
+// immediately (the uncontrolled COTS baseline).
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "nc/arrival.hpp"
+#include "noc/packet.hpp"
+
+namespace pap::noc {
+
+class Nic {
+ public:
+  /// Unshaped by default.
+  Nic() = default;
+
+  void set_shaper(nc::TokenBucket bucket, Time now) {
+    shaper_.emplace(bucket, now);
+  }
+  void clear_shaper() { shaper_.reset(); }
+  bool shaped() const { return shaper_.has_value(); }
+
+  /// Reconfigure the rate at runtime (RM mode changes, Fig. 7).
+  void reconfigure(nc::TokenBucket bucket, Time now) {
+    if (shaper_) {
+      shaper_->reconfigure(bucket, now);
+    } else {
+      shaper_.emplace(bucket, now);
+    }
+  }
+
+  /// Reserve the earliest conformant injection slot at/after `now`.
+  /// Multiple same-instant submissions queue behind each other (each
+  /// reservation advances the shaper state).
+  Time reserve(Time now) {
+    if (!shaper_) return now;
+    return shaper_->reserve(now);
+  }
+
+  std::uint64_t injected() const { return injected_count_; }
+  void count_injection() { ++injected_count_; }
+
+ private:
+  std::optional<nc::TokenBucketShaper> shaper_;
+  std::uint64_t injected_count_ = 0;
+};
+
+}  // namespace pap::noc

@@ -1,0 +1,25 @@
+// NoC packet type. "An application data transmission is decomposed into a
+// number of smaller flits or packets" (Sec. V); we simulate at packet
+// granularity with flit-accurate timing (see network.hpp for the model).
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.hpp"
+#include "noc/topology.hpp"
+
+namespace pap::noc {
+
+using AppId = std::uint32_t;
+
+struct Packet {
+  std::uint64_t id = 0;
+  NodeId src = 0;
+  NodeId dst = 0;
+  AppId app = 0;
+  int flits = 4;   ///< head + body + tail
+  Mesh2D::RouteOrder route_order = Mesh2D::RouteOrder::kXY;
+  Time injected;   ///< stamped by the network at acceptance
+};
+
+}  // namespace pap::noc

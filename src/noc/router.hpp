@@ -1,0 +1,69 @@
+// Router model: per-output-port channels with grant queues.
+//
+// The model is packet-event based but flit-accurate in time:
+//
+//   out_head  = max(head_in + router_latency + flit_time,  (pipeline)
+//                   channel_free + flit_time)              (queued: follow
+//                                                            the last flit)
+//   ser_end   = out_head + (flits-1)*flit_time         (serialization)
+//   out_tail  = max(ser_end,                           (the packet's tail,
+//                   in_tail + router_latency + flit_time)  upstream-fed)
+//   channel free from ser_end                          (capacity released)
+//
+// Under sustained contention consecutive packets thus cross at exactly
+// flits*flit_time spacing — the constant-rate server the NC link model
+// assumes; the router pipeline latency is paid once per uncontended head,
+// not per queued packet (arbitration overlaps upstream serialization).
+//
+// Channel *capacity* is released at serialization end: a tail stalled
+// upstream leaves the wire idle for other packets, as with virtual
+// channels / virtual cut-through. (Pure wormhole would hold the channel
+// until out_tail, coupling a link's availability to remote congestion —
+// which is exactly why NoCs grew VCs; modelling the VC variant keeps each
+// link a constant-rate server, the abstraction the Sec. IV/V analyses and
+// the admission-control overlay are built on.) The packet itself still
+// progresses no faster than its upstream feed (out_tail above).
+//
+// Requests waiting for a channel are served in arrival order (FCFS), which
+// for single-cycle arbitration approximates the round-robin arbiters of
+// real NoCs; input buffers are not capacity-limited (the admission-control
+// layer exists precisely to keep the network out of the saturation regime
+// where buffer limits would dominate — see DESIGN.md).
+#pragma once
+
+#include <deque>
+
+#include "common/time.hpp"
+#include "noc/packet.hpp"
+#include "noc/topology.hpp"
+
+namespace pap::noc {
+
+/// One wormhole output channel of a router.
+class OutputChannel {
+ public:
+  /// Earliest grant for a head arriving at `head_in`, honouring FCFS order
+  /// among queued requests; the caller must immediately follow with
+  /// occupy().
+  Time grant(Time head_in) const { return std::max(head_in, free_at_); }
+
+  /// Hold the channel until `tail_out`.
+  void occupy(Time tail_out) {
+    free_at_ = std::max(free_at_, tail_out);
+    ++grants_;
+  }
+
+  Time free_at() const { return free_at_; }
+  std::uint64_t grants() const { return grants_; }
+
+  /// Busy time accounting for utilization reports.
+  void add_busy(Time t) { busy_ += t; }
+  Time busy() const { return busy_; }
+
+ private:
+  Time free_at_;
+  Time busy_;
+  std::uint64_t grants_ = 0;
+};
+
+}  // namespace pap::noc

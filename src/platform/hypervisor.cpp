@@ -1,0 +1,174 @@
+#include "platform/hypervisor.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace pap::platform {
+
+Hypervisor::Hypervisor(Soc& soc) : soc_(soc), smmu_(&delegation_) {}
+
+VmDescriptor* Hypervisor::find(VmId id) {
+  for (auto& v : vms_) {
+    if (v.id == id) return &v;
+  }
+  return nullptr;
+}
+
+const VmDescriptor* Hypervisor::vm(VmId id) const {
+  for (const auto& v : vms_) {
+    if (v.id == id) return &v;
+  }
+  return nullptr;
+}
+
+Expected<VmId> Hypervisor::create_vm(std::string name, std::vector<int> cores,
+                                     sched::Asil asil) {
+  if (cores.empty()) return Expected<VmId>::error("a VM needs >= 1 core");
+  for (int c : cores) {
+    if (c < 0 || c >= soc_.config().total_cores()) {
+      return Expected<VmId>::error("core " + std::to_string(c) +
+                                   " does not exist");
+    }
+    for (const auto& v : vms_) {
+      if (std::find(v.cores.begin(), v.cores.end(), c) != v.cores.end()) {
+        return Expected<VmId>::error("core " + std::to_string(c) +
+                                     " already owned by VM '" + v.name + "'");
+      }
+    }
+  }
+  VmDescriptor vm;
+  vm.id = next_vm_++;
+  vm.name = std::move(name);
+  vm.asil = asil;
+  vm.cores = std::move(cores);
+  if (asil >= sched::Asil::kC) {
+    if (next_scheme_ > 7) {
+      return Expected<VmId>::error("out of dedicated scheme IDs (1..7)");
+    }
+    vm.scheme = next_scheme_++;
+  } else {
+    vm.scheme = 0;  // shared best-effort pool
+  }
+  for (int c : vm.cores) soc_.set_scheme_id(c, vm.scheme);
+  // Pin the VM's ability to change its own scheme ID: full override mask
+  // (Sec. III-A's GPOS treatment) on every cluster it touches.
+  for (int c : vm.cores) {
+    const int cluster = c / soc_.config().cores_per_cluster;
+    soc_.dsu(cluster).set_vm_override(
+        vm.id % cache::kNumSchemeIds,
+        cache::SchemeIdOverride{0b111, vm.scheme});
+  }
+  vms_.push_back(std::move(vm));
+  return vms_.back().id;
+}
+
+Status Hypervisor::reprogram_clusters() {
+  // Rebuild group ownership from all VMs' reservations, first-fit.
+  cache::GroupOwners owners{};
+  int next_group = 0;
+  for (const auto& v : vms_) {
+    for (int g = 0; g < v.private_l3_groups; ++g) {
+      if (next_group >= cache::kNumPartitionGroups) {
+        return Status::error("out of L3 partition groups");
+      }
+      owners[static_cast<std::size_t>(next_group++)] = v.scheme;
+    }
+  }
+  const auto reg = cache::encode_clusterpartcr(owners);
+  for (int cl = 0; cl < soc_.config().clusters; ++cl) {
+    const Status st = soc_.dsu(cl).write_partition_register(reg);
+    if (!st.is_ok()) return st;
+  }
+  return Status::ok();
+}
+
+Status Hypervisor::isolate_cache(VmId id, int groups) {
+  VmDescriptor* v = find(id);
+  if (!v) return Status::error("unknown VM");
+  if (groups < 0 || groups > cache::kNumPartitionGroups) {
+    return Status::error("invalid group count");
+  }
+  if (v->scheme == 0 && groups > 0) {
+    return Status::error(
+        "VM '" + v->name +
+        "' shares scheme 0; give private groups only to dedicated schemes");
+  }
+  const int old = v->private_l3_groups;
+  v->private_l3_groups = groups;
+  const Status st = reprogram_clusters();
+  if (!st.is_ok()) v->private_l3_groups = old;  // roll back
+  return st;
+}
+
+Status Hypervisor::set_memory_budget(VmId id, std::uint64_t budget,
+                                     Time period) {
+  VmDescriptor* v = find(id);
+  if (!v) return Status::error("unknown VM");
+  if (soc_.memguard() == nullptr) {
+    // First budget creates the regulator: every core needs a domain; start
+    // everyone unregulated (huge budget) and tighten per VM below.
+    sched::MemguardConfig cfg;
+    cfg.period = period;
+    auto mg = std::make_unique<sched::Memguard>(soc_.kernel(), cfg);
+    std::vector<std::uint32_t> domain_of_core(
+        static_cast<std::size_t>(soc_.config().total_cores()), 0);
+    // One domain per VM; unowned cores share a default domain.
+    const std::uint32_t default_domain =
+        mg->add_domain(std::numeric_limits<std::uint64_t>::max() / 2);
+    for (auto& d : domain_of_core) d = default_domain;
+    for (auto& w : vms_) {
+      w.memguard_domain =
+          mg->add_domain(std::numeric_limits<std::uint64_t>::max() / 2);
+      w.memguard_active = true;
+      for (int c : w.cores) {
+        domain_of_core[static_cast<std::size_t>(c)] = w.memguard_domain;
+      }
+    }
+    soc_.set_memguard(std::move(mg), std::move(domain_of_core));
+  }
+  if (!v->memguard_active) {
+    return Status::error("VM created after the regulator; not supported");
+  }
+  soc_.memguard()->set_budget(v->memguard_domain, budget);
+  return Status::ok();
+}
+
+Status Hypervisor::delegate_partids(VmId id, std::size_t table_size) {
+  VmDescriptor* v = find(id);
+  if (!v) return Status::error("unknown VM");
+  Status st = delegation_.create_vm(id, table_size);
+  if (!st.is_ok()) return st;
+  return delegation_.delegate(id, 0, next_ppartid_++);
+}
+
+Status Hypervisor::bind_device(VmId id, mpam::StreamId stream) {
+  VmDescriptor* v = find(id);
+  if (!v) return Status::error("unknown VM");
+  mpam::StreamTableEntry entry;
+  entry.partid = 0;  // the VM's default vPARTID
+  entry.pmg = 0;
+  entry.owner_vm = id;
+  return smmu_.configure_stream(stream, entry);
+}
+
+std::uint32_t Hypervisor::partition_register(int cluster) const {
+  return const_cast<Soc&>(soc_).dsu(cluster).partition_register();
+}
+
+bool Hypervisor::criticality_isolated() const {
+  // Every pair of VMs with different criticality classes must not share an
+  // allocatable L3 group. VMs on scheme 0 share by construction; they are
+  // only isolated from VMs holding private groups... check that every
+  // critical VM (>= C) has at least one private group and a dedicated
+  // scheme.
+  for (const auto& v : vms_) {
+    if (v.asil >= sched::Asil::kC) {
+      if (v.scheme == 0 || v.private_l3_groups == 0) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace pap::platform

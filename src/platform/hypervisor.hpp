@@ -1,0 +1,91 @@
+// Hypervisor / partition manager.
+//
+// Section II: "spatial separation can be controlled e.g. with a hypervisor
+// and Memory Management Units"; Section III: the hypervisor is the agent
+// that programs scheme IDs, delegation masks and partition registers. This
+// class is that agent for a Soc: it owns the virtual machines, assigns
+// cores, derives scheme IDs, programs the DSU partition register, installs
+// per-VM scheme-ID overrides, manages MPAM vPARTID delegation for CPU and
+// device (SMMU) traffic, and provisions Memguard domains per VM.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/dsu.hpp"
+#include "common/status.hpp"
+#include "mpam/smmu.hpp"
+#include "mpam/vpartid.hpp"
+#include "platform/soc.hpp"
+#include "sched/task.hpp"
+
+namespace pap::platform {
+
+using VmId = std::uint32_t;
+
+struct VmDescriptor {
+  VmId id = 0;
+  std::string name;
+  sched::Asil asil = sched::Asil::kQM;
+  std::vector<int> cores;
+  cache::SchemeId scheme = 0;
+  int private_l3_groups = 0;
+  std::uint32_t memguard_domain = 0;
+  bool memguard_active = false;
+};
+
+class Hypervisor {
+ public:
+  explicit Hypervisor(Soc& soc);
+
+  /// Create a VM pinned to `cores`. Critical VMs (ASIL >= C) receive a
+  /// dedicated scheme ID (1..7); QM/low VMs share scheme 0. Fails when a
+  /// core is already owned or scheme IDs are exhausted.
+  Expected<VmId> create_vm(std::string name, std::vector<int> cores,
+                           sched::Asil asil);
+
+  /// Give the VM `groups` private L3 partition groups (reprograms
+  /// CLUSTERPARTCR on every cluster the VM's cores touch). Fails when not
+  /// enough unassigned groups remain.
+  Status isolate_cache(VmId vm, int groups);
+
+  /// Cap the VM's DRAM traffic: `budget` accesses per Memguard period.
+  /// Creates the Soc's regulator on first use (one domain per VM; cores of
+  /// the same VM share the budget).
+  Status set_memory_budget(VmId vm, std::uint64_t budget,
+                           Time period = Time::us(10));
+
+  /// Delegate a contiguous vPARTID table of `size` entries to the VM and
+  /// map vPARTID 0 to a fresh pPARTID (the VM's default partition).
+  Status delegate_partids(VmId vm, std::size_t table_size);
+
+  /// Bind a device stream to the VM: its DMA traffic is labelled with the
+  /// VM's pPARTID through the SMMU.
+  Status bind_device(VmId vm, mpam::StreamId stream);
+
+  const VmDescriptor* vm(VmId id) const;
+  const std::vector<VmDescriptor>& vms() const { return vms_; }
+  const mpam::PartIdDelegation& delegation() const { return delegation_; }
+  mpam::Smmu& smmu() { return smmu_; }
+  std::uint32_t partition_register(int cluster) const;
+
+  /// Isolation audit: true iff no two VMs of different criticality share
+  /// an L3 partition group (freedom-from-interference evidence for the
+  /// safety case, ISO 26262's request in Sec. I).
+  bool criticality_isolated() const;
+
+ private:
+  VmDescriptor* find(VmId id);
+  Status reprogram_clusters();
+
+  Soc& soc_;
+  std::vector<VmDescriptor> vms_;
+  cache::SchemeId next_scheme_ = 1;
+  mpam::PartIdDelegation delegation_;
+  mpam::Smmu smmu_;
+  mpam::PartId next_ppartid_ = 1;
+  VmId next_vm_ = 0;
+};
+
+}  // namespace pap::platform

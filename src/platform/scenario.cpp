@@ -1,0 +1,135 @@
+#include "platform/scenario.hpp"
+
+#include "cache/dsu.hpp"
+#include "common/check.hpp"
+
+namespace pap::platform {
+
+double ScenarioResult::inflation(const ScenarioResult& base,
+                                 const ScenarioResult& loaded,
+                                 double percentile) {
+  const double b = base.rt_latency.percentile(percentile).nanos();
+  const double l = loaded.rt_latency.percentile(percentile).nanos();
+  return b > 0 ? l / b : 0.0;
+}
+
+ScenarioResult run_mixed_criticality(const ScenarioKnobs& knobs,
+                                     std::string label) {
+  sim::Kernel kernel;
+  SocConfig cfg;
+  cfg.clusters = 1;
+  cfg.cores_per_cluster = 1 + knobs.hogs;
+  Soc soc(kernel, cfg);
+
+  constexpr cache::SchemeId kRtScheme = 1;
+  constexpr cache::SchemeId kHogScheme = 0;
+  soc.set_scheme_id(0, kRtScheme);
+  for (int h = 0; h < knobs.hogs; ++h) soc.set_scheme_id(1 + h, kHogScheme);
+
+  if (knobs.dsu_partitioning) {
+    // RT reader gets partition group 0 private; group 1 private to the
+    // hogs; groups 2-3 stay unassigned (shared overflow).
+    cache::GroupOwners owners{};
+    owners[0] = kRtScheme;
+    owners[1] = kHogScheme;
+    const auto reg = cache::encode_clusterpartcr(owners);
+    PAP_CHECK(soc.dsu(0).write_partition_register(reg).is_ok());
+  }
+
+  if (knobs.memguard) {
+    sched::MemguardConfig mg;
+    mg.period = knobs.memguard_period;
+    auto memguard = std::make_unique<sched::Memguard>(kernel, mg);
+    std::vector<std::uint32_t> domain_of_core;
+    // Domain 0: the RT reader, effectively unregulated (huge budget);
+    // one domain per hog with the configured budget.
+    const std::uint32_t rt_domain =
+        memguard->add_domain(1'000'000'000ull);
+    domain_of_core.push_back(rt_domain);
+    for (int h = 0; h < knobs.hogs; ++h) {
+      domain_of_core.push_back(
+          memguard->add_domain(knobs.hog_budget_per_period));
+    }
+    soc.set_memguard(std::move(memguard), std::move(domain_of_core));
+  }
+
+  RtReader::Config rt;
+  rt.core = 0;
+  rt.period = knobs.rt_period;
+  rt.reads_per_batch = knobs.rt_reads_per_batch;
+  rt.working_set = knobs.rt_working_set;
+  RtReader reader(kernel, soc, rt);
+
+  std::vector<std::unique_ptr<BandwidthHog>> hogs;
+  for (int h = 0; h < knobs.hogs; ++h) {
+    BandwidthHog::Config hc;
+    hc.core = 1 + h;
+    hc.base = (2ull + static_cast<std::uint64_t>(h)) << 30;
+    hc.working_set = 8ull * 1024 * 1024;
+    hc.seed = 1000 + static_cast<std::uint64_t>(h);
+    hogs.push_back(std::make_unique<BandwidthHog>(kernel, soc, hc));
+  }
+
+  if (knobs.mpam_bw) {
+    // MPAM hardware bandwidth maximum partitioning: the same budget as the
+    // Memguard knob, expressed as a rate over the regulation period, but
+    // enforced by hardware buckets with continuous accrual and no software
+    // overhead (Sec. III-C).
+    auto reg = std::make_unique<mpam::BandwidthRegulator>(64);
+    const double bytes_per_sec =
+        static_cast<double>(knobs.hog_budget_per_period) * 64.0 /
+        knobs.memguard_period.seconds();
+    std::vector<mpam::PartId> partid_of_core;
+    partid_of_core.push_back(1);  // RT reader: PARTID 1, unregulated
+    for (int h = 0; h < knobs.hogs; ++h) {
+      const mpam::PartId pid = static_cast<mpam::PartId>(10 + h);
+      PAP_CHECK(reg->set_limit(pid, Rate::bytes_per_sec(bytes_per_sec),
+                               /*burst_requests=*/8.0)
+                    .is_ok());
+      partid_of_core.push_back(pid);
+    }
+    soc.set_mpam_regulator(std::move(reg), std::move(partid_of_core));
+  }
+
+  if (knobs.stop_the_world) {
+    // "Extreme isolation mechanisms such as a 'stop-the-world' approach,
+    // where the execution of [the] ASIL-D safety application on a single
+    // CPU core will stall all other cores in the system during that time
+    // in order to generate a single-core equivalent scenario" (Sec. II).
+    reader.set_batch_hooks(
+        [&hogs] {
+          for (auto& h : hogs) h->pause();
+        },
+        [&hogs] {
+          for (auto& h : hogs) h->resume();
+        });
+  }
+
+  reader.start();
+  for (auto& h : hogs) h->start();
+  kernel.run(knobs.sim_time);
+  reader.stop();
+  for (auto& h : hogs) h->stop();
+
+  ScenarioResult result;
+  result.label = std::move(label);
+  result.rt_latency = reader.latency();
+  result.rt_batch = reader.batch_latency();
+  for (auto& h : hogs) result.hog_accesses += h->accesses();
+  if (soc.memguard()) {
+    for (int h = 0; h < knobs.hogs; ++h) {
+      result.memguard_throttles +=
+          soc.memguard()->throttle_events(static_cast<std::uint32_t>(1 + h));
+    }
+    result.memguard_overhead = soc.memguard()->total_overhead();
+  }
+  if (soc.mpam_regulator()) {
+    for (int h = 0; h < knobs.hogs; ++h) {
+      result.mpam_throttles += soc.mpam_regulator()->throttled_requests(
+          static_cast<mpam::PartId>(10 + h));
+    }
+  }
+  return result;
+}
+
+}  // namespace pap::platform

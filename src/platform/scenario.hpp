@@ -1,0 +1,50 @@
+// Mixed-criticality scenario runner: one RT reader vs. N bandwidth hogs on
+// a shared cluster, with the paper's isolation mechanisms as switchable
+// knobs. This is the harness behind the motivation bench (latency
+// inflation under interference), the Fig. 2 bench (DSU partitioning
+// efficacy) and the Memguard ablation.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "platform/soc.hpp"
+#include "platform/workload.hpp"
+
+namespace pap::platform {
+
+struct ScenarioKnobs {
+  int hogs = 3;                     ///< interfering cores
+  bool dsu_partitioning = false;    ///< give the RT reader a private L3 group
+  bool memguard = false;            ///< regulate hog DRAM bandwidth (SW)
+  bool mpam_bw = false;             ///< regulate hog DRAM bandwidth (HW)
+  bool stop_the_world = false;      ///< stall all hogs during RT batches
+  std::uint64_t hog_budget_per_period = 20;  ///< Memguard accesses/period
+  Time memguard_period = Time::us(10);
+  Time sim_time = Time::ms(2);
+  int rt_reads_per_batch = 32;      ///< RT duty cycle knobs
+  Time rt_period = Time::us(10);
+  std::uint64_t rt_working_set = 64 * 1024;  ///< > L3 makes RT DRAM-bound
+};
+
+struct ScenarioResult {
+  std::string label;
+  LatencyHistogram rt_latency;      ///< per-access latency of the RT reader
+  LatencyHistogram rt_batch;        ///< per-batch completion
+  std::uint64_t hog_accesses = 0;   ///< interfering throughput achieved
+  std::uint64_t memguard_throttles = 0;
+  Time memguard_overhead;
+  std::uint64_t mpam_throttles = 0;
+
+  /// Inflation of the given percentile vs. a baseline run.
+  static double inflation(const ScenarioResult& base,
+                          const ScenarioResult& loaded, double percentile);
+};
+
+/// Run the scenario and return the measurements. Deterministic for a given
+/// knob set (seeded workloads, DES kernel).
+ScenarioResult run_mixed_criticality(const ScenarioKnobs& knobs,
+                                     std::string label);
+
+}  // namespace pap::platform

@@ -1,0 +1,80 @@
+#include "platform/workload.hpp"
+
+#include "common/check.hpp"
+
+namespace pap::platform {
+
+RtReader::RtReader(sim::Kernel& kernel, Soc& soc, Config config)
+    : kernel_(kernel), soc_(soc), cfg_(config) {
+  PAP_CHECK(cfg_.reads_per_batch >= 1);
+  PAP_CHECK(cfg_.working_set >= 64);
+}
+
+void RtReader::start() {
+  PAP_CHECK(!timer_);
+  timer_ = std::make_unique<sim::PeriodicEvent>(
+      kernel_, kernel_.now(), cfg_.period, [this] { run_batch(); });
+}
+
+void RtReader::stop() { timer_.reset(); }
+
+void RtReader::run_batch() {
+  if (on_batch_start_) on_batch_start_();
+  issue_next(cfg_.reads_per_batch, kernel_.now());
+}
+
+void RtReader::issue_next(int remaining, Time batch_start) {
+  if (remaining == 0) {
+    batch_latency_.add(kernel_.now() - batch_start);
+    ++batches_;
+    if (on_batch_end_) on_batch_end_();
+    return;
+  }
+  const cache::Addr addr = cfg_.base + cursor_;
+  cursor_ = (cursor_ + 64) % cfg_.working_set;
+  soc_.memory_access(cfg_.core, addr, cfg_.writes,
+                     [this, remaining, batch_start](Time latency) {
+                       latency_.add(latency);
+                       issue_next(remaining - 1, batch_start);
+                     });
+}
+
+BandwidthHog::BandwidthHog(sim::Kernel& kernel, Soc& soc, Config config)
+    : kernel_(kernel), soc_(soc), cfg_(config), rng_(config.seed) {
+  PAP_CHECK(cfg_.working_set >= 64);
+}
+
+void BandwidthHog::start() {
+  PAP_CHECK(!running_);
+  running_ = true;
+  issue();
+}
+
+void BandwidthHog::issue() {
+  if (!running_ || paused_) {
+    in_flight_ = false;
+    return;
+  }
+  // Streaming pattern with occasional random jumps keeps both the L3 and
+  // the DRAM row buffers under pressure.
+  if (rng_.chance(0.05)) {
+    cursor_ = (rng_.next_u64() % (cfg_.working_set / 64)) * 64;
+  } else {
+    cursor_ = (cursor_ + 64) % cfg_.working_set;
+  }
+  const bool write = rng_.chance(cfg_.write_fraction);
+  ++accesses_;
+  in_flight_ = true;
+  soc_.memory_access(cfg_.core, cfg_.base + cursor_, write, [this](Time) {
+    if (cfg_.think_time.is_zero()) {
+      issue();
+    } else {
+      in_flight_ = false;
+      kernel_.schedule_in(cfg_.think_time, [this] {
+        if (!in_flight_) issue();
+      });
+    }
+  });
+}
+
+}  // namespace pap::platform

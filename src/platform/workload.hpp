@@ -1,0 +1,107 @@
+// Core-level workload models for the platform experiments.
+//
+// Two roles, mirroring the paper's motivation (Sec. I: the up-to-8x
+// read-latency inflation measured on a Tegra X1 under parallel load [2]):
+//  * `RtReader` — the time-critical workload: periodically walks a small
+//    working set with sequential reads and records each access's latency;
+//  * `BandwidthHog` — the interference: streams through a large working
+//    set back-to-back, thrashing the shared L3 and saturating the DRAM.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "platform/soc.hpp"
+#include "sim/kernel.hpp"
+
+namespace pap::platform {
+
+class RtReader {
+ public:
+  struct Config {
+    int core = 0;
+    Time period = Time::us(10);       ///< batch period
+    int reads_per_batch = 32;
+    cache::Addr base = 0;             ///< working-set base address
+    std::uint64_t working_set = 16 * 1024;
+    bool writes = false;              ///< issue stores instead of loads
+  };
+
+  RtReader(sim::Kernel& kernel, Soc& soc, Config config);
+  void start();
+  void stop();
+
+  /// Hooks fired when a batch begins / completes — used by the
+  /// "stop-the-world" isolation baseline (Sec. II) to stall all other
+  /// cores for the duration of the critical batch.
+  void set_batch_hooks(std::function<void()> on_start,
+                       std::function<void()> on_end) {
+    on_batch_start_ = std::move(on_start);
+    on_batch_end_ = std::move(on_end);
+  }
+
+  /// Per-access latency of this workload only.
+  const LatencyHistogram& latency() const { return latency_; }
+  /// Per-batch completion time (release to last access done).
+  const LatencyHistogram& batch_latency() const { return batch_latency_; }
+  std::uint64_t batches() const { return batches_; }
+
+ private:
+  void run_batch();
+  void issue_next(int remaining, Time batch_start);
+
+  sim::Kernel& kernel_;
+  Soc& soc_;
+  Config cfg_;
+  cache::Addr cursor_ = 0;
+  LatencyHistogram latency_;
+  LatencyHistogram batch_latency_;
+  std::uint64_t batches_ = 0;
+  std::unique_ptr<sim::PeriodicEvent> timer_;
+  std::function<void()> on_batch_start_;
+  std::function<void()> on_batch_end_;
+};
+
+class BandwidthHog {
+ public:
+  struct Config {
+    int core = 1;
+    cache::Addr base = 1ull << 30;    ///< far from the reader's set
+    std::uint64_t working_set = 8ull * 1024 * 1024;
+    double write_fraction = 0.5;
+    Time think_time;                  ///< delay between accesses (0 = none)
+    std::uint64_t seed = 42;
+  };
+
+  BandwidthHog(sim::Kernel& kernel, Soc& soc, Config config);
+  void start();
+  void stop() { running_ = false; }
+  std::uint64_t accesses() const { return accesses_; }
+
+  /// Stall/resume the core ("stop-the-world": all other cores stalled
+  /// while the safety application executes). While paused the hog issues
+  /// nothing; resume() restarts the access stream.
+  void pause() { paused_ = true; }
+  void resume() {
+    if (!paused_) return;
+    paused_ = false;
+    if (running_ && !in_flight_) issue();
+  }
+
+ private:
+  void issue();
+
+  sim::Kernel& kernel_;
+  Soc& soc_;
+  Config cfg_;
+  Rng rng_;
+  cache::Addr cursor_ = 0;
+  std::uint64_t accesses_ = 0;
+  bool running_ = false;
+  bool paused_ = false;
+  bool in_flight_ = false;
+};
+
+}  // namespace pap::platform

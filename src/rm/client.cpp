@@ -1,0 +1,82 @@
+#include "rm/client.hpp"
+
+#include "common/check.hpp"
+#include "rm/manager.hpp"
+
+namespace pap::rm {
+
+Client::Client(sim::Kernel& kernel, noc::Network& network, ResourceManager& rm,
+               noc::NodeId node, noc::AppId app)
+    : kernel_(kernel), network_(network), rm_(rm), node_(node), app_(app) {}
+
+void Client::send(noc::Packet packet) {
+  if (packet.app != app_ || packet.src != node_) {
+    // "prevent non-authorized accesses"
+    ++rejected_;
+    return;
+  }
+  if (state_ == State::kTerminated) {
+    ++rejected_;
+    return;
+  }
+  queue_.push_back(packet);
+  if (state_ == State::kInactive) {
+    // First transmission trapped; request admission.
+    state_ = State::kAwaitingAdmission;
+    stopped_since_ = kernel_.now();
+    rm_.send_act(this);
+    return;
+  }
+  pump();
+}
+
+void Client::terminate() {
+  PAP_CHECK_MSG(state_ != State::kTerminated, "double termination");
+  if (state_ == State::kInactive) {
+    state_ = State::kTerminated;
+    return;  // never activated; nothing to release
+  }
+  state_ = State::kTerminated;
+  rm_.send_ter(this);
+}
+
+void Client::on_stop() {
+  if (state_ == State::kTerminated) return;
+  if (state_ == State::kActive) {
+    state_ = State::kStopped;
+    stopped_since_ = kernel_.now();
+  }
+}
+
+void Client::on_configure(int mode, nc::TokenBucket rate) {
+  mode_ = mode;
+  if (state_ == State::kTerminated) return;
+  if (shaper_) {
+    shaper_->reconfigure(rate, kernel_.now());
+  } else {
+    shaper_.emplace(rate, kernel_.now());
+  }
+  if (state_ == State::kStopped || state_ == State::kAwaitingAdmission) {
+    blocked_ += kernel_.now() - stopped_since_;
+  }
+  state_ = State::kActive;
+  pump();
+}
+
+void Client::pump() {
+  if (pump_scheduled_ || state_ != State::kActive || queue_.empty()) return;
+  PAP_CHECK(shaper_.has_value());
+  pump_scheduled_ = true;
+  const Time at = shaper_->earliest_release(kernel_.now());
+  kernel_.schedule_at(at, [this] {
+    pump_scheduled_ = false;
+    if (state_ != State::kActive || queue_.empty()) return;
+    shaper_->on_release(kernel_.now());
+    network_.send(queue_.front());
+    queue_.pop_front();
+    ++sent_;
+    pump();
+  });
+}
+
+}  // namespace pap::rm

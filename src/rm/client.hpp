@@ -1,0 +1,81 @@
+// Client (local supervisor) of the admission-control overlay (Section V).
+//
+// "The role of clients is to prevent non-authorized accesses, adjust the
+// access rates to the NoC for each application, release the NoC resources
+// (inform the RM whenever an application terminates), and prevent
+// unbounded NoC accesses. ... Whenever an application is activated and
+// trying to conduct the first transmission its request is trapped by the
+// client. It remains blocked until acknowledged by the RM with a confMsg."
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "nc/arrival.hpp"
+#include "noc/network.hpp"
+#include "rm/protocol.hpp"
+#include "sim/kernel.hpp"
+
+namespace pap::rm {
+
+class ResourceManager;
+
+class Client {
+ public:
+  enum class State {
+    kInactive,           ///< app has not transmitted yet
+    kAwaitingAdmission,  ///< first send trapped, actMsg issued
+    kActive,             ///< admitted, rate-regulated
+    kStopped,            ///< stopMsg received, awaiting confMsg
+    kTerminated,
+  };
+
+  Client(sim::Kernel& kernel, noc::Network& network, ResourceManager& rm,
+         noc::NodeId node, noc::AppId app);
+
+  // --- application-facing interface ---
+
+  /// Submit a packet. The first call traps and triggers admission; later
+  /// calls are queued and injected at the granted rate. Non-authorized
+  /// sends (wrong app id) are dropped and counted.
+  void send(noc::Packet packet);
+
+  /// The application finished; the client releases its resources (terMsg).
+  void terminate();
+
+  // --- RM-facing interface (invoked after control-message latency) ---
+  void on_stop();
+  void on_configure(int mode, nc::TokenBucket rate);
+
+  State state() const { return state_; }
+  noc::NodeId node() const { return node_; }
+  noc::AppId app() const { return app_; }
+  std::size_t queued() const { return queue_.size(); }
+  std::uint64_t sent() const { return sent_; }
+  std::uint64_t rejected() const { return rejected_; }
+  Time blocked_time() const { return blocked_; }
+  int current_mode() const { return mode_; }
+  const std::optional<nc::TokenBucketShaper>& shaper() const {
+    return shaper_;
+  }
+
+ private:
+  void pump();
+
+  sim::Kernel& kernel_;
+  noc::Network& network_;
+  ResourceManager& rm_;
+  noc::NodeId node_;
+  noc::AppId app_;
+  State state_ = State::kInactive;
+  std::deque<noc::Packet> queue_;
+  std::optional<nc::TokenBucketShaper> shaper_;
+  bool pump_scheduled_ = false;
+  int mode_ = 0;
+  Time stopped_since_;
+  Time blocked_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace pap::rm

@@ -1,0 +1,109 @@
+#include "rm/manager.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace pap::rm {
+
+ResourceManager::ResourceManager(sim::Kernel& kernel, noc::Network& network,
+                                 noc::NodeId rm_node, RateTable table,
+                                 Time processing_delay)
+    : kernel_(kernel),
+      network_(network),
+      rm_node_(rm_node),
+      table_(std::move(table)),
+      processing_delay_(processing_delay) {}
+
+Client* ResourceManager::add_client(noc::NodeId node, noc::AppId app) {
+  clients_.push_back(
+      std::make_unique<Client>(kernel_, network_, *this, node, app));
+  return clients_.back().get();
+}
+
+Time ResourceManager::control_latency(noc::NodeId node) const {
+  // Single-flit control message over a dedicated virtual channel: charged
+  // its zero-load route latency to/from the RM's node.
+  if (node == rm_node_) return network_.config().router_latency;
+  return network_.zero_load_latency(node, rm_node_, /*flits=*/1);
+}
+
+void ResourceManager::send_act(Client* from) {
+  ++stats_.act_msgs;
+  kernel_.schedule_in(control_latency(from->node()), [this, from] {
+    pending_.push_back(PendingEvent{true, from});
+    maybe_process_next();
+  });
+}
+
+void ResourceManager::send_ter(Client* from) {
+  ++stats_.ter_msgs;
+  kernel_.schedule_in(control_latency(from->node()), [this, from] {
+    pending_.push_back(PendingEvent{false, from});
+    maybe_process_next();
+  });
+}
+
+void ResourceManager::maybe_process_next() {
+  if (reconfiguring_ || pending_.empty()) return;
+  // "The activation and termination messages are processed by the RM in
+  // their arrival order. Each of them initiate the transition of the
+  // system to a different mode."
+  PendingEvent ev = pending_.front();
+  pending_.pop_front();
+  reconfiguring_ = true;
+  process(ev);
+}
+
+void ResourceManager::process(PendingEvent ev) {
+  if (ev.activation) {
+    active_.push_back(ev.client->app());
+  } else {
+    active_.erase(std::remove(active_.begin(), active_.end(),
+                              ev.client->app()),
+                  active_.end());
+  }
+  ++stats_.mode_changes;
+
+  // Phase 1: stop every client that was already active.
+  Time last_stop;
+  for (const auto& c : clients_) {
+    if (c->state() == Client::State::kActive) {
+      const Time lat = control_latency(c->node());
+      ++stats_.stop_msgs;
+      kernel_.schedule_in(lat, [client = c.get()] { client->on_stop(); });
+      last_stop = std::max(last_stop, lat);
+    }
+  }
+
+  // Phase 2: once all stops have landed and the RM recomputed the table,
+  // send the new configuration (including to the newly admitted client).
+  const Time conf_at = last_stop + processing_delay_;
+  const int new_mode = mode();
+  kernel_.schedule_in(conf_at, [this, new_mode] {
+    Time last_conf;
+    std::vector<std::pair<noc::AppId, nc::TokenBucket>> granted;
+    for (const auto& c : clients_) {
+      const bool is_active =
+          std::find(active_.begin(), active_.end(), c->app()) != active_.end();
+      if (!is_active) continue;
+      const auto rate = table_.rate_for(c->app(), active_);
+      granted.emplace_back(c->app(), rate);
+      const Time lat = control_latency(c->node());
+      ++stats_.conf_msgs;
+      kernel_.schedule_in(
+          lat, [client = c.get(), new_mode, rate] {
+            client->on_configure(new_mode, rate);
+          });
+      last_conf = std::max(last_conf, lat);
+    }
+    // The transition completes when the last confMsg lands.
+    kernel_.schedule_in(last_conf, [this, new_mode, granted] {
+      if (on_mode_) on_mode_(kernel_.now(), new_mode, granted);
+      reconfiguring_ = false;
+      maybe_process_next();
+    });
+  });
+}
+
+}  // namespace pap::rm

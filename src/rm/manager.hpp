@@ -1,0 +1,75 @@
+// The Resource Manager (RM) of the admission-control overlay (Section V,
+// Fig. 6).
+//
+// "The RM has a knowledge about the global state of the NoC (i.e., which
+// sender is active) and which resources are occupied. Using these
+// information, the RM may decrease or increase the injection rates for a
+// particular node ... dynamically depending on the current system mode."
+//
+// Reconfiguration procedure, as in the paper: activation and termination
+// messages are processed in arrival order; each starts a mode transition:
+// stopMsg to every active client, then (once all stops have landed) a
+// confMsg per client carrying the new mode and rate; clients adjust their
+// shapers and unblock.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "noc/network.hpp"
+#include "rm/client.hpp"
+#include "rm/protocol.hpp"
+#include "rm/rate_table.hpp"
+#include "sim/kernel.hpp"
+
+namespace pap::rm {
+
+class ResourceManager {
+ public:
+  ResourceManager(sim::Kernel& kernel, noc::Network& network,
+                  noc::NodeId rm_node, RateTable table,
+                  Time processing_delay = Time::ns(50));
+
+  /// Create the client supervising `app` at `node`. Owned by the RM.
+  Client* add_client(noc::NodeId node, noc::AppId app);
+
+  // --- protocol endpoints (invoked by clients; latency applied here) ---
+  void send_act(Client* from);
+  void send_ter(Client* from);
+
+  const std::vector<noc::AppId>& active_apps() const { return active_; }
+  int mode() const { return static_cast<int>(active_.size()); }
+  const ProtocolStats& stats() const { return stats_; }
+  const RateTable& table() const { return table_; }
+
+  /// Trace hook fired after every completed mode change: (time, mode,
+  /// (app, granted bucket) list) — drives the Fig. 7 bench.
+  using ModeTraceFn = std::function<void(
+      Time, int, const std::vector<std::pair<noc::AppId, nc::TokenBucket>>&)>;
+  void set_mode_trace(ModeTraceFn fn) { on_mode_ = std::move(fn); }
+
+ private:
+  struct PendingEvent {
+    bool activation;
+    Client* client;
+  };
+  Time control_latency(noc::NodeId node) const;
+  void process(PendingEvent ev);  ///< runs one mode transition
+  void maybe_process_next();
+
+  sim::Kernel& kernel_;
+  noc::Network& network_;
+  noc::NodeId rm_node_;
+  RateTable table_;
+  Time processing_delay_;
+  std::vector<std::unique_ptr<Client>> clients_;
+  std::vector<noc::AppId> active_;
+  std::deque<PendingEvent> pending_;
+  bool reconfiguring_ = false;
+  ProtocolStats stats_;
+  ModeTraceFn on_mode_;
+};
+
+}  // namespace pap::rm

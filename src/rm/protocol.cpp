@@ -1,0 +1,19 @@
+#include "rm/protocol.hpp"
+
+namespace pap::rm {
+
+std::string to_string(MsgType t) {
+  switch (t) {
+    case MsgType::kActivate:
+      return "actMsg";
+    case MsgType::kTerminate:
+      return "terMsg";
+    case MsgType::kStop:
+      return "stopMsg";
+    case MsgType::kConfigure:
+      return "confMsg";
+  }
+  return "?";
+}
+
+}  // namespace pap::rm

@@ -1,0 +1,53 @@
+// Admission-control protocol messages (Section V).
+//
+// "The protocol consists of four control messages: activation (actMsg),
+// termination (terMsg), stop (stopMsg) and configuration (confMsg)."
+// Control messages travel between the clients and the Resource Manager
+// over the chip; the model charges each one its zero-load NoC latency from
+// source to the RM's node (real deployments give control traffic a
+// dedicated virtual channel precisely so it does not contend with data —
+// see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/time.hpp"
+#include "nc/arrival.hpp"
+#include "noc/packet.hpp"
+
+namespace pap::rm {
+
+enum class MsgType : std::uint8_t {
+  kActivate,   ///< actMsg: client -> RM, app issued its first transmission
+  kTerminate,  ///< terMsg: client -> RM, app finished
+  kStop,       ///< stopMsg: RM -> client, block NoC access for reconfig
+  kConfigure,  ///< confMsg: RM -> client, new system mode + rate
+};
+
+std::string to_string(MsgType t);
+
+struct ControlMessage {
+  MsgType type = MsgType::kActivate;
+  noc::AppId app = 0;
+  noc::NodeId node = 0;  ///< client's node
+  int mode = 0;          ///< system mode (confMsg)
+  nc::TokenBucket rate;  ///< granted injection rate (confMsg)
+};
+
+/// Protocol accounting, for the trade-off analysis the paper asks for
+/// ("a trade-off analysis is required at design time to determine the
+/// overhead of the synchronization protocol").
+struct ProtocolStats {
+  std::uint64_t act_msgs = 0;
+  std::uint64_t ter_msgs = 0;
+  std::uint64_t stop_msgs = 0;
+  std::uint64_t conf_msgs = 0;
+  std::uint64_t mode_changes = 0;
+
+  std::uint64_t total_messages() const {
+    return act_msgs + ter_msgs + stop_msgs + conf_msgs;
+  }
+};
+
+}  // namespace pap::rm

@@ -1,0 +1,72 @@
+#include "sched/memguard.hpp"
+
+#include "common/check.hpp"
+
+namespace pap::sched {
+
+Memguard::Memguard(sim::Kernel& kernel, MemguardConfig config)
+    : kernel_(kernel),
+      cfg_(config),
+      next_replenish_(kernel.now() + config.period),
+      timer_(kernel, kernel.now() + config.period, config.period,
+             [this] { replenish(); },
+             /*priority=*/-10 /* replenish before same-instant accesses */) {
+  PAP_CHECK(cfg_.period > Time::zero());
+}
+
+std::uint32_t Memguard::add_domain(std::uint64_t budget_accesses) {
+  domains_.push_back(Domain{budget_accesses, budget_accesses, false, 0});
+  return static_cast<std::uint32_t>(domains_.size() - 1);
+}
+
+void Memguard::set_budget(std::uint32_t domain, std::uint64_t budget) {
+  PAP_CHECK(domain < domains_.size());
+  domains_[domain].budget = budget;
+  // Takes effect immediately, as a reservation manager would enforce.
+  domains_[domain].left = std::min(domains_[domain].left, budget);
+}
+
+void Memguard::replenish() {
+  ++periods_;
+  next_replenish_ = kernel_.now() + cfg_.period;
+  for (auto& d : domains_) {
+    d.left = d.budget;
+    d.throttled = false;
+    // Per-domain replenishment interrupt: the finer the granularity (more
+    // domains), the more of these fire each period.
+    overhead_ += cfg_.interrupt_overhead;
+  }
+}
+
+Time Memguard::request_access(std::uint32_t domain) {
+  PAP_CHECK(domain < domains_.size());
+  Domain& d = domains_[domain];
+  if (d.left > 0) {
+    --d.left;
+    return kernel_.now();
+  }
+  if (!d.throttled) {
+    d.throttled = true;
+    ++d.throttle_events;
+    overhead_ += cfg_.throttle_overhead;
+  }
+  // Stalled until the budget is refilled.
+  return next_replenish_;
+}
+
+bool Memguard::throttled(std::uint32_t domain) const {
+  PAP_CHECK(domain < domains_.size());
+  return domains_[domain].throttled;
+}
+
+std::uint64_t Memguard::throttle_events(std::uint32_t domain) const {
+  PAP_CHECK(domain < domains_.size());
+  return domains_[domain].throttle_events;
+}
+
+std::uint64_t Memguard::budget_left(std::uint32_t domain) const {
+  PAP_CHECK(domain < domains_.size());
+  return domains_[domain].left;
+}
+
+}  // namespace pap::sched

@@ -1,0 +1,57 @@
+// TDMA (time-division multiple access) arbitration.
+//
+// The paper's baseline for composable-but-inflexible sharing: reservation-
+// based scheduling "allow[s] more flexibility than TDMA-based scheduling"
+// (Sec. II). The TDMA arbiter here is generic: it divides a resource's
+// timeline into a repeating frame of slots, each owned by one partition.
+// Used both as a CPU-sharing baseline and as a predictable bus/memory
+// arbiter in ablation benches, and it exports its service curve for the NC
+// analysis (slot share with a frame-length latency).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/time.hpp"
+#include "nc/service.hpp"
+
+namespace pap::sched {
+
+struct TdmaSlot {
+  std::uint32_t owner = 0;
+  Time length;
+};
+
+class TdmaSchedule {
+ public:
+  /// Slots repeat cyclically; total length is the frame.
+  explicit TdmaSchedule(std::vector<TdmaSlot> slots);
+
+  Time frame_length() const { return frame_; }
+  const std::vector<TdmaSlot>& slots() const { return slots_; }
+
+  /// Total slot time per frame owned by `partition`.
+  Time slot_time(std::uint32_t partition) const;
+
+  /// Owner of the slot active at absolute time `t`.
+  std::uint32_t owner_at(Time t) const;
+
+  /// Next instant >= t at which `partition` owns the resource.
+  Time next_grant(std::uint32_t partition, Time t) const;
+
+  /// Earliest completion of `work` units of resource time for `partition`
+  /// starting at `t` (work is served only inside the partition's slots).
+  Time completion_time(std::uint32_t partition, Time t, Time work) const;
+
+  /// Worst-case service curve for `partition` on a resource of `rate`
+  /// units/ns: rate * share with latency = longest gap between its slots.
+  nc::RateLatency service_curve(std::uint32_t partition, double rate) const;
+
+ private:
+  std::vector<TdmaSlot> slots_;
+  std::vector<Time> offsets_;  ///< slot start offsets within the frame
+  Time frame_;
+};
+
+}  // namespace pap::sched

@@ -1,0 +1,102 @@
+#include "sim/kernel.hpp"
+
+#include <algorithm>
+
+namespace pap::sim {
+
+EventId Kernel::schedule_at(Time at, EventFn fn, int priority) {
+  PAP_CHECK_MSG(at >= now_, "cannot schedule an event in the past");
+  const std::uint64_t seq = next_seq_++;
+  queue_.push(Entry{at, priority, seq, std::move(fn)});
+  pending_.insert(seq);
+  ++live_count_;
+  return EventId{seq};
+}
+
+bool Kernel::cancel(EventId id) {
+  if (!id.valid()) return false;
+  // Only genuinely pending events can be cancelled: stale handles (already
+  // fired or already cancelled) are rejected without touching any state.
+  const auto it = pending_.find(id.seq_);
+  if (it == pending_.end()) return false;
+  pending_.erase(it);
+  // We cannot remove from the middle of a priority_queue; remember the seq
+  // and skip the entry when it surfaces (forgotten again at that point).
+  cancelled_.push_back(id.seq_);
+  --live_count_;
+  return true;
+}
+
+bool Kernel::is_cancelled(std::uint64_t seq) const {
+  return std::find(cancelled_.begin(), cancelled_.end(), seq) !=
+         cancelled_.end();
+}
+
+void Kernel::forget_cancelled(std::uint64_t seq) {
+  auto it = std::find(cancelled_.begin(), cancelled_.end(), seq);
+  if (it != cancelled_.end()) cancelled_.erase(it);
+}
+
+bool Kernel::step() {
+  while (!queue_.empty()) {
+    Entry top = queue_.top();
+    queue_.pop();
+    if (is_cancelled(top.seq)) {
+      forget_cancelled(top.seq);
+      continue;
+    }
+    PAP_CHECK(top.at >= now_);
+    now_ = top.at;
+    pending_.erase(top.seq);
+    --live_count_;
+    ++executed_;
+    top.fn();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Kernel::run(Time until) {
+  std::uint64_t ran = 0;
+  while (!queue_.empty()) {
+    // Peek: do not advance past `until`.
+    if (queue_.top().at > until) break;
+    if (step()) ++ran;
+  }
+  return ran;
+}
+
+void Kernel::reset() {
+  queue_ = {};
+  pending_.clear();
+  cancelled_.clear();
+  now_ = Time::zero();
+  executed_ = 0;
+  live_count_ = 0;
+}
+
+PeriodicEvent::PeriodicEvent(Kernel& kernel, Time start, Time period,
+                             EventFn fn, int priority)
+    : kernel_(kernel), period_(period), fn_(std::move(fn)), priority_(priority) {
+  PAP_CHECK_MSG(period.picos() > 0, "period must be positive");
+  pending_ = kernel_.schedule_at(start, [this] { fire(); }, priority_);
+}
+
+void PeriodicEvent::fire() {
+  pending_ = EventId{};
+  if (!running_) return;
+  fn_();
+  if (running_) {
+    pending_ = kernel_.schedule_in(period_, [this] { fire(); }, priority_);
+  }
+}
+
+void PeriodicEvent::stop() {
+  running_ = false;
+  if (pending_.valid()) {
+    kernel_.cancel(pending_);
+    pending_ = EventId{};
+  }
+}
+
+}  // namespace pap::sim

@@ -1,0 +1,121 @@
+// Discrete-event simulation kernel.
+//
+// Every hardware model in the repository (FR-FCFS DRAM controller, NoC
+// routers, CPU schedulers, Memguard regulators, the SoC platform) runs on
+// this single-threaded, deterministic event wheel. Determinism matters: the
+// repository exists to study *predictability*, so two runs with identical
+// configuration must produce bit-identical traces.
+//
+// Events scheduled for the same timestamp fire in (priority, insertion-order)
+// order, which makes tie-breaking explicit instead of accidental.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/time.hpp"
+
+namespace pap::sim {
+
+using EventFn = std::function<void()>;
+
+/// Opaque handle for cancelling a scheduled event.
+class EventId {
+ public:
+  EventId() = default;
+  bool valid() const { return seq_ != 0; }
+
+ private:
+  friend class Kernel;
+  explicit EventId(std::uint64_t s) : seq_(s) {}
+  std::uint64_t seq_ = 0;
+};
+
+class Kernel {
+ public:
+  Kernel() = default;
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  Time now() const { return now_; }
+
+  /// Schedule `fn` to run at absolute time `at` (must be >= now()).
+  /// Lower `priority` runs first among same-timestamp events.
+  EventId schedule_at(Time at, EventFn fn, int priority = 0);
+
+  /// Schedule `fn` to run `delay` after the current time.
+  EventId schedule_in(Time delay, EventFn fn, int priority = 0) {
+    return schedule_at(now_ + delay, std::move(fn), priority);
+  }
+
+  /// Cancel a pending event. Returns false (and changes nothing) when the
+  /// event already ran or was already cancelled — stale handles are safe.
+  bool cancel(EventId id);
+
+  /// Run until the event queue drains or `until` is reached (events at
+  /// exactly `until` still run). Returns the number of events executed.
+  std::uint64_t run(Time until = Time::max());
+
+  /// Run exactly one event if any is pending; returns false when drained.
+  bool step();
+
+  bool empty() const { return live_count_ == 0; }
+  std::uint64_t events_executed() const { return executed_; }
+
+  /// Drop all pending events and reset the clock (for test reuse).
+  void reset();
+
+ private:
+  struct Entry {
+    Time at;
+    int priority;
+    std::uint64_t seq;  // insertion order; also the cancellation key
+    EventFn fn;
+    bool operator>(const Entry& o) const {
+      if (at != o.at) return at > o.at;
+      if (priority != o.priority) return priority > o.priority;
+      return seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  std::unordered_set<std::uint64_t> pending_;    // scheduled, not yet run
+  std::vector<std::uint64_t> cancelled_;  // cancelled but still in queue_
+  bool is_cancelled(std::uint64_t seq) const;
+  void forget_cancelled(std::uint64_t seq);
+
+  Time now_ = Time::zero();
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t executed_ = 0;
+  std::uint64_t live_count_ = 0;
+};
+
+/// A recurring event helper: calls `fn` every `period` starting at `start`.
+/// Owns its rescheduling; destroy or call stop() to end the series.
+class PeriodicEvent {
+ public:
+  PeriodicEvent(Kernel& kernel, Time start, Time period, EventFn fn,
+                int priority = 0);
+  ~PeriodicEvent() { stop(); }
+  PeriodicEvent(const PeriodicEvent&) = delete;
+  PeriodicEvent& operator=(const PeriodicEvent&) = delete;
+
+  void stop();
+  bool running() const { return running_; }
+
+ private:
+  void fire();
+  Kernel& kernel_;
+  Time period_;
+  EventFn fn_;
+  int priority_;
+  EventId pending_;
+  bool running_ = true;
+};
+
+}  // namespace pap::sim

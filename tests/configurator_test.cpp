@@ -1,0 +1,120 @@
+// The automated configurator: mechanism derivation + formal validation.
+#include <gtest/gtest.h>
+
+#include "core/configurator.hpp"
+
+namespace pap::core {
+namespace {
+
+PlatformModel model() {
+  PlatformModel m;
+  m.noc.cols = 4;
+  m.noc.rows = 4;
+  return m;
+}
+
+AppRequirement app(noc::AppId id, sched::Asil asil, double burst, double rate,
+                   noc::NodeId src, noc::NodeId dst, Time deadline) {
+  AppRequirement a;
+  a.app = id;
+  a.name = "app" + std::to_string(id);
+  a.asil = asil;
+  a.traffic = nc::TokenBucket{burst, rate};
+  a.src = src;
+  a.dst = dst;
+  a.deadline = deadline;
+  a.uses_dram = false;
+  return a;
+}
+
+TEST(Configurator, CriticalAppsGetPrivateDsuGroups) {
+  Configurator c(model(), Rate::gbps(8));
+  std::vector<AppRequirement> apps{
+      app(1, sched::Asil::kD, 2, 0.002, 0, 3, Time::us(10)),
+      app(2, sched::Asil::kB, 2, 0.002, 4, 7, Time::us(10)),
+      app(3, sched::Asil::kQM, 2, 0.002, 8, 11, Time::us(10)),
+  };
+  const auto cfg = c.configure(apps);
+  ASSERT_TRUE(cfg.has_value()) << cfg.error_message();
+  // App 1 (ASIL-D) gets scheme 1 with a private group; the others pool on 0.
+  cache::SchemeId s1 = 0;
+  for (const auto& [id, s] : cfg.value().scheme_ids) {
+    if (id == 1) s1 = s;
+  }
+  EXPECT_EQ(s1, 1);
+  const auto owners = cache::decode_clusterpartcr(cfg.value().clusterpartcr);
+  ASSERT_TRUE(owners.has_value());
+  EXPECT_EQ(*owners.value()[0], 1);  // group 0 private to scheme 1
+}
+
+TEST(Configurator, MemguardBudgetsCoverContracts) {
+  Configurator c(model(), Rate::gbps(8));
+  std::vector<AppRequirement> apps{
+      app(1, sched::Asil::kQM, 4, 0.01, 0, 3, Time::us(10))};
+  const auto cfg = c.configure(apps);
+  ASSERT_TRUE(cfg.has_value());
+  ASSERT_EQ(cfg.value().memguard_budgets.size(), 1u);
+  // rate * period + burst = 0.01/ns * 10us + 4 = 104.
+  EXPECT_GE(cfg.value().memguard_budgets[0].second, 104u);
+}
+
+TEST(Configurator, RateTablePinsCriticalGuarantees) {
+  Configurator c(model(), Rate::gbps(8));
+  std::vector<AppRequirement> apps{
+      app(1, sched::Asil::kD, 2, 0.001, 0, 3, Time::us(10)),
+      app(2, sched::Asil::kQM, 2, 0.001, 4, 7, Time::us(10)),
+  };
+  const auto cfg = c.configure(apps);
+  ASSERT_TRUE(cfg.has_value());
+  EXPECT_FALSE(cfg.value().rate_table.is_symmetric());
+  // Critical app keeps its rate regardless of mode.
+  const auto alone = cfg.value().rate_table.rate_for(1, {1});
+  const auto crowded = cfg.value().rate_table.rate_for(1, {1, 2});
+  EXPECT_DOUBLE_EQ(alone.rate, crowded.rate);
+}
+
+TEST(Configurator, ValidationProvesEveryDeadline) {
+  Configurator c(model(), Rate::gbps(8));
+  std::vector<AppRequirement> apps{
+      app(1, sched::Asil::kD, 1, 0.002, 0, 3, Time::us(5)),
+      app(2, sched::Asil::kB, 1, 0.002, 4, 7, Time::us(5)),
+  };
+  const auto cfg = c.configure(apps);
+  ASSERT_TRUE(cfg.has_value());
+  ASSERT_EQ(cfg.value().grants.size(), 2u);
+  for (const auto& g : cfg.value().grants) {
+    EXPECT_LE(g.e2e_bound, Time::us(5));
+  }
+  EXPECT_FALSE(cfg.value().summary().empty());
+}
+
+TEST(Configurator, InfeasibleMixReported) {
+  Configurator c(model(), Rate::gbps(8));
+  // Within the NoC budget, but the deadline is below the provable bound
+  // (burst of 8 alone needs ~64 ns of link service plus the hop chain).
+  std::vector<AppRequirement> apps{
+      app(1, sched::Asil::kD, 8, 0.007, 0, 3, Time::ns(50)),
+      app(2, sched::Asil::kD, 8, 0.007, 1, 3, Time::ns(50)),
+  };
+  const auto cfg = c.configure(apps);
+  EXPECT_FALSE(cfg.has_value());
+  EXPECT_NE(cfg.error_message().find("validation failed"), std::string::npos);
+}
+
+TEST(Configurator, NocBudgetOverrunRejectedEarly) {
+  Configurator c(model(), Rate::mbps(100));
+  // One critical app whose contract alone exceeds the tiny budget.
+  std::vector<AppRequirement> apps{
+      app(1, sched::Asil::kD, 2, 0.01, 0, 3, Time::ms(10))};
+  const auto cfg = c.configure(apps);
+  EXPECT_FALSE(cfg.has_value());
+  EXPECT_NE(cfg.error_message().find("NoC budget"), std::string::npos);
+}
+
+TEST(Configurator, EmptyInputRejected) {
+  Configurator c(model(), Rate::gbps(8));
+  EXPECT_FALSE(c.configure({}).has_value());
+}
+
+}  // namespace
+}  // namespace pap::core

@@ -1,0 +1,411 @@
+// FR-FCFS controller simulator tests: queue policies, hit promotion with
+// the N_cap starvation guard, watermark switching (Fig. 5), refresh.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dram/frfcfs.hpp"
+#include "dram/traffic.hpp"
+#include "sim/kernel.hpp"
+
+namespace pap::dram {
+namespace {
+
+Request read_req(std::uint64_t id, std::uint32_t bank, std::uint32_t row) {
+  Request r;
+  r.id = id;
+  r.op = Op::kRead;
+  r.bank = bank;
+  r.row = row;
+  return r;
+}
+
+Request write_req(std::uint64_t id, std::uint32_t bank, std::uint32_t row) {
+  Request r = read_req(id, bank, row);
+  r.op = Op::kWrite;
+  return r;
+}
+
+struct Completions {
+  std::vector<std::pair<std::uint64_t, Time>> done;
+  void attach(FrFcfsController& c) {
+    c.set_completion_handler([this](const Request& r, Time t) {
+      done.emplace_back(r.id, t);
+    });
+  }
+  Time time_of(std::uint64_t id) const {
+    for (const auto& [i, t] : done) {
+      if (i == id) return t;
+    }
+    ADD_FAILURE() << "request " << id << " not completed";
+    return Time::zero();
+  }
+  bool completed(std::uint64_t id) const {
+    for (const auto& [i, t] : done) {
+      if (i == id) return true;
+    }
+    return false;
+  }
+};
+
+TEST(FrFcfs, SingleReadCompletes) {
+  sim::Kernel k;
+  FrFcfsController c(k, ddr3_1600(), ControllerParams{});
+  Completions done;
+  done.attach(c);
+  c.submit(read_req(1, 0, 5));
+  k.run(Time::us(1));
+  ASSERT_TRUE(done.completed(1));
+  EXPECT_EQ(done.time_of(1), ddr3_1600().read_miss_closed_completion());
+  EXPECT_EQ(c.counters().get("read_misses"), 1);
+}
+
+TEST(FrFcfs, RowHitsPromotedOverOlderMisses) {
+  sim::Kernel k;
+  FrFcfsController c(k, ddr3_1600(), ControllerParams{});
+  Completions done;
+  done.attach(c);
+  // Open row 1, then queue a miss (row 2) and a hit (row 1) while busy.
+  c.submit(read_req(1, 0, 1));
+  k.run(Time::ns(1));
+  c.submit(read_req(2, 0, 2));  // older, miss
+  c.submit(read_req(3, 0, 1));  // younger, hit -> promoted
+  k.run(Time::us(2));
+  EXPECT_LT(done.time_of(3), done.time_of(2));
+  EXPECT_GE(c.counters().get("read_hit_promotions"), 1);
+}
+
+TEST(FrFcfs, NcapLimitsConsecutivePromotions) {
+  sim::Kernel k;
+  ControllerParams p;
+  p.n_cap = 2;  // after 2 promoted hits, FCFS must serve the miss
+  FrFcfsController c(k, ddr3_1600(), p);
+  Completions done;
+  done.attach(c);
+  c.submit(read_req(1, 0, 1));
+  k.run(Time::ns(1));
+  c.submit(read_req(2, 0, 2));  // miss, FCFS head after 1
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    c.submit(read_req(10 + i, 0, 1));  // stream of hits
+  }
+  k.run(Time::us(3));
+  // With N_cap = 2, at most two hits jump ahead of the miss.
+  ASSERT_TRUE(done.completed(2));
+  int hits_before_miss = 0;
+  for (const auto& [id, t] : done.done) {
+    if (id >= 10 && t < done.time_of(2)) ++hits_before_miss;
+  }
+  EXPECT_LE(hits_before_miss, 2);
+}
+
+TEST(FrFcfs, UnlimitedNcapStarvesMissLonger) {
+  auto run_with_cap = [](int cap) {
+    sim::Kernel k;
+    ControllerParams p;
+    p.n_cap = cap;
+    FrFcfsController c(k, ddr3_1600(), p);
+    Completions done;
+    done.attach(c);
+    c.submit(read_req(1, 0, 1));
+    k.run(Time::ns(1));
+    c.submit(read_req(2, 0, 2));
+    for (std::uint64_t i = 0; i < 30; ++i) c.submit(read_req(10 + i, 0, 1));
+    k.run(Time::us(10));
+    return done.time_of(2);
+  };
+  EXPECT_GT(run_with_cap(30), run_with_cap(2));
+}
+
+TEST(FrFcfs, WatermarkHighTriggersWriteBatch) {
+  sim::Kernel k;
+  ControllerParams p;
+  p.w_high = 4;
+  p.w_low = 2;
+  p.n_wd = 2;
+  FrFcfsController c(k, ddr3_1600(), p);
+  std::vector<Mode> modes;
+  c.set_mode_trace([&](Time, Mode m, std::size_t) { modes.push_back(m); });
+  Completions done;
+  done.attach(c);
+  // Keep reads flowing, then pile up writes past W_high.
+  for (std::uint64_t i = 0; i < 4; ++i) c.submit(read_req(i, 0, i));
+  for (std::uint64_t i = 0; i < 5; ++i) c.submit(write_req(100 + i, 0, 50 + i));
+  k.run(Time::us(3));
+  // A switch to write mode must have occurred.
+  bool to_write = false;
+  for (auto m : modes) to_write |= (m == Mode::kWrite);
+  EXPECT_TRUE(to_write);
+  EXPECT_GE(c.counters().get("switches_to_write"), 1);
+  EXPECT_GE(c.counters().get("switches_to_read"), 1);
+}
+
+TEST(FrFcfs, IdleReadQueueDrainsWritesAtLowWatermark) {
+  sim::Kernel k;
+  ControllerParams p;
+  p.w_high = 50;
+  p.w_low = 3;
+  p.n_wd = 4;
+  FrFcfsController c(k, ddr3_1600(), p);
+  Completions done;
+  done.attach(c);
+  // No reads at all; W_low writes should be served (rule 1 of Fig. 5).
+  for (std::uint64_t i = 0; i < 3; ++i) c.submit(write_req(i, 0, i));
+  k.run(Time::us(3));
+  EXPECT_TRUE(done.completed(0));
+  EXPECT_TRUE(done.completed(1));
+  EXPECT_TRUE(done.completed(2));
+}
+
+TEST(FrFcfs, BelowLowWatermarkWritesWait) {
+  sim::Kernel k;
+  ControllerParams p;
+  p.w_high = 50;
+  p.w_low = 5;
+  p.n_wd = 4;
+  FrFcfsController c(k, ddr3_1600(), p);
+  Completions done;
+  done.attach(c);
+  c.submit(write_req(1, 0, 1));  // 1 < W_low: deferred
+  k.run(Time::us(2));
+  EXPECT_FALSE(done.completed(1));
+  EXPECT_EQ(c.write_queue_depth(), 1u);
+}
+
+TEST(FrFcfs, BatchLengthRespectedWhenReadsWait) {
+  sim::Kernel k;
+  ControllerParams p;
+  p.w_high = 3;
+  p.w_low = 1;
+  p.n_wd = 2;
+  FrFcfsController c(k, ddr3_1600(), p);
+  Completions done;
+  done.attach(c);
+  c.submit(read_req(1, 0, 1));
+  k.run(Time::ns(1));
+  // Reads pending + 4 writes: the controller must return to reads after
+  // N_wd = 2 writes, so the read completes before writes 3 and 4.
+  c.submit(read_req(2, 0, 2));
+  for (std::uint64_t i = 0; i < 4; ++i) c.submit(write_req(10 + i, 0, 20 + i));
+  k.run(Time::us(3));
+  ASSERT_TRUE(done.completed(2));
+  int writes_before_read2 = 0;
+  for (const auto& [id, t] : done.done) {
+    if (id >= 10 && t < done.time_of(2)) ++writes_before_read2;
+  }
+  EXPECT_LE(writes_before_read2, 2);
+}
+
+TEST(FrFcfs, RefreshHappensPeriodically) {
+  sim::Kernel k;
+  FrFcfsController c(k, ddr3_1600(), ControllerParams{});
+  // Idle controller; run for 10 refresh intervals.
+  k.run(Time::from_ns(78'000));
+  EXPECT_GE(c.counters().get("refreshes"), 9);
+  EXPECT_LE(c.counters().get("refreshes"), 10);
+}
+
+TEST(FrFcfs, RefreshDelaysInFlightTraffic) {
+  sim::Kernel k;
+  FrFcfsController c(k, ddr3_1600(), ControllerParams{});
+  Completions done;
+  done.attach(c);
+  // Submit reads just before the refresh timer (tREFI = 7800 ns) expires.
+  k.schedule_at(Time::from_ns(7799), [&c] {
+    c.submit(read_req(1, 0, 1));
+    c.submit(read_req(2, 0, 2));
+  });
+  k.run(Time::us(20));
+  // The second read lands after the refresh completes.
+  EXPECT_GT(done.time_of(2),
+            Time::from_ns(7800) + ddr3_1600().tRFC);
+}
+
+TEST(FrFcfs, PerMasterTrafficAccounted) {
+  sim::Kernel k;
+  ControllerParams p;
+  p.w_low = 1;  // serve the lone write once the read queue drains
+  FrFcfsController c(k, ddr3_1600(), p);
+  c.submit(read_req(1, 0, 1));
+  c.submit(write_req(2, 1, 1));
+  k.run(Time::us(2));
+  EXPECT_EQ(c.counters().get("reads_submitted"), 1);
+  EXPECT_EQ(c.counters().get("writes_submitted"), 1);
+  EXPECT_EQ(c.read_latency().count(), 1u);
+  EXPECT_EQ(c.write_latency().count(), 1u);
+}
+
+TEST(FrFcfs, MpamPriorityClassServedFirst) {
+  sim::Kernel k;
+  FrFcfsController c(k, ddr3_1600(), ControllerParams{});
+  c.set_master_priority(1, 0);    // critical master
+  c.set_master_priority(2, 10);   // best effort
+  Completions done;
+  done.attach(c);
+  // Fill the queue while busy: BE requests first (older), then critical.
+  c.submit(read_req(0, 0, 0));
+  k.run(Time::ns(1));
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    Request r = read_req(10 + i, 0, 100 + static_cast<std::uint32_t>(i));
+    r.master = 2;
+    c.submit(r);
+  }
+  Request crit = read_req(99, 0, 200);
+  crit.master = 1;
+  c.submit(crit);
+  k.run(Time::us(3));
+  // The critical read overtakes all older best-effort reads.
+  ASSERT_TRUE(done.completed(99));
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    EXPECT_LT(done.time_of(99), done.time_of(10 + i)) << i;
+  }
+}
+
+TEST(FrFcfs, MpamPriorityDefaultKeepsFcfs) {
+  // Without configured priorities, behaviour is unchanged (plain FR-FCFS).
+  sim::Kernel k;
+  FrFcfsController c(k, ddr3_1600(), ControllerParams{});
+  Completions done;
+  done.attach(c);
+  c.submit(read_req(0, 0, 0));
+  k.run(Time::ns(1));
+  Request a = read_req(1, 0, 10);
+  a.master = 5;
+  c.submit(a);
+  Request b = read_req(2, 0, 11);
+  b.master = 6;
+  c.submit(b);
+  k.run(Time::us(2));
+  EXPECT_LT(done.time_of(1), done.time_of(2));  // FCFS order preserved
+}
+
+TEST(FrFcfs, MpamPriorityBoundsCriticalLatencyUnderLoad) {
+  // Property: with priority partitioning, the critical master's worst
+  // read latency under heavy BE load stays near its unloaded value.
+  auto run = [](bool prioritized) {
+    sim::Kernel k;
+    ControllerParams p;
+    FrFcfsController c(k, ddr3_1600(), p);
+    if (prioritized) {
+      c.set_master_priority(1, 0);
+      c.set_master_priority(2, 10);
+    }
+    LatencyHistogram crit;
+    c.set_completion_handler([&](const Request& r, Time t) {
+      if (r.master == 1 && r.op == Op::kRead) crit.add(t - r.arrival);
+    });
+    // BE flood: bursts of reads from master 2.
+    std::uint32_t be_row = 1000;
+    sim::PeriodicEvent flood(k, Time::zero(), Time::ns(300),
+                             [&c, &be_row] {
+                               for (int i = 0; i < 6; ++i) {
+                                 Request r;
+                                 r.op = Op::kRead;
+                                 r.bank = 0;
+                                 r.row = be_row++;
+                                 r.master = 2;
+                                 c.submit(r);
+                               }
+                             });
+    std::uint32_t rt_row = 1;
+    sim::PeriodicEvent rt(k, Time::ns(50), Time::us(2), [&c, &rt_row] {
+      Request r;
+      r.op = Op::kRead;
+      r.bank = 0;
+      r.row = rt_row++;
+      r.master = 1;
+      c.submit(r);
+    });
+    k.run(Time::us(200));
+    flood.stop();
+    rt.stop();
+    return crit.max();
+  };
+  EXPECT_LT(run(true), run(false));
+}
+
+TEST(Traffic, ShapedWriteSourceRespectsBucket) {
+  sim::Kernel k;
+  FrFcfsController c(k, ddr3_1600(), ControllerParams{});
+  // 1 request per 100 ns with burst 4.
+  ShapedWriteSource src(k, c, nc::TokenBucket{4.0, 0.01}, 0, 7);
+  src.start();
+  k.run(Time::us(10));
+  src.stop();
+  // At most burst + rate * T requests.
+  EXPECT_LE(src.emitted(), 4u + 100u + 1u);
+  EXPECT_GE(src.emitted(), 100u);
+}
+
+TEST(Traffic, PeriodicReadSourceEmitsOnSchedule) {
+  sim::Kernel k;
+  FrFcfsController c(k, ddr3_1600(), ControllerParams{});
+  PeriodicReadSource src(k, c, Time::ns(500), 0, 1, 3);
+  src.start();
+  k.run(Time::us(5));
+  src.stop();
+  EXPECT_EQ(src.emitted(), 11u);  // t = 0, 500, ..., 5000
+}
+
+// Liveness fuzz: under random mixed traffic at sustainable load, every
+// read completes, reads of one master never starve, and counters add up.
+class FrFcfsFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FrFcfsFuzz, AllReadsCompleteUnderRandomLoad) {
+  Rng rng(GetParam());
+  sim::Kernel k;
+  ControllerParams p;
+  p.w_low = 4;  // writes drain even in quiet phases
+  FrFcfsController c(k, ddr3_1600(), p);
+  std::vector<std::uint64_t> submitted_reads;
+  std::vector<std::uint64_t> completed_reads;
+  c.set_completion_handler([&](const Request& r, Time) {
+    if (r.op == Op::kRead) completed_reads.push_back(r.id);
+  });
+  Time t;
+  std::uint64_t id = 0;
+  for (int i = 0; i < 400; ++i) {
+    t += Time::ns(rng.uniform(40, 400));
+    Request r;
+    r.id = id++;
+    r.op = rng.chance(0.35) ? Op::kWrite : Op::kRead;
+    r.bank = static_cast<std::uint32_t>(rng.next_below(8));
+    r.row = static_cast<std::uint32_t>(rng.next_below(64));
+    r.master = static_cast<std::uint32_t>(rng.next_below(4));
+    if (r.op == Op::kRead) submitted_reads.push_back(r.id);
+    k.schedule_at(t, [&c, r] { c.submit(r); });
+  }
+  k.run(t + Time::us(200));
+  // Every read completed exactly once.
+  std::sort(completed_reads.begin(), completed_reads.end());
+  EXPECT_EQ(completed_reads, submitted_reads);
+  // Counter consistency.
+  EXPECT_EQ(c.counters().get("read_hits") + c.counters().get("read_misses"),
+            static_cast<std::int64_t>(submitted_reads.size()));
+  EXPECT_EQ(c.read_latency().count(), submitted_reads.size());
+  // Bounded worst case under this moderate load.
+  EXPECT_LT(c.read_latency().max(), Time::us(10));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FrFcfsFuzz,
+                         ::testing::Values(5u, 21u, 333u, 4096u));
+
+TEST(Traffic, RandomSourceDeterministicPerSeed) {
+  auto run = [](std::uint64_t seed) {
+    sim::Kernel k;
+    FrFcfsController c(k, ddr3_1600(), ControllerParams{});
+    RandomAccessSource::Config cfg;
+    cfg.seed = seed;
+    RandomAccessSource src(k, c, cfg);
+    src.start();
+    k.run(Time::us(50));
+    src.stop();
+    return std::pair{src.emitted(), c.counters().get("read_hits")};
+  };
+  EXPECT_EQ(run(9), run(9));
+  EXPECT_NE(run(9), run(10));
+}
+
+}  // namespace
+}  // namespace pap::dram

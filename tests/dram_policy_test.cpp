@@ -1,0 +1,145 @@
+// Open-row vs closed-page controller policy: the average-case vs
+// predictability trade at the heart of the paper's argument.
+#include <gtest/gtest.h>
+
+#include "dram/frfcfs.hpp"
+#include "dram/traffic.hpp"
+#include "dram/wcd.hpp"
+#include "sim/kernel.hpp"
+
+namespace pap::dram {
+namespace {
+
+ControllerParams closed_page() {
+  ControllerParams p;
+  p.page_policy = PagePolicy::kClosedPage;
+  p.banks = 1;
+  return p;
+}
+
+TEST(ClosedPage, EveryAccessPaysTheFullCycle) {
+  sim::Kernel k;
+  FrFcfsController c(k, ddr3_1600(), closed_page());
+  std::vector<Time> completions;
+  c.set_completion_handler(
+      [&](const Request&, Time t) { completions.push_back(t); });
+  // Same row repeatedly: would be hits under open-row.
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    Request r;
+    r.id = i;
+    r.op = Op::kRead;
+    r.bank = 0;
+    r.row = 7;
+    c.submit(r);
+  }
+  k.run(Time::us(3));
+  ASSERT_EQ(completions.size(), 5u);
+  // Uniform spacing at the row cycle; zero row hits counted.
+  for (std::size_t i = 1; i < completions.size(); ++i) {
+    EXPECT_EQ(completions[i] - completions[i - 1],
+              ddr3_1600().row_cycle());
+  }
+  EXPECT_EQ(c.counters().get("read_hits"), 0);
+}
+
+TEST(ClosedPage, OpenRowIsFasterOnLocality) {
+  auto run = [](PagePolicy policy) {
+    sim::Kernel k;
+    ControllerParams p;
+    p.page_policy = policy;
+    p.banks = 1;
+    FrFcfsController c(k, ddr3_1600(), p);
+    // Sequential same-row stream: the open-row policy's best case.
+    for (std::uint64_t i = 0; i < 64; ++i) {
+      Request r;
+      r.id = i;
+      r.op = Op::kRead;
+      r.bank = 0;
+      r.row = 3;
+      c.submit(r);
+    }
+    k.run(Time::us(10));
+    return c.read_latency().max();
+  };
+  EXPECT_LT(run(PagePolicy::kOpenRow), run(PagePolicy::kClosedPage));
+}
+
+TEST(ClosedPage, LatencyIsUniformUnderMixedRows) {
+  // The predictability claim: per-access completion spacing does not
+  // depend on row locality under closed-page.
+  sim::Kernel k;
+  FrFcfsController c(k, ddr3_1600(), closed_page());
+  std::vector<Time> completions;
+  c.set_completion_handler(
+      [&](const Request&, Time t) { completions.push_back(t); });
+  const std::uint32_t rows[] = {1, 1, 5, 5, 9, 2, 2, 2};
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    Request r;
+    r.id = i;
+    r.op = Op::kRead;
+    r.bank = 0;
+    r.row = rows[i];
+    c.submit(r);
+  }
+  k.run(Time::us(3));
+  ASSERT_EQ(completions.size(), 8u);
+  for (std::size_t i = 2; i < completions.size(); ++i) {
+    EXPECT_EQ(completions[i] - completions[i - 1],
+              completions[i - 1] - completions[i - 2]);
+  }
+}
+
+TEST(ClosedPage, WcdLosesTheHitBlockTerm) {
+  const auto writes = nc::TokenBucket::from_rate(Rate::gbps(5), 64, 8.0);
+  ControllerParams open;
+  open.banks = 1;
+  WcdAnalysis open_a(ddr3_1600(), open, writes);
+  WcdAnalysis closed_a(ddr3_1600(), closed_page(), writes);
+  EXPECT_EQ(closed_a.hit_block_time(), Time::zero());
+  EXPECT_GT(open_a.hit_block_time(), Time::zero());
+  // Closed page: strictly lower worst case at every queue position.
+  for (int n : {1, 8, 13, 16}) {
+    EXPECT_LT(closed_a.upper_bound(n), open_a.upper_bound(n)) << n;
+  }
+}
+
+TEST(ClosedPage, SimulationWithinClosedPageBound) {
+  const auto writes = nc::TokenBucket::from_rate(Rate::gbps(4), 64, 8.0);
+  WcdAnalysis analysis(ddr3_1600(), closed_page(), writes);
+  sim::Kernel k;
+  FrFcfsController c(k, ddr3_1600(), closed_page());
+  ShapedWriteSource hog(k, c, writes, 0, 9);
+  hog.start();
+  LatencyHistogram lat;
+  c.set_completion_handler([&](const Request& r, Time t) {
+    if (r.op == Op::kRead) lat.add(t - r.arrival);
+  });
+  std::uint32_t row = 100;
+  for (int burst = 0; burst < 30; ++burst) {
+    k.schedule_at(Time::us(25) * burst, [&c, &row] {
+      for (int i = 0; i < 13; ++i) {
+        Request r;
+        r.op = Op::kRead;
+        r.bank = 0;
+        r.row = row++;
+        c.submit(r);
+      }
+    });
+  }
+  k.run(Time::ms(1));
+  hog.stop();
+  ASSERT_FALSE(lat.empty());
+  EXPECT_LE(lat.max(), analysis.upper_bound(13));
+}
+
+TEST(ClosedPage, AutoPrechargeInBankModel) {
+  const auto t = ddr3_1600();
+  Bank b(t);
+  b.access(Time::zero(), 5, false, /*auto_precharge=*/true);
+  EXPECT_FALSE(b.any_row_open());
+  // Next access to the same row is a miss again.
+  EXPECT_FALSE(b.is_hit(5));
+}
+
+}  // namespace
+}  // namespace pap::dram

@@ -1,0 +1,123 @@
+// Table I of the paper, checked value by value, plus the derived timing
+// quantities shared by the simulator and the WCD analysis.
+#include <gtest/gtest.h>
+
+#include "dram/bank.hpp"
+#include "dram/timing.hpp"
+
+namespace pap::dram {
+namespace {
+
+TEST(TableI, Ddr3_1600ValuesVerbatim) {
+  const Timings t = ddr3_1600();
+  EXPECT_EQ(t.name, "DDR3-1600");
+  EXPECT_EQ(t.tCK, Time::from_ns(1.25));
+  EXPECT_EQ(t.tBurst, Time::from_ns(5));
+  EXPECT_EQ(t.tRCD, Time::from_ns(13.75));
+  EXPECT_EQ(t.tCL, Time::from_ns(13.75));
+  EXPECT_EQ(t.tRP, Time::from_ns(13.75));
+  EXPECT_EQ(t.tRAS, Time::from_ns(35));
+  EXPECT_EQ(t.tRRD, Time::from_ns(6));
+  EXPECT_EQ(t.tXAW, Time::from_ns(30));
+  EXPECT_EQ(t.tRFC, Time::from_ns(260));
+  EXPECT_EQ(t.tWR, Time::from_ns(15));
+  EXPECT_EQ(t.tWTR, Time::from_ns(7.5));
+  EXPECT_EQ(t.tRTP, Time::from_ns(7.5));
+  EXPECT_EQ(t.tRTW, Time::from_ns(2.5));
+  EXPECT_EQ(t.tCS, Time::from_ns(2.5));
+  EXPECT_EQ(t.tREFI, Time::from_ns(7800));
+  EXPECT_EQ(t.tXP, Time::from_ns(6));
+  EXPECT_EQ(t.tXS, Time::from_ns(270));
+}
+
+TEST(TableI, DerivedQuantities) {
+  const Timings t = ddr3_1600();
+  EXPECT_EQ(t.row_cycle(), Time::from_ns(48.75));
+  EXPECT_EQ(t.read_miss_completion(), Time::from_ns(46.25));
+  EXPECT_EQ(t.read_miss_closed_completion(), Time::from_ns(32.5));
+  EXPECT_EQ(t.read_hit_cost(), Time::from_ns(5));
+  EXPECT_EQ(t.write_cycle(), Time::from_ns(61.25));
+  EXPECT_EQ(t.switch_read_to_write(), Time::from_ns(2.5));
+  EXPECT_EQ(t.switch_write_to_read(), Time::from_ns(7.5));
+}
+
+TEST(Presets, AllValid) {
+  EXPECT_TRUE(ddr3_1600().valid());
+  EXPECT_TRUE(ddr4_2400().valid());
+  EXPECT_TRUE(lpddr4_3200().valid());
+}
+
+TEST(Presets, ValidityCatchesBrokenSets) {
+  Timings t = ddr3_1600();
+  t.tREFI = Time::ns(100);  // refresh interval below refresh cost
+  EXPECT_FALSE(t.valid());
+  t = ddr3_1600();
+  t.tRAS = Time::ns(1);  // row closes before the ACT completes
+  EXPECT_FALSE(t.valid());
+  t = ddr3_1600();
+  t.tBurst = Time::zero();
+  EXPECT_FALSE(t.valid());
+}
+
+TEST(Bank, FirstAccessOnIdleBankIsClosedMiss) {
+  const Timings t = ddr3_1600();
+  Bank b(t);
+  const Time done = b.access(Time::zero(), /*row=*/1, /*write=*/false);
+  EXPECT_EQ(done, t.read_miss_closed_completion());
+  EXPECT_TRUE(b.row_open(1));
+}
+
+TEST(Bank, RowHitCostsCasPlusBurst) {
+  const Timings t = ddr3_1600();
+  Bank b(t);
+  const Time first = b.access(Time::zero(), 1, false);
+  const Time hit = b.access(first, 1, false);
+  EXPECT_EQ(hit - first, t.tCL + t.tBurst);
+  EXPECT_TRUE(b.is_hit(1));
+}
+
+TEST(Bank, ConflictPaysPrechargeAndRowCycle) {
+  const Timings t = ddr3_1600();
+  Bank b(t);
+  b.access(Time::zero(), 1, false);
+  // Conflicting row: PRE + ACT + CAS + burst, but the second ACT is also
+  // held off by tRC from the first ACT (at t=0).
+  const Time done = b.access(Time::zero(), 2, false);
+  const Time act2 = std::max(t.tRP, t.row_cycle());
+  EXPECT_EQ(done, act2 + t.tRCD + t.tCL + t.tBurst);
+  EXPECT_TRUE(b.row_open(2));
+  EXPECT_FALSE(b.row_open(1));
+}
+
+TEST(Bank, BackToBackMissesSpacedByRowCycle) {
+  const Timings t = ddr3_1600();
+  Bank b(t);
+  Time prev = b.access(Time::zero(), 0, false);
+  for (std::uint32_t row = 1; row < 6; ++row) {
+    const Time done = b.access(prev, row, false);
+    EXPECT_EQ(done - prev, t.row_cycle()) << "row " << row;
+    prev = done;
+  }
+}
+
+TEST(Bank, WriteRecoveryDelaysNextAccess) {
+  const Timings t = ddr3_1600();
+  Bank b(t);
+  const Time w = b.access(Time::zero(), 1, /*write=*/true);
+  // A subsequent hit must wait for write recovery.
+  const Time r = b.access(w, 1, false);
+  EXPECT_GE(r - w, t.tWR);
+}
+
+TEST(Bank, RefreshClosesRowsAndBlocks) {
+  const Timings t = ddr3_1600();
+  Bank b(t);
+  b.access(Time::zero(), 3, false);
+  const Time done = b.refresh(Time::ns(100));
+  EXPECT_FALSE(b.any_row_open());
+  EXPECT_GE(done, Time::ns(100) + t.tRFC);
+  EXPECT_GE(b.next_activate_allowed(), done);
+}
+
+}  // namespace
+}  // namespace pap::dram

@@ -1,0 +1,153 @@
+// DSU DynamIQ model: scheme IDs, hypervisor overrides, the CLUSTERPARTCR
+// encoding — including the paper's worked example, bit-exact (0x80004201).
+#include <gtest/gtest.h>
+
+#include "cache/dsu.hpp"
+
+namespace pap::cache {
+namespace {
+
+TEST(SchemeIdOverride, MasksGuestBits) {
+  // Paper: the RTOS VM is delegated scheme IDs 2 and 3 with override mask
+  // 0b110 and override value 0b01x: bits [2:1] forced to 01, bit 0 free.
+  const SchemeIdOverride rtos{0b110, 0b010};
+  EXPECT_EQ(rtos.apply(0b000), 0b010);
+  EXPECT_EQ(rtos.apply(0b001), 0b011);
+  EXPECT_EQ(rtos.apply(0b111), 0b011);
+  EXPECT_EQ(rtos.apply(0b100), 0b010);
+}
+
+TEST(SchemeIdOverride, FullMaskPinsSchemeId) {
+  // "The GPOS VM can be prevented from unilaterally changing its schemeID
+  // by setting an override mask of 0b111."
+  const SchemeIdOverride gpos{0b111, 0b000};
+  for (std::uint8_t g = 0; g < 8; ++g) EXPECT_EQ(gpos.apply(g), 0);
+}
+
+TEST(Clusterpartcr, PaperExampleEncodesTo0x80004201) {
+  // Hypervisor = scheme 7, GPOS = scheme 0, RTOS = schemes 2 and 3; the
+  // register encoding assigns scheme 0 -> group 0, scheme 2 -> group 1,
+  // scheme 3 -> group 2, scheme 7 -> group 3 (see dsu.hpp for the note on
+  // the paper's prose group numbering).
+  GroupOwners owners{};
+  owners[0] = 0;
+  owners[1] = 2;
+  owners[2] = 3;
+  owners[3] = 7;
+  EXPECT_EQ(encode_clusterpartcr(owners), 0x80004201u);
+}
+
+TEST(Clusterpartcr, DecodeRoundTrips) {
+  const auto decoded = decode_clusterpartcr(0x80004201u);
+  ASSERT_TRUE(decoded.has_value());
+  const auto& o = decoded.value();
+  EXPECT_EQ(*o[0], 0);
+  EXPECT_EQ(*o[1], 2);
+  EXPECT_EQ(*o[2], 3);
+  EXPECT_EQ(*o[3], 7);
+  EXPECT_EQ(encode_clusterpartcr(o), 0x80004201u);
+}
+
+TEST(Clusterpartcr, ZeroMeansAllUnassigned) {
+  const auto decoded = decode_clusterpartcr(0);
+  ASSERT_TRUE(decoded.has_value());
+  for (const auto& g : decoded.value()) EXPECT_FALSE(g.has_value());
+}
+
+TEST(Clusterpartcr, DoubleOwnerRejected) {
+  // Group 0 claimed by schemes 0 (bit 0) and 1 (bit 4).
+  const auto decoded = decode_clusterpartcr((1u << 0) | (1u << 4));
+  EXPECT_FALSE(decoded.has_value());
+}
+
+TEST(DsuCluster, RejectsInvalidRegisterKeepsOld) {
+  DsuCluster dsu(64, 16);
+  ASSERT_TRUE(dsu.write_partition_register(0x80004201u).is_ok());
+  EXPECT_FALSE(dsu.write_partition_register((1u << 0) | (1u << 4)).is_ok());
+  EXPECT_EQ(dsu.partition_register(), 0x80004201u);
+}
+
+TEST(DsuCluster, AllocationMasksFollowGroups) {
+  DsuCluster dsu(64, 16);  // 4 ways per group
+  ASSERT_TRUE(dsu.write_partition_register(0x80004201u).is_ok());
+  // Scheme 0 owns group 0 (ways 0-3) and nothing else is unassigned.
+  EXPECT_EQ(dsu.allocation_mask(0), 0x000Full);
+  EXPECT_EQ(dsu.allocation_mask(2), 0x00F0ull);
+  EXPECT_EQ(dsu.allocation_mask(3), 0x0F00ull);
+  EXPECT_EQ(dsu.allocation_mask(7), 0xF000ull);
+  // Scheme 5 owns nothing and no group is unassigned: empty mask.
+  EXPECT_EQ(dsu.allocation_mask(5), 0ull);
+}
+
+TEST(DsuCluster, UnassignedGroupsOpenToAll) {
+  DsuCluster dsu(64, 16);
+  GroupOwners owners{};
+  owners[3] = 7;  // only group 3 assigned
+  ASSERT_TRUE(
+      dsu.write_partition_register(encode_clusterpartcr(owners)).is_ok());
+  EXPECT_EQ(dsu.allocation_mask(0), 0x0FFFull);
+  EXPECT_EQ(dsu.allocation_mask(7), 0xFFFFull);
+}
+
+TEST(DsuCluster, TwelveWayUsesThreeWayGroups) {
+  DsuCluster dsu(64, 12);
+  EXPECT_EQ(dsu.ways_per_group(), 3u);
+  GroupOwners owners{};
+  owners[0] = 1;
+  ASSERT_TRUE(
+      dsu.write_partition_register(encode_clusterpartcr(owners)).is_ok());
+  EXPECT_EQ(dsu.allocation_mask(1), 0xFFFull);       // own + unassigned
+  EXPECT_EQ(dsu.allocation_mask(0), 0xFF8ull);       // all but group 0
+}
+
+TEST(DsuCluster, PartitioningIsolatesThrashing) {
+  // The functional claim behind Fig. 2: a thrashing scheme cannot evict a
+  // protected scheme's lines once groups are private.
+  DsuCluster dsu(16, 16);
+  GroupOwners owners{};
+  owners[0] = 1;  // protected RT partition: group 0
+  owners[1] = 0;
+  owners[2] = 0;
+  owners[3] = 0;  // the noisy scheme gets the rest
+  ASSERT_TRUE(
+      dsu.write_partition_register(encode_clusterpartcr(owners)).is_ok());
+  // RT working set: fits in its 4 ways x 16 sets.
+  for (Addr a = 0; a < 64ull * 64; a += 64) dsu.access_scheme(1, a);
+  // Thrash from scheme 0 over a huge range.
+  for (Addr a = 1 << 20; a < (1 << 20) + 64ull * 64 * 64; a += 64) {
+    dsu.access_scheme(0, a);
+  }
+  // RT set is fully resident.
+  for (Addr a = 0; a < 64ull * 64; a += 64) {
+    EXPECT_TRUE(dsu.access_scheme(1, a).hit) << "addr " << a;
+  }
+}
+
+TEST(DsuCluster, WithoutPartitioningThrashingEvicts) {
+  DsuCluster dsu(16, 16);  // register left at reset: all unassigned
+  for (Addr a = 0; a < 64ull * 64; a += 64) dsu.access_scheme(1, a);
+  for (Addr a = 1 << 20; a < (1 << 20) + 64ull * 64 * 64; a += 64) {
+    dsu.access_scheme(0, a);
+  }
+  int hits = 0;
+  for (Addr a = 0; a < 64ull * 64; a += 64) {
+    if (dsu.access_scheme(1, a).hit) ++hits;
+  }
+  EXPECT_LT(hits, 16);  // essentially wiped out
+}
+
+TEST(DsuCluster, VmOverridePathEndToEnd) {
+  DsuCluster dsu(64, 16);
+  ASSERT_TRUE(dsu.write_partition_register(0x80004201u).is_ok());
+  dsu.set_vm_override(/*vm=*/0, SchemeIdOverride{0b111, 0b000});  // GPOS
+  dsu.set_vm_override(/*vm=*/1, SchemeIdOverride{0b110, 0b010});  // RTOS
+  EXPECT_EQ(dsu.effective_scheme_id(0, 0b111), 0);
+  EXPECT_EQ(dsu.effective_scheme_id(1, 0b001), 0b011);
+  // A GPOS access lands in scheme 0's partition regardless of its request.
+  dsu.access(0, 0b101, 0x40);
+  EXPECT_EQ(dsu.l3().occupancy(0), 1u);
+  EXPECT_EQ(dsu.l3().occupancy(5), 0u);
+}
+
+}  // namespace
+}  // namespace pap::cache

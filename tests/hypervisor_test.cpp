@@ -1,0 +1,163 @@
+// Hypervisor partition manager: VM creation, scheme assignment, cache
+// isolation, memory budgets, MPAM delegation, device binding, and the
+// freedom-from-interference audit.
+#include <gtest/gtest.h>
+
+#include "platform/hypervisor.hpp"
+#include "sim/kernel.hpp"
+
+namespace pap::platform {
+namespace {
+
+struct Fixture {
+  sim::Kernel kernel;
+  SocConfig cfg;
+  Fixture() {
+    cfg.clusters = 1;
+    cfg.cores_per_cluster = 4;
+  }
+  Soc soc{kernel, cfg};
+  Hypervisor hv{soc};
+};
+
+TEST(Hypervisor, CriticalVmsGetDedicatedSchemes) {
+  Fixture f;
+  const auto rt = f.hv.create_vm("rt", {0}, sched::Asil::kD);
+  const auto gpos = f.hv.create_vm("gpos", {1, 2}, sched::Asil::kQM);
+  ASSERT_TRUE(rt.has_value());
+  ASSERT_TRUE(gpos.has_value());
+  EXPECT_EQ(f.hv.vm(rt.value())->scheme, 1);
+  EXPECT_EQ(f.hv.vm(gpos.value())->scheme, 0);
+  EXPECT_EQ(f.soc.scheme_id(0), 1);
+  EXPECT_EQ(f.soc.scheme_id(1), 0);
+  EXPECT_EQ(f.soc.scheme_id(2), 0);
+}
+
+TEST(Hypervisor, CoreOwnershipIsExclusive) {
+  Fixture f;
+  ASSERT_TRUE(f.hv.create_vm("a", {0, 1}, sched::Asil::kB).has_value());
+  EXPECT_FALSE(f.hv.create_vm("b", {1}, sched::Asil::kB).has_value());
+  EXPECT_FALSE(f.hv.create_vm("c", {9}, sched::Asil::kB).has_value());
+  EXPECT_FALSE(f.hv.create_vm("d", {}, sched::Asil::kB).has_value());
+}
+
+TEST(Hypervisor, SchemeIdsExhaust) {
+  sim::Kernel kernel;
+  SocConfig cfg;
+  cfg.clusters = 2;
+  cfg.cores_per_cluster = 4;
+  Soc soc(kernel, cfg);
+  Hypervisor hv(soc);
+  for (int i = 0; i < 7; ++i) {
+    ASSERT_TRUE(hv.create_vm("vm" + std::to_string(i), {i},
+                             sched::Asil::kD).has_value());
+  }
+  EXPECT_FALSE(hv.create_vm("one-too-many", {7}, sched::Asil::kD).has_value());
+}
+
+TEST(Hypervisor, CacheIsolationProgramsRegister) {
+  Fixture f;
+  const auto rt = f.hv.create_vm("rt", {0}, sched::Asil::kD);
+  ASSERT_TRUE(rt.has_value());
+  ASSERT_TRUE(f.hv.isolate_cache(rt.value(), 2).is_ok());
+  const auto owners =
+      cache::decode_clusterpartcr(f.hv.partition_register(0));
+  ASSERT_TRUE(owners.has_value());
+  EXPECT_EQ(*owners.value()[0], 1);
+  EXPECT_EQ(*owners.value()[1], 1);
+  EXPECT_FALSE(owners.value()[2].has_value());
+}
+
+TEST(Hypervisor, CacheIsolationRejectsOvercommit) {
+  Fixture f;
+  const auto a = f.hv.create_vm("a", {0}, sched::Asil::kD);
+  const auto b = f.hv.create_vm("b", {1}, sched::Asil::kC);
+  ASSERT_TRUE(f.hv.isolate_cache(a.value(), 3).is_ok());
+  EXPECT_FALSE(f.hv.isolate_cache(b.value(), 2).is_ok());
+  // The failed request rolled back: b still has 0 groups, a keeps 3.
+  EXPECT_EQ(f.hv.vm(b.value())->private_l3_groups, 0);
+  EXPECT_EQ(f.hv.vm(a.value())->private_l3_groups, 3);
+  EXPECT_TRUE(f.hv.isolate_cache(b.value(), 1).is_ok());
+}
+
+TEST(Hypervisor, SharedSchemeCannotGetPrivateGroups) {
+  Fixture f;
+  const auto qm = f.hv.create_vm("qm", {0}, sched::Asil::kQM);
+  EXPECT_FALSE(f.hv.isolate_cache(qm.value(), 1).is_ok());
+}
+
+TEST(Hypervisor, MemoryBudgetsThrottlePerVm) {
+  Fixture f;
+  const auto rt = f.hv.create_vm("rt", {0}, sched::Asil::kD);
+  const auto noisy = f.hv.create_vm("noisy", {1, 2}, sched::Asil::kQM);
+  ASSERT_TRUE(f.hv.set_memory_budget(noisy.value(), 2).is_ok());
+  ASSERT_TRUE(f.hv.set_memory_budget(rt.value(), 1'000'000).is_ok());
+  ASSERT_NE(f.soc.memguard(), nullptr);
+  // Cores 1 and 2 share the noisy VM's budget of 2.
+  const auto domain = f.hv.vm(noisy.value())->memguard_domain;
+  EXPECT_EQ(f.soc.memguard()->request_access(domain), f.kernel.now());
+  EXPECT_EQ(f.soc.memguard()->request_access(domain), f.kernel.now());
+  EXPECT_GT(f.soc.memguard()->request_access(domain), f.kernel.now());
+}
+
+TEST(Hypervisor, PartIdDelegationPerVm) {
+  Fixture f;
+  const auto a = f.hv.create_vm("a", {0}, sched::Asil::kD);
+  const auto b = f.hv.create_vm("b", {1}, sched::Asil::kD);
+  ASSERT_TRUE(f.hv.delegate_partids(a.value(), 4).is_ok());
+  ASSERT_TRUE(f.hv.delegate_partids(b.value(), 4).is_ok());
+  const auto la = f.hv.delegation().resolve(a.value(), 0, 0, false);
+  const auto lb = f.hv.delegation().resolve(b.value(), 0, 0, false);
+  ASSERT_TRUE(la.has_value() && lb.has_value());
+  EXPECT_NE(la.value().partid, lb.value().partid);
+  // Double delegation rejected.
+  EXPECT_FALSE(f.hv.delegate_partids(a.value(), 4).is_ok());
+}
+
+TEST(Hypervisor, DeviceBindingLabelsDmaTraffic) {
+  Fixture f;
+  const auto vm = f.hv.create_vm("vision", {0}, sched::Asil::kD);
+  ASSERT_TRUE(f.hv.delegate_partids(vm.value(), 2).is_ok());
+  ASSERT_TRUE(f.hv.bind_device(vm.value(), /*stream=*/55).is_ok());
+  const auto label = f.hv.smmu().label(55);
+  ASSERT_TRUE(label.has_value());
+  // Device traffic carries the VM's physical PARTID.
+  const auto cpu = f.hv.delegation().resolve(vm.value(), 0, 0, false);
+  EXPECT_EQ(label.value().partid, cpu.value().partid);
+}
+
+TEST(Hypervisor, DeviceBindingNeedsDelegation) {
+  Fixture f;
+  const auto vm = f.hv.create_vm("v", {0}, sched::Asil::kD);
+  EXPECT_FALSE(f.hv.bind_device(vm.value(), 1).is_ok());
+}
+
+TEST(Hypervisor, CriticalityIsolationAudit) {
+  Fixture f;
+  const auto rt = f.hv.create_vm("rt", {0}, sched::Asil::kD);
+  ASSERT_TRUE(f.hv.create_vm("gpos", {1, 2, 3}, sched::Asil::kQM).has_value());
+  EXPECT_FALSE(f.hv.criticality_isolated());  // RT has no private group yet
+  ASSERT_TRUE(f.hv.isolate_cache(rt.value(), 1).is_ok());
+  EXPECT_TRUE(f.hv.criticality_isolated());
+}
+
+TEST(Hypervisor, EndToEndIsolationOnTheSoc) {
+  // The hypervisor's configuration actually isolates: RT lines survive a
+  // flood from the GPOS VM's cores.
+  Fixture f;
+  const auto rt = f.hv.create_vm("rt", {0}, sched::Asil::kD);
+  ASSERT_TRUE(f.hv.create_vm("gpos", {1, 2, 3}, sched::Asil::kQM).has_value());
+  ASSERT_TRUE(f.hv.isolate_cache(rt.value(), 1).is_ok());
+  auto& dsu = f.soc.dsu(0);
+  // RT working set: one group's worth (4 ways x sets).
+  const std::uint64_t lines = 4ull * f.cfg.l3_sets;
+  for (cache::Addr a = 0; a < lines * 64; a += 64) dsu.access_scheme(1, a);
+  for (cache::Addr a = 1ull << 30; a < (1ull << 30) + (8ull << 20); a += 64) {
+    dsu.access_scheme(0, a);
+  }
+  std::uint64_t resident = dsu.l3().occupancy(1);
+  EXPECT_GE(resident, lines * 9 / 10);
+}
+
+}  // namespace
+}  // namespace pap::platform

@@ -1,0 +1,124 @@
+// Memguard bandwidth regulator: budgets, throttling, replenishment, and the
+// overhead accounting the paper's granularity warning is about.
+#include <gtest/gtest.h>
+
+#include "sched/memguard.hpp"
+#include "sim/kernel.hpp"
+
+namespace pap::sched {
+namespace {
+
+MemguardConfig config(Time period = Time::us(1)) {
+  MemguardConfig c;
+  c.period = period;
+  c.interrupt_overhead = Time::ns(500);
+  c.throttle_overhead = Time::ns(300);
+  return c;
+}
+
+TEST(Memguard, AccessesWithinBudgetProceedImmediately) {
+  sim::Kernel k;
+  Memguard mg(k, config());
+  const auto d = mg.add_domain(5);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(mg.request_access(d), k.now());
+  }
+  EXPECT_EQ(mg.budget_left(d), 0u);
+  EXPECT_FALSE(mg.throttled(d));
+}
+
+TEST(Memguard, ExhaustionThrottlesUntilReplenish) {
+  sim::Kernel k;
+  Memguard mg(k, config());
+  const auto d = mg.add_domain(2);
+  mg.request_access(d);
+  mg.request_access(d);
+  const Time stalled_until = mg.request_access(d);
+  EXPECT_EQ(stalled_until, Time::us(1));  // next replenishment
+  EXPECT_TRUE(mg.throttled(d));
+  EXPECT_EQ(mg.throttle_events(d), 1u);
+  // Multiple stalled requests in one period count one throttle event.
+  mg.request_access(d);
+  EXPECT_EQ(mg.throttle_events(d), 1u);
+}
+
+TEST(Memguard, ReplenishRestoresBudget) {
+  sim::Kernel k;
+  Memguard mg(k, config());
+  const auto d = mg.add_domain(1);
+  mg.request_access(d);
+  EXPECT_EQ(mg.budget_left(d), 0u);
+  k.run(Time::us(1));  // replenishment timer fires
+  EXPECT_EQ(mg.budget_left(d), 1u);
+  EXPECT_FALSE(mg.throttled(d));
+  EXPECT_EQ(mg.periods_elapsed(), 1u);
+}
+
+TEST(Memguard, BudgetChangeTakesEffect) {
+  sim::Kernel k;
+  Memguard mg(k, config());
+  const auto d = mg.add_domain(10);
+  mg.set_budget(d, 2);
+  EXPECT_EQ(mg.budget_left(d), 2u);
+  mg.request_access(d);
+  mg.request_access(d);
+  EXPECT_GT(mg.request_access(d), k.now());
+}
+
+TEST(Memguard, DomainsAreIndependent) {
+  sim::Kernel k;
+  Memguard mg(k, config());
+  const auto a = mg.add_domain(1);
+  const auto b = mg.add_domain(100);
+  mg.request_access(a);
+  mg.request_access(a);  // a throttled
+  EXPECT_TRUE(mg.throttled(a));
+  EXPECT_EQ(mg.request_access(b), k.now());  // b unaffected
+}
+
+TEST(Memguard, OverheadGrowsWithDomainCount) {
+  // "The more fine-granular the objects to be isolated get, the higher the
+  // overhead becomes."
+  auto overhead_with_domains = [](int domains) {
+    sim::Kernel k;
+    Memguard mg(k, config());
+    for (int i = 0; i < domains; ++i) mg.add_domain(10);
+    k.run(Time::us(100));  // 100 replenishment periods
+    return mg.total_overhead();
+  };
+  const Time coarse = overhead_with_domains(2);
+  const Time fine = overhead_with_domains(16);
+  EXPECT_GT(fine, coarse);
+  EXPECT_EQ(fine.picos(), coarse.picos() * 8);  // linear in domains
+}
+
+TEST(Memguard, OverheadGrowsWithShorterPeriod) {
+  auto overhead_with_period = [](Time period) {
+    sim::Kernel k;
+    Memguard mg(k, config(period));
+    mg.add_domain(10);
+    k.run(Time::us(100));
+    return mg.total_overhead();
+  };
+  EXPECT_GT(overhead_with_period(Time::us(1)),
+            overhead_with_period(Time::us(10)));
+}
+
+TEST(Memguard, ThrottledDomainRateIsBounded) {
+  // Property: over many periods, admitted accesses <= budget * periods.
+  sim::Kernel k;
+  Memguard mg(k, config());
+  const auto d = mg.add_domain(3);
+  std::uint64_t admitted_now = 0;
+  // Greedy requester: ask every 100 ns.
+  sim::PeriodicEvent req(k, Time::zero(), Time::ns(100), [&] {
+    if (mg.request_access(d) == k.now()) ++admitted_now;
+  });
+  k.run(Time::us(50));
+  req.stop();
+  EXPECT_LE(admitted_now, 3u * 51u);
+  EXPECT_GE(admitted_now, 3u * 45u);
+}
+
+}  // namespace
+}  // namespace pap::sched

@@ -1,0 +1,157 @@
+// MPAM Memory System Components: the cache MSC (portions + max capacity +
+// monitors) and the bandwidth MSC (four apportioning policies).
+#include <gtest/gtest.h>
+
+#include "mpam/msc.hpp"
+
+namespace pap::mpam {
+namespace {
+
+cache::CacheConfig geometry() { return cache::CacheConfig{64, 8, 64}; }
+
+TEST(CacheMsc, PortionsRestrictAllocation) {
+  CacheMsc msc(geometry(), /*portions=*/8);  // 1 way per portion
+  ASSERT_TRUE(msc.portion_control().set_bitmap_bits(1, 0b00000011).is_ok());
+  ASSERT_TRUE(msc.portion_control().set_bitmap_bits(2, 0b11111100).is_ok());
+  const Label rt{1, 0, false};
+  const Label noisy{2, 0, false};
+  // RT working set: 2 ways * 64 sets = 128 lines.
+  for (cache::Addr a = 0; a < 128ull * 64; a += 64) {
+    msc.access(rt, a, RequestType::kRead);
+  }
+  // Noisy partition floods.
+  for (cache::Addr a = 1 << 22; a < (1 << 22) + (1 << 18); a += 64) {
+    msc.access(noisy, a, RequestType::kRead);
+  }
+  for (cache::Addr a = 0; a < 128ull * 64; a += 64) {
+    EXPECT_TRUE(msc.access(rt, a, RequestType::kRead).hit) << a;
+  }
+}
+
+TEST(CacheMsc, MaxCapacityForcesSelfEviction) {
+  CacheMsc msc(geometry(), 8);
+  ASSERT_TRUE(msc.capacity_control().set_limit(3, 0x2000).is_ok());  // 1/8
+  const Label l{3, 0, false};
+  const std::uint64_t total_lines = 64ull * 8;
+  // Touch far more than the limit.
+  for (cache::Addr a = 0; a < 2 * total_lines * 64; a += 64) {
+    msc.access(l, a, RequestType::kRead);
+  }
+  EXPECT_LE(msc.underlying().occupancy(3), total_lines / 8 + 64);
+  // Another partition without a limit can still fill the cache.
+  const Label big{4, 0, false};
+  for (cache::Addr a = 1 << 24; a < (1 << 24) + total_lines * 64; a += 64) {
+    msc.access(big, a, RequestType::kRead);
+  }
+  EXPECT_GT(msc.underlying().occupancy(4), total_lines / 2);
+}
+
+TEST(CacheMsc, CsuMonitorTracksOccupancy) {
+  CacheMsc msc(geometry(), 8);
+  const auto idx = msc.csu_monitors().install(MonitorFilter{5, false, 0, {}});
+  ASSERT_TRUE(idx.has_value());
+  const Label l{5, 0, false};
+  for (cache::Addr a = 0; a < 10ull * 64; a += 64) {
+    msc.access(l, a, RequestType::kRead);
+  }
+  EXPECT_EQ(msc.csu_monitors().at(*idx).value(), 10u * 64);
+}
+
+TEST(CacheMsc, MbwuCountsMissTrafficOnly) {
+  CacheMsc msc(geometry(), 8);
+  const auto idx = msc.mbwu_monitors().install(MonitorFilter{6, false, 0, {}});
+  ASSERT_TRUE(idx.has_value());
+  const Label l{6, 0, false};
+  msc.access(l, 0, RequestType::kRead);   // miss -> 64 bytes downstream
+  msc.access(l, 0, RequestType::kRead);   // hit  -> no downstream traffic
+  msc.access(l, 64, RequestType::kWrite); // miss -> 64 bytes
+  EXPECT_EQ(msc.mbwu_monitors().at(*idx).value(), 128u);
+}
+
+TEST(CacheMsc, MonitorCaptureFreezesValues) {
+  CacheMsc msc(geometry(), 8);
+  const auto idx = msc.mbwu_monitors().install(MonitorFilter{1, false, 0, {}});
+  const Label l{1, 0, false};
+  msc.access(l, 0, RequestType::kRead);
+  msc.mbwu_monitors().capture_all();
+  msc.access(l, 4096, RequestType::kRead);
+  EXPECT_EQ(msc.mbwu_monitors().at(*idx).captured().value(), 64u);
+  EXPECT_EQ(msc.mbwu_monitors().at(*idx).value(), 128u);
+}
+
+TEST(CacheMsc, PmgGranularMonitoringWithinPartition) {
+  // "a control policy applied to the entire workload, while monitoring can
+  // be performed at the granularity of individual processes or threads."
+  CacheMsc msc(geometry(), 8);
+  const auto t0 =
+      msc.mbwu_monitors().install(MonitorFilter{1, true, 0, {}});
+  const auto t1 =
+      msc.mbwu_monitors().install(MonitorFilter{1, true, 1, {}});
+  msc.access(Label{1, 0, false}, 0, RequestType::kRead);
+  msc.access(Label{1, 1, false}, 4096, RequestType::kRead);
+  msc.access(Label{1, 1, false}, 8192, RequestType::kRead);
+  EXPECT_EQ(msc.mbwu_monitors().at(*t0).value(), 64u);
+  EXPECT_EQ(msc.mbwu_monitors().at(*t1).value(), 128u);
+}
+
+TEST(BandwidthMsc, PortionPolicyCapsShares) {
+  BandwidthMsc msc(Rate::gbps(10));
+  ASSERT_TRUE(msc.portion_control().set_bitmap_bits(1, 0xFFFF).is_ok());
+  ASSERT_TRUE(
+      msc.portion_control().set_bitmap_bits(2, 0xFFFFFFFFFFFF0000ull).is_ok());
+  const auto g = msc.apportion(BandwidthMsc::Policy::kPortions,
+                               {{1, Rate::gbps(9)}, {2, Rate::gbps(9)}});
+  // Partition 1 owns 16/64 quanta = 2.5 Gbps cap.
+  EXPECT_NEAR(g[0].second.in_gbps(), 2.5, 1e-9);
+  EXPECT_NEAR(g[1].second.in_gbps(), 7.5, 1e-9);
+}
+
+TEST(BandwidthMsc, MinMaxPolicyDelegates) {
+  BandwidthMsc msc(Rate::gbps(8));
+  ASSERT_TRUE(msc.minmax_control()
+                  .set(1, {Rate::gbps(4), Rate::gbps(8)})
+                  .is_ok());
+  const auto g = msc.apportion(BandwidthMsc::Policy::kMinMax,
+                               {{1, Rate::gbps(8)}, {2, Rate::gbps(8)}});
+  EXPECT_GE(g[0].second.in_gbps(), 4.0 - 1e-9);
+}
+
+TEST(BandwidthMsc, StridePolicyWaterFills) {
+  BandwidthMsc msc(Rate::gbps(9));
+  ASSERT_TRUE(msc.stride_control().set_stride(1, 1).is_ok());
+  ASSERT_TRUE(msc.stride_control().set_stride(2, 2).is_ok());
+  // Both hungry: 2:1 split.
+  auto g = msc.apportion(BandwidthMsc::Policy::kProportionalStride,
+                         {{1, Rate::gbps(9)}, {2, Rate::gbps(9)}});
+  EXPECT_NEAR(g[0].second.in_gbps(), 6.0, 1e-6);
+  EXPECT_NEAR(g[1].second.in_gbps(), 3.0, 1e-6);
+  // Partition 1 satisfied early: leftovers flow to 2.
+  g = msc.apportion(BandwidthMsc::Policy::kProportionalStride,
+                    {{1, Rate::gbps(1)}, {2, Rate::gbps(9)}});
+  EXPECT_NEAR(g[0].second.in_gbps(), 1.0, 1e-6);
+  EXPECT_NEAR(g[1].second.in_gbps(), 8.0, 1e-6);
+}
+
+TEST(BandwidthMsc, PriorityPolicyIsStrict) {
+  BandwidthMsc msc(Rate::gbps(5));
+  ASSERT_TRUE(msc.priority_control().set_priority(1, 0).is_ok());
+  ASSERT_TRUE(msc.priority_control().set_priority(2, 10).is_ok());
+  const auto g = msc.apportion(BandwidthMsc::Policy::kPriority,
+                               {{2, Rate::gbps(4)}, {1, Rate::gbps(4)}});
+  // Grants returned in input order; partition 1 (higher priority) filled
+  // first.
+  EXPECT_NEAR(g[1].second.in_gbps(), 4.0, 1e-9);
+  EXPECT_NEAR(g[0].second.in_gbps(), 1.0, 1e-9);
+}
+
+TEST(BandwidthMsc, AccountFeedsMonitors) {
+  BandwidthMsc msc(Rate::gbps(1));
+  const auto idx = msc.mbwu_monitors().install(
+      MonitorFilter{3, false, 0, RequestType::kWrite});
+  msc.account(Label{3, 0, false}, RequestType::kWrite, 256);
+  msc.account(Label{3, 0, false}, RequestType::kRead, 512);  // filtered out
+  EXPECT_EQ(msc.mbwu_monitors().at(*idx).value(), 256u);
+}
+
+}  // namespace
+}  // namespace pap::mpam

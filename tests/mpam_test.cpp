@@ -1,0 +1,182 @@
+// MPAM identification, vPARTID delegation, and the six control interfaces.
+#include <gtest/gtest.h>
+
+#include "mpam/monitor.hpp"
+#include "mpam/partition.hpp"
+#include "mpam/types.hpp"
+#include "mpam/vpartid.hpp"
+
+namespace pap::mpam {
+namespace {
+
+TEST(Types, FourPartIdSpaces) {
+  EXPECT_TRUE(is_secure(PartIdSpace::kPhysicalSecure));
+  EXPECT_TRUE(is_secure(PartIdSpace::kVirtualSecure));
+  EXPECT_FALSE(is_secure(PartIdSpace::kPhysicalNonSecure));
+  EXPECT_TRUE(is_virtual(PartIdSpace::kVirtualNonSecure));
+  EXPECT_FALSE(is_virtual(PartIdSpace::kPhysicalNonSecure));
+  EXPECT_EQ(to_string(PartIdSpace::kVirtualSecure), "virtual secure");
+}
+
+TEST(VPartIdMap, TranslateMappedEntries) {
+  VPartIdMap m(4);
+  ASSERT_TRUE(m.map(0, 17).is_ok());
+  ASSERT_TRUE(m.map(3, 23).is_ok());
+  EXPECT_EQ(m.translate(0).value(), 17);
+  EXPECT_EQ(m.translate(3).value(), 23);
+}
+
+TEST(VPartIdMap, UnmappedAndOutOfRangeFail) {
+  VPartIdMap m(4);
+  EXPECT_FALSE(m.translate(1).has_value());   // unmapped
+  EXPECT_FALSE(m.translate(9).has_value());   // out of range
+  EXPECT_FALSE(m.map(4, 1).is_ok());          // beyond table
+}
+
+TEST(VPartIdMap, DelegatedList) {
+  VPartIdMap m(8);
+  ASSERT_TRUE(m.map(0, 5).is_ok());
+  ASSERT_TRUE(m.map(1, 6).is_ok());
+  EXPECT_EQ(m.delegated(), (std::vector<PartId>{5, 6}));
+}
+
+TEST(Delegation, ResolveStampsLabel) {
+  PartIdDelegation d;
+  ASSERT_TRUE(d.create_vm(0, 4).is_ok());
+  ASSERT_TRUE(d.delegate(0, 0, 42).is_ok());
+  const auto label = d.resolve(0, 0, /*pmg=*/3, /*secure=*/false);
+  ASSERT_TRUE(label.has_value());
+  EXPECT_EQ(label.value().partid, 42);
+  EXPECT_EQ(label.value().pmg, 3);
+  EXPECT_FALSE(label.value().secure);
+}
+
+TEST(Delegation, NoDoubleDelegationAcrossVms) {
+  PartIdDelegation d;
+  ASSERT_TRUE(d.create_vm(0, 4).is_ok());
+  ASSERT_TRUE(d.create_vm(1, 4).is_ok());
+  ASSERT_TRUE(d.delegate(0, 0, 42).is_ok());
+  EXPECT_FALSE(d.delegate(1, 0, 42).is_ok());  // isolation violation
+  EXPECT_TRUE(d.delegate(1, 0, 43).is_ok());
+}
+
+TEST(Delegation, UnknownVmRejected) {
+  PartIdDelegation d;
+  EXPECT_FALSE(d.delegate(7, 0, 1).is_ok());
+  EXPECT_FALSE(d.resolve(7, 0, 0, false).has_value());
+  ASSERT_TRUE(d.create_vm(7, 2).is_ok());
+  EXPECT_FALSE(d.create_vm(7, 2).is_ok());  // duplicate VM
+}
+
+TEST(CachePortions, DefaultIsAllPortions) {
+  CachePortionControl c(8);
+  const auto& p = c.portions_for(5);
+  EXPECT_EQ(p.size(), 8u);
+  for (bool b : p) EXPECT_TRUE(b);
+}
+
+TEST(CachePortions, Fig3StyleBitmaps) {
+  // Fig. 3: 8 portions, two PARTIDs with private portions and one shared.
+  CachePortionControl c(8);
+  ASSERT_TRUE(c.set_bitmap_bits(1, 0b00001111).is_ok());  // low half + shared
+  ASSERT_TRUE(c.set_bitmap_bits(2, 0b11111000).is_ok());  // high half + shared
+  EXPECT_TRUE(c.share_portion(1, 2));                     // portion 3
+  EXPECT_TRUE(c.portions_for(1)[0]);
+  EXPECT_FALSE(c.portions_for(1)[7]);
+  EXPECT_TRUE(c.portions_for(2)[7]);
+}
+
+TEST(CachePortions, WrongBitmapSizeRejected) {
+  CachePortionControl c(8);
+  EXPECT_FALSE(c.set_bitmap(1, std::vector<bool>(4)).is_ok());
+}
+
+TEST(MaxCapacity, FixedPointFractionOfLines) {
+  MaxCapacityControl m;
+  ASSERT_TRUE(m.set_limit(1, 0x8000).is_ok());  // 1/2
+  ASSERT_TRUE(m.set_limit(2, 0x4000).is_ok());  // 1/4
+  EXPECT_EQ(m.line_limit(1, 1024), 512u);
+  EXPECT_EQ(m.line_limit(2, 1024), 256u);
+  EXPECT_EQ(m.line_limit(3, 1024), 1024u);  // unlimited
+  EXPECT_TRUE(m.limited(1));
+  EXPECT_FALSE(m.limited(3));
+  m.clear_limit(1);
+  EXPECT_FALSE(m.limited(1));
+}
+
+TEST(BandwidthPortions, ShareFollowsPopcount) {
+  BandwidthPortionControl b(16);
+  ASSERT_TRUE(b.set_bitmap_bits(1, 0x000F).is_ok());
+  EXPECT_DOUBLE_EQ(b.share(1), 0.25);
+  EXPECT_DOUBLE_EQ(b.share(9), 1.0);  // unprogrammed
+  EXPECT_FALSE(b.set_bitmap_bits(2, 0x1FFFF).is_ok());  // beyond 16 quanta
+}
+
+TEST(BandwidthMinMax, ApportionSatisfiesMinimaFirst) {
+  BandwidthMinMaxControl c;
+  ASSERT_TRUE(c.set(1, {Rate::gbps(2), Rate::gbps(10)}).is_ok());
+  ASSERT_TRUE(c.set(2, {Rate::gbps(0), Rate::gbps(1)}).is_ok());
+  const auto grants = c.apportion(
+      Rate::gbps(4), {{1, Rate::gbps(5)}, {2, Rate::gbps(5)}});
+  ASSERT_EQ(grants.size(), 2u);
+  EXPECT_GE(grants[0].second.in_gbps(), 2.0 - 1e-9);   // minimum honoured
+  EXPECT_LE(grants[1].second.in_gbps(), 1.0 + 1e-9);   // maximum enforced
+  const double total =
+      grants[0].second.in_gbps() + grants[1].second.in_gbps();
+  EXPECT_LE(total, 4.0 + 1e-9);
+}
+
+TEST(BandwidthMinMax, MaxBelowMinRejected) {
+  BandwidthMinMaxControl c;
+  EXPECT_FALSE(c.set(1, {Rate::gbps(2), Rate::gbps(1)}).is_ok());
+}
+
+TEST(BandwidthMinMax, GrantsNeverExceedDemand) {
+  BandwidthMinMaxControl c;
+  ASSERT_TRUE(c.set(1, {Rate::gbps(3), Rate::gbps(10)}).is_ok());
+  const auto grants =
+      c.apportion(Rate::gbps(10), {{1, Rate::gbps(1)}, {2, Rate::gbps(2)}});
+  EXPECT_LE(grants[0].second.in_gbps(), 1.0 + 1e-9);
+  EXPECT_LE(grants[1].second.in_gbps(), 2.0 + 1e-9);
+}
+
+TEST(ProportionalStride, SmallerStrideGetsMore) {
+  ProportionalStrideControl s;
+  ASSERT_TRUE(s.set_stride(1, 1).is_ok());
+  ASSERT_TRUE(s.set_stride(2, 3).is_ok());
+  const auto shares = s.shares({1, 2});
+  EXPECT_NEAR(shares[0].second, 0.75, 1e-9);
+  EXPECT_NEAR(shares[1].second, 0.25, 1e-9);
+  EXPECT_FALSE(s.set_stride(3, 0).is_ok());
+}
+
+TEST(ProportionalStride, OnlyCompetingPartitionsCount) {
+  ProportionalStrideControl s;
+  ASSERT_TRUE(s.set_stride(1, 2).is_ok());
+  const auto shares = s.shares({1});
+  EXPECT_NEAR(shares[0].second, 1.0, 1e-9);
+}
+
+TEST(Priority, DefaultIsLowest) {
+  PriorityControl p;
+  ASSERT_TRUE(p.set_priority(1, 0).is_ok());
+  EXPECT_EQ(p.priority_of(1), 0);
+  EXPECT_EQ(p.priority_of(9), 255);
+}
+
+TEST(MonitorFilter, PartIdPmgAndTypeMatching) {
+  const Label l{7, 2, false};
+  MonitorFilter by_partid{7, false, 0, std::nullopt};
+  EXPECT_TRUE(by_partid.matches(l, RequestType::kRead));
+  MonitorFilter by_pmg{7, true, 3, std::nullopt};
+  EXPECT_FALSE(by_pmg.matches(l, RequestType::kRead));
+  by_pmg.pmg = 2;
+  EXPECT_TRUE(by_pmg.matches(l, RequestType::kWrite));
+  MonitorFilter reads_only{7, false, 0, RequestType::kRead};
+  EXPECT_FALSE(reads_only.matches(l, RequestType::kWrite));
+  MonitorFilter other{8, false, 0, std::nullopt};
+  EXPECT_FALSE(other.matches(l, RequestType::kRead));
+}
+
+}  // namespace
+}  // namespace pap::mpam

@@ -1,0 +1,264 @@
+// NoC: topology/XY routing, wormhole channel timing, contention, shaping.
+#include <gtest/gtest.h>
+
+#include "noc/network.hpp"
+#include "sim/kernel.hpp"
+
+namespace pap::noc {
+namespace {
+
+TEST(Mesh, CoordinatesRoundTrip) {
+  Mesh2D m(4, 3);
+  EXPECT_EQ(m.num_nodes(), 12);
+  const NodeId n = m.node(2, 1);
+  EXPECT_EQ(m.x_of(n), 2);
+  EXPECT_EQ(m.y_of(n), 1);
+}
+
+TEST(Mesh, Neighbors) {
+  Mesh2D m(4, 4);
+  const NodeId c = m.node(1, 1);
+  EXPECT_EQ(m.neighbor(c, Direction::kEast), m.node(2, 1));
+  EXPECT_EQ(m.neighbor(c, Direction::kWest), m.node(0, 1));
+  EXPECT_EQ(m.neighbor(c, Direction::kNorth), m.node(1, 2));
+  EXPECT_EQ(m.neighbor(c, Direction::kSouth), m.node(1, 0));
+}
+
+TEST(Mesh, XyRouteGoesXThenY) {
+  Mesh2D m(4, 4);
+  const auto route = m.route(m.node(0, 0), m.node(2, 2));
+  ASSERT_EQ(route.size(), 5u);
+  EXPECT_EQ(route[0], Direction::kEast);
+  EXPECT_EQ(route[1], Direction::kEast);
+  EXPECT_EQ(route[2], Direction::kNorth);
+  EXPECT_EQ(route[3], Direction::kNorth);
+  EXPECT_EQ(route[4], Direction::kLocal);
+  EXPECT_EQ(m.hop_count(m.node(0, 0), m.node(2, 2)), 4);
+}
+
+TEST(Mesh, YxRouteGoesYThenX) {
+  Mesh2D m(4, 4);
+  const auto route =
+      m.route(m.node(0, 0), m.node(2, 2), Mesh2D::RouteOrder::kYX);
+  ASSERT_EQ(route.size(), 5u);
+  EXPECT_EQ(route[0], Direction::kNorth);
+  EXPECT_EQ(route[1], Direction::kNorth);
+  EXPECT_EQ(route[2], Direction::kEast);
+  EXPECT_EQ(route[3], Direction::kEast);
+  EXPECT_EQ(route[4], Direction::kLocal);
+}
+
+TEST(Mesh, XyAndYxSharOnlyEndpoints) {
+  // For a true 2D displacement the two orders use disjoint middle links.
+  Mesh2D m(4, 4);
+  const NodeId s = m.node(0, 0);
+  const NodeId d = m.node(3, 3);
+  auto trace = [&](Mesh2D::RouteOrder o) {
+    std::vector<std::pair<NodeId, Direction>> links;
+    NodeId at = s;
+    for (auto dir : m.route(s, d, o)) {
+      links.emplace_back(at, dir);
+      if (dir != Direction::kLocal) at = m.neighbor(at, dir);
+    }
+    return links;
+  };
+  const auto xy = trace(Mesh2D::RouteOrder::kXY);
+  const auto yx = trace(Mesh2D::RouteOrder::kYX);
+  int shared = 0;
+  for (const auto& l : xy) {
+    for (const auto& o : yx) {
+      if (l == o) ++shared;
+    }
+  }
+  EXPECT_EQ(shared, 1);  // only the ejection link at the destination
+}
+
+TEST(Network, YxPacketsFollowTheirRoute) {
+  sim::Kernel k;
+  NocConfig cfg;
+  Network net(k, cfg);
+  Packet p;
+  p.src = net.mesh().node(0, 0);
+  p.dst = net.mesh().node(3, 3);
+  p.route_order = Mesh2D::RouteOrder::kYX;
+  net.send(p);
+  k.run();
+  EXPECT_EQ(net.delivered(), 1u);
+  // YX traffic uses the north link out of the source, not the east one.
+  EXPECT_GT(net.channel_utilization(p.src, Direction::kNorth), 0.0);
+  EXPECT_DOUBLE_EQ(net.channel_utilization(p.src, Direction::kEast), 0.0);
+  // Same zero-load latency either way (same hop count).
+  EXPECT_EQ(net.latency().max(),
+            net.zero_load_latency(p.src, p.dst, p.flits));
+}
+
+TEST(Mesh, RouteToSelfIsEjection) {
+  Mesh2D m(2, 2);
+  const auto route = m.route(0, 0);
+  ASSERT_EQ(route.size(), 1u);
+  EXPECT_EQ(route[0], Direction::kLocal);
+}
+
+TEST(Network, SinglePacketZeroLoadLatency) {
+  sim::Kernel k;
+  NocConfig cfg;
+  Network net(k, cfg);
+  Packet p;
+  p.src = net.mesh().node(0, 0);
+  p.dst = net.mesh().node(3, 3);
+  p.flits = 4;
+  Time delivered;
+  net.set_delivery_handler([&](const Packet&, Time t) { delivered = t; });
+  net.send(p);
+  k.run();
+  EXPECT_EQ(net.delivered(), 1u);
+  EXPECT_EQ(delivered, net.zero_load_latency(p.src, p.dst, p.flits));
+}
+
+TEST(Network, ContentionSerializesSharedLink) {
+  sim::Kernel k;
+  NocConfig cfg;
+  Network net(k, cfg);
+  // Two flows from distinct sources converging on node (3,0) must share
+  // the final east link; back-to-back injections serialize.
+  std::vector<Time> deliveries;
+  net.set_delivery_handler(
+      [&](const Packet&, Time t) { deliveries.push_back(t); });
+  for (int i = 0; i < 8; ++i) {
+    Packet p;
+    p.id = static_cast<std::uint64_t>(i);
+    p.src = net.mesh().node(0, 0);
+    p.dst = net.mesh().node(3, 0);
+    p.flits = 4;
+    net.send(p);
+  }
+  k.run();
+  ASSERT_EQ(deliveries.size(), 8u);
+  // Tail-to-tail spacing at least the serialization time of one packet.
+  for (std::size_t i = 1; i < deliveries.size(); ++i) {
+    EXPECT_GE((deliveries[i] - deliveries[i - 1]).picos(),
+              (cfg.flit_time * 4).picos());
+  }
+}
+
+TEST(Network, DisjointRoutesDoNotInterfere) {
+  sim::Kernel k;
+  NocConfig cfg;
+  Network net(k, cfg);
+  Packet a;
+  a.src = net.mesh().node(0, 0);
+  a.dst = net.mesh().node(1, 0);
+  a.app = 1;
+  Packet b;
+  b.src = net.mesh().node(0, 3);
+  b.dst = net.mesh().node(1, 3);
+  b.app = 2;
+  net.send(a);
+  net.send(b);
+  k.run();
+  EXPECT_EQ(net.latency_of_app(1).max(),
+            net.zero_load_latency(a.src, a.dst, a.flits));
+  EXPECT_EQ(net.latency_of_app(2).max(),
+            net.zero_load_latency(b.src, b.dst, b.flits));
+}
+
+TEST(Network, NicShaperPacesInjection) {
+  sim::Kernel k;
+  NocConfig cfg;
+  Network net(k, cfg);
+  const NodeId src = net.mesh().node(0, 0);
+  // 1 packet per 100 ns, burst 1.
+  net.nic(src).set_shaper(nc::TokenBucket{1.0, 0.01}, k.now());
+  std::vector<Time> deliveries;
+  net.set_delivery_handler(
+      [&](const Packet&, Time t) { deliveries.push_back(t); });
+  for (int i = 0; i < 5; ++i) {
+    Packet p;
+    p.src = src;
+    p.dst = net.mesh().node(1, 0);
+    net.send(p);
+  }
+  k.run();
+  ASSERT_EQ(deliveries.size(), 5u);
+  for (std::size_t i = 1; i < deliveries.size(); ++i) {
+    EXPECT_GE((deliveries[i] - deliveries[i - 1]), Time::ns(100));
+  }
+}
+
+TEST(Network, WormholeBlockingExtendsUpstreamToo) {
+  // Many long packets into one ejection port: latencies grow linearly with
+  // queue depth (channel held until tail).
+  sim::Kernel k;
+  NocConfig cfg;
+  Network net(k, cfg);
+  std::vector<Time> lat;
+  net.set_delivery_handler([&](const Packet& p, Time t) {
+    lat.push_back(t - p.injected);
+  });
+  for (int i = 0; i < 4; ++i) {
+    Packet p;
+    p.src = net.mesh().node(static_cast<int>(i % 2), 0);
+    p.dst = net.mesh().node(2, 2);
+    p.flits = 16;
+    net.send(p);
+  }
+  k.run();
+  ASSERT_EQ(lat.size(), 4u);
+  EXPECT_GT(lat.back(), lat.front());
+}
+
+TEST(Network, ChannelUtilizationAccounted) {
+  sim::Kernel k;
+  NocConfig cfg;
+  Network net(k, cfg);
+  const NodeId src = net.mesh().node(0, 0);
+  for (int i = 0; i < 50; ++i) {
+    Packet p;
+    p.src = src;
+    p.dst = net.mesh().node(1, 0);
+    p.flits = 8;
+    net.send(p);
+  }
+  k.run();
+  EXPECT_GT(net.channel_utilization(src, Direction::kEast), 0.5);
+  EXPECT_DOUBLE_EQ(net.channel_utilization(src, Direction::kWest), 0.0);
+}
+
+TEST(Network, PerAppLatencyHistograms) {
+  sim::Kernel k;
+  Network net(k, NocConfig{});
+  for (int i = 0; i < 3; ++i) {
+    Packet p;
+    p.src = net.mesh().node(0, 0);
+    p.dst = net.mesh().node(3, 3);
+    p.app = static_cast<AppId>(i % 2);
+    net.send(p);
+  }
+  k.run();
+  EXPECT_EQ(net.latency_of_app(0).count(), 2u);
+  EXPECT_EQ(net.latency_of_app(1).count(), 1u);
+  EXPECT_EQ(net.latency().count(), 3u);
+}
+
+TEST(Network, DeterministicAcrossRuns) {
+  auto run = [] {
+    sim::Kernel k;
+    Network net(k, NocConfig{});
+    std::vector<std::int64_t> trace;
+    net.set_delivery_handler(
+        [&](const Packet& p, Time t) { trace.push_back(t.picos() + static_cast<std::int64_t>(p.id)); });
+    for (int i = 0; i < 20; ++i) {
+      Packet p;
+      p.id = static_cast<std::uint64_t>(i);
+      p.src = net.mesh().node(i % 4, 0);
+      p.dst = net.mesh().node(3, 3);
+      net.send(p);
+    }
+    k.run();
+    return trace;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace pap::noc

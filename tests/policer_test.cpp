@@ -1,0 +1,125 @@
+// Monitor-driven contract policing: clamp on violation, forgive after
+// sustained conformance, leave conformant partitions untouched.
+#include <gtest/gtest.h>
+
+#include "mpam/policer.hpp"
+#include "sim/kernel.hpp"
+
+namespace pap::mpam {
+namespace {
+
+struct Fixture {
+  sim::Kernel kernel;
+  BandwidthRegulator regulator{64};
+  // A synthetic cumulative byte counter per PARTID that tests drive.
+  std::uint64_t bytes[4] = {0, 0, 0, 0};
+  ContractPolicer::Config cfg;
+
+  Fixture() {
+    cfg.window = Time::us(100);
+    cfg.tolerance = 1.2;
+    cfg.forgive_after = 2;
+  }
+
+  ContractPolicer make() {
+    return ContractPolicer(
+        kernel, regulator,
+        [this](PartId p) { return bytes[p]; }, cfg);
+  }
+
+  /// Add bytes at a given rate for one window and advance the clock.
+  void window_at(Rate r, PartId p) {
+    bytes[p] += static_cast<std::uint64_t>(r.in_bytes_per_sec() *
+                                           cfg.window.seconds());
+    kernel.run(kernel.now() + cfg.window);
+  }
+};
+
+TEST(Policer, ConformantPartitionStaysUnclamped) {
+  Fixture f;
+  auto policer = f.make();
+  ASSERT_TRUE(policer.add_contract(1, Rate::gbps(1)).is_ok());
+  for (int w = 0; w < 5; ++w) f.window_at(Rate::gbps(0.9), 1);
+  EXPECT_FALSE(policer.clamped(1));
+  EXPECT_FALSE(f.regulator.limited(1));
+  EXPECT_EQ(policer.enforcement_actions(), 0u);
+}
+
+TEST(Policer, ViolatorIsClampedToItsContract) {
+  Fixture f;
+  auto policer = f.make();
+  ASSERT_TRUE(policer.add_contract(1, Rate::gbps(1)).is_ok());
+  f.window_at(Rate::gbps(3), 1);  // 3x the contract
+  EXPECT_TRUE(policer.clamped(1));
+  EXPECT_TRUE(f.regulator.limited(1));
+  EXPECT_EQ(policer.enforcement_actions(), 1u);
+  // Repeat violations do not stack enforcement actions.
+  f.window_at(Rate::gbps(3), 1);
+  EXPECT_EQ(policer.enforcement_actions(), 1u);
+}
+
+TEST(Policer, ForgivenessAfterSustainedConformance) {
+  Fixture f;
+  auto policer = f.make();
+  ASSERT_TRUE(policer.add_contract(1, Rate::gbps(1)).is_ok());
+  f.window_at(Rate::gbps(3), 1);
+  ASSERT_TRUE(policer.clamped(1));
+  // One good window is not enough (forgive_after = 2)...
+  f.window_at(Rate::gbps(0.5), 1);
+  EXPECT_TRUE(policer.clamped(1));
+  // ...two are.
+  f.window_at(Rate::gbps(0.5), 1);
+  EXPECT_FALSE(policer.clamped(1));
+  EXPECT_FALSE(f.regulator.limited(1));
+  EXPECT_EQ(policer.forgiveness_actions(), 1u);
+}
+
+TEST(Policer, ViolationResetsForgivenessProgress) {
+  Fixture f;
+  auto policer = f.make();
+  ASSERT_TRUE(policer.add_contract(1, Rate::gbps(1)).is_ok());
+  f.window_at(Rate::gbps(3), 1);
+  f.window_at(Rate::gbps(0.5), 1);  // 1 good window
+  f.window_at(Rate::gbps(3), 1);    // violation: progress reset
+  f.window_at(Rate::gbps(0.5), 1);
+  EXPECT_TRUE(policer.clamped(1));  // still needs one more good window
+}
+
+TEST(Policer, PartitionsPolicedIndependently) {
+  Fixture f;
+  auto policer = f.make();
+  ASSERT_TRUE(policer.add_contract(1, Rate::gbps(1)).is_ok());
+  ASSERT_TRUE(policer.add_contract(2, Rate::gbps(2)).is_ok());
+  // 1 violates, 2 conforms; both advance through the same windows.
+  for (int w = 0; w < 3; ++w) {
+    f.bytes[1] += static_cast<std::uint64_t>(Rate::gbps(4).in_bytes_per_sec() *
+                                             f.cfg.window.seconds());
+    f.bytes[2] += static_cast<std::uint64_t>(Rate::gbps(1).in_bytes_per_sec() *
+                                             f.cfg.window.seconds());
+    f.kernel.run(f.kernel.now() + f.cfg.window);
+  }
+  EXPECT_TRUE(policer.clamped(1));
+  EXPECT_FALSE(policer.clamped(2));
+}
+
+TEST(Policer, ClampActuallyThrottlesTheRegulator) {
+  Fixture f;
+  auto policer = f.make();
+  ASSERT_TRUE(policer.add_contract(1, Rate::gbps(1)).is_ok());
+  f.window_at(Rate::gbps(4), 1);
+  ASSERT_TRUE(policer.clamped(1));
+  // Greedy admission through the regulator now paces at the contract:
+  // 1 Gbps over 64-byte requests = 1 request per 512 ns.
+  Time last;
+  for (int i = 0; i < 20; ++i) last = f.regulator.admit(1, f.kernel.now());
+  EXPECT_GE(last - f.kernel.now(), Time::ns(512) * 10);
+}
+
+TEST(Policer, InvalidContractRejected) {
+  Fixture f;
+  auto policer = f.make();
+  EXPECT_FALSE(policer.add_contract(1, Rate::gbps(0)).is_ok());
+}
+
+}  // namespace
+}  // namespace pap::mpam

@@ -1,0 +1,136 @@
+// Trace profiler: minimal-burst computation, empirical curves, contracts.
+#include <gtest/gtest.h>
+
+#include "core/profiling.hpp"
+
+namespace pap::core {
+namespace {
+
+TEST(Profiler, SustainedRateOfPeriodicTrace) {
+  TraceProfiler p;
+  for (int i = 0; i < 11; ++i) p.record(Time::ns(100) * i);
+  // 10 follow-up events over 1000 ns.
+  EXPECT_NEAR(p.sustained_rate(), 10.0 / 1000.0, 1e-12);
+  EXPECT_EQ(p.events(), 11u);
+  EXPECT_DOUBLE_EQ(p.total(), 11.0);
+}
+
+TEST(Profiler, PeriodicTraceNeedsBurstOne) {
+  TraceProfiler p;
+  for (int i = 0; i < 20; ++i) p.record(Time::ns(100) * i);
+  // At exactly the sustained rate, a single token suffices.
+  EXPECT_NEAR(p.min_burst_for_rate(0.01), 1.0, 1e-9);
+  // At twice the rate, still >= 1 (each event needs a token).
+  EXPECT_GE(p.min_burst_for_rate(0.02), 1.0 - 1e-9);
+}
+
+TEST(Profiler, BurstyTraceNeedsLargerBurst) {
+  TraceProfiler p;
+  // 5 back-to-back at t=0, then quiet, then 5 more at t=1000.
+  for (int i = 0; i < 5; ++i) p.record(Time::zero());
+  for (int i = 0; i < 5; ++i) p.record(Time::ns(1000));
+  EXPECT_NEAR(p.min_burst_for_rate(0.005), 5.0, 1e-9);
+  // With rate 0 the burst must cover everything.
+  EXPECT_NEAR(p.min_burst_for_rate(0.0), 10.0, 1e-9);
+}
+
+TEST(Profiler, MinBurstIsMonotoneInRate) {
+  TraceProfiler p;
+  // Irregular trace.
+  Time t;
+  for (int i = 0; i < 50; ++i) {
+    t += Time::ns(37 + (i * 13) % 91);
+    p.record(t, 1.0 + (i % 3));
+  }
+  double prev = 1e100;
+  for (double r = 0.01; r <= 0.2; r += 0.01) {
+    const double b = p.min_burst_for_rate(r);
+    EXPECT_LE(b, prev + 1e-9) << "rate " << r;
+    prev = b;
+  }
+}
+
+TEST(Profiler, MinBurstMatchesBruteForceOracle) {
+  // Property: the O(n) sweep equals the O(n^2) definition
+  //   b(r) = max_{i<=j} (S_j - S_{i-1} - r * (t_j - t_i)).
+  TraceProfiler p;
+  std::vector<Time> ts;
+  std::vector<double> sums;
+  Time t;
+  double sum = 0.0;
+  for (int i = 0; i < 60; ++i) {
+    t += Time::ns(11 + (i * 29) % 173);
+    const double amt = 1.0 + (i % 4);
+    p.record(t, amt);
+    sum += amt;
+    ts.push_back(t);
+    sums.push_back(sum);
+  }
+  for (double r : {0.0, 0.005, 0.02, 0.1}) {
+    double oracle = 0.0;
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      for (std::size_t j = i; j < ts.size(); ++j) {
+        const double prev = i == 0 ? 0.0 : sums[i - 1];
+        oracle = std::max(oracle, sums[j] - prev -
+                                      r * (ts[j] - ts[i]).nanos());
+      }
+    }
+    EXPECT_NEAR(p.min_burst_for_rate(r), oracle, 1e-9) << "rate " << r;
+    // And the trace (as a cumulative process) conforms to the result.
+    std::vector<std::pair<Time, double>> cumulative;
+    for (std::size_t k = 0; k < ts.size(); ++k) {
+      cumulative.emplace_back(ts[k], sums[k]);
+    }
+    nc::TokenBucket tb{p.min_burst_for_rate(r) + 1e-6, r};
+    EXPECT_TRUE(tb.conforms(cumulative)) << "rate " << r;
+  }
+}
+
+TEST(Profiler, MaxOverWindowSlides) {
+  TraceProfiler p;
+  p.record(Time::ns(0));
+  p.record(Time::ns(10));
+  p.record(Time::ns(20));
+  p.record(Time::ns(500));
+  EXPECT_DOUBLE_EQ(p.max_over_window(Time::ns(25)), 3.0);
+  EXPECT_DOUBLE_EQ(p.max_over_window(Time::ns(5)), 1.0);
+  EXPECT_DOUBLE_EQ(p.max_over_window(Time::us(1)), 4.0);
+}
+
+TEST(Profiler, CharacterizeIsParetoFrontier) {
+  TraceProfiler p;
+  Time t;
+  for (int i = 0; i < 100; ++i) {
+    t += Time::ns(i % 7 == 0 ? 5 : 150);
+    p.record(t);
+  }
+  const auto frontier = p.characterize(6);
+  ASSERT_EQ(frontier.size(), 6u);
+  for (std::size_t i = 1; i < frontier.size(); ++i) {
+    EXPECT_GT(frontier[i].rate, frontier[i - 1].rate);
+    EXPECT_LE(frontier[i].burst, frontier[i - 1].burst + 1e-9);
+  }
+}
+
+TEST(Profiler, ContractHasMargins) {
+  TraceProfiler p;
+  for (int i = 0; i < 10; ++i) p.record(Time::ns(100) * i);
+  const auto c = p.contract(1.2, 2.0);
+  EXPECT_NEAR(c.rate, p.sustained_rate() * 1.2, 1e-12);
+  EXPECT_GE(c.burst, 1.0);
+}
+
+TEST(Profiler, EmptyAndSingletonTraces) {
+  TraceProfiler p;
+  EXPECT_DOUBLE_EQ(p.sustained_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(p.min_burst_for_rate(1.0), 0.0);
+  p.record(Time::ns(5), 3.0);
+  EXPECT_DOUBLE_EQ(p.sustained_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(p.min_burst_for_rate(0.0), 3.0);
+  const auto frontier = p.characterize();
+  ASSERT_EQ(frontier.size(), 1u);
+  EXPECT_DOUBLE_EQ(frontier[0].burst, 3.0);
+}
+
+}  // namespace
+}  // namespace pap::core

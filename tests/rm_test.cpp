@@ -1,0 +1,261 @@
+// Admission-control overlay: rate tables (Fig. 7), client lifecycle and the
+// actMsg/terMsg/stopMsg/confMsg protocol, mode transitions.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "rm/manager.hpp"
+#include "rm/rate_table.hpp"
+#include "sim/kernel.hpp"
+
+namespace pap::rm {
+namespace {
+
+TEST(RateTable, SymmetricDividesBudgetUniformly) {
+  const auto t = RateTable::symmetric(Rate::gbps(8), 64, 4.0);
+  const auto one = t.rate_for(1, {1});
+  const auto four = t.rate_for(1, {1, 2, 3, 4});
+  EXPECT_NEAR(one.rate / four.rate, 4.0, 1e-9);
+  EXPECT_DOUBLE_EQ(one.burst, 4.0);
+  // Fig. 7's quantity: minimum separation grows with the mode.
+  EXPECT_GT(t.min_separation(1, {1, 2, 3, 4}), t.min_separation(1, {1}));
+}
+
+TEST(RateTable, NonSymmetricPinsCriticalRates) {
+  std::vector<AppQos> qos{{1, true, Rate::gbps(2)},
+                          {2, false, Rate::gbps(0)},
+                          {3, false, Rate::gbps(0)}};
+  const auto t = RateTable::non_symmetric(Rate::gbps(8), 64, 4.0, qos);
+  // Critical app keeps its rate in every mode.
+  const auto alone = t.rate_for(1, {1});
+  const auto crowded = t.rate_for(1, {1, 2, 3});
+  EXPECT_DOUBLE_EQ(alone.rate, crowded.rate);
+  // Best-effort apps share what remains: (8-2)/2 = 3 Gbps each.
+  const auto be = t.rate_for(2, {1, 2, 3});
+  const double expected_rate =
+      Rate::gbps(3).requests_per_sec(64) / 1e9;
+  EXPECT_NEAR(be.rate, expected_rate, 1e-9);
+}
+
+TEST(RateTable, NonSymmetricBestEffortShrinksWithMode) {
+  std::vector<AppQos> qos{{1, true, Rate::gbps(4)},
+                          {2, false, Rate::gbps(0)},
+                          {3, false, Rate::gbps(0)}};
+  const auto t = RateTable::non_symmetric(Rate::gbps(8), 64, 4.0, qos);
+  const auto be_mode2 = t.rate_for(2, {1, 2});
+  const auto be_mode3 = t.rate_for(2, {1, 2, 3});
+  EXPECT_GT(be_mode2.rate, be_mode3.rate);
+}
+
+struct Fixture {
+  sim::Kernel kernel;
+  noc::NocConfig cfg;
+  noc::Network net{kernel, cfg};
+  ResourceManager rm{kernel, net, /*rm_node=*/0,
+                     RateTable::symmetric(Rate::gbps(8), 64, 4.0)};
+
+  noc::Packet packet(noc::AppId app, noc::NodeId src) {
+    noc::Packet p;
+    p.app = app;
+    p.src = src;
+    p.dst = net.mesh().node(3, 3);
+    return p;
+  }
+};
+
+TEST(Protocol, FirstSendTrappedUntilConfMsg) {
+  Fixture f;
+  auto* client = f.rm.add_client(f.net.mesh().node(1, 1), /*app=*/1);
+  client->send(f.packet(1, f.net.mesh().node(1, 1)));
+  EXPECT_EQ(client->state(), Client::State::kAwaitingAdmission);
+  EXPECT_EQ(f.net.delivered(), 0u);
+  f.kernel.run();
+  EXPECT_EQ(client->state(), Client::State::kActive);
+  EXPECT_EQ(f.net.delivered(), 1u);
+  EXPECT_EQ(f.rm.stats().act_msgs, 1u);
+  EXPECT_GE(f.rm.stats().conf_msgs, 1u);
+  EXPECT_EQ(f.rm.mode(), 1);
+}
+
+TEST(Protocol, NonAuthorizedSendsRejected) {
+  Fixture f;
+  auto* client = f.rm.add_client(f.net.mesh().node(1, 1), 1);
+  client->send(f.packet(/*app=*/9, f.net.mesh().node(1, 1)));  // wrong app
+  client->send(f.packet(1, f.net.mesh().node(2, 2)));          // wrong node
+  EXPECT_EQ(client->rejected(), 2u);
+  EXPECT_EQ(client->state(), Client::State::kInactive);
+}
+
+TEST(Protocol, ActivationChangesModeForEveryone) {
+  Fixture f;
+  auto* c1 = f.rm.add_client(f.net.mesh().node(1, 0), 1);
+  auto* c2 = f.rm.add_client(f.net.mesh().node(2, 0), 2);
+  c1->send(f.packet(1, f.net.mesh().node(1, 0)));
+  f.kernel.run();
+  const double rate_alone = c1->shaper()->params().rate;
+  c2->send(f.packet(2, f.net.mesh().node(2, 0)));
+  f.kernel.run();
+  EXPECT_EQ(f.rm.mode(), 2);
+  // Symmetric policy: c1's rate halved after c2 joined.
+  EXPECT_NEAR(c1->shaper()->params().rate, rate_alone / 2.0, 1e-12);
+  EXPECT_GE(f.rm.stats().stop_msgs, 1u);  // c1 was stopped for the change
+  EXPECT_EQ(f.rm.stats().mode_changes, 2u);
+}
+
+TEST(Protocol, TerminationRestoresRates) {
+  Fixture f;
+  auto* c1 = f.rm.add_client(f.net.mesh().node(1, 0), 1);
+  auto* c2 = f.rm.add_client(f.net.mesh().node(2, 0), 2);
+  c1->send(f.packet(1, f.net.mesh().node(1, 0)));
+  c2->send(f.packet(2, f.net.mesh().node(2, 0)));
+  f.kernel.run();
+  EXPECT_EQ(f.rm.mode(), 2);
+  c2->terminate();
+  f.kernel.run();
+  EXPECT_EQ(f.rm.mode(), 1);
+  EXPECT_EQ(f.rm.stats().ter_msgs, 1u);
+  EXPECT_EQ(f.rm.active_apps(), std::vector<noc::AppId>{1});
+}
+
+TEST(Protocol, StoppedClientQueuesTraffic) {
+  Fixture f;
+  auto* c1 = f.rm.add_client(f.net.mesh().node(1, 0), 1);
+  c1->send(f.packet(1, f.net.mesh().node(1, 0)));
+  f.kernel.run();
+  c1->on_stop();  // direct injection of a stop (as during a mode change)
+  c1->send(f.packet(1, f.net.mesh().node(1, 0)));
+  EXPECT_EQ(c1->queued(), 1u);
+  EXPECT_EQ(c1->state(), Client::State::kStopped);
+  c1->on_configure(1, nc::TokenBucket{4.0, 0.01});
+  f.kernel.run();
+  EXPECT_EQ(c1->queued(), 0u);
+  EXPECT_GT(c1->blocked_time(), Time::zero());
+}
+
+TEST(Protocol, RateEnforcedBetweenTransmissions) {
+  // The Fig. 7 semantics: mode determines the minimum separation between
+  // two transmissions of the same application.
+  Fixture f;
+  auto* c1 = f.rm.add_client(f.net.mesh().node(1, 0), 1);
+  std::vector<Time> injections;  // client-release instants, not deliveries
+  f.net.set_delivery_handler([&](const noc::Packet& p, Time) {
+    injections.push_back(p.injected);
+  });
+  for (int i = 0; i < 6; ++i) {
+    c1->send(f.packet(1, f.net.mesh().node(1, 0)));
+  }
+  f.kernel.run();
+  ASSERT_EQ(injections.size(), 6u);
+  std::sort(injections.begin(), injections.end());
+  const auto bucket = f.rm.table().rate_for(1, {1});
+  const auto min_sep = Time::from_ns(1.0 / bucket.rate);
+  // After the burst allowance (4 packets), injections respect the rate.
+  for (std::size_t i = 5; i < injections.size(); ++i) {
+    EXPECT_GE(injections[i] - injections[i - 1] + Time::ns(1), min_sep);
+  }
+}
+
+TEST(Protocol, ArrivalOrderProcessing) {
+  // Two activations land close together; both mode changes are processed,
+  // in order, ending at mode 2.
+  Fixture f;
+  auto* c1 = f.rm.add_client(f.net.mesh().node(1, 0), 1);
+  auto* c2 = f.rm.add_client(f.net.mesh().node(3, 3), 2);
+  std::vector<int> modes;
+  f.rm.set_mode_trace([&](Time, int m, const auto&) { modes.push_back(m); });
+  c1->send(f.packet(1, f.net.mesh().node(1, 0)));
+  c2->send(f.packet(2, f.net.mesh().node(3, 3)));
+  f.kernel.run();
+  EXPECT_EQ(modes, (std::vector<int>{1, 2}));
+}
+
+// Randomized lifecycle fuzz: a seeded storm of activations/terminations.
+// Invariants after quiescence: the RM's mode equals the surviving client
+// count, every surviving client is Active with the correct symmetric rate,
+// and no packet is lost (delivered == sent by surviving + terminated).
+class ProtocolFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ProtocolFuzz, LifecycleStormKeepsInvariants) {
+  Rng rng(GetParam());
+  sim::Kernel kernel;
+  noc::NocConfig cfg;
+  noc::Network net{kernel, cfg};
+  rm::ResourceManager rm{kernel, net, 0,
+                         RateTable::symmetric(Rate::gbps(8), 64, 4.0)};
+  constexpr int kApps = 6;
+  std::vector<Client*> clients;
+  for (int a = 0; a < kApps; ++a) {
+    clients.push_back(
+        rm.add_client(net.mesh().node(a % 4, a / 4 + 1),
+                      static_cast<noc::AppId>(a + 1)));
+  }
+  std::vector<bool> terminated(kApps, false);
+  std::uint64_t submitted = 0;
+  // Random schedule of sends and terminations.
+  Time t;
+  for (int step = 0; step < 120; ++step) {
+    t += Time::ns(rng.uniform(50, 2'000));
+    const int a = static_cast<int>(rng.next_below(kApps));
+    if (terminated[a]) continue;
+    if (rng.chance(0.06) && step > 20) {
+      kernel.schedule_at(t, [c = clients[a]] {
+        if (c->state() != Client::State::kTerminated) c->terminate();
+      });
+      terminated[a] = true;
+      continue;
+    }
+    noc::Packet p;
+    p.id = submitted++;
+    p.src = clients[a]->node();
+    p.dst = net.mesh().node(3, 3);
+    p.app = clients[a]->app();
+    kernel.schedule_at(t, [c = clients[a], p] {
+      if (c->state() != Client::State::kTerminated) c->send(p);
+    });
+  }
+  kernel.run();
+
+  // Invariant 1: mode equals the number of activated, unterminated apps.
+  int expected_active = 0;
+  for (int a = 0; a < kApps; ++a) {
+    if (clients[a]->state() == Client::State::kActive) ++expected_active;
+  }
+  EXPECT_EQ(rm.mode(), expected_active);
+  // Invariant 2: every active client carries the symmetric mode rate.
+  for (int a = 0; a < kApps; ++a) {
+    if (clients[a]->state() != Client::State::kActive) continue;
+    const auto want = rm.table().rate_for(clients[a]->app(), rm.active_apps());
+    EXPECT_NEAR(clients[a]->shaper()->params().rate, want.rate, 1e-12);
+    EXPECT_EQ(clients[a]->current_mode(), rm.mode());
+  }
+  // Invariant 3: active clients drained their queues; every packet a
+  // client released was delivered (terminated clients may abandon queued
+  // packets — the app quit with work pending).
+  std::uint64_t sent = 0;
+  for (const auto* c : clients) {
+    if (c->state() == Client::State::kActive) EXPECT_EQ(c->queued(), 0u);
+    sent += c->sent();
+  }
+  EXPECT_EQ(net.delivered(), sent);
+  // Invariant 4: protocol accounting is consistent.
+  EXPECT_EQ(rm.stats().mode_changes,
+            rm.stats().act_msgs + rm.stats().ter_msgs);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProtocolFuzz,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 99999u));
+
+TEST(Protocol, DoubleTerminationForbidden) {
+  Fixture f;
+  auto* c1 = f.rm.add_client(f.net.mesh().node(1, 0), 1);
+  c1->send(f.packet(1, f.net.mesh().node(1, 0)));
+  f.kernel.run();
+  c1->terminate();
+  f.kernel.run();
+  EXPECT_EQ(c1->state(), Client::State::kTerminated);
+  EXPECT_DEATH(c1->terminate(), "double termination");
+}
+
+}  // namespace
+}  // namespace pap::rm

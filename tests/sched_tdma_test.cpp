@@ -1,0 +1,91 @@
+// TDMA schedule: slot ownership, grant/completion math, service curves.
+#include <gtest/gtest.h>
+
+#include "nc/bounds.hpp"
+#include "sched/tdma.hpp"
+
+namespace pap::sched {
+namespace {
+
+TdmaSchedule two_slot() {
+  return TdmaSchedule{{{0, Time::us(3)}, {1, Time::us(7)}}};
+}
+
+TEST(Tdma, FrameAndSlotTime) {
+  const auto t = two_slot();
+  EXPECT_EQ(t.frame_length(), Time::us(10));
+  EXPECT_EQ(t.slot_time(0), Time::us(3));
+  EXPECT_EQ(t.slot_time(1), Time::us(7));
+  EXPECT_EQ(t.slot_time(9), Time::zero());
+}
+
+TEST(Tdma, OwnerAtWrapsAcrossFrames) {
+  const auto t = two_slot();
+  EXPECT_EQ(t.owner_at(Time::zero()), 0u);
+  EXPECT_EQ(t.owner_at(Time::us(2)), 0u);
+  EXPECT_EQ(t.owner_at(Time::us(3)), 1u);
+  EXPECT_EQ(t.owner_at(Time::us(9)), 1u);
+  EXPECT_EQ(t.owner_at(Time::us(10)), 0u);
+  EXPECT_EQ(t.owner_at(Time::us(13)), 1u);
+}
+
+TEST(Tdma, NextGrantInsideAndAcrossSlots) {
+  const auto t = two_slot();
+  EXPECT_EQ(t.next_grant(0, Time::us(1)), Time::us(1));   // already owner
+  EXPECT_EQ(t.next_grant(0, Time::us(5)), Time::us(10));  // next frame
+  EXPECT_EQ(t.next_grant(1, Time::us(1)), Time::us(3));
+}
+
+TEST(Tdma, CompletionSpansMultipleSlots) {
+  const auto t = two_slot();
+  // 5 us of work for partition 0 (3 us slots): 3 us in frame 0, 2 in next.
+  EXPECT_EQ(t.completion_time(0, Time::zero(), Time::us(5)), Time::us(12));
+  // Work fitting the current slot completes inline.
+  EXPECT_EQ(t.completion_time(0, Time::us(1), Time::us(2)), Time::us(3));
+  // Partition 1 starting inside partition 0's slot waits.
+  EXPECT_EQ(t.completion_time(1, Time::us(0), Time::us(7)), Time::us(10));
+}
+
+TEST(Tdma, ServiceCurveShareAndGap) {
+  const auto t = two_slot();
+  const auto rl0 = t.service_curve(0, /*rate=*/1.0);
+  EXPECT_DOUBLE_EQ(rl0.rate, 0.3);
+  EXPECT_DOUBLE_EQ(rl0.latency, Time::us(7).nanos());  // partition 1's slot
+  const auto rl1 = t.service_curve(1, 1.0);
+  EXPECT_DOUBLE_EQ(rl1.rate, 0.7);
+  EXPECT_DOUBLE_EQ(rl1.latency, Time::us(3).nanos());
+}
+
+TEST(Tdma, MultiSlotPartitionLongestGap) {
+  // Partition 0 owns two separated slots; its worst gap is the larger of
+  // the two inter-slot spans.
+  TdmaSchedule t{{{0, Time::us(1)},
+                  {1, Time::us(4)},
+                  {0, Time::us(1)},
+                  {2, Time::us(2)}}};
+  const auto rl = t.service_curve(0, 1.0);
+  EXPECT_DOUBLE_EQ(rl.rate, 2.0 / 8.0);
+  EXPECT_DOUBLE_EQ(rl.latency, Time::us(4).nanos());
+}
+
+TEST(Tdma, SimulatedCompletionWithinServiceCurveBound) {
+  // Property: the TDMA service curve is a valid lower bound — completing
+  // W units never takes longer than the curve's inverse at W.
+  const auto t = two_slot();
+  const auto rl = t.service_curve(0, 1.0);
+  const auto beta = rl.to_curve();
+  for (int w_us : {1, 2, 3, 5, 9}) {
+    const Time work = Time::us(w_us);
+    for (int start_us : {0, 1, 2, 4, 9}) {
+      const Time start = Time::us(start_us);
+      const Time done = t.completion_time(0, start, work);
+      const auto needed = beta.inverse(work.nanos());
+      ASSERT_TRUE(needed.has_value());
+      EXPECT_LE((done - start).nanos(), *needed + 1e-6)
+          << "work " << w_us << "us from " << start_us << "us";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pap::sched

@@ -1,0 +1,181 @@
+// Unit tests for the discrete-event simulation kernel.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/kernel.hpp"
+
+namespace pap::sim {
+namespace {
+
+TEST(Kernel, RunsEventsInTimeOrder) {
+  Kernel k;
+  std::vector<int> order;
+  k.schedule_at(Time::ns(30), [&] { order.push_back(3); });
+  k.schedule_at(Time::ns(10), [&] { order.push_back(1); });
+  k.schedule_at(Time::ns(20), [&] { order.push_back(2); });
+  k.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(k.now(), Time::ns(30));
+  EXPECT_EQ(k.events_executed(), 3u);
+}
+
+TEST(Kernel, SameTimestampUsesPriorityThenInsertionOrder) {
+  Kernel k;
+  std::vector<int> order;
+  k.schedule_at(Time::ns(5), [&] { order.push_back(1); }, /*priority=*/0);
+  k.schedule_at(Time::ns(5), [&] { order.push_back(2); }, /*priority=*/-1);
+  k.schedule_at(Time::ns(5), [&] { order.push_back(3); }, /*priority=*/0);
+  k.run();
+  EXPECT_EQ(order, (std::vector<int>{2, 1, 3}));
+}
+
+TEST(Kernel, ScheduleInIsRelative) {
+  Kernel k;
+  Time seen;
+  k.schedule_at(Time::ns(10), [&] {
+    k.schedule_in(Time::ns(5), [&] { seen = k.now(); });
+  });
+  k.run();
+  EXPECT_EQ(seen, Time::ns(15));
+}
+
+TEST(Kernel, RunUntilStopsAtHorizonInclusive) {
+  Kernel k;
+  int ran = 0;
+  k.schedule_at(Time::ns(10), [&] { ++ran; });
+  k.schedule_at(Time::ns(20), [&] { ++ran; });
+  k.schedule_at(Time::ns(21), [&] { ++ran; });
+  const auto n = k.run(Time::ns(20));
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(ran, 2);
+  EXPECT_FALSE(k.empty());
+  k.run();
+  EXPECT_EQ(ran, 3);
+}
+
+TEST(Kernel, CancelPreventsExecution) {
+  Kernel k;
+  bool fired = false;
+  const auto id = k.schedule_at(Time::ns(10), [&] { fired = true; });
+  EXPECT_TRUE(k.cancel(id));
+  EXPECT_FALSE(k.cancel(id));  // double-cancel rejected
+  k.run();
+  EXPECT_FALSE(fired);
+  EXPECT_TRUE(k.empty());
+}
+
+TEST(Kernel, CancelOfFiredEventIsSafeNoOp) {
+  Kernel k;
+  const auto id = k.schedule_at(Time::ns(1), [] {});
+  bool late_fired = false;
+  k.schedule_at(Time::ns(2), [&] { late_fired = true; });
+  k.run(Time::ns(1));
+  // The event already ran: cancelling its stale handle must do nothing.
+  EXPECT_FALSE(k.cancel(id));
+  EXPECT_FALSE(k.empty());  // the ns(2) event is still live
+  k.run();
+  EXPECT_TRUE(late_fired);
+  EXPECT_TRUE(k.empty());
+}
+
+TEST(Kernel, EmptyReflectsCancellations) {
+  Kernel k;
+  const auto a = k.schedule_at(Time::ns(1), [] {});
+  const auto b = k.schedule_at(Time::ns(2), [] {});
+  EXPECT_FALSE(k.empty());
+  EXPECT_TRUE(k.cancel(a));
+  EXPECT_TRUE(k.cancel(b));
+  EXPECT_TRUE(k.empty());
+  k.run();
+  EXPECT_EQ(k.events_executed(), 0u);
+}
+
+TEST(Kernel, EventsScheduledDuringRunExecute) {
+  Kernel k;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) k.schedule_in(Time::ns(1), recurse);
+  };
+  k.schedule_at(Time::ns(0), recurse);
+  k.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(k.now(), Time::ns(4));
+}
+
+TEST(Kernel, StepExecutesOneEvent) {
+  Kernel k;
+  int ran = 0;
+  k.schedule_at(Time::ns(1), [&] { ++ran; });
+  k.schedule_at(Time::ns(2), [&] { ++ran; });
+  EXPECT_TRUE(k.step());
+  EXPECT_EQ(ran, 1);
+  EXPECT_TRUE(k.step());
+  EXPECT_FALSE(k.step());
+}
+
+TEST(Kernel, ResetClearsState) {
+  Kernel k;
+  k.schedule_at(Time::ns(5), [] {});
+  k.run();
+  k.schedule_at(Time::ns(50), [] {});
+  k.reset();
+  EXPECT_TRUE(k.empty());
+  EXPECT_EQ(k.now(), Time::zero());
+  // Scheduling before the old now() must be legal again after reset.
+  bool fired = false;
+  k.schedule_at(Time::ns(1), [&] { fired = true; });
+  k.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Kernel, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Kernel k;
+    std::vector<std::int64_t> trace;
+    for (int i = 0; i < 50; ++i) {
+      k.schedule_at(Time::ns(100 - i), [&trace, &k] {
+        trace.push_back(k.now().picos());
+      });
+    }
+    k.run();
+    return trace;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(PeriodicEvent, FiresAtPeriod) {
+  Kernel k;
+  std::vector<std::int64_t> fires;
+  PeriodicEvent p(k, Time::ns(10), Time::ns(5),
+                  [&] { fires.push_back(k.now().picos()); });
+  k.run(Time::ns(26));
+  EXPECT_EQ(fires, (std::vector<std::int64_t>{10'000, 15'000, 20'000, 25'000}));
+  p.stop();
+}
+
+TEST(PeriodicEvent, StopEndsSeries) {
+  Kernel k;
+  int count = 0;
+  PeriodicEvent p(k, Time::ns(0), Time::ns(10), [&] { ++count; });
+  k.run(Time::ns(25));
+  p.stop();
+  k.run();
+  EXPECT_EQ(count, 3);  // at 0, 10, 20
+  EXPECT_FALSE(p.running());
+}
+
+TEST(PeriodicEvent, StopFromInsideCallback) {
+  Kernel k;
+  int count = 0;
+  PeriodicEvent* handle = nullptr;
+  PeriodicEvent p(k, Time::ns(0), Time::ns(1), [&] {
+    if (++count == 3) handle->stop();
+  });
+  handle = &p;
+  k.run();
+  EXPECT_EQ(count, 3);
+}
+
+}  // namespace
+}  // namespace pap::sim

@@ -1,0 +1,104 @@
+// SMMU-side MPAM labelling: stream tables, VM-owned streams, faults.
+#include <gtest/gtest.h>
+
+#include "mpam/smmu.hpp"
+
+namespace pap::mpam {
+namespace {
+
+TEST(Smmu, PhysicalStreamLabelling) {
+  Smmu smmu;
+  StreamTableEntry e;
+  e.partid = 9;
+  e.pmg = 2;
+  e.secure = false;
+  ASSERT_TRUE(smmu.configure_stream(100, e).is_ok());
+  const auto l = smmu.label(100);
+  ASSERT_TRUE(l.has_value());
+  EXPECT_EQ(l.value().partid, 9);
+  EXPECT_EQ(l.value().pmg, 2);
+  EXPECT_FALSE(l.value().secure);
+}
+
+TEST(Smmu, UnconfiguredStreamFaults) {
+  Smmu smmu;
+  EXPECT_FALSE(smmu.label(7).has_value());
+}
+
+TEST(Smmu, ReconfigureReplacesEntry) {
+  Smmu smmu;
+  StreamTableEntry e;
+  e.partid = 1;
+  ASSERT_TRUE(smmu.configure_stream(5, e).is_ok());
+  e.partid = 2;
+  ASSERT_TRUE(smmu.configure_stream(5, e).is_ok());
+  EXPECT_EQ(smmu.label(5).value().partid, 2);
+  EXPECT_EQ(smmu.stream_count(), 1u);
+}
+
+TEST(Smmu, RemoveStreamIsIdempotent) {
+  Smmu smmu;
+  StreamTableEntry e;
+  ASSERT_TRUE(smmu.configure_stream(5, e).is_ok());
+  smmu.remove_stream(5);
+  smmu.remove_stream(5);
+  EXPECT_FALSE(smmu.label(5).has_value());
+  EXPECT_EQ(smmu.stream_count(), 0u);
+}
+
+TEST(Smmu, VmOwnedStreamTranslatesVPartId) {
+  // Device traffic of a VM lands in the same physical partition as the
+  // VM's CPU traffic — one delegation registry for both.
+  PartIdDelegation delegation;
+  ASSERT_TRUE(delegation.create_vm(3, 4).is_ok());
+  ASSERT_TRUE(delegation.delegate(3, 0, 77).is_ok());
+  Smmu smmu(&delegation);
+  StreamTableEntry e;
+  e.partid = 0;  // vPARTID in VM 3's space
+  e.owner_vm = 3;
+  ASSERT_TRUE(smmu.configure_stream(42, e).is_ok());
+  const auto l = smmu.label(42);
+  ASSERT_TRUE(l.has_value());
+  EXPECT_EQ(l.value().partid, 77);
+}
+
+TEST(Smmu, VmStreamWithoutRegistryRejected) {
+  Smmu smmu;  // no delegation registry
+  StreamTableEntry e;
+  e.owner_vm = 1;
+  EXPECT_FALSE(smmu.configure_stream(1, e).is_ok());
+}
+
+TEST(Smmu, BrokenMappingRejectedAtConfigurationTime) {
+  PartIdDelegation delegation;
+  ASSERT_TRUE(delegation.create_vm(3, 4).is_ok());
+  // vPARTID 2 never delegated.
+  Smmu smmu(&delegation);
+  StreamTableEntry e;
+  e.partid = 2;
+  e.owner_vm = 3;
+  EXPECT_FALSE(smmu.configure_stream(42, e).is_ok());
+}
+
+TEST(Smmu, TransactionAccounting) {
+  Smmu smmu;
+  StreamTableEntry e;
+  ASSERT_TRUE(smmu.configure_stream(8, e).is_ok());
+  smmu.account(8);
+  smmu.account(8);
+  smmu.account(9);  // unknown stream: ignored
+  EXPECT_EQ(smmu.transactions(8), 2u);
+  EXPECT_EQ(smmu.transactions(9), 0u);
+}
+
+TEST(Smmu, SecureBitPropagates) {
+  Smmu smmu;
+  StreamTableEntry e;
+  e.partid = 4;
+  e.secure = true;
+  ASSERT_TRUE(smmu.configure_stream(1, e).is_ok());
+  EXPECT_TRUE(smmu.label(1).value().secure);
+}
+
+}  // namespace
+}  // namespace pap::mpam
