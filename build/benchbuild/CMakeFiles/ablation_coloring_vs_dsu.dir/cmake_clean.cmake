@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_coloring_vs_dsu"
+  "../bench/ablation_coloring_vs_dsu.pdb"
+  "CMakeFiles/ablation_coloring_vs_dsu.dir/ablation_coloring_vs_dsu.cpp.o"
+  "CMakeFiles/ablation_coloring_vs_dsu.dir/ablation_coloring_vs_dsu.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_coloring_vs_dsu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_coloring_vs_dsu.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_formal_methods"
+  "../bench/ablation_formal_methods.pdb"
+  "CMakeFiles/ablation_formal_methods.dir/ablation_formal_methods.cpp.o"
+  "CMakeFiles/ablation_formal_methods.dir/ablation_formal_methods.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_formal_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

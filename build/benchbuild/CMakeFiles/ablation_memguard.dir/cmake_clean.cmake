@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_memguard"
+  "../bench/ablation_memguard.pdb"
+  "CMakeFiles/ablation_memguard.dir/ablation_memguard.cpp.o"
+  "CMakeFiles/ablation_memguard.dir/ablation_memguard.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_memguard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

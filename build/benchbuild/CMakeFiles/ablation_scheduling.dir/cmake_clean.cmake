@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_scheduling"
+  "../bench/ablation_scheduling.pdb"
+  "CMakeFiles/ablation_scheduling.dir/ablation_scheduling.cpp.o"
+  "CMakeFiles/ablation_scheduling.dir/ablation_scheduling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

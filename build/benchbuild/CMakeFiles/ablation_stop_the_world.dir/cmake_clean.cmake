@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_stop_the_world"
+  "../bench/ablation_stop_the_world.pdb"
+  "CMakeFiles/ablation_stop_the_world.dir/ablation_stop_the_world.cpp.o"
+  "CMakeFiles/ablation_stop_the_world.dir/ablation_stop_the_world.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_stop_the_world.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_stop_the_world.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_sw_vs_hw_regulation"
+  "../bench/ablation_sw_vs_hw_regulation.pdb"
+  "CMakeFiles/ablation_sw_vs_hw_regulation.dir/ablation_sw_vs_hw_regulation.cpp.o"
+  "CMakeFiles/ablation_sw_vs_hw_regulation.dir/ablation_sw_vs_hw_regulation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sw_vs_hw_regulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_centralization"
+  "../bench/fig1_centralization.pdb"
+  "CMakeFiles/fig1_centralization.dir/fig1_centralization.cpp.o"
+  "CMakeFiles/fig1_centralization.dir/fig1_centralization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_centralization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

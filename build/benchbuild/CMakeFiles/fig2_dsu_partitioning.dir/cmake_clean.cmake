@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_dsu_partitioning"
+  "../bench/fig2_dsu_partitioning.pdb"
+  "CMakeFiles/fig2_dsu_partitioning.dir/fig2_dsu_partitioning.cpp.o"
+  "CMakeFiles/fig2_dsu_partitioning.dir/fig2_dsu_partitioning.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_dsu_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_mpam_portions"
+  "../bench/fig3_mpam_portions.pdb"
+  "CMakeFiles/fig3_mpam_portions.dir/fig3_mpam_portions.cpp.o"
+  "CMakeFiles/fig3_mpam_portions.dir/fig3_mpam_portions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_mpam_portions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_watermark_policy"
+  "../bench/fig5_watermark_policy.pdb"
+  "CMakeFiles/fig5_watermark_policy.dir/fig5_watermark_policy.cpp.o"
+  "CMakeFiles/fig5_watermark_policy.dir/fig5_watermark_policy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_watermark_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_e2e_admission"
+  "../bench/fig6_e2e_admission.pdb"
+  "CMakeFiles/fig6_e2e_admission.dir/fig6_e2e_admission.cpp.o"
+  "CMakeFiles/fig6_e2e_admission.dir/fig6_e2e_admission.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_e2e_admission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

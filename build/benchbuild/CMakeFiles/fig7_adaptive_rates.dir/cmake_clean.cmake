@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_adaptive_rates"
+  "../bench/fig7_adaptive_rates.pdb"
+  "CMakeFiles/fig7_adaptive_rates.dir/fig7_adaptive_rates.cpp.o"
+  "CMakeFiles/fig7_adaptive_rates.dir/fig7_adaptive_rates.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_adaptive_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_nc_ops.cpp" "benchbuild/CMakeFiles/micro_nc_ops.dir/micro_nc_ops.cpp.o" "gcc" "benchbuild/CMakeFiles/micro_nc_ops.dir/micro_nc_ops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pap_nc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pap_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

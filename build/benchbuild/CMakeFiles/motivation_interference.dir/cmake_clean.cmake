@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/motivation_interference"
+  "../bench/motivation_interference.pdb"
+  "CMakeFiles/motivation_interference.dir/motivation_interference.cpp.o"
+  "CMakeFiles/motivation_interference.dir/motivation_interference.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motivation_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_dram_timings"
+  "../bench/table1_dram_timings.pdb"
+  "CMakeFiles/table1_dram_timings.dir/table1_dram_timings.cpp.o"
+  "CMakeFiles/table1_dram_timings.dir/table1_dram_timings.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_dram_timings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_wcd_bounds"
+  "../bench/table2_wcd_bounds.pdb"
+  "CMakeFiles/table2_wcd_bounds.dir/table2_wcd_bounds.cpp.o"
+  "CMakeFiles/table2_wcd_bounds.dir/table2_wcd_bounds.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_wcd_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

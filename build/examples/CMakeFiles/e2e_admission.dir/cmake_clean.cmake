@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2e_admission.dir/e2e_admission.cpp.o"
+  "CMakeFiles/e2e_admission.dir/e2e_admission.cpp.o.d"
+  "e2e_admission"
+  "e2e_admission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2e_admission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypervisor_partitioning.dir/hypervisor_partitioning.cpp.o"
+  "CMakeFiles/hypervisor_partitioning.dir/hypervisor_partitioning.cpp.o.d"
+  "hypervisor_partitioning"
+  "hypervisor_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypervisor_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

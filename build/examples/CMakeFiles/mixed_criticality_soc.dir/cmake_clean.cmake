@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixed_criticality_soc.dir/mixed_criticality_soc.cpp.o"
+  "CMakeFiles/mixed_criticality_soc.dir/mixed_criticality_soc.cpp.o.d"
+  "mixed_criticality_soc"
+  "mixed_criticality_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixed_criticality_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

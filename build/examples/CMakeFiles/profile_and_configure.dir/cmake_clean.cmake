@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_and_configure.dir/profile_and_configure.cpp.o"
+  "CMakeFiles/profile_and_configure.dir/profile_and_configure.cpp.o.d"
+  "profile_and_configure"
+  "profile_and_configure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_and_configure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

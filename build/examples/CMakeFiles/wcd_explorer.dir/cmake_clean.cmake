@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcd_explorer.dir/wcd_explorer.cpp.o"
+  "CMakeFiles/wcd_explorer.dir/wcd_explorer.cpp.o.d"
+  "wcd_explorer"
+  "wcd_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcd_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

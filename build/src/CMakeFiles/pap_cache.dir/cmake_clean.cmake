@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pap_cache.dir/cache/cache.cpp.o"
+  "CMakeFiles/pap_cache.dir/cache/cache.cpp.o.d"
+  "CMakeFiles/pap_cache.dir/cache/coloring.cpp.o"
+  "CMakeFiles/pap_cache.dir/cache/coloring.cpp.o.d"
+  "CMakeFiles/pap_cache.dir/cache/dsu.cpp.o"
+  "CMakeFiles/pap_cache.dir/cache/dsu.cpp.o.d"
+  "libpap_cache.a"
+  "libpap_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pap_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

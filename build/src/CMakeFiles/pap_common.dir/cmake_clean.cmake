@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pap_common.dir/common/csv.cpp.o"
+  "CMakeFiles/pap_common.dir/common/csv.cpp.o.d"
+  "CMakeFiles/pap_common.dir/common/log.cpp.o"
+  "CMakeFiles/pap_common.dir/common/log.cpp.o.d"
+  "CMakeFiles/pap_common.dir/common/stats.cpp.o"
+  "CMakeFiles/pap_common.dir/common/stats.cpp.o.d"
+  "CMakeFiles/pap_common.dir/common/table.cpp.o"
+  "CMakeFiles/pap_common.dir/common/table.cpp.o.d"
+  "libpap_common.a"
+  "libpap_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pap_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pap_core.dir/core/admission.cpp.o"
+  "CMakeFiles/pap_core.dir/core/admission.cpp.o.d"
+  "CMakeFiles/pap_core.dir/core/configurator.cpp.o"
+  "CMakeFiles/pap_core.dir/core/configurator.cpp.o.d"
+  "CMakeFiles/pap_core.dir/core/cpa.cpp.o"
+  "CMakeFiles/pap_core.dir/core/cpa.cpp.o.d"
+  "CMakeFiles/pap_core.dir/core/e2e_analysis.cpp.o"
+  "CMakeFiles/pap_core.dir/core/e2e_analysis.cpp.o.d"
+  "CMakeFiles/pap_core.dir/core/profiling.cpp.o"
+  "CMakeFiles/pap_core.dir/core/profiling.cpp.o.d"
+  "libpap_core.a"
+  "libpap_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pap_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dram/bank.cpp" "src/CMakeFiles/pap_dram.dir/dram/bank.cpp.o" "gcc" "src/CMakeFiles/pap_dram.dir/dram/bank.cpp.o.d"
+  "/root/repo/src/dram/frfcfs.cpp" "src/CMakeFiles/pap_dram.dir/dram/frfcfs.cpp.o" "gcc" "src/CMakeFiles/pap_dram.dir/dram/frfcfs.cpp.o.d"
+  "/root/repo/src/dram/timing.cpp" "src/CMakeFiles/pap_dram.dir/dram/timing.cpp.o" "gcc" "src/CMakeFiles/pap_dram.dir/dram/timing.cpp.o.d"
+  "/root/repo/src/dram/traffic.cpp" "src/CMakeFiles/pap_dram.dir/dram/traffic.cpp.o" "gcc" "src/CMakeFiles/pap_dram.dir/dram/traffic.cpp.o.d"
+  "/root/repo/src/dram/wcd.cpp" "src/CMakeFiles/pap_dram.dir/dram/wcd.cpp.o" "gcc" "src/CMakeFiles/pap_dram.dir/dram/wcd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pap_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pap_nc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

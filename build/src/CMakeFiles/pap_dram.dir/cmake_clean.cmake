@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pap_dram.dir/dram/bank.cpp.o"
+  "CMakeFiles/pap_dram.dir/dram/bank.cpp.o.d"
+  "CMakeFiles/pap_dram.dir/dram/frfcfs.cpp.o"
+  "CMakeFiles/pap_dram.dir/dram/frfcfs.cpp.o.d"
+  "CMakeFiles/pap_dram.dir/dram/timing.cpp.o"
+  "CMakeFiles/pap_dram.dir/dram/timing.cpp.o.d"
+  "CMakeFiles/pap_dram.dir/dram/traffic.cpp.o"
+  "CMakeFiles/pap_dram.dir/dram/traffic.cpp.o.d"
+  "CMakeFiles/pap_dram.dir/dram/wcd.cpp.o"
+  "CMakeFiles/pap_dram.dir/dram/wcd.cpp.o.d"
+  "libpap_dram.a"
+  "libpap_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pap_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpam/msc.cpp" "src/CMakeFiles/pap_mpam.dir/mpam/msc.cpp.o" "gcc" "src/CMakeFiles/pap_mpam.dir/mpam/msc.cpp.o.d"
+  "/root/repo/src/mpam/partition.cpp" "src/CMakeFiles/pap_mpam.dir/mpam/partition.cpp.o" "gcc" "src/CMakeFiles/pap_mpam.dir/mpam/partition.cpp.o.d"
+  "/root/repo/src/mpam/policer.cpp" "src/CMakeFiles/pap_mpam.dir/mpam/policer.cpp.o" "gcc" "src/CMakeFiles/pap_mpam.dir/mpam/policer.cpp.o.d"
+  "/root/repo/src/mpam/regulator.cpp" "src/CMakeFiles/pap_mpam.dir/mpam/regulator.cpp.o" "gcc" "src/CMakeFiles/pap_mpam.dir/mpam/regulator.cpp.o.d"
+  "/root/repo/src/mpam/smmu.cpp" "src/CMakeFiles/pap_mpam.dir/mpam/smmu.cpp.o" "gcc" "src/CMakeFiles/pap_mpam.dir/mpam/smmu.cpp.o.d"
+  "/root/repo/src/mpam/vpartid.cpp" "src/CMakeFiles/pap_mpam.dir/mpam/vpartid.cpp.o" "gcc" "src/CMakeFiles/pap_mpam.dir/mpam/vpartid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pap_nc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pap_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pap_cache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

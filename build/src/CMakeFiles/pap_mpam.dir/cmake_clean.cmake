@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pap_mpam.dir/mpam/msc.cpp.o"
+  "CMakeFiles/pap_mpam.dir/mpam/msc.cpp.o.d"
+  "CMakeFiles/pap_mpam.dir/mpam/partition.cpp.o"
+  "CMakeFiles/pap_mpam.dir/mpam/partition.cpp.o.d"
+  "CMakeFiles/pap_mpam.dir/mpam/policer.cpp.o"
+  "CMakeFiles/pap_mpam.dir/mpam/policer.cpp.o.d"
+  "CMakeFiles/pap_mpam.dir/mpam/regulator.cpp.o"
+  "CMakeFiles/pap_mpam.dir/mpam/regulator.cpp.o.d"
+  "CMakeFiles/pap_mpam.dir/mpam/smmu.cpp.o"
+  "CMakeFiles/pap_mpam.dir/mpam/smmu.cpp.o.d"
+  "CMakeFiles/pap_mpam.dir/mpam/vpartid.cpp.o"
+  "CMakeFiles/pap_mpam.dir/mpam/vpartid.cpp.o.d"
+  "libpap_mpam.a"
+  "libpap_mpam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pap_mpam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pap_mpam.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nc/arrival.cpp" "src/CMakeFiles/pap_nc.dir/nc/arrival.cpp.o" "gcc" "src/CMakeFiles/pap_nc.dir/nc/arrival.cpp.o.d"
+  "/root/repo/src/nc/bounds.cpp" "src/CMakeFiles/pap_nc.dir/nc/bounds.cpp.o" "gcc" "src/CMakeFiles/pap_nc.dir/nc/bounds.cpp.o.d"
+  "/root/repo/src/nc/curve.cpp" "src/CMakeFiles/pap_nc.dir/nc/curve.cpp.o" "gcc" "src/CMakeFiles/pap_nc.dir/nc/curve.cpp.o.d"
+  "/root/repo/src/nc/ops.cpp" "src/CMakeFiles/pap_nc.dir/nc/ops.cpp.o" "gcc" "src/CMakeFiles/pap_nc.dir/nc/ops.cpp.o.d"
+  "/root/repo/src/nc/service.cpp" "src/CMakeFiles/pap_nc.dir/nc/service.cpp.o" "gcc" "src/CMakeFiles/pap_nc.dir/nc/service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

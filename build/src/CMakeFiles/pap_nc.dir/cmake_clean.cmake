@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pap_nc.dir/nc/arrival.cpp.o"
+  "CMakeFiles/pap_nc.dir/nc/arrival.cpp.o.d"
+  "CMakeFiles/pap_nc.dir/nc/bounds.cpp.o"
+  "CMakeFiles/pap_nc.dir/nc/bounds.cpp.o.d"
+  "CMakeFiles/pap_nc.dir/nc/curve.cpp.o"
+  "CMakeFiles/pap_nc.dir/nc/curve.cpp.o.d"
+  "CMakeFiles/pap_nc.dir/nc/ops.cpp.o"
+  "CMakeFiles/pap_nc.dir/nc/ops.cpp.o.d"
+  "CMakeFiles/pap_nc.dir/nc/service.cpp.o"
+  "CMakeFiles/pap_nc.dir/nc/service.cpp.o.d"
+  "libpap_nc.a"
+  "libpap_nc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pap_nc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

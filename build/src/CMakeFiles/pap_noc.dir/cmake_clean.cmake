@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pap_noc.dir/noc/network.cpp.o"
+  "CMakeFiles/pap_noc.dir/noc/network.cpp.o.d"
+  "CMakeFiles/pap_noc.dir/noc/topology.cpp.o"
+  "CMakeFiles/pap_noc.dir/noc/topology.cpp.o.d"
+  "libpap_noc.a"
+  "libpap_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pap_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pap_platform.dir/platform/hypervisor.cpp.o"
+  "CMakeFiles/pap_platform.dir/platform/hypervisor.cpp.o.d"
+  "CMakeFiles/pap_platform.dir/platform/scenario.cpp.o"
+  "CMakeFiles/pap_platform.dir/platform/scenario.cpp.o.d"
+  "CMakeFiles/pap_platform.dir/platform/soc.cpp.o"
+  "CMakeFiles/pap_platform.dir/platform/soc.cpp.o.d"
+  "CMakeFiles/pap_platform.dir/platform/workload.cpp.o"
+  "CMakeFiles/pap_platform.dir/platform/workload.cpp.o.d"
+  "libpap_platform.a"
+  "libpap_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pap_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rm/client.cpp" "src/CMakeFiles/pap_rm.dir/rm/client.cpp.o" "gcc" "src/CMakeFiles/pap_rm.dir/rm/client.cpp.o.d"
+  "/root/repo/src/rm/manager.cpp" "src/CMakeFiles/pap_rm.dir/rm/manager.cpp.o" "gcc" "src/CMakeFiles/pap_rm.dir/rm/manager.cpp.o.d"
+  "/root/repo/src/rm/protocol.cpp" "src/CMakeFiles/pap_rm.dir/rm/protocol.cpp.o" "gcc" "src/CMakeFiles/pap_rm.dir/rm/protocol.cpp.o.d"
+  "/root/repo/src/rm/rate_table.cpp" "src/CMakeFiles/pap_rm.dir/rm/rate_table.cpp.o" "gcc" "src/CMakeFiles/pap_rm.dir/rm/rate_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pap_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pap_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pap_nc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pap_rm.dir/rm/client.cpp.o"
+  "CMakeFiles/pap_rm.dir/rm/client.cpp.o.d"
+  "CMakeFiles/pap_rm.dir/rm/manager.cpp.o"
+  "CMakeFiles/pap_rm.dir/rm/manager.cpp.o.d"
+  "CMakeFiles/pap_rm.dir/rm/protocol.cpp.o"
+  "CMakeFiles/pap_rm.dir/rm/protocol.cpp.o.d"
+  "CMakeFiles/pap_rm.dir/rm/rate_table.cpp.o"
+  "CMakeFiles/pap_rm.dir/rm/rate_table.cpp.o.d"
+  "libpap_rm.a"
+  "libpap_rm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pap_rm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

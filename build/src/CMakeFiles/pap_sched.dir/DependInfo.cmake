@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/analysis.cpp" "src/CMakeFiles/pap_sched.dir/sched/analysis.cpp.o" "gcc" "src/CMakeFiles/pap_sched.dir/sched/analysis.cpp.o.d"
+  "/root/repo/src/sched/cbs.cpp" "src/CMakeFiles/pap_sched.dir/sched/cbs.cpp.o" "gcc" "src/CMakeFiles/pap_sched.dir/sched/cbs.cpp.o.d"
+  "/root/repo/src/sched/fixed_priority.cpp" "src/CMakeFiles/pap_sched.dir/sched/fixed_priority.cpp.o" "gcc" "src/CMakeFiles/pap_sched.dir/sched/fixed_priority.cpp.o.d"
+  "/root/repo/src/sched/memguard.cpp" "src/CMakeFiles/pap_sched.dir/sched/memguard.cpp.o" "gcc" "src/CMakeFiles/pap_sched.dir/sched/memguard.cpp.o.d"
+  "/root/repo/src/sched/task.cpp" "src/CMakeFiles/pap_sched.dir/sched/task.cpp.o" "gcc" "src/CMakeFiles/pap_sched.dir/sched/task.cpp.o.d"
+  "/root/repo/src/sched/tdma.cpp" "src/CMakeFiles/pap_sched.dir/sched/tdma.cpp.o" "gcc" "src/CMakeFiles/pap_sched.dir/sched/tdma.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pap_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pap_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

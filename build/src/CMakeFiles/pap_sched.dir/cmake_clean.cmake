@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pap_sched.dir/sched/analysis.cpp.o"
+  "CMakeFiles/pap_sched.dir/sched/analysis.cpp.o.d"
+  "CMakeFiles/pap_sched.dir/sched/cbs.cpp.o"
+  "CMakeFiles/pap_sched.dir/sched/cbs.cpp.o.d"
+  "CMakeFiles/pap_sched.dir/sched/fixed_priority.cpp.o"
+  "CMakeFiles/pap_sched.dir/sched/fixed_priority.cpp.o.d"
+  "CMakeFiles/pap_sched.dir/sched/memguard.cpp.o"
+  "CMakeFiles/pap_sched.dir/sched/memguard.cpp.o.d"
+  "CMakeFiles/pap_sched.dir/sched/task.cpp.o"
+  "CMakeFiles/pap_sched.dir/sched/task.cpp.o.d"
+  "CMakeFiles/pap_sched.dir/sched/tdma.cpp.o"
+  "CMakeFiles/pap_sched.dir/sched/tdma.cpp.o.d"
+  "libpap_sched.a"
+  "libpap_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pap_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

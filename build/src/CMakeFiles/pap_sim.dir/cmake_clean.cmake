@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pap_sim.dir/sim/kernel.cpp.o"
+  "CMakeFiles/pap_sim.dir/sim/kernel.cpp.o.d"
+  "libpap_sim.a"
+  "libpap_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pap_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_e2e_test.dir/core_e2e_test.cpp.o"
+  "CMakeFiles/core_e2e_test.dir/core_e2e_test.cpp.o.d"
+  "core_e2e_test"
+  "core_e2e_test.pdb"
+  "core_e2e_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_e2e_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

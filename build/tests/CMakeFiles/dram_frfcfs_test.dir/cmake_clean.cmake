@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dram_frfcfs_test.dir/dram_frfcfs_test.cpp.o"
+  "CMakeFiles/dram_frfcfs_test.dir/dram_frfcfs_test.cpp.o.d"
+  "dram_frfcfs_test"
+  "dram_frfcfs_test.pdb"
+  "dram_frfcfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dram_frfcfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

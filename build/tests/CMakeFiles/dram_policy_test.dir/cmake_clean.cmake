@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dram_policy_test.dir/dram_policy_test.cpp.o"
+  "CMakeFiles/dram_policy_test.dir/dram_policy_test.cpp.o.d"
+  "dram_policy_test"
+  "dram_policy_test.pdb"
+  "dram_policy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dram_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

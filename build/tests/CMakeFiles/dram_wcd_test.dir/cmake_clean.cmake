@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dram_wcd_test.dir/dram_wcd_test.cpp.o"
+  "CMakeFiles/dram_wcd_test.dir/dram_wcd_test.cpp.o.d"
+  "dram_wcd_test"
+  "dram_wcd_test.pdb"
+  "dram_wcd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dram_wcd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memguard_test.dir/memguard_test.cpp.o"
+  "CMakeFiles/memguard_test.dir/memguard_test.cpp.o.d"
+  "memguard_test"
+  "memguard_test.pdb"
+  "memguard_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memguard_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpam_msc_test.dir/mpam_msc_test.cpp.o"
+  "CMakeFiles/mpam_msc_test.dir/mpam_msc_test.cpp.o.d"
+  "mpam_msc_test"
+  "mpam_msc_test.pdb"
+  "mpam_msc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpam_msc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpam_test.dir/mpam_test.cpp.o"
+  "CMakeFiles/mpam_test.dir/mpam_test.cpp.o.d"
+  "mpam_test"
+  "mpam_test.pdb"
+  "mpam_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpam_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

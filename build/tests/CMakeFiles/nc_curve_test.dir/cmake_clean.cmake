@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nc_curve_test.dir/nc_curve_test.cpp.o"
+  "CMakeFiles/nc_curve_test.dir/nc_curve_test.cpp.o.d"
+  "nc_curve_test"
+  "nc_curve_test.pdb"
+  "nc_curve_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nc_curve_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

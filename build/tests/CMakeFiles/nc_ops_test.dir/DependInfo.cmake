@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nc_ops_test.cpp" "tests/CMakeFiles/nc_ops_test.dir/nc_ops_test.cpp.o" "gcc" "tests/CMakeFiles/nc_ops_test.dir/nc_ops_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pap_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pap_rm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pap_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pap_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pap_mpam.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pap_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pap_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pap_nc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nc_ops_test.dir/nc_ops_test.cpp.o"
+  "CMakeFiles/nc_ops_test.dir/nc_ops_test.cpp.o.d"
+  "nc_ops_test"
+  "nc_ops_test.pdb"
+  "nc_ops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nc_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policer_test.dir/policer_test.cpp.o"
+  "CMakeFiles/policer_test.dir/policer_test.cpp.o.d"
+  "policer_test"
+  "policer_test.pdb"
+  "policer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_analysis_test.dir/sched_analysis_test.cpp.o"
+  "CMakeFiles/sched_analysis_test.dir/sched_analysis_test.cpp.o.d"
+  "sched_analysis_test"
+  "sched_analysis_test.pdb"
+  "sched_analysis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

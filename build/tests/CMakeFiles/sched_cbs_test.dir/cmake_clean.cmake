@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_cbs_test.dir/sched_cbs_test.cpp.o"
+  "CMakeFiles/sched_cbs_test.dir/sched_cbs_test.cpp.o.d"
+  "sched_cbs_test"
+  "sched_cbs_test.pdb"
+  "sched_cbs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_cbs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

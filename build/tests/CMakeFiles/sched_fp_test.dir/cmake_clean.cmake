@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_fp_test.dir/sched_fp_test.cpp.o"
+  "CMakeFiles/sched_fp_test.dir/sched_fp_test.cpp.o.d"
+  "sched_fp_test"
+  "sched_fp_test.pdb"
+  "sched_fp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_fp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_tdma_test.dir/sched_tdma_test.cpp.o"
+  "CMakeFiles/sched_tdma_test.dir/sched_tdma_test.cpp.o.d"
+  "sched_tdma_test"
+  "sched_tdma_test.pdb"
+  "sched_tdma_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_tdma_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smmu_test.dir/smmu_test.cpp.o"
+  "CMakeFiles/smmu_test.dir/smmu_test.cpp.o.d"
+  "smmu_test"
+  "smmu_test.pdb"
+  "smmu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smmu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
