@@ -10,23 +10,22 @@
 #include "platform/scenario.hpp"
 
 using namespace pap;
-using platform::ScenarioKnobs;
+using platform::ScenarioConfig;
 
 int main() {
   print_heading("Ablation — SW Memguard vs HW MPAM bandwidth regulation");
 
-  ScenarioKnobs base;
-  base.hogs = 3;
-  base.sim_time = Time::ms(2);
+  const ScenarioConfig base = ScenarioConfig{}.hogs(3).sim_time(Time::ms(2));
 
   TextTable t({"mechanism", "budget (acc/10us)", "RT p99 (ns)",
                "hog throughput", "throttle events", "SW overhead (us)"});
   bool hw_never_worse_overhead = true;
   for (std::uint64_t budget : {10ull, 40ull, 160ull}) {
-    ScenarioKnobs sw = base;
-    sw.memguard = true;
-    sw.hog_budget_per_period = budget;
-    const auto m = platform::run_mixed_criticality(sw, "memguard");
+    const auto m =
+        platform::run_scenario(
+            ScenarioConfig{base}.memguard().hog_budget_per_period(budget),
+            "memguard")
+            .value();
     t.row()
         .cell("Memguard (SW)")
         .cell(static_cast<std::int64_t>(budget))
@@ -35,10 +34,11 @@ int main() {
         .cell(static_cast<std::int64_t>(m.memguard_throttles))
         .cell(m.memguard_overhead.micros(), 2);
 
-    ScenarioKnobs hw = base;
-    hw.mpam_bw = true;
-    hw.hog_budget_per_period = budget;
-    const auto h = platform::run_mixed_criticality(hw, "mpam");
+    const auto h =
+        platform::run_scenario(
+            ScenarioConfig{base}.mpam_bw().hog_budget_per_period(budget),
+            "mpam")
+            .value();
     hw_never_worse_overhead =
         hw_never_worse_overhead && h.memguard_overhead == Time::zero();
     t.row()

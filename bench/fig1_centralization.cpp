@@ -12,30 +12,28 @@
 #include "platform/scenario.hpp"
 
 using namespace pap;
-using platform::ScenarioKnobs;
+using platform::ScenarioConfig;
 
 int main() {
   print_heading("Fig. 1 — consolidation study (decentralized vs centralized)");
 
   // (a) Decentralized: the RT function alone on its ECU (no co-runners).
-  ScenarioKnobs dedicated;
-  dedicated.hogs = 0;
-  dedicated.sim_time = Time::ms(2);
-  const auto a = platform::run_mixed_criticality(dedicated, "dedicated ECU");
+  const ScenarioConfig dedicated =
+      ScenarioConfig{}.hogs(0).sim_time(Time::ms(2));
+  const auto a = platform::run_scenario(dedicated, "dedicated ECU").value();
 
   // (b) Vehicle-centralized, COTS defaults: 3 co-located functions, no
   // isolation.
-  ScenarioKnobs consolidated = dedicated;
-  consolidated.hogs = 3;
+  const ScenarioConfig consolidated = ScenarioConfig{dedicated}.hogs(3);
   const auto b =
-      platform::run_mixed_criticality(consolidated, "VIP, no isolation");
+      platform::run_scenario(consolidated, "VIP, no isolation").value();
 
   // (c) Vehicle-centralized with DSU partitioning + Memguard.
-  ScenarioKnobs managed = consolidated;
-  managed.dsu_partitioning = true;
-  managed.memguard = true;
   const auto c =
-      platform::run_mixed_criticality(managed, "VIP, isolation on");
+      platform::run_scenario(
+          ScenarioConfig{consolidated}.dsu_partitioning().memguard(),
+          "VIP, isolation on")
+          .value();
 
   TextTable t({"deployment", "ECUs used", "RT p99 (ns)", "RT max (ns)",
                "co-runner throughput (accesses)"});

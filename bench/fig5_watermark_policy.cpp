@@ -1,12 +1,17 @@
 // Reproduces Fig. 5: the watermark policy for read/write switching — a
 // trace of mode transitions against the write-queue fill level, plus the
 // read-latency cost of the watermark parameters (W_high, N_wd sweep).
+//
+// The parameter sweep runs on the exp engine as five explicit points (the
+// paper's hand-picked configurations, not a cartesian grid); the
+// mode-switch trace stays bespoke.
 #include <cstdio>
 #include <vector>
 
 #include "common/table.hpp"
 #include "dram/frfcfs.hpp"
 #include "dram/traffic.hpp"
+#include "exp/runner.hpp"
 #include "sim/kernel.hpp"
 
 using namespace pap;
@@ -46,7 +51,8 @@ SweepResult run(int w_high, int w_low, int n_wd) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto cli = exp::parse_cli(argc, argv);
   print_heading("Fig. 5 — watermark policy: mode-switch trace");
   {
     sim::Kernel kernel;
@@ -82,31 +88,50 @@ int main() {
   }
 
   print_heading("Watermark parameter sweep (reads vs writes trade-off)");
-  TextTable s({"W_high", "W_low", "N_wd", "read p99 (ns)", "write p99 (ns)",
-               "write batches"});
+  exp::Experiment experiment{
+      "fig5_watermark_policy", [](const exp::Params& p) {
+        const auto r = run(static_cast<int>(p.get_int("W_high")),
+                           static_cast<int>(p.get_int("W_low")),
+                           static_cast<int>(p.get_int("N_wd")));
+        exp::Result out(p.label());
+        out.set("W_high", p.at("W_high"))
+            .set("W_low", p.at("W_low"))
+            .set("N_wd", p.at("N_wd"))
+            .set("read p99 (ns)", r.read_p99)
+            .set("write p99 (ns)", r.write_p99)
+            .set("write batches", r.switches);
+        return out;
+      }};
+  exp::SweepBuilder builder;
   struct Cfg {
     int wh, wl, nwd;
   };
-  std::vector<SweepResult> results;
   const Cfg cfgs[] = {{8, 4, 4},   {16, 8, 8},   {32, 16, 16},
                       {55, 28, 16} /* paper */,  {64, 32, 32}};
   for (const auto& cfg : cfgs) {
-    const auto r = run(cfg.wh, cfg.wl, cfg.nwd);
-    results.push_back(r);
-    s.row()
-        .cell(cfg.wh)
-        .cell(cfg.wl)
-        .cell(cfg.nwd)
-        .cell(r.read_p99)
-        .cell(r.write_p99)
-        .cell(r.switches);
+    builder.point(exp::Params{}
+                      .set("W_high", cfg.wh)
+                      .set("W_low", cfg.wl)
+                      .set("N_wd", cfg.nwd));
   }
-  s.print();
+  const auto sweep = builder.build().value();
+
+  exp::ConsoleTableSink table;
+  exp::CsvSink csv(cli.out_dir + "/fig5_watermark_policy.csv");
+  exp::JsonlSink jsonl(cli.out_dir + "/fig5_watermark_policy.jsonl");
+  exp::Runner runner(exp::to_runner_options(cli));
+  runner.add_sink(&table).add_sink(&csv).add_sink(&jsonl);
+  const auto summary = runner.run(experiment, sweep);
 
   // Shape: higher watermarks defer writes (write p99 grows monotonically-ish,
   // switch count falls); read tail must not explode.
-  const bool pass = results.front().switches > results.back().switches &&
-                    results.front().write_p99 < results.back().write_p99;
+  const auto results = summary.results();
+  const bool pass =
+      results.front().at("write batches").as_int() >
+          results.back().at("write batches").as_int() &&
+      results.front().at("write p99 (ns)").as_time() <
+          results.back().at("write p99 (ns)").as_time();
+  std::printf("%s\n", summary.timing_summary().c_str());
   std::printf(
       "\nshape check (higher watermarks -> fewer batches, writes wait "
       "longer): %s\n",

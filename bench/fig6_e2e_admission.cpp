@@ -8,11 +8,16 @@
 // admitted mix is executed on the simulators with RM-enforced shapers —
 // measured latencies vs proven bounds side by side. A second run without
 // admission control shows the uncontrolled baseline the paper warns about.
+//
+// The two simulations (enforced and counterfactual) are a 2-point exp
+// sweep over the `enforce` knob — they run concurrently under --jobs 2 —
+// while the admission-decision table stays bespoke.
 #include <cstdio>
 #include <vector>
 
 #include "common/table.hpp"
 #include "core/admission.hpp"
+#include "exp/runner.hpp"
 #include "rm/manager.hpp"
 #include "sim/kernel.hpp"
 
@@ -47,7 +52,8 @@ std::vector<std::pair<noc::AppId, Time>> simulate(
         a.app, true,
         Rate::bits_per_sec(a.traffic.rate * 1e9 * 8 * 64)});
   }
-  auto table = rm::RateTable::non_symmetric(Rate::gbps(64), 64, 4.0, qos);
+  auto table =
+      rm::RateTable::non_symmetric(Rate::gbps(64), 64, 4.0, qos).value();
   rm::ResourceManager manager(kernel, net, 15, std::move(table));
   std::vector<rm::Client*> clients;
   for (const auto& a : apps) clients.push_back(manager.add_client(a.src, a.app));
@@ -86,7 +92,8 @@ std::vector<std::pair<noc::AppId, Time>> simulate(
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto cli = exp::parse_cli(argc, argv);
   core::PlatformModel m;
   m.noc.cols = 4;
   m.noc.rows = 4;
@@ -142,30 +149,51 @@ int main() {
   std::printf("admitted %zu of %zu requests\n", admitted.size(),
               requests.size());
 
+  // Both simulations as one sweep; per-app p99s come back as metrics.
+  exp::Experiment experiment{
+      "fig6_e2e_admission", [&](const exp::Params& p) {
+        const bool enforce = p.get_bool("enforce");
+        const auto lat = simulate(m, admitted, enforce);
+        exp::Result out(enforce ? "RM-enforced" : "no control");
+        for (const auto& [app, p99] : lat) {
+          out.set("app" + std::to_string(app), p99);
+        }
+        return out;
+      }};
+  const auto sweep =
+      exp::SweepBuilder{}.axis("enforce", {true, false}).build().value();
+  exp::CsvSink csv(cli.out_dir + "/fig6_e2e_admission.csv");
+  exp::JsonlSink jsonl(cli.out_dir + "/fig6_e2e_admission.jsonl");
+  exp::Runner runner(exp::to_runner_options(cli));
+  runner.add_sink(&csv).add_sink(&jsonl);
+  const auto summary = runner.run(experiment, sweep);
+  const auto& measured = summary.result(0);  // enforced
+  const auto& wild = summary.result(1);      // counterfactual
+
   print_heading("Admitted mix: RM-enforced simulation vs proven bounds");
-  const auto measured = simulate(m, admitted, /*enforce=*/true);
   TextTable v({"app", "measured p99", "proven bound", "within bound"});
   bool all_within = true;
-  for (const auto& [app, p99] : measured) {
-    const auto bound = ac.current_bound(app);
+  for (const auto& a : admitted) {
+    const Time p99 = measured.at(a.name).as_time();
+    const auto bound = ac.current_bound(a.app);
     const bool ok = bound && p99 <= *bound;
     all_within = all_within && ok;
-    v.row().cell("app" + std::to_string(app)).cell(p99).cell(
+    v.row().cell(a.name).cell(p99).cell(
         bound ? *bound : Time::zero()).cell(ok ? "yes" : "NO");
   }
   v.print();
 
   print_heading("Counterfactual: same apps misbehaving, no enforcement");
-  const auto wild = simulate(m, admitted, /*enforce=*/false);
   TextTable w({"app", "p99 with RM", "p99 without control"});
-  for (std::size_t i = 0; i < measured.size(); ++i) {
+  for (const auto& a : admitted) {
     w.row()
-        .cell("app" + std::to_string(measured[i].first))
-        .cell(measured[i].second)
-        .cell(wild[i].second);
+        .cell(a.name)
+        .cell(measured.at(a.name).as_time())
+        .cell(wild.at(a.name).as_time());
   }
   w.print();
 
+  std::printf("%s\n", summary.timing_summary().c_str());
   const bool rejected_some = admitted.size() < requests.size();
   std::printf("\nshape check (rejections occurred, admitted apps within "
               "bounds): %s\n",

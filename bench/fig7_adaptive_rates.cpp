@@ -93,7 +93,8 @@ int main() {
                               {3, false, Rate::gbps(0)},
                               {4, false, Rate::gbps(0)}};
   const auto nsym = run(
-      rm::RateTable::non_symmetric(Rate::gbps(4), 64, 4.0, std::move(qos)));
+      rm::RateTable::non_symmetric(Rate::gbps(4), 64, 4.0, std::move(qos))
+          .value());
   print_trace(
       "Fig. 7b — non-symmetric guarantees (critical app 1 rate pinned)",
       nsym);

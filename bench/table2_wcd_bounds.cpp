@@ -5,12 +5,16 @@
 // The queue position N = 13 calibrates the 4 Gbps upper bound to the
 // paper's (the paper does not state N); see EXPERIMENTS.md. Extra rows
 // past 7 Gbps show the saturation regime where the fixpoint diverges.
+//
+// Two exp sweeps: the four paper rows (validated against the published
+// numbers) and the saturation extension. CSV/JSONL land in bench/out/.
+#include <cmath>
 #include <cstdio>
 
-#include "common/csv.hpp"
 #include "common/table.hpp"
 #include "dram/timing.hpp"
 #include "dram/wcd.hpp"
+#include "exp/runner.hpp"
 
 using namespace pap;
 
@@ -29,6 +33,7 @@ constexpr PaperRow kPaper[] = {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const auto cli = exp::parse_cli(argc, argv);
   const auto timings = dram::ddr3_1600();
   dram::ControllerParams ctrl;
   ctrl.n_cap = 16;
@@ -40,57 +45,75 @@ int main(int argc, char** argv) {
 
   print_heading(
       "Table II — upper and lower bounds on the WCD (ns), DDR3-1600");
-  TextTable t({"write rate", "lower (ours)", "lower (paper)", "err%",
-               "upper (ours)", "upper (paper)", "err%"});
+  exp::Experiment paper_exp{
+      "table2_wcd_bounds", [&](const exp::Params& p) {
+        const double gbps = p.get_double("write_gbps");
+        const PaperRow* row = nullptr;
+        for (const auto& r : kPaper) {
+          if (r.gbps == gbps) row = &r;
+        }
+        const auto b = dram::table2_row(timings, ctrl, gbps, kN);
+        const double el = 100.0 * (b.lower.nanos() - row->lower) / row->lower;
+        const double eu = 100.0 * (b.upper.nanos() - row->upper) / row->upper;
+        char label[32];
+        std::snprintf(label, sizeof label, "%.0f Gbps", gbps);
+        exp::Result out(label);
+        out.add("write rate", label)
+            .add("lower (ours)", b.lower)
+            .add("lower (paper)", exp::Value{row->lower, 3})
+            .add("err%", exp::Value{el, 2})
+            .add("upper (ours)", b.upper)
+            .add("upper (paper)", exp::Value{row->upper, 3})
+            .add("err%", exp::Value{eu, 2});
+        return out;
+      }};
+  const auto paper_sweep = exp::SweepBuilder{}
+                               .axis("write_gbps", {4.0, 5.0, 6.0, 7.0})
+                               .build()
+                               .value();
+  exp::ConsoleTableSink paper_table;
+  exp::CsvSink paper_csv(cli.out_dir + "/table2_wcd_bounds.csv");
+  exp::JsonlSink paper_jsonl(cli.out_dir + "/table2_wcd_bounds.jsonl");
+  exp::Runner runner(exp::to_runner_options(cli));
+  runner.add_sink(&paper_table).add_sink(&paper_csv).add_sink(&paper_jsonl);
+  const auto paper_summary = runner.run(paper_exp, paper_sweep);
+
   bool all_close = true;
-  for (const auto& row : kPaper) {
-    const auto b = dram::table2_row(timings, ctrl, row.gbps, kN);
-    const double el = 100.0 * (b.lower.nanos() - row.lower) / row.lower;
-    const double eu = 100.0 * (b.upper.nanos() - row.upper) / row.upper;
-    all_close = all_close && std::abs(el) < 1.0 && std::abs(eu) < 1.0;
-    char label[32];
-    std::snprintf(label, sizeof label, "%.0f Gbps", row.gbps);
-    t.row()
-        .cell(label)
-        .cell(b.lower)
-        .cell(row.lower, 3)
-        .cell(el, 2)
-        .cell(b.upper)
-        .cell(row.upper, 3)
-        .cell(eu, 2);
+  for (const auto& r : paper_summary.results()) {
+    // `at` returns the first "err%" column; the upper-bound error is the
+    // last metric.
+    all_close = all_close && std::abs(r.at("err%").as_double()) < 1.0 &&
+                std::abs(r.metrics().back().second.as_double()) < 1.0;
   }
-  t.print();
 
   print_heading("Beyond the paper: approaching write-service saturation");
-  TextTable s({"write rate", "lower (ns)", "upper (ns)", "gap (ns)",
-               "converged"});
-  for (double g : {6.5, 7.0, 7.2, 7.5, 8.0}) {
-    const auto b = dram::table2_row(timings, ctrl, g, kN);
-    char label[32];
-    std::snprintf(label, sizeof label, "%.1f Gbps", g);
-    s.row()
-        .cell(label)
-        .cell(b.lower)
-        .cell(b.upper)
-        .cell(b.upper - b.lower)
-        .cell(b.converged ? "yes" : "NO (diverged)");
-  }
-  s.print();
+  exp::Experiment sat_exp{
+      "table2_wcd_saturation", [&](const exp::Params& p) {
+        const double gbps = p.get_double("write_gbps");
+        const auto b = dram::table2_row(timings, ctrl, gbps, kN);
+        char label[32];
+        std::snprintf(label, sizeof label, "%.1f Gbps", gbps);
+        exp::Result out(label);
+        out.set("write rate", label)
+            .set("lower (ns)", b.lower)
+            .set("upper (ns)", b.upper)
+            .set("gap (ns)", b.upper - b.lower)
+            .set("converged", b.converged ? "yes" : "NO (diverged)");
+        return out;
+      }};
+  const auto sat_sweep = exp::SweepBuilder{}
+                             .axis("write_gbps", {6.5, 7.0, 7.2, 7.5, 8.0})
+                             .build()
+                             .value();
+  exp::ConsoleTableSink sat_table;
+  exp::CsvSink sat_csv(cli.out_dir + "/table2_wcd_saturation.csv");
+  exp::JsonlSink sat_jsonl(cli.out_dir + "/table2_wcd_saturation.jsonl");
+  exp::Runner sat_runner(exp::to_runner_options(cli));
+  sat_runner.add_sink(&sat_table).add_sink(&sat_csv).add_sink(&sat_jsonl);
+  const auto sat_summary = sat_runner.run(sat_exp, sat_sweep);
 
-  // Optional machine-readable dump for external plotting:
-  //   table2_wcd_bounds out.csv
-  if (argc > 1) {
-    CsvWriter csv(argv[1], {"write_gbps", "lower_ns", "upper_ns",
-                            "paper_lower_ns", "paper_upper_ns"});
-    for (const auto& row : kPaper) {
-      const auto b = dram::table2_row(timings, ctrl, row.gbps, kN);
-      csv.write_row({std::to_string(row.gbps), std::to_string(b.lower.nanos()),
-                     std::to_string(b.upper.nanos()),
-                     std::to_string(row.lower), std::to_string(row.upper)});
-    }
-    std::printf("CSV written to %s\n", argv[1]);
-  }
-
+  std::printf("%s\n%s\n", paper_summary.timing_summary().c_str(),
+              sat_summary.timing_summary().c_str());
   std::printf(
       "\nshape check: bounds within 1%% of the paper at 4-7 Gbps, gap "
       "blow-up at 7 Gbps: %s\n",

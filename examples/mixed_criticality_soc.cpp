@@ -13,16 +13,14 @@
 #include "platform/scenario.hpp"
 
 using namespace pap;
-using platform::ScenarioKnobs;
+using platform::ScenarioConfig;
 
 int main() {
   std::printf(
       "Mixed-criticality VIP: 1 ASIL-D reader + 3 QM bandwidth hogs on a "
       "shared cluster (DSU L3 + DDR3-1600)\n");
 
-  ScenarioKnobs base;
-  base.hogs = 3;
-  base.sim_time = Time::ms(2);
+  const ScenarioConfig base = ScenarioConfig{}.hogs(3).sim_time(Time::ms(2));
 
   struct Step {
     const char* label;
@@ -41,10 +39,11 @@ int main() {
   Time cots_p99;
   Time both_p99;
   for (const auto& s : steps) {
-    ScenarioKnobs k = base;
-    k.memguard = s.memguard;
-    k.dsu_partitioning = s.dsu;
-    const auto r = platform::run_mixed_criticality(k, s.label);
+    const auto r = platform::run_scenario(ScenarioConfig{base}
+                                              .memguard(s.memguard)
+                                              .dsu_partitioning(s.dsu),
+                                          s.label)
+                       .value();
     if (!s.memguard && !s.dsu) cots_p99 = r.rt_latency.percentile(99);
     if (s.memguard && s.dsu) both_p99 = r.rt_latency.percentile(99);
     t.row()

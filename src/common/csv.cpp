@@ -1,11 +1,18 @@
 #include "common/csv.hpp"
 
+#include <filesystem>
+
 #include "common/check.hpp"
 
 namespace pap {
 
 CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> headers)
-    : out_(path), columns_(headers.size()) {
+    : columns_(headers.size()) {
+  // Sinks write under bench/out/ which need not exist yet.
+  std::error_code ec;
+  const auto dir = std::filesystem::path(path).parent_path();
+  if (!dir.empty()) std::filesystem::create_directories(dir, ec);
+  out_.open(path, std::ios::trunc);
   if (out_.is_open()) write_row(headers);
 }
 

@@ -10,7 +10,8 @@ namespace pap {
 
 class CsvWriter {
  public:
-  /// Opens `path` for writing and emits the header row immediately.
+  /// Opens `path` for writing (creating parent directories as needed) and
+  /// emits the header row immediately.
   CsvWriter(const std::string& path, std::vector<std::string> headers);
 
   bool is_open() const { return out_.is_open(); }

@@ -49,6 +49,13 @@ void LatencyHistogram::add(Time sample) {
   samples_.push_back(sample.picos());
 }
 
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  if (other.samples_.empty()) return;
+  const bool was_empty = samples_.empty();
+  samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+  sorted_ = was_empty ? other.sorted_ : false;
+}
+
 void LatencyHistogram::ensure_sorted() const {
   if (!sorted_) {
     std::sort(samples_.begin(), samples_.end());

@@ -43,6 +43,9 @@ class RunningStats {
 class LatencyHistogram {
  public:
   void add(Time sample);
+  /// Absorb another histogram's samples (e.g. aggregating per-point
+  /// distributions collected by a parallel sweep).
+  void merge(const LatencyHistogram& other);
   std::size_t count() const { return samples_.size(); }
   bool empty() const { return samples_.empty(); }
 

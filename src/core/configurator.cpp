@@ -73,7 +73,6 @@ Expected<MechanismConfig> Configurator::configure(
 
   // --- 3. RM rate table: non-symmetric, critical guarantees pinned. ------
   std::vector<rm::AppQos> qos;
-  double critical_bits = 0.0;
   for (const auto& a : apps) {
     rm::AppQos q;
     q.app = a.app;
@@ -81,17 +80,15 @@ Expected<MechanismConfig> Configurator::configure(
     // requests/ns -> bits/s over the app's request size.
     q.guaranteed = Rate::bits_per_sec(a.traffic.rate * 1e9 * 8.0 *
                                       static_cast<double>(a.request_bytes));
-    if (q.critical) critical_bits += q.guaranteed.in_bits_per_sec();
     qos.push_back(q);
   }
-  if (critical_bits > noc_budget_.in_bits_per_sec()) {
-    return Expected<MechanismConfig>::error(
-        "critical traffic contracts exceed the NoC budget (" +
-        std::to_string(critical_bits / 1e9) + " Gbps > " +
-        std::to_string(noc_budget_.in_gbps()) + " Gbps)");
-  }
-  out.rate_table = rm::RateTable::non_symmetric(
+  auto table = rm::RateTable::non_symmetric(
       noc_budget_, kCacheLineBytes, /*burst_packets=*/4.0, std::move(qos));
+  if (!table) {
+    return Expected<MechanismConfig>::error(
+        "rate table infeasible: " + table.error_message());
+  }
+  out.rate_table = std::move(table).value();
 
   // --- 4. Validate with the formal end-to-end analysis. ------------------
   AdmissionController admission(model_);

@@ -1,0 +1,52 @@
+#include "exp/cache.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+namespace pap::exp {
+
+std::string ResultCache::path_for(const Experiment& exp,
+                                  const Params& params) const {
+  char hex[17];
+  std::snprintf(hex, sizeof hex, "%016llx",
+                static_cast<unsigned long long>(content_hash(exp, params)));
+  return dir_ + "/" + exp.name + "-" + hex + ".result";
+}
+
+std::optional<Result> ResultCache::load(const Experiment& exp,
+                                        const Params& params) const {
+  if (!enabled()) return std::nullopt;
+  std::ifstream in(path_for(exp, params));
+  if (!in.is_open()) return std::nullopt;
+  std::ostringstream text;
+  text << in.rdbuf();
+  auto parsed = Result::deserialize(text.str());
+  if (!parsed) return std::nullopt;
+  return std::move(parsed).value();
+}
+
+void ResultCache::store(const Experiment& exp, const Params& params,
+                        const Result& r) const {
+  if (!enabled()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) return;
+  const std::string path = path_for(exp, params);
+  // Unique temp name per thread: duplicate sweep points may store the same
+  // key concurrently, and rename() makes the last writer win atomically.
+  std::ostringstream tmp;
+  tmp << path << ".tmp." << std::this_thread::get_id();
+  {
+    std::ofstream out(tmp.str(), std::ios::trunc);
+    if (!out.is_open()) return;
+    out << r.serialize();
+    if (!out.good()) return;
+  }
+  std::filesystem::rename(tmp.str(), path, ec);
+  if (ec) std::filesystem::remove(tmp.str(), ec);
+}
+
+}  // namespace pap::exp

@@ -1,0 +1,42 @@
+// Content-hash result cache.
+//
+// A sweep point is keyed by FNV-1a over (experiment name, experiment
+// version, canonical parameter encoding). Re-running an unchanged point is
+// a file read of the serialized Result; changing any parameter — or bumping
+// `Experiment::version` after changing the run functor — changes the key
+// and forces a fresh run. Entries are plain text files under the cache
+// directory, safe to delete at any time.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "exp/experiment.hpp"
+
+namespace pap::exp {
+
+class ResultCache {
+ public:
+  /// An empty directory string disables the cache entirely.
+  explicit ResultCache(std::string dir) : dir_(std::move(dir)) {}
+
+  bool enabled() const { return !dir_.empty(); }
+
+  /// The cache file a point would use (cache need not be populated).
+  std::string path_for(const Experiment& exp, const Params& params) const;
+
+  /// Returns the cached Result, or nullopt on miss / unreadable / stale
+  /// format. Never fails hard: a corrupt entry is just a miss.
+  std::optional<Result> load(const Experiment& exp, const Params& params) const;
+
+  /// Persist `r` for this point (write-to-temp + rename, so readers never
+  /// observe a half-written entry). Creates the cache directory on demand;
+  /// failures are swallowed — caching is an optimization, not a guarantee.
+  void store(const Experiment& exp, const Params& params,
+             const Result& r) const;
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace pap::exp

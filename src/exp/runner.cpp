@@ -1,0 +1,159 @@
+#include "exp/runner.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "common/check.hpp"
+
+namespace pap::exp {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+std::size_t SweepSummary::completed() const {
+  std::size_t n = 0;
+  for (const auto& p : points) {
+    if (p.status != PointStatus::kSkipped) ++n;
+  }
+  return n;
+}
+
+std::vector<Result> SweepSummary::results() const {
+  std::vector<Result> out;
+  out.reserve(points.size());
+  for (const auto& p : points) {
+    if (p.status != PointStatus::kSkipped) out.push_back(p.result);
+  }
+  return out;
+}
+
+const Result& SweepSummary::result(std::size_t i) const {
+  PAP_CHECK_MSG(i < points.size(), "sweep point index out of range");
+  PAP_CHECK_MSG(points[i].status != PointStatus::kSkipped,
+                "sweep point was skipped (cancelled sweep?)");
+  return points[i].result;
+}
+
+std::string SweepSummary::timing_summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "[%s] %zu/%zu points on %d thread%s: %.1f ms wall, %.1f ms "
+                "serial cost, %.2fx speedup, %zu cache hit%s%s",
+                experiment.c_str(), completed(), points.size(), jobs,
+                jobs == 1 ? "" : "s", wall_ms, points_ms, parallel_speedup(),
+                cache_hits, cache_hits == 1 ? "" : "s",
+                cancelled ? ", CANCELLED" : "");
+  return buf;
+}
+
+Runner& Runner::add_sink(ResultSink* sink) {
+  PAP_CHECK(sink != nullptr);
+  sinks_.push_back(sink);
+  return *this;
+}
+
+SweepSummary Runner::run(const Experiment& exp, const Sweep& sweep) {
+  PAP_CHECK_MSG(static_cast<bool>(exp.run), "Experiment has no run functor");
+  cancel_.store(false, std::memory_order_relaxed);
+
+  SweepSummary summary;
+  summary.experiment = exp.name;
+  const std::size_t n = sweep.size();
+  summary.points.resize(n);
+  for (std::size_t i = 0; i < n; ++i) summary.points[i].params = sweep[i];
+
+  int jobs = opts_.jobs;
+  if (jobs <= 0) {
+    jobs = static_cast<int>(std::thread::hardware_concurrency());
+    if (jobs < 1) jobs = 1;
+  }
+  if (static_cast<std::size_t>(jobs) > n) jobs = static_cast<int>(n);
+  summary.jobs = jobs;
+
+  const ResultCache cache(opts_.cache_dir);
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> hits{0};
+
+  const auto sweep_start = Clock::now();
+  auto worker = [&] {
+    while (!cancel_.load(std::memory_order_relaxed)) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      PointOutcome& out = summary.points[i];
+      const auto point_start = Clock::now();
+      if (cache.enabled() && opts_.read_cache) {
+        if (auto cached = cache.load(exp, out.params)) {
+          out.result = std::move(*cached);
+          out.status = PointStatus::kCached;
+          out.wall_ms = ms_since(point_start);
+          hits.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+      }
+      out.result = exp.run(out.params);
+      out.status = PointStatus::kRan;
+      out.wall_ms = ms_since(point_start);
+      cache.store(exp, out.params, out.result);
+    }
+  };
+
+  if (jobs == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(jobs));
+    for (int t = 0; t < jobs; ++t) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+  }
+
+  summary.wall_ms = ms_since(sweep_start);
+  summary.cancelled = cancel_.load(std::memory_order_relaxed);
+  summary.cache_hits = hits.load(std::memory_order_relaxed);
+  for (const auto& p : summary.points) summary.points_ms += p.wall_ms;
+
+  // Deterministic delivery: submission order, on the calling thread.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (summary.points[i].status == PointStatus::kSkipped) continue;
+    for (ResultSink* sink : sinks_) sink->on_result(summary, i);
+  }
+  for (ResultSink* sink : sinks_) sink->on_finish(summary);
+  return summary;
+}
+
+CliOptions parse_cli(int argc, char** argv) {
+  CliOptions cli;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--jobs=", 7) == 0) {
+      cli.jobs = std::atoi(a + 7);
+    } else if ((std::strcmp(a, "--jobs") == 0 || std::strcmp(a, "-j") == 0) &&
+               i + 1 < argc) {
+      cli.jobs = std::atoi(argv[++i]);
+    } else if (std::strcmp(a, "--cache") == 0) {
+      cli.cache = true;
+    } else if (std::strcmp(a, "--out") == 0 && i + 1 < argc) {
+      cli.out_dir = argv[++i];
+    }
+  }
+  return cli;
+}
+
+RunnerOptions to_runner_options(const CliOptions& cli) {
+  RunnerOptions opts;
+  opts.jobs = cli.jobs;
+  if (cli.cache) opts.cache_dir = cli.out_dir + "/cache";
+  return opts;
+}
+
+}  // namespace pap::exp

@@ -1,0 +1,115 @@
+// Parallel sweep runner.
+//
+// Executes every point of a Sweep through an Experiment's run functor on a
+// pool of `std::thread`s. Each point builds its own simulation world (own
+// `sim::Kernel`), so the repository's single-threaded determinism guarantee
+// holds per run while the sweep saturates the machine. Results are
+// collected — and delivered to sinks — in *submission order*, regardless of
+// which thread finished first: a sweep's output is bit-identical for any
+// `jobs` value.
+//
+// With a cache directory configured, each point is first looked up in the
+// content-hash ResultCache; re-running an unchanged sweep is pure file
+// reads. `cancel()` (safe from any thread, including from inside a run
+// functor) stops the pool from starting new points; in-flight points
+// complete and everything not yet started is reported as skipped.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/cache.hpp"
+#include "exp/experiment.hpp"
+#include "exp/sink.hpp"
+#include "exp/sweep.hpp"
+
+namespace pap::exp {
+
+struct RunnerOptions {
+  /// Worker threads; 0 means hardware_concurrency(). 1 runs inline on the
+  /// calling thread (no pool).
+  int jobs = 0;
+  /// Directory for the content-hash result cache; empty disables caching.
+  std::string cache_dir;
+  /// When false, cached entries are ignored (but fresh results are still
+  /// stored) — a forced re-run that re-warms the cache.
+  bool read_cache = true;
+};
+
+enum class PointStatus {
+  kSkipped,  ///< never started (sweep was cancelled first)
+  kRan,      ///< executed by the run functor
+  kCached,   ///< served from the result cache
+};
+
+struct PointOutcome {
+  Params params;
+  Result result;
+  PointStatus status = PointStatus::kSkipped;
+  double wall_ms = 0.0;  ///< this point's wall-clock cost
+};
+
+struct SweepSummary {
+  std::string experiment;
+  int jobs = 1;
+  bool cancelled = false;
+  std::size_t cache_hits = 0;
+  double wall_ms = 0.0;    ///< whole-sweep wall clock
+  double points_ms = 0.0;  ///< sum of per-point wall clocks (serial cost)
+  std::vector<PointOutcome> points;  ///< submission order
+
+  std::size_t completed() const;
+  /// Completed results in submission order (skipped points omitted).
+  std::vector<Result> results() const;
+  /// Checked access to point `i`'s result; it must not be skipped.
+  const Result& result(std::size_t i) const;
+
+  /// points_ms / wall_ms — how much the pool (plus cache) bought.
+  double parallel_speedup() const {
+    return wall_ms > 0.0 ? points_ms / wall_ms : 0.0;
+  }
+  /// One line like:
+  ///   "8 points on 4 threads: 132.1 ms wall, 490.7 ms serial cost,
+  ///    3.71x speedup, 0 cache hits"
+  std::string timing_summary() const;
+};
+
+class Runner {
+ public:
+  explicit Runner(RunnerOptions opts = {}) : opts_(std::move(opts)) {}
+
+  /// Register a sink (not owned). Sinks receive every completed point in
+  /// submission order after the sweep finishes, then `on_finish`.
+  Runner& add_sink(ResultSink* sink);
+
+  /// Execute the sweep. Clears any previous cancellation request.
+  SweepSummary run(const Experiment& exp, const Sweep& sweep);
+
+  /// Stop starting new points; safe from any thread.
+  void cancel() { cancel_.store(true, std::memory_order_relaxed); }
+  bool cancel_requested() const {
+    return cancel_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  RunnerOptions opts_;
+  std::vector<ResultSink*> sinks_;
+  std::atomic<bool> cancel_{false};
+};
+
+/// Bench command-line conventions shared by every migrated bench:
+///   --jobs N | --jobs=N | -j N   worker threads (default: all cores)
+///   --cache                      enable the result cache under <out>/cache
+///   --out DIR                    sink/cache output directory
+struct CliOptions {
+  int jobs = 0;
+  bool cache = false;
+  std::string out_dir = "bench/out";
+};
+
+CliOptions parse_cli(int argc, char** argv);
+RunnerOptions to_runner_options(const CliOptions& cli);
+
+}  // namespace pap::exp

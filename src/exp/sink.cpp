@@ -1,0 +1,101 @@
+#include "exp/sink.hpp"
+
+#include <filesystem>
+
+#include "exp/runner.hpp"
+
+namespace pap::exp {
+
+namespace {
+
+const char* status_name(PointStatus s) {
+  switch (s) {
+    case PointStatus::kRan: return "ran";
+    case PointStatus::kCached: return "cached";
+    case PointStatus::kSkipped: return "skipped";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void ConsoleTableSink::on_result(const SweepSummary& sweep, std::size_t index) {
+  const PointOutcome& outcome = sweep.points[index];
+  if (!table_) {
+    std::vector<std::string> headers;
+    if (!label_header_.empty()) headers.push_back(label_header_);
+    for (const auto& [name, v] : outcome.result.metrics()) {
+      headers.push_back(name);
+    }
+    table_ = std::make_unique<TextTable>(std::move(headers));
+  }
+  table_->row();
+  if (!label_header_.empty()) table_->cell(outcome.result.label());
+  for (const auto& [name, v] : outcome.result.metrics()) {
+    table_->cell(v.display());
+  }
+}
+
+void ConsoleTableSink::on_finish(const SweepSummary& sweep) {
+  (void)sweep;
+  if (table_) table_->print();
+  table_.reset();
+}
+
+void CsvSink::on_result(const SweepSummary& sweep, std::size_t index) {
+  const PointOutcome& outcome = sweep.points[index];
+  if (!csv_) {
+    std::vector<std::string> headers{"point", "status", "label"};
+    for (const auto& [key, v] : outcome.params.entries()) {
+      headers.push_back(key);
+    }
+    for (const auto& [name, v] : outcome.result.metrics()) {
+      headers.push_back(name);
+    }
+    csv_ = std::make_unique<CsvWriter>(path_, std::move(headers));
+  }
+  std::vector<std::string> cells{std::to_string(index),
+                                 status_name(outcome.status),
+                                 outcome.result.label()};
+  for (const auto& [key, v] : outcome.params.entries()) {
+    cells.push_back(v.machine());
+  }
+  for (const auto& [name, v] : outcome.result.metrics()) {
+    cells.push_back(v.machine());
+  }
+  csv_->write_row(cells);
+}
+
+JsonlSink::JsonlSink(const std::string& path) {
+  std::error_code ec;
+  const auto dir = std::filesystem::path(path).parent_path();
+  if (!dir.empty()) std::filesystem::create_directories(dir, ec);
+  out_.open(path, std::ios::trunc);
+}
+
+void JsonlSink::on_result(const SweepSummary& sweep, std::size_t index) {
+  if (!out_.is_open()) return;
+  const PointOutcome& outcome = sweep.points[index];
+  out_ << "{\"experiment\":" << Value{sweep.experiment}.json()
+       << ",\"point\":" << index << ",\"status\":\""
+       << status_name(outcome.status) << "\",\"label\":"
+       << Value{outcome.result.label()}.json() << ",\"params\":{";
+  bool first = true;
+  for (const auto& [key, v] : outcome.params.entries()) {
+    if (!first) out_ << ',';
+    first = false;
+    out_ << Value{key}.json() << ':' << v.json();
+  }
+  out_ << "},\"metrics\":{";
+  first = true;
+  for (const auto& [name, v] : outcome.result.metrics()) {
+    if (!first) out_ << ',';
+    first = false;
+    out_ << Value{name}.json() << ':' << v.json();
+  }
+  char wall[32];
+  std::snprintf(wall, sizeof wall, "%.3f", outcome.wall_ms);
+  out_ << "},\"wall_ms\":" << wall << "}\n";
+}
+
+}  // namespace pap::exp

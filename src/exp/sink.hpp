@@ -1,0 +1,82 @@
+// Result sinks: where a sweep's collected results go.
+//
+// The Runner delivers completed points to every registered sink in
+// submission order (never from worker threads), then calls `on_finish`
+// once. Sinks receive the whole SweepSummary plus the index of the point
+// being delivered, so they can see experiment identity and params without
+// extra plumbing. Three sinks cover the bench suite:
+//
+//   * ConsoleTableSink — the aligned ASCII table benches have always
+//     printed (common/table), columns taken from the first result's
+//     metric names.
+//   * CsvSink          — machine-readable rows under bench/out/ for
+//     external plotting (common/csv).
+//   * JsonlSink        — one JSON object per point, params and metrics
+//     included, for downstream tooling.
+#pragma once
+
+#include <cstddef>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "common/csv.hpp"
+#include "common/table.hpp"
+
+namespace pap::exp {
+
+struct SweepSummary;
+
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+  /// Called once per completed (ran or cached) point, in submission order.
+  virtual void on_result(const SweepSummary& sweep, std::size_t index) = 0;
+  /// Called once after all points were delivered.
+  virtual void on_finish(const SweepSummary& sweep) { (void)sweep; }
+};
+
+/// Buffers rows and prints one aligned TextTable in on_finish. Headers are
+/// the metric names of the first completed result; when `label_header` is
+/// non-empty, a leading column carries each result's label.
+class ConsoleTableSink : public ResultSink {
+ public:
+  explicit ConsoleTableSink(std::string label_header = "")
+      : label_header_(std::move(label_header)) {}
+
+  void on_result(const SweepSummary& sweep, std::size_t index) override;
+  void on_finish(const SweepSummary& sweep) override;
+
+ private:
+  std::string label_header_;
+  std::unique_ptr<TextTable> table_;
+};
+
+/// CSV columns: point index, status, label, every param, every metric
+/// (param/metric sets taken from the first completed point). Parent
+/// directories are created on demand (common/csv).
+class CsvSink : public ResultSink {
+ public:
+  explicit CsvSink(std::string path) : path_(std::move(path)) {}
+
+  void on_result(const SweepSummary& sweep, std::size_t index) override;
+
+ private:
+  std::string path_;
+  std::unique_ptr<CsvWriter> csv_;
+};
+
+/// One JSON object per completed point:
+///   {"experiment":..,"point":N,"status":"ran","label":..,
+///    "params":{..},"metrics":{..},"wall_ms":..}
+class JsonlSink : public ResultSink {
+ public:
+  explicit JsonlSink(const std::string& path);
+
+  void on_result(const SweepSummary& sweep, std::size_t index) override;
+
+ private:
+  std::ofstream out_;
+};
+
+}  // namespace pap::exp

@@ -1,0 +1,57 @@
+#include "exp/sweep.hpp"
+
+namespace pap::exp {
+
+SweepBuilder& SweepBuilder::axis(std::string key, std::vector<Value> values) {
+  axes_.emplace_back(std::move(key), std::move(values));
+  return *this;
+}
+
+SweepBuilder& SweepBuilder::point(Params p) {
+  explicit_points_.push_back(std::move(p));
+  return *this;
+}
+
+std::size_t SweepBuilder::size() const {
+  std::size_t grid = axes_.empty() ? 0 : 1;
+  for (const auto& [key, values] : axes_) grid *= values.size();
+  return grid + explicit_points_.size();
+}
+
+Expected<Sweep> SweepBuilder::build() const {
+  for (std::size_t i = 0; i < axes_.size(); ++i) {
+    if (axes_[i].second.empty()) {
+      return Expected<Sweep>::error("axis '" + axes_[i].first +
+                                    "' has no values");
+    }
+    for (std::size_t j = i + 1; j < axes_.size(); ++j) {
+      if (axes_[i].first == axes_[j].first) {
+        return Expected<Sweep>::error("duplicate axis '" + axes_[i].first +
+                                      "'");
+      }
+    }
+  }
+  std::vector<Params> points;
+  if (!axes_.empty()) {
+    // Row-major: the first axis varies slowest.
+    std::size_t total = 1;
+    for (const auto& [key, values] : axes_) total *= values.size();
+    points.reserve(total + explicit_points_.size());
+    for (std::size_t n = 0; n < total; ++n) {
+      Params p;
+      std::size_t rem = n;
+      std::size_t stride = total;
+      for (const auto& [key, values] : axes_) {
+        stride /= values.size();
+        p.set(key, values[rem / stride]);
+        rem %= stride;
+      }
+      points.push_back(std::move(p));
+    }
+  }
+  for (const auto& p : explicit_points_) points.push_back(p);
+  if (points.empty()) return Expected<Sweep>::error("sweep has no points");
+  return Sweep{std::move(points)};
+}
+
+}  // namespace pap::exp

@@ -1,0 +1,59 @@
+// Sweep enumeration: the parameter grids a Runner executes.
+//
+// A sweep is an ordered list of parameter points. `SweepBuilder` composes
+// them two ways, freely mixed:
+//
+//   * `axis(key, values)` — cartesian axes. The product is enumerated with
+//     the first-declared axis outermost (row-major), so declaration order
+//     is presentation order.
+//   * `point(params)` — explicit points, appended after the grid in
+//     insertion order, for sweeps that are a hand-picked list (e.g. the
+//     paper's watermark configurations) rather than a product.
+//
+// `build()` validates the composition and returns the immutable Sweep.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.hpp"
+#include "exp/experiment.hpp"
+
+namespace pap::exp {
+
+class Sweep {
+ public:
+  const std::vector<Params>& points() const { return points_; }
+  std::size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+  const Params& operator[](std::size_t i) const { return points_[i]; }
+
+ private:
+  friend class SweepBuilder;
+  explicit Sweep(std::vector<Params> pts) : points_(std::move(pts)) {}
+  std::vector<Params> points_;
+};
+
+class SweepBuilder {
+ public:
+  /// Add a cartesian axis. Axes multiply: two axes of 3 and 4 values make
+  /// 12 points.
+  SweepBuilder& axis(std::string key, std::vector<Value> values);
+
+  /// Append one explicit point (after any cartesian grid).
+  SweepBuilder& point(Params p);
+
+  /// Number of points `build()` would produce.
+  std::size_t size() const;
+
+  /// Validates (unique axis keys, no empty axis, at least one point) and
+  /// enumerates the sweep.
+  Expected<Sweep> build() const;
+
+ private:
+  std::vector<std::pair<std::string, std::vector<Value>>> axes_;
+  std::vector<Params> explicit_points_;
+};
+
+}  // namespace pap::exp

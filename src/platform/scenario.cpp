@@ -2,6 +2,7 @@
 
 #include "cache/dsu.hpp"
 #include "common/check.hpp"
+#include "common/units.hpp"
 
 namespace pap::platform {
 
@@ -13,8 +14,44 @@ double ScenarioResult::inflation(const ScenarioResult& base,
   return b > 0 ? l / b : 0.0;
 }
 
-ScenarioResult run_mixed_criticality(const ScenarioKnobs& knobs,
-                                     std::string label) {
+Status ScenarioConfig::validate() const {
+  const ScenarioKnobs& k = knobs_;
+  if (k.hogs < 0 || k.hogs > 63) {
+    return Status::error("hogs must be in [0, 63], got " +
+                         std::to_string(k.hogs));
+  }
+  if (k.sim_time <= Time::zero()) {
+    return Status::error("sim_time must be positive");
+  }
+  if (k.memguard_period <= Time::zero()) {
+    return Status::error("memguard_period must be positive");
+  }
+  if ((k.memguard || k.mpam_bw) && k.hog_budget_per_period == 0) {
+    return Status::error(
+        "hog_budget_per_period must be >= 1 when regulation is enabled");
+  }
+  if (k.rt_reads_per_batch < 1) {
+    return Status::error("rt_reads_per_batch must be >= 1");
+  }
+  if (k.rt_period <= Time::zero()) {
+    return Status::error("rt_period must be positive");
+  }
+  if (k.rt_working_set < kCacheLineBytes) {
+    return Status::error("rt_working_set must cover at least one cache line");
+  }
+  return Status::ok();
+}
+
+Expected<ScenarioKnobs> ScenarioConfig::build() const {
+  if (const Status st = validate(); !st.is_ok()) {
+    return Expected<ScenarioKnobs>::error(st.message());
+  }
+  return knobs_;
+}
+
+namespace {
+
+ScenarioResult run_impl(const ScenarioKnobs& knobs, std::string label) {
   sim::Kernel kernel;
   SocConfig cfg;
   cfg.clusters = 1;
@@ -130,6 +167,20 @@ ScenarioResult run_mixed_criticality(const ScenarioKnobs& knobs,
     }
   }
   return result;
+}
+
+}  // namespace
+
+Expected<ScenarioResult> run_scenario(const ScenarioConfig& config,
+                                      std::string label) {
+  auto knobs = config.build();
+  if (!knobs) return Expected<ScenarioResult>::error(knobs.error_message());
+  return run_impl(knobs.value(), std::move(label));
+}
+
+ScenarioResult run_mixed_criticality(const ScenarioKnobs& knobs,
+                                     std::string label) {
+  return run_impl(knobs, std::move(label));
 }
 
 }  // namespace pap::platform

@@ -16,16 +16,38 @@ RateTable RateTable::symmetric(Rate noc_budget, Bytes packet_bytes,
   return t;
 }
 
-RateTable RateTable::non_symmetric(Rate noc_budget, Bytes packet_bytes,
-                                   double burst_packets,
-                                   std::vector<AppQos> qos) {
+Expected<RateTable> RateTable::non_symmetric(Rate noc_budget,
+                                             Bytes packet_bytes,
+                                             double burst_packets,
+                                             std::vector<AppQos> qos) {
+  if (noc_budget.in_bits_per_sec() <= 0.0) {
+    return Expected<RateTable>::error("NoC budget must be positive");
+  }
+  if (packet_bytes == 0) {
+    return Expected<RateTable>::error("packet size must be positive");
+  }
+  if (burst_packets <= 0.0) {
+    return Expected<RateTable>::error("burst must be positive");
+  }
+  for (std::size_t i = 0; i < qos.size(); ++i) {
+    for (std::size_t j = i + 1; j < qos.size(); ++j) {
+      if (qos[i].app == qos[j].app) {
+        return Expected<RateTable>::error(
+            "duplicate QoS entry for app " + std::to_string(qos[i].app));
+      }
+    }
+  }
   // The critical guarantees must fit inside the budget in every mode.
   double guaranteed = 0.0;
   for (const auto& q : qos) {
     if (q.critical) guaranteed += q.guaranteed.in_bits_per_sec();
   }
-  PAP_CHECK_MSG(guaranteed <= noc_budget.in_bits_per_sec(),
-                "critical guarantees exceed the NoC budget");
+  if (guaranteed > noc_budget.in_bits_per_sec()) {
+    return Expected<RateTable>::error(
+        "critical guarantees exceed the NoC budget (" +
+        std::to_string(guaranteed / 1e9) + " Gbps > " +
+        std::to_string(noc_budget.in_gbps()) + " Gbps)");
+  }
   RateTable t;
   t.symmetric_ = false;
   t.budget_ = noc_budget;

@@ -30,15 +30,19 @@ struct AppQos {
 class RateTable {
  public:
   /// Symmetric policy: the NoC budget is divided uniformly among the
-  /// currently active applications.
+  /// currently active applications. Infallible: any positive budget is a
+  /// valid symmetric table.
   static RateTable symmetric(Rate noc_budget, Bytes packet_bytes,
                              double burst_packets);
 
   /// Non-symmetric policy: critical apps always keep their guaranteed
-  /// rate; best-effort apps share what remains uniformly.
-  static RateTable non_symmetric(Rate noc_budget, Bytes packet_bytes,
-                                 double burst_packets,
-                                 std::vector<AppQos> qos);
+  /// rate; best-effort apps share what remains uniformly. The QoS list is
+  /// user configuration, so infeasible tables (critical guarantees that
+  /// exceed the budget, duplicate app entries, non-positive shaping
+  /// parameters) are reported via Expected rather than aborted on.
+  static Expected<RateTable> non_symmetric(Rate noc_budget, Bytes packet_bytes,
+                                           double burst_packets,
+                                           std::vector<AppQos> qos);
 
   /// Injection bucket (packets) for `app` when `active` lists the currently
   /// active applications (the system mode is active.size()).

@@ -1,0 +1,249 @@
+// The exp sweep engine: Value/Result round trips, sweep enumeration,
+// parallel determinism, cancellation, and the content-hash result cache.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "exp/cache.hpp"
+#include "exp/experiment.hpp"
+#include "exp/runner.hpp"
+#include "exp/sink.hpp"
+#include "exp/sweep.hpp"
+#include "sim/kernel.hpp"
+
+namespace pap::exp {
+namespace {
+
+TEST(Value, DisplayMatchesTextTableCells) {
+  EXPECT_EQ(Value{42}.display(), "42");
+  EXPECT_EQ(Value{true}.display(), "true");
+  EXPECT_EQ((Value{3.14159, 2}).display(), "3.14");
+  EXPECT_EQ(Value{Time::ns(1500)}.display(), "1500.000");
+  EXPECT_EQ(Value{"hi"}.display(), "hi");
+}
+
+TEST(Value, EqualityIsExact) {
+  EXPECT_EQ(Value{1.0 / 3.0}, Value{1.0 / 3.0});
+  EXPECT_NE(Value{1.0 / 3.0}, Value{0.333333});
+  EXPECT_NE(Value{1}, Value{1.0});  // kind matters
+  EXPECT_EQ(Value{Time::us(3)}, Value{Time::us(3)});
+}
+
+TEST(Result, SerializationRoundTripsBitExact) {
+  Result r("point label\twith tab");
+  r.set("count", 7)
+      .set("ratio", Value{1.0 / 3.0, 5})
+      .set("flag", false)
+      .set("latency", Time::ps(123456789))
+      .set("note", std::string("line\nbreak"));
+  const auto back = Result::deserialize(r.serialize());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back.value(), r);
+  EXPECT_EQ(back.value().at("ratio").precision(), 5);
+}
+
+TEST(Result, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(Result::deserialize("not a result").has_value());
+  EXPECT_FALSE(Result::deserialize("pap-exp-result\t1\nbogus line").has_value());
+}
+
+TEST(ContentHash, SensitiveToParamsAndVersion) {
+  Experiment e{"exp", [](const Params&) { return Result{}; }, 1};
+  const Params a = Params{}.set("x", 1);
+  const Params b = Params{}.set("x", 2);
+  EXPECT_NE(content_hash(e, a), content_hash(e, b));
+  Experiment e2 = e;
+  e2.version = 2;
+  EXPECT_NE(content_hash(e, a), content_hash(e2, a));
+  EXPECT_EQ(content_hash(e, a), content_hash(e, Params{}.set("x", 1)));
+}
+
+TEST(SweepBuilder, CartesianIsRowMajorFirstAxisOutermost) {
+  const auto sweep = SweepBuilder{}
+                         .axis("a", {1, 2})
+                         .axis("b", {10, 20, 30})
+                         .build()
+                         .value();
+  ASSERT_EQ(sweep.size(), 6u);
+  EXPECT_EQ(sweep[0].label(), "a=1 b=10");
+  EXPECT_EQ(sweep[1].label(), "a=1 b=20");
+  EXPECT_EQ(sweep[3].label(), "a=2 b=10");
+  EXPECT_EQ(sweep[5].label(), "a=2 b=30");
+}
+
+TEST(SweepBuilder, ExplicitPointsFollowTheGrid) {
+  SweepBuilder b;
+  b.axis("a", {1, 2}).point(Params{}.set("a", 99));
+  EXPECT_EQ(b.size(), 3u);
+  const auto sweep = b.build().value();
+  EXPECT_EQ(sweep[2].get_int("a"), 99);
+}
+
+TEST(SweepBuilder, ValidatesComposition) {
+  EXPECT_FALSE(SweepBuilder{}.build().has_value());  // no points
+  EXPECT_FALSE(
+      SweepBuilder{}.axis("a", {1}).axis("a", {2}).build().has_value());
+  EXPECT_FALSE(SweepBuilder{}.axis("a", {}).build().has_value());
+}
+
+// A small but real workload: every point runs its own sim::Kernel, like
+// the migrated benches do.
+Experiment kernel_experiment() {
+  return Experiment{"exp_test_kernel", [](const Params& p) {
+                      const int n = static_cast<int>(p.get_int("events"));
+                      sim::Kernel k;
+                      std::int64_t sum = 0;
+                      for (int i = 0; i < n; ++i) {
+                        k.schedule_at(Time::ns(10) * i, [&sum, i] { sum += i; });
+                      }
+                      k.run();
+                      Result r(p.label());
+                      r.set("sum", sum).set("end (ns)", k.now());
+                      return r;
+                    }};
+}
+
+Sweep event_sweep() {
+  return SweepBuilder{}
+      .axis("events", {50, 100, 150, 200, 250, 300, 350, 400})
+      .build()
+      .value();
+}
+
+TEST(Runner, DeterministicAcrossJobsAndReruns) {
+  const auto exp = kernel_experiment();
+  const auto sweep = event_sweep();
+  RunnerOptions serial;
+  serial.jobs = 1;
+  RunnerOptions pooled;
+  pooled.jobs = 4;  // more threads than this container has cores: still fine
+
+  const auto a = Runner(serial).run(exp, sweep).results();
+  const auto b = Runner(pooled).run(exp, sweep).results();
+  const auto c = Runner(pooled).run(exp, sweep).results();
+  ASSERT_EQ(a.size(), sweep.size());
+  EXPECT_EQ(a, b);  // submission order, independent of jobs
+  EXPECT_EQ(b, c);  // and of which thread finished first
+}
+
+TEST(Runner, CancellationSkipsUnstartedPoints) {
+  Runner runner{[] {
+    RunnerOptions o;
+    o.jobs = 1;  // inline: cancellation point is deterministic
+    return o;
+  }()};
+  Experiment exp{"exp_test_cancel", [&runner](const Params& p) {
+                   if (p.get_int("i") == 1) runner.cancel();
+                   Result r(p.label());
+                   r.set("i", p.at("i"));
+                   return r;
+                 }};
+  const auto sweep =
+      SweepBuilder{}.axis("i", {0, 1, 2, 3, 4}).build().value();
+  const auto summary = runner.run(exp, sweep);
+  EXPECT_TRUE(summary.cancelled);
+  EXPECT_EQ(summary.completed(), 2u);  // points 0 and 1 ran
+  EXPECT_EQ(summary.points[2].status, PointStatus::kSkipped);
+  EXPECT_EQ(summary.points[4].status, PointStatus::kSkipped);
+  EXPECT_NE(summary.timing_summary().find("CANCELLED"), std::string::npos);
+
+  // The next run starts clean: the cancel request does not stick.
+  const auto again = runner.run(kernel_experiment(), event_sweep());
+  EXPECT_FALSE(again.cancelled);
+  EXPECT_EQ(again.completed(), 8u);
+}
+
+class CacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "pap-exp-cache-test";
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(CacheTest, HitMissAndForcedRefresh) {
+  std::atomic<int> calls{0};
+  Experiment exp{"exp_test_cache", [&calls](const Params& p) {
+                   calls.fetch_add(1);
+                   Result r(p.label());
+                   r.set("twice", p.get_int("x") * 2)
+                       .set("third", p.get_double("x") / 3.0);
+                   return r;
+                 }};
+  const auto sweep = SweepBuilder{}.axis("x", {1, 2, 3}).build().value();
+  RunnerOptions opts;
+  opts.jobs = 1;
+  opts.cache_dir = dir_.string();
+
+  const auto cold = Runner(opts).run(exp, sweep);
+  EXPECT_EQ(cold.cache_hits, 0u);
+  EXPECT_EQ(calls.load(), 3);
+  for (const auto& p : cold.points) EXPECT_EQ(p.status, PointStatus::kRan);
+
+  const auto warm = Runner(opts).run(exp, sweep);
+  EXPECT_EQ(warm.cache_hits, 3u);
+  EXPECT_EQ(calls.load(), 3);  // functor never invoked
+  for (const auto& p : warm.points) {
+    EXPECT_EQ(p.status, PointStatus::kCached);
+  }
+  EXPECT_EQ(cold.results(), warm.results());  // bit-exact round trip
+
+  // A version bump misses (stale entries keyed by the old hash).
+  Experiment v2 = exp;
+  v2.version = 2;
+  const auto bumped = Runner(opts).run(v2, sweep);
+  EXPECT_EQ(bumped.cache_hits, 0u);
+  EXPECT_EQ(calls.load(), 6);
+
+  // read_cache = false re-runs but re-warms the cache.
+  opts.read_cache = false;
+  const auto forced = Runner(opts).run(exp, sweep);
+  EXPECT_EQ(forced.cache_hits, 0u);
+  EXPECT_EQ(calls.load(), 9);
+}
+
+TEST_F(CacheTest, CorruptEntriesAreMisses) {
+  const Experiment exp{"exp_test_corrupt", [](const Params& p) {
+                         return Result{p.label()};
+                       }};
+  const ResultCache cache(dir_.string());
+  const Params p = Params{}.set("x", 1);
+  cache.store(exp, p, Result{"ok"});
+  ASSERT_TRUE(cache.load(exp, p).has_value());
+  // Truncate the entry on disk.
+  std::filesystem::resize_file(cache.path_for(exp, p), 4);
+  EXPECT_FALSE(cache.load(exp, p).has_value());
+}
+
+TEST(Stats, LatencyHistogramMerge) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  for (int i = 0; i < 10; ++i) a.add(Time::ns(100 + i));
+  for (int i = 0; i < 10; ++i) b.add(Time::ns(10 + i));
+  LatencyHistogram whole;
+  for (int i = 0; i < 10; ++i) whole.add(Time::ns(100 + i));
+  for (int i = 0; i < 10; ++i) whole.add(Time::ns(10 + i));
+
+  a.merge(b);
+  EXPECT_EQ(a.count(), 20u);
+  EXPECT_EQ(a.min(), Time::ns(10));
+  EXPECT_EQ(a.max(), Time::ns(109));
+  EXPECT_EQ(a.percentile(50), whole.percentile(50));
+  EXPECT_EQ(a.mean(), whole.mean());
+
+  LatencyHistogram empty;
+  a.merge(empty);  // no-op
+  EXPECT_EQ(a.count(), 20u);
+  empty.merge(a);  // merge into empty adopts everything
+  EXPECT_EQ(empty.count(), 20u);
+  EXPECT_EQ(empty.percentile(99), a.percentile(99));
+}
+
+}  // namespace
+}  // namespace pap::exp

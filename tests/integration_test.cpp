@@ -55,7 +55,7 @@ TEST(Integration, AdmittedFlowsMeetBoundsUnderRmEnforcement) {
   std::vector<rm::AppQos> qos{
       {1, true, Rate::bits_per_sec(a1.traffic.rate * 1e9 * 8 * 64)},
       {2, true, Rate::bits_per_sec(a2.traffic.rate * 1e9 * 8 * 64)}};
-  auto table = rm::RateTable::non_symmetric(Rate::gbps(8), 64, 2.0, qos);
+  auto table = rm::RateTable::non_symmetric(Rate::gbps(8), 64, 2.0, qos).value();
   rm::ResourceManager manager(kernel, net, mesh.node(3, 3), table);
   auto* c1 = manager.add_client(a1.src, 1);
   auto* c2 = manager.add_client(a2.src, 2);

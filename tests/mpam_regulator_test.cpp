@@ -70,16 +70,14 @@ TEST(BwRegulator, SwVsHwScenarioComparison) {
   // Section III-C's efficiency claim, executed: the HW regulator isolates
   // the RT workload at least as well as the same budget under Memguard,
   // at zero software overhead.
-  platform::ScenarioKnobs sw;
-  sw.hogs = 3;
-  sw.memguard = true;
-  sw.sim_time = Time::ms(1);
-  const auto memguard = platform::run_mixed_criticality(sw, "memguard");
+  const platform::ScenarioConfig sw =
+      platform::ScenarioConfig{}.hogs(3).memguard().sim_time(Time::ms(1));
+  const auto memguard = platform::run_scenario(sw, "memguard").value();
 
-  platform::ScenarioKnobs hw = sw;
-  hw.memguard = false;
-  hw.mpam_bw = true;
-  const auto mpam = platform::run_mixed_criticality(hw, "mpam");
+  const auto mpam =
+      platform::run_scenario(
+          platform::ScenarioConfig{sw}.memguard(false).mpam_bw(), "mpam")
+          .value();
 
   EXPECT_GT(mpam.mpam_throttles, 0u);
   EXPECT_EQ(mpam.memguard_overhead, Time::zero());

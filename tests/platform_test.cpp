@@ -127,29 +127,36 @@ TEST(Workload, HogKeepsDramBusy) {
 TEST(Scenario, InterferenceInflatesRtLatency) {
   // The paper's motivating observation ([2]): parallel load inflates the
   // RT workload's latency multiple times over.
-  ScenarioKnobs baseline;
-  baseline.hogs = 0;
-  baseline.sim_time = Time::ms(1);
-  const auto base = run_mixed_criticality(baseline, "baseline");
+  const ScenarioConfig baseline =
+      ScenarioConfig{}.hogs(0).sim_time(Time::ms(1));
+  const auto base = run_scenario(baseline, "baseline").value();
 
-  ScenarioKnobs loaded = baseline;
-  loaded.hogs = 3;
-  const auto noisy = run_mixed_criticality(loaded, "3 hogs");
+  const auto noisy =
+      run_scenario(ScenarioConfig{baseline}.hogs(3), "3 hogs").value();
 
   const double inflation = ScenarioResult::inflation(base, noisy, 99.0);
   EXPECT_GT(inflation, 1.5);
 }
 
-TEST(Scenario, IsolationKnobsReduceTail) {
-  ScenarioKnobs loaded;
-  loaded.hogs = 3;
-  loaded.sim_time = Time::ms(1);
-  const auto noisy = run_mixed_criticality(loaded, "no isolation");
+TEST(Scenario, ConfigValidatesOnBuild) {
+  EXPECT_TRUE(ScenarioConfig{}.build().has_value());
+  const auto negative_hogs = ScenarioConfig{}.hogs(-1).build();
+  ASSERT_FALSE(negative_hogs);
+  EXPECT_NE(negative_hogs.error_message().find("hogs"), std::string::npos);
+  EXPECT_FALSE(ScenarioConfig{}.sim_time(Time::zero()).build());
+  EXPECT_FALSE(ScenarioConfig{}.memguard().hog_budget_per_period(0).build());
+  EXPECT_FALSE(ScenarioConfig{}.rt_working_set(8).build());
+  EXPECT_FALSE(run_scenario(ScenarioConfig{}.hogs(64), "invalid"));
+}
 
-  ScenarioKnobs isolated = loaded;
-  isolated.dsu_partitioning = true;
-  isolated.memguard = true;
-  const auto guarded = run_mixed_criticality(isolated, "DSU + memguard");
+TEST(Scenario, IsolationKnobsReduceTail) {
+  const ScenarioConfig loaded = ScenarioConfig{}.hogs(3).sim_time(Time::ms(1));
+  const auto noisy = run_scenario(loaded, "no isolation").value();
+
+  const auto guarded =
+      run_scenario(ScenarioConfig{loaded}.dsu_partitioning().memguard(),
+                   "DSU + memguard")
+          .value();
 
   EXPECT_LT(guarded.rt_latency.percentile(99.9),
             noisy.rt_latency.percentile(99.9));
@@ -159,20 +166,17 @@ TEST(Scenario, IsolationKnobsReduceTail) {
 TEST(Scenario, StopTheWorldGivesSingleCoreEquivalentLatency) {
   // Sec. II: stop-the-world "generate[s] a single-core equivalent
   // scenario" — RT latency matches the hog-free baseline...
-  ScenarioKnobs alone;
-  alone.hogs = 0;
-  alone.sim_time = Time::ms(1);
-  const auto base = run_mixed_criticality(alone, "alone");
+  const auto base =
+      run_scenario(ScenarioConfig{}.hogs(0).sim_time(Time::ms(1)), "alone")
+          .value();
 
-  ScenarioKnobs stw;
-  stw.hogs = 3;
-  stw.stop_the_world = true;
-  stw.sim_time = Time::ms(1);
-  const auto stopped = run_mixed_criticality(stw, "stop-the-world");
+  const ScenarioConfig stw =
+      ScenarioConfig{}.hogs(3).stop_the_world().sim_time(Time::ms(1));
+  const auto stopped = run_scenario(stw, "stop-the-world").value();
 
-  ScenarioKnobs uncontrolled = stw;
-  uncontrolled.stop_the_world = false;
-  const auto wild = run_mixed_criticality(uncontrolled, "uncontrolled");
+  const auto wild =
+      run_scenario(ScenarioConfig{stw}.stop_the_world(false), "uncontrolled")
+          .value();
 
   // RT tail close to the single-core baseline (within the residual effect
   // of in-flight hog requests draining), far below the uncontrolled case.
@@ -185,26 +189,23 @@ TEST(Scenario, StopTheWorldGivesSingleCoreEquivalentLatency) {
 TEST(Scenario, StopTheWorldCostsThroughput) {
   // ...but is "not adequate due to the performance penalty": the hogs
   // lose throughput vs. any other isolation mechanism.
-  ScenarioKnobs stw;
-  stw.hogs = 3;
-  stw.stop_the_world = true;
-  stw.sim_time = Time::ms(1);
-  const auto stopped = run_mixed_criticality(stw, "stop-the-world");
+  const ScenarioConfig stw =
+      ScenarioConfig{}.hogs(3).stop_the_world().sim_time(Time::ms(1));
+  const auto stopped = run_scenario(stw, "stop-the-world").value();
 
-  ScenarioKnobs dsu = stw;
-  dsu.stop_the_world = false;
-  dsu.dsu_partitioning = true;
-  const auto partitioned = run_mixed_criticality(dsu, "DSU");
+  const auto partitioned =
+      run_scenario(
+          ScenarioConfig{stw}.stop_the_world(false).dsu_partitioning(), "DSU")
+          .value();
 
   EXPECT_LT(stopped.hog_accesses, partitioned.hog_accesses);
 }
 
 TEST(Scenario, DeterministicForSameKnobs) {
-  ScenarioKnobs knobs;
-  knobs.hogs = 2;
-  knobs.sim_time = Time::us(300);
-  const auto a = run_mixed_criticality(knobs, "a");
-  const auto b = run_mixed_criticality(knobs, "b");
+  const ScenarioConfig config =
+      ScenarioConfig{}.hogs(2).sim_time(Time::us(300));
+  const auto a = run_scenario(config, "a").value();
+  const auto b = run_scenario(config, "b").value();
   EXPECT_EQ(a.rt_latency.max(), b.rt_latency.max());
   EXPECT_EQ(a.hog_accesses, b.hog_accesses);
 }

@@ -26,7 +26,7 @@ TEST(RateTable, NonSymmetricPinsCriticalRates) {
   std::vector<AppQos> qos{{1, true, Rate::gbps(2)},
                           {2, false, Rate::gbps(0)},
                           {3, false, Rate::gbps(0)}};
-  const auto t = RateTable::non_symmetric(Rate::gbps(8), 64, 4.0, qos);
+  const auto t = RateTable::non_symmetric(Rate::gbps(8), 64, 4.0, qos).value();
   // Critical app keeps its rate in every mode.
   const auto alone = t.rate_for(1, {1});
   const auto crowded = t.rate_for(1, {1, 2, 3});
@@ -42,10 +42,29 @@ TEST(RateTable, NonSymmetricBestEffortShrinksWithMode) {
   std::vector<AppQos> qos{{1, true, Rate::gbps(4)},
                           {2, false, Rate::gbps(0)},
                           {3, false, Rate::gbps(0)}};
-  const auto t = RateTable::non_symmetric(Rate::gbps(8), 64, 4.0, qos);
+  const auto t = RateTable::non_symmetric(Rate::gbps(8), 64, 4.0, qos).value();
   const auto be_mode2 = t.rate_for(2, {1, 2});
   const auto be_mode3 = t.rate_for(2, {1, 2, 3});
   EXPECT_GT(be_mode2.rate, be_mode3.rate);
+}
+
+TEST(RateTable, NonSymmetricRejectsInfeasibleConfigurations) {
+  // Critical guarantees beyond the budget are a configuration error, not a
+  // crash: the factory reports it via Expected.
+  const auto over = RateTable::non_symmetric(
+      Rate::gbps(2), 64, 4.0,
+      {{1, true, Rate::gbps(3)}, {2, false, Rate::gbps(0)}});
+  ASSERT_FALSE(over.has_value());
+  EXPECT_NE(over.error_message().find("NoC budget"), std::string::npos);
+
+  const auto dup = RateTable::non_symmetric(
+      Rate::gbps(8), 64, 4.0,
+      {{1, true, Rate::gbps(1)}, {1, false, Rate::gbps(0)}});
+  ASSERT_FALSE(dup.has_value());
+  EXPECT_NE(dup.error_message().find("duplicate"), std::string::npos);
+
+  EXPECT_FALSE(RateTable::non_symmetric(Rate::gbps(8), 0, 4.0, {}));
+  EXPECT_FALSE(RateTable::non_symmetric(Rate::gbps(8), 64, 0.0, {}));
 }
 
 struct Fixture {
@@ -234,7 +253,9 @@ TEST_P(ProtocolFuzz, LifecycleStormKeepsInvariants) {
   // packets — the app quit with work pending).
   std::uint64_t sent = 0;
   for (const auto* c : clients) {
-    if (c->state() == Client::State::kActive) EXPECT_EQ(c->queued(), 0u);
+    if (c->state() == Client::State::kActive) {
+      EXPECT_EQ(c->queued(), 0u);
+    }
     sent += c->sent();
   }
   EXPECT_EQ(net.delivered(), sent);

@@ -165,6 +165,28 @@ TEST(PeriodicEvent, StopEndsSeries) {
   EXPECT_FALSE(p.running());
 }
 
+TEST(PeriodicEvent, StaleHandleStaysDeadAcrossPeriodicChurn) {
+  // A PeriodicEvent reschedules itself on every firing, churning through
+  // event sequence numbers. A handle to an event that already fired must
+  // keep reporting false from cancel() no matter how much churn follows —
+  // stale handles never alias a live (rescheduled) event.
+  Kernel k;
+  bool fired = false;
+  const auto id = k.schedule_at(Time::ns(1), [&] { fired = true; });
+  int fires = 0;
+  PeriodicEvent p(k, Time::ns(0), Time::ns(2), [&] { ++fires; });
+  k.run(Time::ns(9));
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(fires, 5);  // at 0, 2, 4, 6, 8
+  EXPECT_FALSE(k.cancel(id));  // fired long ago
+  EXPECT_FALSE(k.empty());     // the periodic's next firing is still live
+  p.stop();
+  EXPECT_TRUE(k.empty());      // stop cancelled the pending firing
+  EXPECT_FALSE(k.cancel(id));  // still a safe no-op after the stop
+  p.stop();                    // idempotent
+  EXPECT_FALSE(p.running());
+}
+
 TEST(PeriodicEvent, StopFromInsideCallback) {
   Kernel k;
   int count = 0;
