@@ -13,6 +13,7 @@
 #include "dram/traffic.hpp"
 #include "exp/runner.hpp"
 #include "sim/kernel.hpp"
+#include "trace/tracer.hpp"
 
 using namespace pap;
 
@@ -24,8 +25,9 @@ struct SweepResult {
   std::int64_t switches;
 };
 
-SweepResult run(int w_high, int w_low, int n_wd) {
+SweepResult run(int w_high, int w_low, int n_wd, trace::Tracer* tracer) {
   sim::Kernel kernel;
+  kernel.set_tracer(tracer);
   dram::ControllerParams ctrl;
   ctrl.w_high = w_high;
   ctrl.w_low = w_low;
@@ -88,11 +90,12 @@ int main(int argc, char** argv) {
   }
 
   print_heading("Watermark parameter sweep (reads vs writes trade-off)");
-  exp::Experiment experiment{
-      "fig5_watermark_policy", [](const exp::Params& p) {
+  exp::Experiment experiment{"fig5_watermark_policy", {}};
+  experiment.run_traced =
+      [](const exp::Params& p, trace::Tracer* tracer) {
         const auto r = run(static_cast<int>(p.get_int("W_high")),
                            static_cast<int>(p.get_int("W_low")),
-                           static_cast<int>(p.get_int("N_wd")));
+                           static_cast<int>(p.get_int("N_wd")), tracer);
         exp::Result out(p.label());
         out.set("W_high", p.at("W_high"))
             .set("W_low", p.at("W_low"))
@@ -101,7 +104,7 @@ int main(int argc, char** argv) {
             .set("write p99 (ns)", r.write_p99)
             .set("write batches", r.switches);
         return out;
-      }};
+      };
   exp::SweepBuilder builder;
   struct Cfg {
     int wh, wl, nwd;
@@ -116,11 +119,14 @@ int main(int argc, char** argv) {
   }
   const auto sweep = builder.build().value();
 
+  const auto opts = exp::to_runner_options(cli);
   exp::ConsoleTableSink table;
   exp::CsvSink csv(cli.out_dir + "/fig5_watermark_policy.csv");
   exp::JsonlSink jsonl(cli.out_dir + "/fig5_watermark_policy.jsonl");
-  exp::Runner runner(exp::to_runner_options(cli));
+  exp::TraceDirSink traces(opts.trace_dir);
+  exp::Runner runner(opts);
   runner.add_sink(&table).add_sink(&csv).add_sink(&jsonl);
+  if (cli.trace) runner.add_sink(&traces);
   const auto summary = runner.run(experiment, sweep);
 
   // Shape: higher watermarks defer writes (write p99 grows monotonically-ish,

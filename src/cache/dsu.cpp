@@ -1,5 +1,10 @@
 #include "cache/dsu.hpp"
 
+#include <cstdio>
+#include <string>
+
+#include "trace/tracer.hpp"
+
 namespace pap::cache {
 
 namespace {
@@ -52,6 +57,11 @@ Status DsuCluster::write_partition_register(std::uint32_t value) {
   if (!decoded) return Status::error(decoded.error_message());
   owners_ = decoded.value();
   partcr_ = value;
+  if (tracer_) {
+    char name[48];
+    std::snprintf(name, sizeof name, "partcr_write/0x%08x", value);
+    tracer_->instant("dsu", name, "config");
+  }
   return Status::ok();
 }
 
@@ -86,7 +96,21 @@ AccessResult DsuCluster::access(std::uint32_t vm, std::uint8_t guest_scheme,
 
 AccessResult DsuCluster::access_scheme(SchemeId scheme, Addr addr) {
   PAP_CHECK(scheme < kNumSchemeIds);
-  return l3_.access(scheme, addr);
+  const AccessResult r = l3_.access(scheme, addr);
+  if (tracer_) {
+    const std::string who = "scheme" + std::to_string(scheme);
+    // Portion occupancy moves only when a line is (de)allocated; hits keep
+    // it flat, so gauge updates on allocations/evictions are enough.
+    if (r.allocated || r.evicted) {
+      tracer_->counter("dsu", who + "/occupancy_lines",
+                       static_cast<double>(l3_.occupancy(scheme)));
+    }
+    tracer_->counter("dsu", who + (r.hit ? "/hits" : "/misses"),
+                     static_cast<double>(l3_.counters().get(
+                         std::to_string(scheme) + (r.hit ? ".hits" : ".misses"))),
+                     trace::CounterKind::kMonotonic);
+  }
+  return r;
 }
 
 }  // namespace pap::cache

@@ -30,6 +30,10 @@
 #include "cache/cache.hpp"
 #include "common/status.hpp"
 
+namespace pap::trace {
+class Tracer;
+}
+
 namespace pap::cache {
 
 using SchemeId = std::uint8_t;  ///< 3 bits, 0..7
@@ -92,8 +96,15 @@ class DsuCluster {
   const Cache& l3() const { return l3_; }
   std::uint32_t ways_per_group() const { return ways_per_group_; }
 
+  /// Attach an observability tracer (not owned; nullptr detaches). The DSU
+  /// is functional — it has no kernel — so the tracer's own clock stamps
+  /// the events. Emits per-scheme occupancy gauges on allocation and
+  /// partition-register write instants.
+  void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   Cache l3_;
+  trace::Tracer* tracer_ = nullptr;
   std::uint32_t ways_per_group_;
   std::uint32_t partcr_ = 0;
   GroupOwners owners_{};  // all unassigned initially

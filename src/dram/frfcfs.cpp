@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "trace/tracer.hpp"
 
 namespace pap::dram {
 
@@ -30,6 +31,10 @@ void FrFcfsController::submit(Request request) {
   } else {
     write_q_.push_back(request);
     counters_.inc("writes_submitted");
+  }
+  if (auto* t = kernel_.tracer()) {
+    t->counter("dram", "read_q_depth", static_cast<double>(read_q_.size()));
+    t->counter("dram", "write_q_depth", static_cast<double>(write_q_.size()));
   }
   kick();
 }
@@ -116,6 +121,12 @@ void FrFcfsController::switch_mode(Mode m, Time turnaround) {
     must_serve_read_ = true;
     counters_.inc("switches_to_read");
   }
+  if (auto* t = kernel_.tracer()) {
+    t->instant("dram",
+               m == Mode::kWrite ? "switch_to_write" : "switch_to_read",
+               "mode");
+    t->counter("dram", "write_q_depth", static_cast<double>(write_q_.size()));
+  }
   if (on_mode_) on_mode_(kernel_.now(), m, write_q_.size());
 }
 
@@ -127,6 +138,12 @@ void FrFcfsController::do_refresh() {
   for (auto& b : banks_) done = std::max(done, b.refresh(start));
   ready_at_ = done;
   last_was_hit_ = false;
+  if (auto* t = kernel_.tracer()) {
+    t->span(start, done - start, "dram", "refresh", "mode");
+    t->counter("dram", "refreshes",
+               static_cast<double>(counters_.get("refreshes")),
+               trace::CounterKind::kMonotonic);
+  }
   if (on_mode_) on_mode_(kernel_.now(), Mode::kRefresh, write_q_.size());
   kernel_.schedule_at(done, [this] { dispatch(); });
 }
@@ -230,6 +247,24 @@ void FrFcfsController::serve(Request r, bool is_hit) {
     read_latency_.add(latency);
   } else {
     write_latency_.add(latency);
+  }
+  if (auto* t = kernel_.tracer()) {
+    // Two spans per request: time spent queued (arrival -> engine pickup)
+    // and the command/data phase. Hits are a CAS burst; misses pay the
+    // activate as well (closed-page rows always miss).
+    const char* op = r.op == Op::kRead ? "read" : "write";
+    t->span(r.arrival, now - r.arrival, "dram", std::string(op) + "/queue",
+            "queue");
+    t->span(now, completion - now, "dram",
+            std::string(op) + (is_hit ? "/CAS" : "/ACT+CAS"), "service");
+    t->counter("dram", "row_hits",
+               static_cast<double>(counters_.get("read_hits") +
+                                   counters_.get("write_hits")),
+               trace::CounterKind::kMonotonic);
+    t->counter("dram", "row_misses",
+               static_cast<double>(counters_.get("read_misses") +
+                                   counters_.get("write_misses")),
+               trace::CounterKind::kMonotonic);
   }
   if (on_complete_) {
     kernel_.schedule_at(

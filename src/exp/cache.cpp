@@ -8,6 +8,29 @@
 
 namespace pap::exp {
 
+namespace {
+
+// Identity header preceding the serialized Result in every cache entry.
+// The canonical params string is length-prefixed so it can carry newlines
+// without an escaping scheme; verification is an exact string compare.
+//
+//   pap-exp-cache\t2
+//   id\t<name>\t<version>\t<canonical byte count>
+//   <canonical params bytes>
+//   <Result::serialize() blob>
+constexpr char kMagic[] = "pap-exp-cache\t2";
+
+std::string identity_header(const Experiment& exp, const Params& params) {
+  const std::string canon = params.canonical();
+  std::ostringstream os;
+  os << kMagic << "\nid\t" << exp.name << "\t" << exp.version << "\t"
+     << canon.size() << "\n"
+     << canon;
+  return os.str();
+}
+
+}  // namespace
+
 std::string ResultCache::path_for(const Experiment& exp,
                                   const Params& params) const {
   char hex[17];
@@ -23,7 +46,15 @@ std::optional<Result> ResultCache::load(const Experiment& exp,
   if (!in.is_open()) return std::nullopt;
   std::ostringstream text;
   text << in.rdbuf();
-  auto parsed = Result::deserialize(text.str());
+  const std::string blob = text.str();
+  // Verify the identity header: a filename-hash collision or an entry from
+  // an older format must read as a miss, never as someone else's Result.
+  const std::string expect = identity_header(exp, params);
+  if (blob.size() < expect.size() ||
+      blob.compare(0, expect.size(), expect) != 0) {
+    return std::nullopt;
+  }
+  auto parsed = Result::deserialize(blob.substr(expect.size()));
   if (!parsed) return std::nullopt;
   return std::move(parsed).value();
 }
@@ -42,7 +73,7 @@ void ResultCache::store(const Experiment& exp, const Params& params,
   {
     std::ofstream out(tmp.str(), std::ios::trunc);
     if (!out.is_open()) return;
-    out << r.serialize();
+    out << identity_header(exp, params) << r.serialize();
     if (!out.good()) return;
   }
   std::filesystem::rename(tmp.str(), path, ec);

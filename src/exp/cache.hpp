@@ -6,6 +6,13 @@
 // `Experiment::version` after changing the run functor — changes the key
 // and forces a fresh run. Entries are plain text files under the cache
 // directory, safe to delete at any time.
+//
+// The 64-bit filename hash is an index, not a proof of identity: a hash
+// collision (or a stale file surviving a semantics change) must not
+// silently return the wrong Result. Every entry therefore carries an
+// identity header — experiment name, version and the canonical parameter
+// encoding — that `load` verifies byte-for-byte before trusting the body;
+// any mismatch is treated as a miss.
 #pragma once
 
 #include <optional>

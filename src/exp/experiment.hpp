@@ -26,6 +26,10 @@
 #include "common/status.hpp"
 #include "common/time.hpp"
 
+namespace pap::trace {
+class Tracer;
+}
+
 namespace pap::exp {
 
 /// A tagged scalar: the one cell type flowing through params, results and
@@ -150,10 +154,20 @@ class Result {
 /// from multiple threads concurrently (each call builds its own simulators)
 /// and deterministic in its Params. Bump `version` whenever the semantics
 /// of `run` change so stale cached results are invalidated.
+///
+/// Tracing-aware experiments provide `run_traced` instead of (or as well
+/// as) `run`: the Runner passes a per-point trace::Tracer when the sweep
+/// runs with a trace directory configured, and nullptr otherwise — the
+/// functor attaches it to its kernel (`kernel.set_tracer(tracer)`) and
+/// must produce identical Results either way. When both functors are set,
+/// `run_traced` wins.
 struct Experiment {
   std::string name;
   std::function<Result(const Params&)> run;
   int version = 1;
+  /// Optional tracing-aware functor (declared after `version` so the
+  /// established `{name, run, version}` aggregate init keeps working).
+  std::function<Result(const Params&, trace::Tracer*)> run_traced;
 };
 
 /// FNV-1a over the experiment identity and a parameter point — the content

@@ -1,5 +1,6 @@
 #include "exp/runner.hpp"
 
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -7,6 +8,8 @@
 #include <thread>
 
 #include "common/check.hpp"
+#include "trace/chrome_trace.hpp"
+#include "trace/tracer.hpp"
 
 namespace pap::exp {
 
@@ -64,7 +67,10 @@ Runner& Runner::add_sink(ResultSink* sink) {
 }
 
 SweepSummary Runner::run(const Experiment& exp, const Sweep& sweep) {
-  PAP_CHECK_MSG(static_cast<bool>(exp.run), "Experiment has no run functor");
+  PAP_CHECK_MSG(static_cast<bool>(exp.run) || static_cast<bool>(exp.run_traced),
+                "Experiment has no run functor");
+  const bool tracing = !opts_.trace_dir.empty() &&
+                       static_cast<bool>(exp.run_traced);
   cancel_.store(false, std::memory_order_relaxed);
 
   SweepSummary summary;
@@ -101,7 +107,18 @@ SweepSummary Runner::run(const Experiment& exp, const Sweep& sweep) {
           continue;
         }
       }
-      out.result = exp.run(out.params);
+      if (tracing) {
+        // Per-point Tracer: each point owns its trace, so traced sweeps
+        // stay deterministic for any jobs count.
+        trace::Tracer tracer;
+        out.result = exp.run_traced(out.params, &tracer);
+        out.trace_json = trace::to_chrome_json(tracer);
+        out.counters_csv = tracer.counters().csv();
+      } else if (exp.run_traced) {
+        out.result = exp.run_traced(out.params, nullptr);
+      } else {
+        out.result = exp.run(out.params);
+      }
       out.status = PointStatus::kRan;
       out.wall_ms = ms_since(point_start);
       cache.store(exp, out.params, out.result);
@@ -131,28 +148,98 @@ SweepSummary Runner::run(const Experiment& exp, const Sweep& sweep) {
   return summary;
 }
 
-CliOptions parse_cli(int argc, char** argv) {
+std::string cli_usage(const std::string& prog) {
+  return "usage: " + prog +
+         " [options]\n"
+         "  --jobs N | --jobs=N | -j N   worker threads (0 = all cores)\n"
+         "  --cache                      cache results under <out>/cache\n"
+         "  --out DIR | --out=DIR        output directory (default "
+         "bench/out)\n"
+         "  --trace[=DIR]                write per-point Chrome traces and\n"
+         "                               counter CSVs (default <out>/traces)\n"
+         "  --help                       show this message and exit\n";
+}
+
+namespace {
+
+// Strict non-negative integer parse: whole string, base 10, no atoi
+// garbage-to-0. Returns false on any malformed or out-of-range input.
+bool parse_jobs(const char* s, int* out) {
+  if (s == nullptr || *s == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0') return false;
+  if (v < 0 || v > 100000) return false;
+  *out = static_cast<int>(v);
+  return true;
+}
+
+Expected<CliOptions> cli_error(const std::string& msg) {
+  return Expected<CliOptions>::error(msg);
+}
+
+}  // namespace
+
+Expected<CliOptions> parse_cli_args(int argc, const char* const* argv) {
   CliOptions cli;
   for (int i = 1; i < argc; ++i) {
-    const char* a = argv[i];
-    if (std::strncmp(a, "--jobs=", 7) == 0) {
-      cli.jobs = std::atoi(a + 7);
-    } else if ((std::strcmp(a, "--jobs") == 0 || std::strcmp(a, "-j") == 0) &&
-               i + 1 < argc) {
-      cli.jobs = std::atoi(argv[++i]);
-    } else if (std::strcmp(a, "--cache") == 0) {
+    const std::string a = argv[i];
+    if (a == "--help" || a == "-h") {
+      cli.help = true;
+    } else if (a.rfind("--jobs=", 0) == 0) {
+      if (!parse_jobs(a.c_str() + 7, &cli.jobs)) {
+        return cli_error("invalid value for --jobs: '" + a.substr(7) + "'");
+      }
+    } else if (a == "--jobs" || a == "-j") {
+      if (i + 1 >= argc) return cli_error(a + " requires a value");
+      if (!parse_jobs(argv[++i], &cli.jobs)) {
+        return cli_error("invalid value for " + a + ": '" + argv[i] + "'");
+      }
+    } else if (a == "--cache") {
       cli.cache = true;
-    } else if (std::strcmp(a, "--out") == 0 && i + 1 < argc) {
+    } else if (a.rfind("--out=", 0) == 0) {
+      if (a.size() == 6) return cli_error("--out requires a directory");
+      cli.out_dir = a.substr(6);
+    } else if (a == "--out") {
+      if (i + 1 >= argc) return cli_error("--out requires a directory");
       cli.out_dir = argv[++i];
+    } else if (a == "--trace") {
+      cli.trace = true;
+    } else if (a.rfind("--trace=", 0) == 0) {
+      if (a.size() == 8) return cli_error("--trace= requires a directory");
+      cli.trace = true;
+      cli.trace_dir = a.substr(8);
+    } else {
+      return cli_error("unknown argument: '" + a + "'");
     }
   }
   return cli;
+}
+
+CliOptions parse_cli(int argc, char** argv) {
+  const char* prog = argc > 0 && argv[0] != nullptr ? argv[0] : "bench";
+  auto parsed = parse_cli_args(argc, argv);
+  if (!parsed) {
+    std::fprintf(stderr, "%s\n%s", parsed.error_message().c_str(),
+                 cli_usage(prog).c_str());
+    std::exit(64);  // EX_USAGE
+  }
+  if (parsed.value().help) {
+    std::fputs(cli_usage(prog).c_str(), stdout);
+    std::exit(0);
+  }
+  return std::move(parsed).value();
 }
 
 RunnerOptions to_runner_options(const CliOptions& cli) {
   RunnerOptions opts;
   opts.jobs = cli.jobs;
   if (cli.cache) opts.cache_dir = cli.out_dir + "/cache";
+  if (cli.trace) {
+    opts.trace_dir =
+        cli.trace_dir.empty() ? cli.out_dir + "/traces" : cli.trace_dir;
+  }
   return opts;
 }
 

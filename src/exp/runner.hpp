@@ -36,6 +36,10 @@ struct RunnerOptions {
   /// When false, cached entries are ignored (but fresh results are still
   /// stored) — a forced re-run that re-warms the cache.
   bool read_cache = true;
+  /// When non-empty and the Experiment provides `run_traced`, each point
+  /// runs with its own trace::Tracer and the exported Chrome-trace JSON /
+  /// counter CSV land in PointOutcome (written out by TraceDirSink).
+  std::string trace_dir;
 };
 
 enum class PointStatus {
@@ -49,6 +53,11 @@ struct PointOutcome {
   Result result;
   PointStatus status = PointStatus::kSkipped;
   double wall_ms = 0.0;  ///< this point's wall-clock cost
+  /// Filled only for traced runs (kRan with tracing on): the point's
+  /// Chrome `trace_event` JSON and counter-registry CSV. Cached points
+  /// carry no trace — the simulation never ran.
+  std::string trace_json;
+  std::string counters_csv;
 };
 
 struct SweepSummary {
@@ -103,13 +112,31 @@ class Runner {
 ///   --jobs N | --jobs=N | -j N   worker threads (default: all cores)
 ///   --cache                      enable the result cache under <out>/cache
 ///   --out DIR                    sink/cache output directory
+///   --trace[=DIR]                emit per-point Chrome traces + counter
+///                                CSVs (default DIR: <out>/traces)
+///   --help                       print usage and exit
 struct CliOptions {
   int jobs = 0;
   bool cache = false;
   std::string out_dir = "bench/out";
+  bool trace = false;
+  std::string trace_dir;  ///< empty with trace=true means <out>/traces
+  bool help = false;
 };
 
+/// The usage text `parse_cli` prints (`prog` names the binary).
+std::string cli_usage(const std::string& prog);
+
+/// Strict parse of the shared bench flags. Unknown arguments and malformed
+/// numeric values are errors, never silently ignored; `--help` simply sets
+/// `CliOptions::help`. Pure — no printing, no exit — so it is testable.
+Expected<CliOptions> parse_cli_args(int argc, const char* const* argv);
+
+/// Bench-main wrapper around `parse_cli_args`: on error prints the
+/// complaint plus usage to stderr and exits 64 (EX_USAGE); on `--help`
+/// prints usage to stdout and exits 0.
 CliOptions parse_cli(int argc, char** argv);
+
 RunnerOptions to_runner_options(const CliOptions& cli);
 
 }  // namespace pap::exp

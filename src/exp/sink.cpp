@@ -1,5 +1,6 @@
 #include "exp/sink.hpp"
 
+#include <cstdio>
 #include <filesystem>
 
 #include "exp/runner.hpp"
@@ -96,6 +97,33 @@ void JsonlSink::on_result(const SweepSummary& sweep, std::size_t index) {
   char wall[32];
   std::snprintf(wall, sizeof wall, "%.3f", outcome.wall_ms);
   out_ << "},\"wall_ms\":" << wall << "}\n";
+}
+
+void TraceDirSink::on_result(const SweepSummary& sweep, std::size_t index) {
+  const PointOutcome& outcome = sweep.points[index];
+  if (outcome.trace_json.empty()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) return;
+  const std::string stem =
+      dir_ + "/" + sweep.experiment + "-p" + std::to_string(index);
+  {
+    std::ofstream out(stem + ".trace.json", std::ios::trunc);
+    if (!out.is_open()) return;
+    out << outcome.trace_json;
+  }
+  if (!outcome.counters_csv.empty()) {
+    std::ofstream out(stem + ".counters.csv", std::ios::trunc);
+    if (out.is_open()) out << outcome.counters_csv;
+  }
+  ++written_;
+}
+
+void TraceDirSink::on_finish(const SweepSummary& sweep) {
+  if (written_ > 0) {
+    std::printf("[%s] %zu trace%s under %s/\n", sweep.experiment.c_str(),
+                written_, written_ == 1 ? "" : "s", dir_.c_str());
+  }
 }
 
 }  // namespace pap::exp

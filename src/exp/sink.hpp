@@ -79,4 +79,25 @@ class JsonlSink : public ResultSink {
   std::ofstream out_;
 };
 
+/// Writes each traced point's Chrome trace JSON and counter CSV under a
+/// directory:
+///   <dir>/<experiment>-p<index>.trace.json
+///   <dir>/<experiment>-p<index>.counters.csv
+/// Points without trace payloads (cached / tracing disabled) are skipped.
+/// Delivery happens in submission order on the calling thread, so the set
+/// of files and their bytes is deterministic for any jobs count.
+class TraceDirSink : public ResultSink {
+ public:
+  explicit TraceDirSink(std::string dir) : dir_(std::move(dir)) {}
+
+  void on_result(const SweepSummary& sweep, std::size_t index) override;
+  void on_finish(const SweepSummary& sweep) override;
+
+  std::size_t files_written() const { return written_; }
+
+ private:
+  std::string dir_;
+  std::size_t written_ = 0;
+};
+
 }  // namespace pap::exp

@@ -1,6 +1,9 @@
 #include "mpam/policer.hpp"
 
+#include <string>
+
 #include "common/check.hpp"
+#include "trace/tracer.hpp"
 
 namespace pap::mpam {
 
@@ -46,6 +49,7 @@ bool ContractPolicer::clamped(PartId partid) const {
 
 void ContractPolicer::check() {
   const double window_s = cfg_.window.seconds();
+  trace::Tracer* t = kernel_.tracer();
   for (auto& e : entries_) {
     const std::uint64_t bytes = sample_(e.partid);
     const double observed_bps =
@@ -53,6 +57,9 @@ void ContractPolicer::check() {
     e.last_bytes = bytes;
     const double limit_bps =
         e.contracted.in_bits_per_sec() * cfg_.tolerance;
+    const std::string part =
+        t ? "part" + std::to_string(e.partid) : std::string{};
+    if (t) t->counter("policer", part + "/observed_bps", observed_bps);
     if (observed_bps > limit_bps) {
       e.good_windows = 0;
       if (!e.clamped) {
@@ -62,6 +69,7 @@ void ContractPolicer::check() {
                       .is_ok());
         e.clamped = true;
         ++enforcements_;
+        if (t) t->instant("policer", part + "/clamp", "regulation");
       }
     } else if (e.clamped) {
       if (++e.good_windows >= cfg_.forgive_after) {
@@ -69,6 +77,7 @@ void ContractPolicer::check() {
         e.clamped = false;
         e.good_windows = 0;
         ++forgiveness_;
+        if (t) t->instant("policer", part + "/forgive", "regulation");
       }
     }
   }

@@ -1,8 +1,24 @@
 #include "noc/network.hpp"
 
 #include "common/check.hpp"
+#include "trace/tracer.hpp"
 
 namespace pap::noc {
+
+namespace {
+
+const char* direction_name(Direction d) {
+  switch (d) {
+    case Direction::kNorth: return "N";
+    case Direction::kSouth: return "S";
+    case Direction::kEast: return "E";
+    case Direction::kWest: return "W";
+    case Direction::kLocal: return "L";
+  }
+  return "?";
+}
+
+}  // namespace
 
 Network::Network(sim::Kernel& kernel, const NocConfig& config)
     : kernel_(kernel), cfg_(config), mesh_(config.cols, config.rows) {
@@ -38,6 +54,10 @@ void Network::send(Packet packet) {
     const Time tail_out = head_out + cfg_.flit_time * (packet.flits - 1);
     inj.occupy(tail_out);
     inj.add_busy(cfg_.flit_time * packet.flits);
+    if (auto* t = kernel_.tracer()) {
+      t->span(grant, tail_out - grant, "noc",
+              "inject/node" + std::to_string(packet.src), "inject");
+    }
     auto route = mesh_.route(packet.src, packet.dst, packet.route_order);
     kernel_.schedule_at(head_out, [this, packet, route = std::move(route),
                                    head_out, tail_out] {
@@ -69,6 +89,19 @@ void Network::process_hop(Packet packet, std::vector<Direction> route,
       serialization_end, tail_in + cfg_.router_latency + cfg_.flit_time);
   ch.occupy(serialization_end);
   ch.add_busy(cfg_.flit_time * packet.flits);
+  if (auto* t = kernel_.tracer()) {
+    // One span per hop: head entering this router until the tail clears
+    // the output channel; plus the channel's cumulative busy time, from
+    // which Perfetto counter tracks show per-link utilization.
+    const std::string link =
+        "r" + std::to_string(router) + "/" + direction_name(out);
+    t->span(head_in, out_tail - head_in, "noc",
+            "hop/" + link + "/pkt" + std::to_string(packet.id) + "/app" +
+                std::to_string(packet.app),
+            "hop");
+    t->counter("noc", "link_busy_ns/" + link, ch.busy().nanos(),
+               trace::CounterKind::kMonotonic);
+  }
 
   if (out == Direction::kLocal) {
     kernel_.schedule_at(out_tail, [this, packet, out_tail] {
@@ -76,6 +109,11 @@ void Network::process_hop(Packet packet, std::vector<Direction> route,
       const Time latency = out_tail - packet.injected;
       latency_all_.add(latency);
       per_packet_latency_.emplace_back(packet.app, latency);
+      if (auto* t = kernel_.tracer()) {
+        t->instant("noc", "deliver/pkt" + std::to_string(packet.id), "deliver");
+        t->counter("noc", "delivered", static_cast<double>(delivered_),
+                   trace::CounterKind::kMonotonic);
+      }
       if (on_deliver_) on_deliver_(packet, out_tail);
     });
     return;

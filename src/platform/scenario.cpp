@@ -3,6 +3,7 @@
 #include "cache/dsu.hpp"
 #include "common/check.hpp"
 #include "common/units.hpp"
+#include "trace/tracer.hpp"
 
 namespace pap::platform {
 
@@ -53,6 +54,12 @@ namespace {
 
 ScenarioResult run_impl(const ScenarioKnobs& knobs, std::string label) {
   sim::Kernel kernel;
+  trace::Tracer* t = knobs.tracer;
+  if (t) {
+    kernel.set_tracer(t);
+    t->instant("scenario", "start/" + label, "phase");
+    t->begin("scenario", "setup", "phase");
+  }
   SocConfig cfg;
   cfg.clusters = 1;
   cfg.cores_per_cluster = 1 + knobs.hogs;
@@ -142,11 +149,16 @@ ScenarioResult run_impl(const ScenarioKnobs& knobs, std::string label) {
         });
   }
 
+  if (t) {
+    t->end("scenario", "setup", "phase");
+    t->begin("scenario", "simulate", "phase");
+  }
   reader.start();
   for (auto& h : hogs) h->start();
   kernel.run(knobs.sim_time);
   reader.stop();
   for (auto& h : hogs) h->stop();
+  if (t) t->end("scenario", "simulate", "phase");
 
   ScenarioResult result;
   result.label = std::move(label);

@@ -24,6 +24,10 @@
 #include "platform/soc.hpp"
 #include "platform/workload.hpp"
 
+namespace pap::trace {
+class Tracer;
+}
+
 namespace pap::platform {
 
 /// The flat knob aggregate. Legacy call sites may still fill it directly
@@ -41,6 +45,10 @@ struct ScenarioKnobs {
   int rt_reads_per_batch = 32;      ///< RT duty cycle knobs
   Time rt_period = Time::us(10);
   std::uint64_t rt_working_set = 64 * 1024;  ///< > L3 makes RT DRAM-bound
+  /// Observability hook (not owned): attached to the scenario's kernel so
+  /// all instrumented mechanisms emit, plus scenario phase spans. Tracing
+  /// never changes simulation results (asserted in tests/trace_test.cpp).
+  trace::Tracer* tracer = nullptr;
 };
 
 /// Chainable scenario builder. Every setter returns *this; `build()`
@@ -77,6 +85,9 @@ class ScenarioConfig {
   }
   ScenarioConfig& rt_working_set(std::uint64_t bytes) {
     return (knobs_.rt_working_set = bytes, *this);
+  }
+  ScenarioConfig& tracer(trace::Tracer* t) {
+    return (knobs_.tracer = t, *this);
   }
 
   /// Why the current knob combination is invalid, or OK.

@@ -1,8 +1,10 @@
 #include "platform/soc.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "common/check.hpp"
+#include "trace/tracer.hpp"
 
 namespace pap::platform {
 
@@ -89,6 +91,16 @@ void Soc::memory_access(int core, cache::Addr addr, bool write, DoneFn done) {
   PAP_CHECK(core >= 0 && core < cfg_.total_cores());
   const Time issued = kernel_.now();
   counters_.inc("accesses");
+  trace::Tracer* tracer = kernel_.tracer();
+  if (tracer) {
+    // The DSU is functional (no kernel handle); keep its tracer in sync
+    // with the kernel's so L3 portion-occupancy gauges flow into the same
+    // stream.
+    for (auto& cl : clusters_) cl->set_tracer(tracer);
+    tracer->counter("soc", "accesses",
+                    static_cast<double>(counters_.get("accesses")),
+                    trace::CounterKind::kMonotonic);
+  }
 
   // L1, private per core.
   auto& l1 = *l1_[static_cast<std::size_t>(core)];
@@ -127,12 +139,24 @@ void Soc::memory_access(int core, cache::Addr addr, bool write, DoneFn done) {
   if (memguard_) {
     admit = memguard_->request_access(
         domain_of_core_[static_cast<std::size_t>(core)]);
-    if (admit > issued) counters_.inc("memguard_stalls");
+    if (admit > issued) {
+      counters_.inc("memguard_stalls");
+      if (tracer) {
+        tracer->span(issued, admit - issued, "soc",
+                     "memguard_stall/core" + std::to_string(core), "stall");
+      }
+    }
   }
   if (mpam_reg_) {
     const Time hw_admit = mpam_reg_->admit(
         partid_of_core_[static_cast<std::size_t>(core)], issued);
-    if (hw_admit > issued) counters_.inc("mpam_bw_stalls");
+    if (hw_admit > issued) {
+      counters_.inc("mpam_bw_stalls");
+      if (tracer) {
+        tracer->span(issued, hw_admit - issued, "soc",
+                     "mpam_bw_stall/core" + std::to_string(core), "stall");
+      }
+    }
     admit = std::max(admit, hw_admit);
   }
   const auto [bank, row] = addr_to_bank_row(addr);

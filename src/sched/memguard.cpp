@@ -1,8 +1,17 @@
 #include "sched/memguard.hpp"
 
 #include "common/check.hpp"
+#include "trace/tracer.hpp"
 
 namespace pap::sched {
+
+namespace {
+
+std::string domain_counter(std::uint32_t domain, const char* what) {
+  return "domain" + std::to_string(domain) + "/" + what;
+}
+
+}  // namespace
 
 Memguard::Memguard(sim::Kernel& kernel, MemguardConfig config)
     : kernel_(kernel),
@@ -15,12 +24,17 @@ Memguard::Memguard(sim::Kernel& kernel, MemguardConfig config)
 }
 
 std::uint32_t Memguard::add_domain(std::uint64_t budget_accesses) {
-  domains_.push_back(Domain{budget_accesses, budget_accesses, false, 0});
+  PAP_CHECK_MSG(budget_accesses > 0, "domain budget must be >= 1");
+  Domain d;
+  d.budget = budget_accesses;
+  d.left = budget_accesses;
+  domains_.push_back(d);
   return static_cast<std::uint32_t>(domains_.size() - 1);
 }
 
 void Memguard::set_budget(std::uint32_t domain, std::uint64_t budget) {
   PAP_CHECK(domain < domains_.size());
+  PAP_CHECK_MSG(budget > 0, "domain budget must be >= 1");
   domains_[domain].budget = budget;
   // Takes effect immediately, as a reservation manager would enforce.
   domains_[domain].left = std::min(domains_[domain].left, budget);
@@ -29,29 +43,58 @@ void Memguard::set_budget(std::uint32_t domain, std::uint64_t budget) {
 void Memguard::replenish() {
   ++periods_;
   next_replenish_ = kernel_.now() + cfg_.period;
-  for (auto& d : domains_) {
-    d.left = d.budget;
-    d.throttled = false;
+  trace::Tracer* t = kernel_.tracer();
+  if (t) t->instant("memguard", "replenish", "regulation");
+  for (std::uint32_t i = 0; i < domains_.size(); ++i) {
+    Domain& d = domains_[i];
+    // Stalled accesses already granted into this period consume its budget
+    // before any new request does; what they cannot cover carries on to
+    // later periods. A domain whose whole period is pre-booked stays
+    // throttled.
+    const std::uint64_t carried = std::min(d.pending, d.budget);
+    d.pending -= carried;
+    d.left = d.budget - carried;
+    d.throttled = d.left == 0;
     // Per-domain replenishment interrupt: the finer the granularity (more
     // domains), the more of these fire each period.
     overhead_ += cfg_.interrupt_overhead;
+    if (t) {
+      t->counter("memguard", domain_counter(i, "budget_left"),
+                 static_cast<double>(d.left));
+    }
   }
 }
 
 Time Memguard::request_access(std::uint32_t domain) {
   PAP_CHECK(domain < domains_.size());
   Domain& d = domains_[domain];
+  trace::Tracer* t = kernel_.tracer();
   if (d.left > 0) {
     --d.left;
+    if (t) {
+      t->counter("memguard", domain_counter(domain, "budget_left"),
+                 static_cast<double>(d.left));
+    }
     return kernel_.now();
   }
   if (!d.throttled) {
     d.throttled = true;
     ++d.throttle_events;
     overhead_ += cfg_.throttle_overhead;
+    if (t) t->instant("memguard", domain_counter(domain, "throttle"),
+                      "regulation");
   }
-  // Stalled until the budget is refilled.
-  return next_replenish_;
+  // Stalled until a period with budget to spare: the first `budget` stalls
+  // are served at the next replenishment and debit that period, the next
+  // `budget` one period later, and so on. Accesses can never outrun the
+  // configured bandwidth by piling up at a replenish instant.
+  const auto period_idx = static_cast<std::int64_t>(d.pending / d.budget);
+  ++d.pending;
+  if (t) {
+    t->counter("memguard", domain_counter(domain, "pending_stalls"),
+               static_cast<double>(d.pending));
+  }
+  return next_replenish_ + cfg_.period * period_idx;
 }
 
 bool Memguard::throttled(std::uint32_t domain) const {

@@ -37,8 +37,8 @@ class Memguard {
  public:
   Memguard(sim::Kernel& kernel, MemguardConfig config);
 
-  /// Register a regulated domain with `budget` accesses per period.
-  /// Returns the domain handle.
+  /// Register a regulated domain with `budget` accesses per period
+  /// (must be >= 1). Returns the domain handle.
   std::uint32_t add_domain(std::uint64_t budget_accesses);
 
   /// Change a domain's budget at runtime (reservation adaptation).
@@ -46,8 +46,11 @@ class Memguard {
 
   /// The performance-counter hook: a domain is about to issue a memory
   /// access at the current simulation time. Returns the time at which the
-  /// access may proceed: now if budget remains, else the next
-  /// replenishment instant. Accounts throttle events.
+  /// access may proceed: now if budget remains, else the replenishment
+  /// instant of the first period with budget to spare. Stalled accesses
+  /// debit the period they are served in — a saturating domain is held to
+  /// exactly `budget` accesses per period, never more. Accounts throttle
+  /// events.
   Time request_access(std::uint32_t domain);
 
   /// True if the domain is currently throttled.
@@ -67,7 +70,8 @@ class Memguard {
   void replenish();
   struct Domain {
     std::uint64_t budget = 0;
-    std::uint64_t left = 0;
+    std::uint64_t left = 0;      ///< unspent budget of the current period
+    std::uint64_t pending = 0;   ///< stalled accesses booked into future periods
     bool throttled = false;
     std::uint64_t throttle_events = 0;
   };

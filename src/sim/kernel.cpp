@@ -1,8 +1,13 @@
 #include "sim/kernel.hpp"
 
-#include <algorithm>
+#include "trace/tracer.hpp"
 
 namespace pap::sim {
+
+void Kernel::set_tracer(trace::Tracer* tracer) {
+  tracer_ = tracer;
+  if (tracer_) tracer_->set_clock([this] { return now_; });
+}
 
 EventId Kernel::schedule_at(Time at, EventFn fn, int priority) {
   PAP_CHECK_MSG(at >= now_, "cannot schedule an event in the past");
@@ -22,20 +27,16 @@ bool Kernel::cancel(EventId id) {
   pending_.erase(it);
   // We cannot remove from the middle of a priority_queue; remember the seq
   // and skip the entry when it surfaces (forgotten again at that point).
-  cancelled_.push_back(id.seq_);
+  cancelled_.insert(id.seq_);
   --live_count_;
   return true;
 }
 
 bool Kernel::is_cancelled(std::uint64_t seq) const {
-  return std::find(cancelled_.begin(), cancelled_.end(), seq) !=
-         cancelled_.end();
+  return cancelled_.find(seq) != cancelled_.end();
 }
 
-void Kernel::forget_cancelled(std::uint64_t seq) {
-  auto it = std::find(cancelled_.begin(), cancelled_.end(), seq);
-  if (it != cancelled_.end()) cancelled_.erase(it);
-}
+void Kernel::forget_cancelled(std::uint64_t seq) { cancelled_.erase(seq); }
 
 bool Kernel::step() {
   while (!queue_.empty()) {

@@ -20,6 +20,10 @@
 #include "common/check.hpp"
 #include "common/time.hpp"
 
+namespace pap::trace {
+class Tracer;
+}
+
 namespace pap::sim {
 
 using EventFn = std::function<void()>;
@@ -68,7 +72,16 @@ class Kernel {
   std::uint64_t events_executed() const { return executed_; }
 
   /// Drop all pending events and reset the clock (for test reuse).
+  /// The attached tracer (if any) stays attached.
   void reset();
+
+  /// Attach an observability tracer (not owned; nullptr detaches). The
+  /// tracer's clock is bound to this kernel, so instrumented components
+  /// reach it as `kernel.tracer()` and emit at simulated-time resolution.
+  /// Tracing must never perturb simulation behaviour: components only read
+  /// state when emitting, and a null tracer costs one pointer test.
+  void set_tracer(trace::Tracer* tracer);
+  trace::Tracer* tracer() const { return tracer_; }
 
  private:
   struct Entry {
@@ -84,8 +97,12 @@ class Kernel {
   };
 
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
-  std::unordered_set<std::uint64_t> pending_;    // scheduled, not yet run
-  std::vector<std::uint64_t> cancelled_;  // cancelled but still in queue_
+  std::unordered_set<std::uint64_t> pending_;  // scheduled, not yet run
+  // Cancelled but still buried in queue_. A hash set keeps cancel-heavy
+  // workloads (timeout patterns, PeriodicEvent churn) O(1) per cancel and
+  // per drain instead of the O(n) linear scans a vector would cost on
+  // every surfacing event.
+  std::unordered_set<std::uint64_t> cancelled_;
   bool is_cancelled(std::uint64_t seq) const;
   void forget_cancelled(std::uint64_t seq);
 
@@ -93,6 +110,7 @@ class Kernel {
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
   std::uint64_t live_count_ = 0;
+  trace::Tracer* tracer_ = nullptr;
 };
 
 /// A recurring event helper: calls `fn` every `period` starting at `start`.

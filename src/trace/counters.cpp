@@ -1,0 +1,57 @@
+#include "trace/counters.hpp"
+
+#include <cstdio>
+
+namespace pap::trace {
+
+namespace {
+
+std::string num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+void CounterRegistry::update(const std::string& component,
+                             const std::string& name, double value,
+                             CounterKind kind) {
+  for (auto& e : entries_) {
+    if (e.component == component && e.name == name) {
+      e.value = value;
+      e.min = value < e.min ? value : e.min;
+      e.max = value > e.max ? value : e.max;
+      ++e.updates;
+      return;
+    }
+  }
+  Entry e;
+  e.component = component;
+  e.name = name;
+  e.kind = kind;
+  e.value = e.min = e.max = value;
+  e.updates = 1;
+  entries_.push_back(std::move(e));
+}
+
+const CounterRegistry::Entry* CounterRegistry::find(
+    const std::string& component, const std::string& name) const {
+  for (const auto& e : entries_) {
+    if (e.component == component && e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+std::string CounterRegistry::csv() const {
+  std::string out = "component,name,kind,updates,value,min,max\n";
+  for (const auto& e : entries_) {
+    out += e.component + ',' + e.name + ',' +
+           (e.kind == CounterKind::kMonotonic ? "monotonic" : "gauge") + ',' +
+           std::to_string(e.updates) + ',' + num(e.value) + ',' + num(e.min) +
+           ',' + num(e.max) + '\n';
+  }
+  return out;
+}
+
+}  // namespace pap::trace

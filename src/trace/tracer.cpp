@@ -1,0 +1,62 @@
+#include "trace/tracer.hpp"
+
+namespace pap::trace {
+
+void Tracer::begin(std::string component, std::string name,
+                   std::string category) {
+  Event e;
+  e.ts_ps = now().picos();
+  e.type = EventType::kBegin;
+  e.component = std::move(component);
+  e.category = std::move(category);
+  e.name = std::move(name);
+  events_.push_back(std::move(e));
+}
+
+void Tracer::end(std::string component, std::string name,
+                 std::string category) {
+  Event e;
+  e.ts_ps = now().picos();
+  e.type = EventType::kEnd;
+  e.component = std::move(component);
+  e.category = std::move(category);
+  e.name = std::move(name);
+  events_.push_back(std::move(e));
+}
+
+void Tracer::span(Time start, Time duration, std::string component,
+                  std::string name, std::string category) {
+  Event e;
+  e.ts_ps = start.picos();
+  e.dur_ps = duration.picos();
+  e.type = EventType::kComplete;
+  e.component = std::move(component);
+  e.category = std::move(category);
+  e.name = std::move(name);
+  events_.push_back(std::move(e));
+}
+
+void Tracer::instant(std::string component, std::string name,
+                     std::string category) {
+  Event e;
+  e.ts_ps = now().picos();
+  e.type = EventType::kInstant;
+  e.component = std::move(component);
+  e.category = std::move(category);
+  e.name = std::move(name);
+  events_.push_back(std::move(e));
+}
+
+void Tracer::counter(std::string component, std::string name, double value,
+                     CounterKind kind) {
+  counters_.update(component, name, value, kind);
+  Event e;
+  e.ts_ps = now().picos();
+  e.type = EventType::kCounter;
+  e.component = std::move(component);
+  e.name = std::move(name);
+  e.value = value;
+  events_.push_back(std::move(e));
+}
+
+}  // namespace pap::trace

@@ -1,0 +1,97 @@
+// Deterministic event tracing for the simulation (the observability layer).
+//
+// The paper's argument depends on being able to *see* interference on
+// shared resources, not just end-of-run aggregates. A `Tracer` records
+// typed timeline events — spans, instants and counter samples — stamped at
+// simulated-time resolution, labelled with the emitting component and a
+// category. Attach one to a `sim::Kernel` (Kernel::set_tracer) and the
+// instrumented mechanisms (FR-FCFS DRAM, NoC, Memguard, DSU, MPAM policer,
+// platform scenarios) start emitting; chrome_trace.hpp exports the stream
+// as Chrome `trace_event` JSON loadable in Perfetto / chrome://tracing.
+//
+// Design constraints:
+//   * Zero overhead when disabled: no tracer attached means call sites pay
+//     exactly one null-pointer test. A traced run must produce bit-identical
+//     simulation results to an untraced run (asserted in tests/trace_test).
+//   * Deterministic: events are stored in emission order; two identical
+//     runs produce byte-identical exports.
+//
+// Event naming conventions (see docs/observability.md):
+//   component  short subsystem id: "dram", "noc", "memguard", "dsu",
+//              "policer", "scenario", "soc". One Perfetto track each.
+//   name       the event: "read", "hop", "replenish", ...
+//   category   slash-free grouping within the component: "queue",
+//              "service", "mode", ... Instance labels go into the name
+//              ("domain0/budget_left"), not the category.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "trace/counters.hpp"
+
+namespace pap::trace {
+
+enum class EventType : std::uint8_t {
+  kBegin,    ///< span opens (Chrome "B")
+  kEnd,      ///< span closes (Chrome "E")
+  kComplete, ///< retrospective span with duration (Chrome "X")
+  kInstant,  ///< point event (Chrome "i")
+  kCounter,  ///< counter sample (Chrome "C")
+};
+
+struct Event {
+  std::int64_t ts_ps = 0;   ///< simulated timestamp, picoseconds
+  std::int64_t dur_ps = 0;  ///< kComplete only
+  EventType type = EventType::kInstant;
+  std::string component;
+  std::string category;
+  std::string name;
+  double value = 0.0;  ///< kCounter only
+};
+
+class Tracer {
+ public:
+  using ClockFn = std::function<Time()>;
+
+  /// The simulated-time source; Kernel::set_tracer installs the kernel
+  /// clock. Events emitted with no clock are stamped at Time::zero().
+  void set_clock(ClockFn clock) { clock_ = std::move(clock); }
+  Time now() const { return clock_ ? clock_() : Time::zero(); }
+
+  /// Open / close a span on the component's track. Begin/end pairs must
+  /// nest per component (Chrome semantics); overlapping work should use
+  /// `span` instead.
+  void begin(std::string component, std::string name,
+             std::string category = {});
+  void end(std::string component, std::string name,
+           std::string category = {});
+
+  /// Retrospective span: emitted once the end is known, e.g. a DRAM
+  /// request's queue time recorded at dispatch. Overlap freely.
+  void span(Time start, Time duration, std::string component,
+            std::string name, std::string category = {});
+
+  void instant(std::string component, std::string name,
+               std::string category = {});
+
+  /// Sample an absolute counter value. Appends a timeline event *and*
+  /// updates the CounterRegistry, so one call site feeds both the trace
+  /// view and the end-of-run counter dump.
+  void counter(std::string component, std::string name, double value,
+               CounterKind kind = CounterKind::kGauge);
+
+  const std::vector<Event>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  const CounterRegistry& counters() const { return counters_; }
+
+ private:
+  ClockFn clock_;
+  std::vector<Event> events_;
+  CounterRegistry counters_;
+};
+
+}  // namespace pap::trace

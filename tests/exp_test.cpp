@@ -14,6 +14,7 @@
 #include "exp/sink.hpp"
 #include "exp/sweep.hpp"
 #include "sim/kernel.hpp"
+#include "trace/tracer.hpp"
 
 namespace pap::exp {
 namespace {
@@ -219,6 +220,168 @@ TEST_F(CacheTest, CorruptEntriesAreMisses) {
   // Truncate the entry on disk.
   std::filesystem::resize_file(cache.path_for(exp, p), 4);
   EXPECT_FALSE(cache.load(exp, p).has_value());
+}
+
+TEST_F(CacheTest, FilenameCollisionIsAMiss) {
+  // The 64-bit FNV filename hash is an index, not an identity proof. Two
+  // distinct (experiment, params) identities landing on the same file —
+  // simulated here by copying one identity's entry onto the other's path —
+  // must never serve each other's Result: load verifies the embedded
+  // identity header, not the filename.
+  const Experiment exp_a{"exp_test_victim",
+                         [](const Params& p) { return Result{p.label()}; }};
+  const Experiment exp_b{"exp_test_victim", [](const Params& p) {
+                           return Result{p.label()};
+                         }, /*version=*/7};
+  const ResultCache cache(dir_.string());
+  const Params pa = Params{}.set("x", 1);
+  const Params pb = Params{}.set("x", 2);
+
+  Result stored{"a-result"};
+  stored.set("answer", 41);
+  cache.store(exp_a, pa, stored);
+  ASSERT_TRUE(cache.load(exp_a, pa).has_value());
+
+  // Deliberate collision: (exp_b, pb) hashes to a different filename, but
+  // an adversarial filesystem state (or a real 64-bit collision) puts
+  // exp_a's bytes there.
+  ASSERT_NE(cache.path_for(exp_a, pa), cache.path_for(exp_b, pb));
+  std::filesystem::copy_file(cache.path_for(exp_a, pa),
+                             cache.path_for(exp_b, pb));
+  EXPECT_FALSE(cache.load(exp_b, pb).has_value());  // header mismatch → miss
+  // Same params but different version: also a miss, not a stale hit.
+  std::filesystem::copy_file(
+      cache.path_for(exp_a, pa), cache.path_for(exp_b, pa),
+      std::filesystem::copy_options::overwrite_existing);
+  EXPECT_FALSE(cache.load(exp_b, pa).has_value());
+  // The genuine owner still hits.
+  const auto hit = cache.load(exp_a, pa);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit.value(), stored);
+}
+
+namespace cli {
+
+Expected<CliOptions> parse(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "bench");
+  return parse_cli_args(static_cast<int>(argv.size()), argv.data());
+}
+
+}  // namespace cli
+
+TEST(ParseCli, AcceptsTheDocumentedFlags) {
+  const auto cli =
+      cli::parse({"--jobs=8", "--cache", "--out", "some/dir", "--trace"});
+  ASSERT_TRUE(cli.has_value());
+  EXPECT_EQ(cli.value().jobs, 8);
+  EXPECT_TRUE(cli.value().cache);
+  EXPECT_EQ(cli.value().out_dir, "some/dir");
+  EXPECT_TRUE(cli.value().trace);
+  EXPECT_TRUE(cli.value().trace_dir.empty());
+
+  const auto split = cli::parse({"-j", "4", "--out=o", "--trace=t/dir"});
+  ASSERT_TRUE(split.has_value());
+  EXPECT_EQ(split.value().jobs, 4);
+  EXPECT_EQ(split.value().out_dir, "o");
+  EXPECT_EQ(split.value().trace_dir, "t/dir");
+
+  const auto none = cli::parse({});
+  ASSERT_TRUE(none.has_value());
+  EXPECT_EQ(none.value().jobs, 0);
+  EXPECT_FALSE(none.value().cache);
+  EXPECT_FALSE(none.value().trace);
+}
+
+TEST(ParseCli, RejectsUnknownArguments) {
+  EXPECT_FALSE(cli::parse({"--bogus"}).has_value());
+  EXPECT_FALSE(cli::parse({"extra"}).has_value());
+  EXPECT_FALSE(cli::parse({"--jobs=2", "--cahce"}).has_value());  // typo
+  const auto err = cli::parse({"--frobnicate"});
+  EXPECT_NE(err.error_message().find("--frobnicate"), std::string::npos);
+}
+
+TEST(ParseCli, ValidatesNumericValues) {
+  // atoi-style garbage-to-0 is exactly what this parser must not do.
+  EXPECT_FALSE(cli::parse({"--jobs=abc"}).has_value());
+  EXPECT_FALSE(cli::parse({"--jobs=3x"}).has_value());
+  EXPECT_FALSE(cli::parse({"--jobs="}).has_value());
+  EXPECT_FALSE(cli::parse({"--jobs=-2"}).has_value());
+  EXPECT_FALSE(cli::parse({"--jobs"}).has_value());  // missing value
+  EXPECT_FALSE(cli::parse({"-j", "nope"}).has_value());
+  EXPECT_FALSE(cli::parse({"--jobs=99999999999999999999"}).has_value());
+  EXPECT_TRUE(cli::parse({"--jobs=0"}).has_value());  // 0 = all cores
+}
+
+TEST(ParseCli, HelpIsAFlagNotAnError) {
+  const auto cli = cli::parse({"--help"});
+  ASSERT_TRUE(cli.has_value());
+  EXPECT_TRUE(cli.value().help);
+  EXPECT_NE(cli_usage("prog").find("--trace"), std::string::npos);
+  EXPECT_NE(cli_usage("prog").find("prog"), std::string::npos);
+}
+
+TEST(ParseCli, TraceDirDefaultsUnderOutDir) {
+  const auto cli = cli::parse({"--trace", "--out", "my/out"});
+  ASSERT_TRUE(cli.has_value());
+  const RunnerOptions opts = to_runner_options(cli.value());
+  EXPECT_EQ(opts.trace_dir, "my/out/traces");
+  const auto expl = cli::parse({"--trace=elsewhere"});
+  EXPECT_EQ(to_runner_options(expl.value()).trace_dir, "elsewhere");
+  const auto off = cli::parse({"--out", "my/out"});
+  EXPECT_TRUE(to_runner_options(off.value()).trace_dir.empty());
+}
+
+TEST_F(CacheTest, TracedSweepEmitsPerPointTracesAndIdenticalResults) {
+  // End-to-end exp <-> trace plumbing: an Experiment with a run_traced
+  // functor produces the same Results with tracing on, off, or absent, and
+  // a traced run carries Chrome JSON + counter CSV per ran point, written
+  // out by TraceDirSink.
+  Experiment exp{"exp_test_traced", {}};
+  exp.run_traced = [](const Params& p, trace::Tracer* tracer) {
+    const int n = static_cast<int>(p.get_int("events"));
+    sim::Kernel k;
+    k.set_tracer(tracer);
+    std::int64_t sum = 0;
+    for (int i = 0; i < n; ++i) {
+      k.schedule_at(Time::ns(10) * i, [&sum, &k, i] {
+        sum += i;
+        if (auto* t = k.tracer()) {
+          t->instant("test", "tick", "unit");
+          t->counter("test", "sum", static_cast<double>(sum),
+                     trace::CounterKind::kGauge);
+        }
+      });
+    }
+    k.run();
+    Result r(p.label());
+    r.set("sum", sum).set("end (ns)", k.now());
+    return r;
+  };
+  const auto sweep = SweepBuilder{}.axis("events", {3, 5}).build().value();
+
+  RunnerOptions plain;
+  plain.jobs = 1;
+  RunnerOptions traced = plain;
+  traced.trace_dir = (dir_ / "traces").string();
+  TraceDirSink trace_sink(traced.trace_dir);
+
+  const auto a = Runner(plain).run(exp, sweep);
+  const auto b = Runner(traced).add_sink(&trace_sink).run(exp, sweep);
+  EXPECT_EQ(a.results(), b.results());  // tracing never perturbs results
+
+  for (const auto& p : a.points) EXPECT_TRUE(p.trace_json.empty());
+  ASSERT_EQ(b.points.size(), 2u);
+  for (const auto& p : b.points) {
+    EXPECT_FALSE(p.trace_json.empty());
+    EXPECT_NE(p.trace_json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(p.trace_json.find("\"tick\""), std::string::npos);
+    EXPECT_NE(p.counters_csv.find("test,sum"), std::string::npos);
+  }
+  EXPECT_EQ(trace_sink.files_written(), 2u);
+  EXPECT_TRUE(std::filesystem::exists(dir_ / "traces" /
+                                      "exp_test_traced-p0.trace.json"));
+  EXPECT_TRUE(std::filesystem::exists(dir_ / "traces" /
+                                      "exp_test_traced-p1.counters.csv"));
 }
 
 TEST(Stats, LatencyHistogramMerge) {

@@ -106,18 +106,85 @@ TEST(Memguard, OverheadGrowsWithShorterPeriod) {
 
 TEST(Memguard, ThrottledDomainRateIsBounded) {
   // Property: over many periods, admitted accesses <= budget * periods.
+  // Closed-loop requester, like a stalled core: the next access is issued
+  // only after the previous one was granted.
   sim::Kernel k;
   Memguard mg(k, config());
   const auto d = mg.add_domain(3);
-  std::uint64_t admitted_now = 0;
-  // Greedy requester: ask every 100 ns.
-  sim::PeriodicEvent req(k, Time::zero(), Time::ns(100), [&] {
-    if (mg.request_access(d) == k.now()) ++admitted_now;
-  });
+  std::uint64_t granted = 0;
+  std::function<void()> issue = [&] {
+    const Time grant = mg.request_access(d);
+    ++granted;
+    const Time next = (grant > k.now() ? grant : k.now()) + Time::ns(100);
+    k.schedule_at(next, issue);
+  };
+  k.schedule_at(Time::zero(), issue);
   k.run(Time::us(50));
-  req.stop();
-  EXPECT_LE(admitted_now, 3u * 51u);
-  EXPECT_GE(admitted_now, 3u * 45u);
+  EXPECT_LE(granted, 3u * 51u);
+  EXPECT_GE(granted, 3u * 45u);
+}
+
+TEST(Memguard, SaturatingRequesterHeldToExactBudgetPerPeriod) {
+  // Regression for the replenish over-grant bug: stalled accesses must
+  // debit the period they are granted in. A saturating requester that
+  // issues a burst far above budget and then keeps the queue full must be
+  // served *exactly* `budget` grants inside every later period — not
+  // `budget` fresh admits plus the whole stalled backlog at each
+  // replenishment edge.
+  sim::Kernel k;
+  const Time period = Time::us(1);
+  Memguard mg(k, config(period));
+  constexpr std::uint64_t kBudget = 4;
+  const auto d = mg.add_domain(kBudget);
+
+  constexpr int kPeriods = 20;
+  std::vector<std::uint64_t> grants_in_period(kPeriods + 2, 0);
+  auto bucket = [&](Time t) {
+    return static_cast<std::size_t>(t.picos() / period.picos());
+  };
+
+  // Closed-loop saturating requester: back-to-back requests, zero think
+  // time — the grant time itself is the issue time of the next request.
+  std::uint64_t issued = 0;
+  std::function<void()> issue = [&] {
+    const Time grant = mg.request_access(d);
+    ++grants_in_period[bucket(grant)];
+    if (++issued >= kBudget * kPeriods * 3u) return;  // plenty to saturate
+    const Time next = grant > k.now() ? grant : k.now();
+    k.schedule_at(next, issue);
+  };
+  k.schedule_at(Time::zero(), issue);
+  k.run(period * kPeriods);
+
+  // Period 0 spends the initial budget; every subsequent full period is
+  // granted exactly the budget, never more (the old code re-granted the
+  // whole backlog on top of the replenished budget).
+  EXPECT_EQ(grants_in_period[0], kBudget);
+  for (int p = 1; p < kPeriods; ++p) {
+    EXPECT_EQ(grants_in_period[static_cast<std::size_t>(p)], kBudget)
+        << "period " << p;
+  }
+}
+
+TEST(Memguard, StalledBacklogSpreadsAcrossFuturePeriods) {
+  // A burst of `2 * budget` stalled requests may not all be granted at the
+  // next replenishment edge: the first `budget` land in the next period,
+  // the rest one period later.
+  sim::Kernel k;
+  Memguard mg(k, config());
+  const auto d = mg.add_domain(2);
+  mg.request_access(d);
+  mg.request_access(d);  // budget spent
+  EXPECT_EQ(mg.request_access(d), Time::us(1));
+  EXPECT_EQ(mg.request_access(d), Time::us(1));
+  EXPECT_EQ(mg.request_access(d), Time::us(2));
+  EXPECT_EQ(mg.request_access(d), Time::us(2));
+  EXPECT_EQ(mg.request_access(d), Time::us(3));
+  // After the first replenishment the carried backlog has consumed the
+  // whole period budget: a fresh request is pushed further out.
+  k.run(Time::us(1));
+  EXPECT_EQ(mg.budget_left(d), 0u);
+  EXPECT_GT(mg.request_access(d), k.now());
 }
 
 }  // namespace

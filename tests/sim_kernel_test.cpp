@@ -187,6 +187,38 @@ TEST(PeriodicEvent, StaleHandleStaysDeadAcrossPeriodicChurn) {
   EXPECT_FALSE(p.running());
 }
 
+TEST(Kernel, CancelThenDrainManyEventsStaysFast) {
+  // Regression: cancelled events used to sit in a vector the kernel
+  // linearly scanned for every surfacing event, turning a cancel-heavy
+  // drain quadratic. 100k cancelled tombstones must drain essentially
+  // instantly (the ctest timeout would catch an O(n^2) relapse — at 100k
+  // events the old scan cost ~10^10 comparisons).
+  Kernel k;
+  constexpr int kN = 100'000;
+  std::vector<EventId> ids;
+  ids.reserve(kN);
+  int fired = 0;
+  for (int i = 0; i < kN; ++i) {
+    ids.push_back(k.schedule_at(Time::ns(i + 1), [&] { ++fired; }));
+  }
+  // Cancel all but every 1000th event, worst case for tombstone lookups.
+  int live = 0;
+  for (int i = 0; i < kN; ++i) {
+    if (i % 1000 == 0) {
+      ++live;
+      continue;
+    }
+    EXPECT_TRUE(k.cancel(ids[static_cast<std::size_t>(i)]));
+  }
+  EXPECT_FALSE(k.empty());
+  k.run();
+  EXPECT_EQ(fired, live);
+  EXPECT_TRUE(k.empty());
+  // Tombstones for drained events are forgotten: stale cancels stay no-ops.
+  EXPECT_FALSE(k.cancel(ids[1]));
+  EXPECT_EQ(k.events_executed(), static_cast<std::uint64_t>(live));
+}
+
 TEST(PeriodicEvent, StopFromInsideCallback) {
   Kernel k;
   int count = 0;
