@@ -1,91 +1,5 @@
-// Microbenchmarks (google-benchmark): the paper claims the WCD bounding
-// algorithm is "computationally inexpensive (milliseconds at most), hence
-// could also be done online if required (e.g., for admission control)".
-// These benches substantiate that claim for our implementation, plus the
-// NC primitives and the DES kernel that everything runs on.
-#include <benchmark/benchmark.h>
-
-#include "common/units.hpp"
-#include "dram/timing.hpp"
-#include "dram/wcd.hpp"
-#include "nc/bounds.hpp"
-#include "nc/ops.hpp"
-#include "sim/kernel.hpp"
-
-using namespace pap;
-
-static void BM_WcdBoundsSingleRow(benchmark::State& state) {
-  const auto t = dram::ddr3_1600();
-  dram::ControllerParams c;
-  c.n_cap = 16;
-  c.w_high = 55;
-  c.w_low = 28;
-  c.n_wd = 16;
-  for (auto _ : state) {
-    auto b = dram::table2_row(t, c, 6.0, 13);
-    benchmark::DoNotOptimize(b);
-  }
-}
-BENCHMARK(BM_WcdBoundsSingleRow);
-
-static void BM_WcdServiceCurve(benchmark::State& state) {
-  const auto t = dram::ddr3_1600();
-  dram::ControllerParams c;
-  c.n_cap = 16;
-  c.w_high = 55;
-  c.w_low = 28;
-  c.n_wd = 16;
-  dram::WcdAnalysis a(t, c, nc::TokenBucket::from_rate(Rate::gbps(5), 64, 8));
-  const auto depth = static_cast<int>(state.range(0));
-  for (auto _ : state) {
-    auto curve = a.service_curve(depth);
-    benchmark::DoNotOptimize(curve);
-  }
-}
-BENCHMARK(BM_WcdServiceCurve)->Arg(8)->Arg(32)->Arg(128);
-
-static void BM_NcConvolveConvex(benchmark::State& state) {
-  const auto b1 = nc::Curve::rate_latency(2.0, 3.0);
-  const auto b2 = nc::Curve::rate_latency(1.5, 7.0);
-  for (auto _ : state) {
-    auto c = nc::convolve(b1, b2);
-    benchmark::DoNotOptimize(c);
-  }
-}
-BENCHMARK(BM_NcConvolveConvex);
-
-static void BM_NcDelayBound(benchmark::State& state) {
-  const auto alpha = nc::Curve::affine(8.0, 0.5);
-  const auto beta = nc::Curve::rate_latency(2.0, 10.0);
-  for (auto _ : state) {
-    auto d = nc::delay_bound(alpha, beta);
-    benchmark::DoNotOptimize(d);
-  }
-}
-BENCHMARK(BM_NcDelayBound);
-
-static void BM_NcResidualBlind(benchmark::State& state) {
-  const auto beta = nc::Curve::rate_latency(4.0, 2.0);
-  const auto cross = nc::Curve::affine(6.0, 1.0);
-  for (auto _ : state) {
-    auto r = nc::residual_blind(beta, cross);
-    benchmark::DoNotOptimize(r);
-  }
-}
-BENCHMARK(BM_NcResidualBlind);
-
-static void BM_KernelEventThroughput(benchmark::State& state) {
-  for (auto _ : state) {
-    sim::Kernel k;
-    const int n = 10'000;
-    int fired = 0;
-    for (int i = 0; i < n; ++i) {
-      k.schedule_at(Time::ns(i), [&fired] { ++fired; });
-    }
-    k.run();
-    benchmark::DoNotOptimize(fired);
-  }
-}
-BENCHMARK(BM_KernelEventThroughput);
+// CLI microbenchmark runner: all definitions live in perf_benchmarks.hpp so
+// that perf_report (the JSON-emitting harness) runs the identical set.
+#include "perf_benchmarks.hpp"
 
 BENCHMARK_MAIN();

@@ -1,0 +1,294 @@
+// Shared microbenchmark definitions (google-benchmark): the paper claims the
+// WCD bounding algorithm is "computationally inexpensive (milliseconds at
+// most), hence could also be done online if required (e.g., for admission
+// control)". These benches substantiate that claim for our implementation,
+// plus the NC primitives and the DES kernel that everything runs on.
+//
+// Included by two binaries:
+//  * micro_nc_ops — plain BENCHMARK_MAIN() CLI for interactive use;
+//  * perf_report  — programmatic runner that writes BENCH_nc.json and
+//    BENCH_sim.json for the perf-regression harness (tools/bench_compare.py).
+//
+// Every optimized kernel is benchmarked next to its retained naive
+// implementation (nc::reference::*, WcdAnalysis::service_curve_reference):
+// the optimized/reference ratio is machine-independent, which is what CI
+// gates on — absolute nanoseconds from shared runners are only recorded for
+// the trajectory.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/units.hpp"
+#include "dram/timing.hpp"
+#include "dram/wcd.hpp"
+#include "nc/bounds.hpp"
+#include "nc/ops.hpp"
+#include "nc/reference.hpp"
+#include "sim/kernel.hpp"
+
+namespace pap_bench {
+
+using namespace pap;
+
+// ---------------------------------------------------------------------------
+// Curve fixtures: many-segment concave arrival / convex service pairs, where
+// the complexity gap between the merge-walk kernels and the enumeration
+// reference actually shows. 48 pieces each keeps the reference runnable.
+// ---------------------------------------------------------------------------
+
+inline nc::Curve many_segment_concave(int pieces) {
+  std::vector<nc::Segment> segs;
+  segs.reserve(static_cast<std::size_t>(pieces));
+  double x = 0.0;
+  double y = 4.0;  // burst
+  for (int i = 0; i < pieces; ++i) {
+    const double slope = 1.0 + (pieces - i) * 0.5;  // strictly decreasing
+    segs.push_back(nc::Segment{x, y, slope});
+    const double len = 1.0 + 0.25 * (i % 4);
+    x += len;
+    y += slope * len;
+  }
+  return nc::Curve{std::move(segs)};
+}
+
+inline nc::Curve many_segment_convex(int pieces) {
+  std::vector<nc::Segment> segs;
+  segs.reserve(static_cast<std::size_t>(pieces));
+  double x = 0.0;
+  double y = 0.0;
+  for (int i = 0; i < pieces; ++i) {
+    const double slope = 0.25 * i;  // non-decreasing from 0 (latency piece)
+    segs.push_back(nc::Segment{x, y, slope});
+    const double len = 1.0 + 0.5 * (i % 3);
+    x += len;
+    y += slope * len;
+  }
+  return nc::Curve{std::move(segs)};
+}
+
+constexpr int kCurvePieces = 48;
+
+inline dram::ControllerParams bench_controller() {
+  dram::ControllerParams c;
+  c.n_cap = 16;
+  c.w_high = 55;
+  c.w_low = 28;
+  c.n_wd = 16;
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// WCD analysis
+// ---------------------------------------------------------------------------
+
+inline void BM_WcdBoundsSingleRow(benchmark::State& state) {
+  const auto t = dram::ddr3_1600();
+  const auto c = bench_controller();
+  for (auto _ : state) {
+    auto b = dram::table2_row(t, c, 6.0, 13);
+    benchmark::DoNotOptimize(b);
+  }
+}
+BENCHMARK(BM_WcdBoundsSingleRow);
+
+inline void BM_WcdServiceCurve(benchmark::State& state) {
+  const auto t = dram::ddr3_1600();
+  const auto c = bench_controller();
+  dram::WcdAnalysis a(t, c, nc::TokenBucket::from_rate(Rate::gbps(5), 64, 8));
+  const auto depth = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto curve = a.service_curve(depth);
+    benchmark::DoNotOptimize(curve);
+  }
+}
+BENCHMARK(BM_WcdServiceCurve)->Arg(8)->Arg(32)->Arg(128);
+
+inline void BM_WcdServiceCurveReference(benchmark::State& state) {
+  const auto t = dram::ddr3_1600();
+  const auto c = bench_controller();
+  dram::WcdAnalysis a(t, c, nc::TokenBucket::from_rate(Rate::gbps(5), 64, 8));
+  const auto depth = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto curve = a.service_curve_reference(depth);
+    benchmark::DoNotOptimize(curve);
+  }
+}
+BENCHMARK(BM_WcdServiceCurveReference)->Arg(8)->Arg(32)->Arg(128);
+
+// ---------------------------------------------------------------------------
+// NC curve algebra: optimized vs reference
+// ---------------------------------------------------------------------------
+
+inline void BM_NcConvolveConvex(benchmark::State& state) {
+  const auto b1 = nc::Curve::rate_latency(2.0, 3.0);
+  const auto b2 = nc::Curve::rate_latency(1.5, 7.0);
+  for (auto _ : state) {
+    auto c = nc::convolve(b1, b2);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_NcConvolveConvex);
+
+inline void BM_NcCombine(benchmark::State& state) {
+  const auto a = many_segment_concave(kCurvePieces);
+  const auto b = nc::Curve::affine(30.0, 2.0);
+  for (auto _ : state) {
+    auto c = nc::min(a, b);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_NcCombine);
+
+inline void BM_NcCombineReference(benchmark::State& state) {
+  const auto a = many_segment_concave(kCurvePieces);
+  const auto b = nc::Curve::affine(30.0, 2.0);
+  for (auto _ : state) {
+    auto c = nc::reference::combine_pointwise(
+        a, b, [](double u, double v) { return u < v ? u : v; });
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_NcCombineReference);
+
+inline void BM_NcDeconvolve(benchmark::State& state) {
+  const auto f = many_segment_concave(kCurvePieces);
+  const auto g = many_segment_convex(kCurvePieces);
+  for (auto _ : state) {
+    auto c = nc::deconvolve(f, g);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_NcDeconvolve);
+
+inline void BM_NcDeconvolveReference(benchmark::State& state) {
+  const auto f = many_segment_concave(kCurvePieces);
+  const auto g = many_segment_convex(kCurvePieces);
+  for (auto _ : state) {
+    auto c = nc::reference::deconvolve(f, g);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_NcDeconvolveReference);
+
+inline void BM_NcHDeviation(benchmark::State& state) {
+  const auto alpha = many_segment_concave(kCurvePieces);
+  const auto beta = many_segment_convex(kCurvePieces);
+  for (auto _ : state) {
+    auto d = nc::h_deviation(alpha, beta);
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_NcHDeviation);
+
+inline void BM_NcHDeviationReference(benchmark::State& state) {
+  const auto alpha = many_segment_concave(kCurvePieces);
+  const auto beta = many_segment_convex(kCurvePieces);
+  for (auto _ : state) {
+    auto d = nc::reference::h_deviation(alpha, beta);
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_NcHDeviationReference);
+
+inline void BM_NcVDeviation(benchmark::State& state) {
+  const auto alpha = many_segment_concave(kCurvePieces);
+  const auto beta = many_segment_convex(kCurvePieces);
+  for (auto _ : state) {
+    auto d = nc::v_deviation(alpha, beta);
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_NcVDeviation);
+
+inline void BM_NcVDeviationReference(benchmark::State& state) {
+  const auto alpha = many_segment_concave(kCurvePieces);
+  const auto beta = many_segment_convex(kCurvePieces);
+  for (auto _ : state) {
+    auto d = nc::reference::v_deviation(alpha, beta);
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_NcVDeviationReference);
+
+inline void BM_NcDelayBound(benchmark::State& state) {
+  const auto alpha = nc::Curve::affine(8.0, 0.5);
+  const auto beta = nc::Curve::rate_latency(2.0, 10.0);
+  for (auto _ : state) {
+    auto d = nc::delay_bound(alpha, beta);
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_NcDelayBound);
+
+inline void BM_NcResidualBlind(benchmark::State& state) {
+  const auto beta = nc::Curve::rate_latency(4.0, 2.0);
+  const auto cross = nc::Curve::affine(6.0, 1.0);
+  for (auto _ : state) {
+    auto r = nc::residual_blind(beta, cross);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_NcResidualBlind);
+
+// ---------------------------------------------------------------------------
+// DES kernel
+// ---------------------------------------------------------------------------
+
+inline void BM_KernelEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Kernel k;
+    const int n = 10'000;
+    int fired = 0;
+    for (int i = 0; i < n; ++i) {
+      k.schedule_at(Time::ns(i), [&fired] { ++fired; });
+    }
+    k.run();
+    benchmark::DoNotOptimize(fired);
+  }
+}
+BENCHMARK(BM_KernelEventThroughput);
+
+inline void BM_KernelCancelHeavy(benchmark::State& state) {
+  // Timeout pattern: every event gets a guard scheduled far in the future
+  // that is cancelled before it can fire. Exercises O(log n) in-place
+  // removal; the old tombstone scheme paid for every cancelled guard again
+  // at pop time.
+  for (auto _ : state) {
+    sim::Kernel k;
+    const int n = 10'000;
+    int fired = 0;
+    std::vector<sim::EventId> guards;
+    guards.reserve(n);
+    for (int i = 0; i < n; ++i) {
+      k.schedule_at(Time::ns(i), [&fired] { ++fired; });
+      guards.push_back(
+          k.schedule_at(Time::ns(1'000'000 + i), [&fired] { ++fired; }));
+    }
+    for (auto id : guards) k.cancel(id);
+    k.run();
+    benchmark::DoNotOptimize(fired);
+  }
+}
+BENCHMARK(BM_KernelCancelHeavy);
+
+inline void BM_KernelSameTimestampBurst(benchmark::State& state) {
+  // Many events per timestamp: run() drains each timestamp as one batch.
+  for (auto _ : state) {
+    sim::Kernel k;
+    const int ticks = 100;
+    const int per_tick = 100;
+    int fired = 0;
+    for (int t = 0; t < ticks; ++t) {
+      for (int i = 0; i < per_tick; ++i) {
+        k.schedule_at(Time::ns(t), [&fired] { ++fired; }, i % 3);
+      }
+    }
+    k.run();
+    benchmark::DoNotOptimize(fired);
+  }
+}
+BENCHMARK(BM_KernelSameTimestampBurst);
+
+}  // namespace pap_bench

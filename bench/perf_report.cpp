@@ -1,0 +1,129 @@
+// Perf-regression harness: runs the shared microbenchmark set and writes the
+// results to BENCH_nc.json (NC curve algebra + WCD analysis) and
+// BENCH_sim.json (DES kernel) in a stable, diff-friendly schema:
+//
+//   {
+//     "schema": "pap-bench-v1",
+//     "suite": "nc",
+//     "benchmarks": [
+//       {"name": "BM_NcDeconvolve", "real_ns": 1.23e3,
+//        "cpu_ns": 1.20e3, "iterations": 567890},
+//       ...
+//     ]
+//   }
+//
+// No timestamps or host info on purpose: reruns on the same machine diff
+// cleanly except for the numbers. tools/bench_compare.py consumes these
+// files, both to compare a fresh run against the committed baselines (warn
+// or fail on >25% regressions) and to enforce machine-independent
+// optimized-vs-reference speedup floors. See docs/performance.md.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "perf_benchmarks.hpp"
+
+namespace {
+
+struct Result {
+  std::string name;
+  double real_ns = 0.0;
+  double cpu_ns = 0.0;
+  std::int64_t iterations = 0;
+};
+
+/// Collects per-iteration results while still printing the familiar console
+/// table, so interactive runs remain readable.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const auto& r : runs) {
+      if (r.run_type != Run::RT_Iteration) continue;
+      if (r.error_occurred) continue;
+      Result res;
+      res.name = r.benchmark_name();
+      res.real_ns = r.GetAdjustedRealTime();
+      res.cpu_ns = r.GetAdjustedCPUTime();
+      res.iterations = r.iterations;
+      results_.push_back(std::move(res));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<Result>& results() const { return results_; }
+
+ private:
+  std::vector<Result> results_;
+};
+
+bool is_sim_bench(const std::string& name) {
+  return name.rfind("BM_Kernel", 0) == 0 || name.rfind("BM_Sim", 0) == 0;
+}
+
+bool write_suite(const std::string& path, const std::string& suite,
+                 const std::vector<Result>& results) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "perf_report: cannot open %s for writing\n",
+                 path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"schema\": \"pap-bench-v1\",\n");
+  std::fprintf(f, "  \"suite\": \"%s\",\n", suite.c_str());
+  std::fprintf(f, "  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"real_ns\": %.6g, "
+                 "\"cpu_ns\": %.6g, \"iterations\": %lld}%s\n",
+                 r.name.c_str(), r.real_ns, r.cpu_ns,
+                 static_cast<long long>(r.iterations),
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("perf_report: wrote %zu benchmarks to %s\n", results.size(),
+              path.c_str());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Strip our own flag before google-benchmark sees the argv.
+  std::string out_dir = ".";
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out-dir=", 10) == 0) {
+      out_dir = argv[i] + 10;
+    } else if (std::strcmp(argv[i], "--out-dir") == 0 && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+    return 1;
+  }
+
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  std::vector<Result> nc_results;
+  std::vector<Result> sim_results;
+  for (const auto& r : reporter.results()) {
+    (is_sim_bench(r.name) ? sim_results : nc_results).push_back(r);
+  }
+  const bool ok = write_suite(out_dir + "/BENCH_nc.json", "nc", nc_results) &&
+                  write_suite(out_dir + "/BENCH_sim.json", "sim", sim_results);
+  return ok ? 0 : 1;
+}

@@ -17,6 +17,11 @@ WcdAnalysis::WcdAnalysis(const Timings& timings,
                          const nc::TokenBucket& write_traffic)
     : t_(timings), c_(controller), writes_(write_traffic) {
   PAP_CHECK_MSG(t_.valid(), "invalid DRAM timing set");
+  // Explicit messages for the two parameters that silently corrupt the
+  // analysis if they slip through: n_wd == 0 divides by zero in the batch
+  // count, n_cap < 0 makes the hit block negative.
+  PAP_CHECK_MSG(c_.n_wd > 0, "write batch size n_wd must be >= 1");
+  PAP_CHECK_MSG(c_.n_cap >= 0, "hit promotion cap n_cap must be >= 0");
   PAP_CHECK_MSG(c_.valid(), "invalid controller parameters");
   PAP_CHECK(writes_.burst >= 0.0 && writes_.rate >= 0.0);
 }
@@ -83,11 +88,9 @@ double WcdAnalysis::interference_utilization() const {
   return write_share + refresh_share;
 }
 
-std::pair<Time, int> WcdAnalysis::fixpoint(Time base, bool hits_in_window,
-                                           bool* converged) const {
-  const Time hit_block = hit_block_time();
-  const Time counted_base = hits_in_window ? base + hit_block : base;
-  Time window = counted_base;
+std::pair<Time, int> WcdAnalysis::fixpoint_from(Time counted_base, Time warm,
+                                                bool* converged) const {
+  Time window = std::max(counted_base, warm);
   int iters = 0;
   *converged = true;
   for (;;) {
@@ -108,6 +111,14 @@ std::pair<Time, int> WcdAnalysis::fixpoint(Time base, bool hits_in_window,
     PAP_CHECK_MSG(next > window, "fixpoint iteration must be monotone");
     window = next;
   }
+  return {window, iters};
+}
+
+std::pair<Time, int> WcdAnalysis::fixpoint(Time base, bool hits_in_window,
+                                           bool* converged) const {
+  const Time hit_block = hit_block_time();
+  const Time counted_base = hits_in_window ? base + hit_block : base;
+  auto [window, iters] = fixpoint_from(counted_base, counted_base, converged);
   // The tagged read completes at the end of the schedule; for the lower
   // bound the hit block is appended after the counting window.
   const Time total = hits_in_window ? window : window + hit_block;
@@ -129,27 +140,64 @@ WcdBounds WcdAnalysis::bounds(int n) const {
   return out;
 }
 
+namespace {
+
+/// Assemble the service curve from its (t_N, N) points. The asymptotic rate
+/// comes from the last step (requests per ns under steady interference).
+nc::Curve curve_from_wcd_points(const std::vector<std::pair<Time, double>>& points,
+                                Time row_cycle) {
+  double tail;
+  if (points.size() >= 2) {
+    const double dt =
+        (points.back().first - points[points.size() - 2].first).nanos();
+    tail = dt > 0 ? 1.0 / dt : 0.0;
+  } else {
+    tail = 1.0 / row_cycle.nanos();
+  }
+  std::vector<std::pair<double, double>> pts;
+  pts.reserve(points.size());
+  for (const auto& [tt, nn] : points) pts.emplace_back(tt.nanos(), nn);
+  return nc::Curve::from_points(pts, tail);
+}
+
+}  // namespace
+
 nc::Curve WcdAnalysis::service_curve(int max_n) const {
+  PAP_CHECK(max_n >= 1);
+  // Each queue position adds exactly one row cycle to the counted window
+  // base, so the least fixpoints satisfy LFP_n >= LFP_{n-1} + tRC: the
+  // previous window (plus tRC) is a valid warm start that the monotone
+  // iteration refines to the identical least fixpoint. Total cost is one
+  // full fixpoint plus a handful of catch-up iterations per point.
+  const Time hit_block = hit_block_time();
+  std::vector<std::pair<Time, double>> points;
+  points.reserve(static_cast<std::size_t>(max_n));
+  Time prev = Time::zero();
+  for (int n = 1; n <= max_n; ++n) {
+    const Time counted_base = miss_service_time(n) + hit_block;
+    const Time warm =
+        (n == 1) ? counted_base : std::max(counted_base, prev + t_.row_cycle());
+    bool conv = true;
+    Time window = fixpoint_from(counted_base, warm, &conv).first;
+    if (!conv && warm > counted_base) {
+      // Past saturation the cut-off window depends on the starting iterate;
+      // redo this point cold so the curve matches the per-point analysis.
+      window = fixpoint_from(counted_base, counted_base, &conv).first;
+    }
+    prev = window;
+    points.emplace_back(window, static_cast<double>(n));
+  }
+  return curve_from_wcd_points(points, t_.row_cycle());
+}
+
+nc::Curve WcdAnalysis::service_curve_reference(int max_n) const {
   PAP_CHECK(max_n >= 1);
   std::vector<std::pair<Time, double>> points;
   points.reserve(static_cast<std::size_t>(max_n));
   for (int n = 1; n <= max_n; ++n) {
     points.emplace_back(upper_bound(n), static_cast<double>(n));
   }
-  // Asymptotic rate from the last step (requests per ns under steady
-  // interference).
-  double tail;
-  if (max_n >= 2) {
-    const double dt =
-        (points.back().first - points[points.size() - 2].first).nanos();
-    tail = dt > 0 ? 1.0 / dt : 0.0;
-  } else {
-    tail = 1.0 / t_.row_cycle().nanos();
-  }
-  std::vector<std::pair<double, double>> pts;
-  pts.reserve(points.size());
-  for (const auto& [tt, nn] : points) pts.emplace_back(tt.nanos(), nn);
-  return nc::Curve::from_points(pts, tail);
+  return curve_from_wcd_points(points, t_.row_cycle());
 }
 
 Time WcdAnalysis::gap_bound() const {

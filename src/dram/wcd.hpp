@@ -72,7 +72,19 @@ class WcdAnalysis {
   /// "The curve that joins points (t_N, N) is a service curve for this
   /// system" — built from the upper bounds for N = 1..max_n, extended with
   /// the asymptotic service rate.
+  ///
+  /// Incremental: the counted window base grows by exactly one row cycle per
+  /// queue position, so LFP_n >= LFP_{n-1} + tRC and each point's fixpoint
+  /// warm-starts from the previous one — the whole curve costs one fixpoint
+  /// run plus O(1) amortised refinement per point instead of re-running the
+  /// iteration from scratch for every N. Produces bit-identical points to
+  /// service_curve_reference (Time is integer picoseconds).
   nc::Curve service_curve(int max_n) const;
+
+  /// The pre-optimization construction (one cold fixpoint per point,
+  /// O(max_n * iterations)); retained for benchmarking and as the oracle the
+  /// incremental version is tested against.
+  nc::Curve service_curve_reference(int max_n) const;
 
   /// Long-run fraction of controller time consumed by write batches and
   /// refreshes; the fixpoint converges iff this is < 1.
@@ -97,6 +109,14 @@ class WcdAnalysis {
   /// fixpoint (lower bound).
   std::pair<Time, int> fixpoint(Time base, bool hits_in_window,
                                 bool* converged) const;
+
+  /// Core iteration: least fixpoint of
+  ///   W = counted_base + batches(W) * batch_time + refreshes(W) * tRFC
+  /// starting from max(counted_base, warm). Any warm <= the least fixpoint
+  /// yields the same result; service_curve exploits this to reuse the
+  /// previous point's window.
+  std::pair<Time, int> fixpoint_from(Time counted_base, Time warm,
+                                     bool* converged) const;
 
   Timings t_;
   ControllerParams c_;

@@ -137,6 +137,60 @@ std::optional<double> Curve::inverse(double y) const {
   return std::nullopt;
 }
 
+double Curve::Cursor::eval(double x) {
+  PAP_CHECK(x >= 0.0);
+  const auto& segs = c_->segments();
+  if (x < segs[ei_].x) {
+    // Backward jump: fall back to the same binary search eval() uses.
+    auto it = std::upper_bound(
+        segs.begin(), segs.end(), x,
+        [](double v, const Segment& s) { return v < s.x; });
+    ei_ = static_cast<std::size_t>(it - segs.begin()) - 1;
+  } else {
+    while (ei_ + 1 < segs.size() && segs[ei_ + 1].x <= x) ++ei_;
+  }
+  return seg_eval(segs[ei_], x);
+}
+
+double Curve::Cursor::slope_at(double x) {
+  eval(x);
+  return c_->segments()[ei_].slope;
+}
+
+std::optional<double> Curve::Cursor::inverse(double y) {
+  const auto& segs = c_->segments();
+  if (y <= segs.front().y) return 0.0;
+  if (y < segs[ii_].y) ii_ = 0;  // far backward jump: restart the scan
+  // Step back while an earlier segment could still answer this query (its
+  // end value reaches y within tolerance) — this keeps the resumed scan
+  // bit-identical to the full scan even when y sits exactly on a segment
+  // boundary or a plateau value. Collinear merging in normalize() bounds
+  // the walk to a couple of steps for non-degenerate curves.
+  while (ii_ > 0 && y <= segs[ii_].y + kEps) --ii_;
+  // Same scan as Curve::inverse, resumed from the segment the previous
+  // query ended in, so monotone query sequences touch each segment once.
+  for (; ii_ < segs.size(); ++ii_) {
+    const Segment& s = segs[ii_];
+    const bool last = (ii_ + 1 == segs.size());
+    const double end_value =
+        last ? std::numeric_limits<double>::infinity()
+             : seg_eval(s, segs[ii_ + 1].x);
+    if (y <= end_value + kEps) {
+      if (s.slope <= 0.0) {
+        // Flat segment: y is only reached if it equals the plateau value;
+        // otherwise keep scanning (the next segment starts higher).
+        if (y <= s.y + kEps) return s.x;
+        if (last) return std::nullopt;
+        continue;
+      }
+      if (y <= s.y) return s.x;
+      return s.x + (y - s.y) / s.slope;
+    }
+  }
+  ii_ = segs.size() - 1;
+  return std::nullopt;
+}
+
 bool Curve::is_concave() const {
   for (std::size_t i = 1; i < segments_.size(); ++i) {
     if (segments_[i].slope > segments_[i - 1].slope + kEps) return false;
@@ -154,59 +208,67 @@ bool Curve::is_convex() const {
 
 std::vector<Segment> combine_raw(const Curve& a, const Curve& b,
                                  double (*combine)(double, double)) {
-  // Union of breakpoints.
-  std::vector<double> xs;
-  for (const auto& s : a.segments()) xs.push_back(s.x);
-  for (const auto& s : b.segments()) xs.push_back(s.x);
-  std::sort(xs.begin(), xs.end());
-  xs.erase(std::unique(xs.begin(), xs.end(),
-                       [](double u, double v) { return nearly_equal(u, v); }),
-           xs.end());
-
-  // Insert crossing points so the combination is linear on each interval.
-  std::vector<double> all = xs;
-  auto slope_at = [](const Curve& c, double x) {
-    const auto& segs = c.segments();
-    auto it = std::upper_bound(
-        segs.begin(), segs.end(), x,
-        [](double v, const Segment& s) { return v < s.x; });
-    --it;
-    return it->slope;
-  };
-  for (std::size_t i = 0; i < xs.size(); ++i) {
-    const double x1 = xs[i];
-    const double fa = a.eval(x1);
-    const double fb = b.eval(x1);
-    const double sa = slope_at(a, x1);
-    const double sb = slope_at(b, x1);
-    if (nearly_equal(sa, sb)) continue;
-    const double xc = x1 + (fb - fa) / (sa - sb);
-    const double x2 = (i + 1 < xs.size())
-                          ? xs[i + 1]
-                          : std::numeric_limits<double>::infinity();
-    if (xc > x1 + kEps && xc < x2 - kEps) all.push_back(xc);
-  }
-  std::sort(all.begin(), all.end());
-  all.erase(std::unique(all.begin(), all.end(),
-                        [](double u, double v) { return nearly_equal(u, v); }),
-            all.end());
+  // Single-pass two-pointer merge over both segment lists: O(n + m), no
+  // breakpoint sort and no per-point binary search. At every elementary
+  // interval both inputs are linear; the crossing of the two active lines
+  // (if it falls strictly inside) is computed exactly from the segment pair
+  // so the combination stays linear on each emitted piece. The retained
+  // naive version is nc::reference::combine_raw.
+  const auto& as = a.segments();
+  const auto& bs = b.segments();
+  const double inf = std::numeric_limits<double>::infinity();
 
   std::vector<Segment> out;
-  out.reserve(all.size());
-  for (std::size_t i = 0; i < all.size(); ++i) {
-    const double x = all[i];
-    const double v = combine(a.eval(x), b.eval(x));
+  out.reserve(as.size() + bs.size() + 2);
+
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  double x = 0.0;
+  for (;;) {
+    // Values at the interval start, anchored on the active segments (same
+    // expression eval() uses, so results match the naive version bit for
+    // bit at shared breakpoints).
+    const double va = seg_eval(as[ia], x);
+    const double vb = seg_eval(bs[ib], x);
+    const double sa = as[ia].slope;
+    const double sb = bs[ib].slope;
+    const double xa = (ia + 1 < as.size()) ? as[ia + 1].x : inf;
+    const double xb = (ib + 1 < bs.size()) ? bs[ib + 1].x : inf;
+    const double x2 = std::min(xa, xb);
+
+    // Exact crossing of the active lines strictly inside (x, x2):
+    // va + sa*d = vb + sb*d  =>  d = (vb - va) / (sa - sb).
+    double xc = inf;
+    if (!nearly_equal(sa, sb)) {
+      const double cand = x + (vb - va) / (sa - sb);
+      if (cand > x + kEps && cand < x2 - kEps) xc = cand;
+    }
+    const double xe = std::min(x2, xc);
+
+    const double v = combine(va, vb);
     double slope;
-    if (i + 1 < all.size()) {
-      const double xn = all[i + 1];
-      slope = (combine(a.eval(xn), b.eval(xn)) - v) / (xn - x);
+    if (xe < inf) {
+      // Bounded piece: slope from the exact values at both ends. The end
+      // values come from whichever segment is active *at* xe (the segment
+      // starting there when xe is a breakpoint), matching eval(xe).
+      const double vae = (xe >= xa) ? as[ia + 1].y : seg_eval(as[ia], xe);
+      const double vbe = (xe >= xb) ? bs[ib + 1].y : seg_eval(bs[ib], xe);
+      slope = (combine(vae, vbe) - v) / (xe - x);
     } else {
-      // Final unbounded interval: no crossings remain beyond x, so the
-      // winner is stable; probe one unit ahead.
-      const double v1 = combine(a.eval(x + 1.0), b.eval(x + 1.0));
-      slope = v1 - v;
+      // Final ray: any tail crossing was split out above, so the pointwise
+      // winner is stable; a one-unit probe of the active lines is exact for
+      // min, max and linear combinations.
+      slope = combine(seg_eval(as[ia], x + 1.0), seg_eval(bs[ib], x + 1.0)) - v;
     }
     out.push_back(Segment{x, v, slope});
+
+    if (xe == inf) break;
+    x = xe;
+    // Advance whichever input(s) break here; near-coincident breakpoints
+    // (within kEps) advance together, mirroring the breakpoint dedup the
+    // naive version performed.
+    if (ia + 1 < as.size() && (xe >= xa || nearly_equal(xe, xa))) ++ia;
+    if (ib + 1 < bs.size() && (xe >= xb || nearly_equal(xe, xb))) ++ib;
   }
   return out;
 }

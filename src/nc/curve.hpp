@@ -58,6 +58,33 @@ class Curve {
   /// First x with f(x) >= y, or nullopt if y is never reached.
   std::optional<double> inverse(double y) const;
 
+  /// Stateful evaluation cursor: remembers the segment the previous query
+  /// landed in, so a *non-decreasing* sequence of eval() / inverse() calls
+  /// costs amortized O(1) per query instead of O(log n) each — the access
+  /// pattern of every merge-walk in ops.cpp and of admission-control loops
+  /// that probe a service curve at increasing depths. Queries that jump
+  /// backwards are still correct; they fall back to a fresh search. The
+  /// cursor observes the curve: it must not outlive it, and any mutation of
+  /// the curve invalidates the cursor.
+  class Cursor {
+   public:
+    explicit Cursor(const Curve& curve) : c_(&curve) {}
+
+    /// Same result as Curve::eval(x), amortized O(1) for monotone x.
+    double eval(double x);
+
+    /// Same result as Curve::inverse(y), amortized O(1) for monotone y.
+    std::optional<double> inverse(double y);
+
+    /// Right slope at x (the slope of the segment eval(x) would use).
+    double slope_at(double x);
+
+   private:
+    const Curve* c_;
+    std::size_t ei_ = 0;  ///< last segment index used by eval/slope_at
+    std::size_t ii_ = 0;  ///< last segment index used by inverse
+  };
+
   const std::vector<Segment>& segments() const { return segments_; }
   double value_at_zero() const { return segments_.front().y; }
   double final_slope() const { return segments_.back().slope; }
@@ -102,6 +129,13 @@ Curve add(const Curve& a, const Curve& b);
 /// linearly on each elementary interval, adding crossing points where the
 /// two inputs intersect. `combine` must be min, max or a linear combination
 /// so the result stays piecewise linear. Exposed for ops.cpp and tests.
+///
+/// Implementation: a single-pass two-pointer segment merge, O(n + m) in the
+/// segment counts. Crossing points are derived exactly from the active
+/// segment pair (value difference over slope difference), never from
+/// finite-difference probes, so segments shorter than one nanosecond are
+/// handled exactly. The naive breakpoint-sort version is retained as
+/// nc::reference::combine_pointwise and property-tested against this one.
 Curve combine_pointwise(const Curve& a, const Curve& b,
                         double (*combine)(double, double));
 

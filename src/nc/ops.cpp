@@ -61,64 +61,110 @@ std::optional<Curve> deconvolve(const Curve& f, const Curve& g) {
   PAP_CHECK_MSG(g.is_convex(), "deconvolve expects a convex service curve");
   if (f.final_slope() > g.final_slope() + kEps) return std::nullopt;
 
-  // The result is concave piecewise-linear; all of its breakpoints lie in
-  // { a_x - b_x >= 0 } for breakpoints a_x of f and b_x of g. Evaluate the
-  // exact supremum at every candidate t and interpolate.
-  std::vector<double> f_bps;
-  std::vector<double> g_bps;
-  for (const auto& s : f.segments()) f_bps.push_back(s.x);
-  for (const auto& s : g.segments()) g_bps.push_back(s.x);
+  // Rotating-tangent walk, O(n + m). For concave f and convex g the
+  // objective phi_t(u) = f(t+u) - g(u) is concave in u, so the smallest
+  // maximizer u*(t) is characterised by the slope sandwich
+  //     f'((t+u)^+) <= g'(u^+)   and   f'((t+u)^-) >= g'(u^-).
+  // As t grows, u*(t) only decreases and s*(t) = t + u*(t) only increases,
+  // so one pointer descends g's pieces while the other ascends f's pieces
+  // and every breakpoint is visited at most once. The retained enumeration
+  // version (~cubic in the segment count) is nc::reference::deconvolve.
+  const auto& fs = f.segments();
+  const auto& gs = g.segments();
+  const std::size_t nf = fs.size();
+  const std::size_t ng = gs.size();
+  const double inf = std::numeric_limits<double>::infinity();
 
-  std::vector<double> ts{0.0};
-  for (double a : f_bps) {
-    for (double b : g_bps) {
-      if (a - b > kEps) ts.push_back(a - b);
-    }
-    if (a > kEps) ts.push_back(a);
+  // Find u0 = u*(0): the smallest u with f'(u^+) <= g'(u^+), by walking the
+  // merged breakpoints while f' still exceeds g'.
+  std::size_t i = 0;  // f piece containing s = t + u (right piece)
+  std::size_t j = 0;  // g piece with gs[j].x <= u
+  double u0 = 0.0;
+  while (fs[i].slope > gs[j].slope + kEps) {
+    const double xa = (i + 1 < nf) ? fs[i + 1].x : inf;
+    const double xb = (j + 1 < ng) ? gs[j + 1].x : inf;
+    if (xa == inf && xb == inf) break;  // tolerance tie between the tails
+    u0 = std::min(xa, xb);
+    if (i + 1 < nf && fs[i + 1].x <= u0) ++i;
+    if (j + 1 < ng && gs[j + 1].x <= u0) ++j;
   }
-  std::sort(ts.begin(), ts.end());
-  ts.erase(std::unique(ts.begin(), ts.end(),
-                       [](double u, double v) { return std::fabs(u - v) < kEps; }),
-           ts.end());
 
-  auto sup_at = [&](double t) {
-    // h(u) = f(t+u) - g(u) is concave in u; its maximum is attained at a
-    // slope-change point: u in g's breakpoints or u = a_x - t.
-    double best = f.eval(t) - g.eval(0.0);
-    for (double b : g_bps) {
-      best = std::max(best, f.eval(t + b) - g.eval(b));
-    }
-    for (double a : f_bps) {
-      if (a >= t) best = std::max(best, f.eval(a) - g.eval(a - t));
-    }
-    return best;
-  };
+  double t = 0.0;
+  double s = u0;
+  double u = u0;
+  double h = std::max(0.0, f.eval(u0) - g.eval(u0));
 
   std::vector<std::pair<double, double>> pts;
-  pts.reserve(ts.size());
-  for (double t : ts) pts.emplace_back(t, std::max(0.0, sup_at(t)));
+  pts.reserve(nf + ng);
+  pts.emplace_back(t, h);
+  for (;;) {
+    if (u > 0.0) {
+      // Left piece of g at u: the piece strictly containing (u - eps).
+      std::size_t jl = j;
+      if (jl > 0 && gs[jl].x >= u) --jl;
+      const double gl = gs[jl].slope;
+      if (gl >= fs[i].slope) {
+        // Retreat u to that piece's start; h grows at g's slope there.
+        const double du = u - gs[jl].x;
+        t += du;
+        h += gl * du;
+        u = gs[jl].x;
+        j = jl;
+        pts.emplace_back(t, h);
+        continue;
+      }
+    }
+    // Advance s through f's piece i; h grows at f's slope there.
+    if (i + 1 == nf) break;  // tail: h follows f's final slope forever
+    const double ds = fs[i + 1].x - s;
+    t += ds;
+    h += fs[i].slope * ds;
+    s = fs[i + 1].x;
+    ++i;
+    pts.emplace_back(t, h);
+  }
   return Curve::from_points(pts, f.final_slope());
 }
 
 std::optional<double> h_deviation(const Curve& alpha, const Curve& beta) {
   if (alpha.final_slope() > beta.final_slope() + kEps) return std::nullopt;
 
-  // Candidate abscissae: alpha's breakpoints plus the first times alpha
-  // reaches each of beta's breakpoint values; between them
-  // t -> beta^{-1}(alpha(t)) - t is linear.
-  std::vector<double> ts;
-  for (const auto& s : alpha.segments()) ts.push_back(s.x);
-  for (const auto& s : beta.segments()) {
-    if (auto t = alpha.inverse(s.y)) ts.push_back(*t);
-  }
-  std::sort(ts.begin(), ts.end());
-  ts.erase(std::unique(ts.begin(), ts.end(),
-                       [](double u, double v) { return std::fabs(u - v) < kEps; }),
-           ts.end());
+  // Same candidate set as always — alpha's breakpoints plus the first times
+  // alpha reaches each of beta's breakpoint values; between them
+  // t -> beta^{-1}(alpha(t)) - t is linear. The candidates are generated in
+  // merged (sorted) order though, so all three curve lookups ride cursors
+  // and the whole scan is O(n + m) instead of sort + O(log) per candidate.
+  const auto& as = alpha.segments();
+  const auto& bs = beta.segments();
+  Curve::Cursor alpha_inv(alpha);
+  Curve::Cursor alpha_ev(alpha);
+  Curve::Cursor beta_inv(beta);
 
   double worst = 0.0;
-  for (double t : ts) {
-    const auto x = beta.inverse(alpha.eval(t));
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  std::optional<double> tb;     // candidate t for beta's current breakpoint
+  bool tb_computed = false;
+  while (ia < as.size() || ib < bs.size()) {
+    if (!tb_computed && ib < bs.size()) {
+      tb = alpha_inv.inverse(bs[ib].y);  // bs[ib].y is non-decreasing in ib
+      tb_computed = true;
+      if (!tb) {
+        // alpha plateaus below this level: no time ever reaches it, so it
+        // (and every higher beta breakpoint) contributes no candidate.
+        ib = bs.size();
+        continue;
+      }
+    }
+    double t;
+    if (ib >= bs.size() || (ia < as.size() && as[ia].x <= *tb)) {
+      t = as[ia++].x;
+    } else {
+      t = *tb;
+      ++ib;
+      tb_computed = false;
+    }
+    const auto x = beta_inv.inverse(alpha_ev.eval(t));
     if (!x) {
       // beta saturates below alpha(t): only bounded if alpha also saturates
       // at or below beta's plateau, which the slope check above did not
@@ -132,12 +178,25 @@ std::optional<double> h_deviation(const Curve& alpha, const Curve& beta) {
 
 std::optional<double> v_deviation(const Curve& alpha, const Curve& beta) {
   if (alpha.final_slope() > beta.final_slope() + kEps) return std::nullopt;
-  std::vector<double> xs;
-  for (const auto& s : alpha.segments()) xs.push_back(s.x);
-  for (const auto& s : beta.segments()) xs.push_back(s.x);
-  std::sort(xs.begin(), xs.end());
+  // Two-pointer merge over both breakpoint lists with cursor evals: the
+  // difference is linear between merged breakpoints, so its sup sits on one
+  // of them. O(n + m).
+  const auto& as = alpha.segments();
+  const auto& bs = beta.segments();
+  Curve::Cursor ac(alpha);
+  Curve::Cursor bc(beta);
   double worst = 0.0;
-  for (double x : xs) worst = std::max(worst, alpha.eval(x) - beta.eval(x));
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  while (ia < as.size() || ib < bs.size()) {
+    double x;
+    if (ib >= bs.size() || (ia < as.size() && as[ia].x <= bs[ib].x)) {
+      x = as[ia++].x;
+    } else {
+      x = bs[ib++].x;
+    }
+    worst = std::max(worst, ac.eval(x) - bc.eval(x));
+  }
   return worst;
 }
 

@@ -9,71 +9,158 @@ void Kernel::set_tracer(trace::Tracer* tracer) {
   if (tracer_) tracer_->set_clock([this] { return now_; });
 }
 
+bool Kernel::before(std::uint32_t a, std::uint32_t b) const {
+  const Entry& ea = pool_[a];
+  const Entry& eb = pool_[b];
+  if (ea.at != eb.at) return ea.at < eb.at;
+  if (ea.priority != eb.priority) return ea.priority < eb.priority;
+  return ea.seq < eb.seq;
+}
+
+void Kernel::sift_up(std::uint32_t pos) {
+  const std::uint32_t slot = heap_[pos];
+  while (pos > 0) {
+    const std::uint32_t parent = (pos - 1) / 4;
+    if (!before(slot, heap_[parent])) break;
+    heap_[pos] = heap_[parent];
+    pool_[heap_[pos]].heap_pos = pos;
+    pos = parent;
+  }
+  heap_[pos] = slot;
+  pool_[slot].heap_pos = pos;
+}
+
+void Kernel::sift_down(std::uint32_t pos) {
+  const std::uint32_t slot = heap_[pos];
+  const auto n = static_cast<std::uint32_t>(heap_.size());
+  for (;;) {
+    const std::uint32_t first = 4 * pos + 1;
+    if (first >= n) break;
+    std::uint32_t best = first;
+    const std::uint32_t end = (first + 4 < n) ? first + 4 : n;
+    for (std::uint32_t c = first + 1; c < end; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
+    }
+    if (!before(heap_[best], slot)) break;
+    heap_[pos] = heap_[best];
+    pool_[heap_[pos]].heap_pos = pos;
+    pos = best;
+  }
+  heap_[pos] = slot;
+  pool_[slot].heap_pos = pos;
+}
+
+std::uint32_t Kernel::pop_root() {
+  const std::uint32_t slot = heap_[0];
+  const std::uint32_t last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_[0] = last;
+    pool_[last].heap_pos = 0;
+    sift_down(0);
+  }
+  pool_[slot].heap_pos = kNoPos;
+  return slot;
+}
+
+void Kernel::release_slot(std::uint32_t slot) {
+  Entry& e = pool_[slot];
+  e.seq = 0;
+  e.heap_pos = kNoPos;
+  e.fn = nullptr;
+  free_.push_back(slot);
+}
+
 EventId Kernel::schedule_at(Time at, EventFn fn, int priority) {
   PAP_CHECK_MSG(at >= now_, "cannot schedule an event in the past");
   const std::uint64_t seq = next_seq_++;
-  queue_.push(Entry{at, priority, seq, std::move(fn)});
-  pending_.insert(seq);
-  ++live_count_;
-  return EventId{seq};
+  std::uint32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(pool_.size());
+    pool_.emplace_back();
+  }
+  Entry& e = pool_[slot];
+  e.at = at;
+  e.priority = priority;
+  e.seq = seq;
+  e.fn = std::move(fn);
+  heap_.push_back(slot);
+  sift_up(static_cast<std::uint32_t>(heap_.size()) - 1);
+  return EventId{seq, slot};
 }
 
 bool Kernel::cancel(EventId id) {
   if (!id.valid()) return false;
-  // Only genuinely pending events can be cancelled: stale handles (already
-  // fired or already cancelled) are rejected without touching any state.
-  const auto it = pending_.find(id.seq_);
-  if (it == pending_.end()) return false;
-  pending_.erase(it);
-  // We cannot remove from the middle of a priority_queue; remember the seq
-  // and skip the entry when it surfaces (forgotten again at that point).
-  cancelled_.insert(id.seq_);
-  --live_count_;
+  // Only genuinely pending events can be cancelled: a stale handle (already
+  // fired or already cancelled, possibly with the slot since recycled) fails
+  // the seq comparison and is rejected without touching any state.
+  if (id.slot_ >= pool_.size()) return false;
+  Entry& e = pool_[id.slot_];
+  if (e.seq != id.seq_) return false;
+  // In-place heap removal: swap the last leaf into the vacated position and
+  // restore the heap property in whichever direction it was violated.
+  const std::uint32_t pos = e.heap_pos;
+  const auto last_pos = static_cast<std::uint32_t>(heap_.size()) - 1;
+  const std::uint32_t moved = heap_[last_pos];
+  heap_.pop_back();
+  if (pos != last_pos) {
+    heap_[pos] = moved;
+    pool_[moved].heap_pos = pos;
+    sift_down(pos);
+    sift_up(pos);
+  }
+  release_slot(id.slot_);
   return true;
 }
 
-bool Kernel::is_cancelled(std::uint64_t seq) const {
-  return cancelled_.find(seq) != cancelled_.end();
-}
-
-void Kernel::forget_cancelled(std::uint64_t seq) { cancelled_.erase(seq); }
-
 bool Kernel::step() {
-  while (!queue_.empty()) {
-    Entry top = queue_.top();
-    queue_.pop();
-    if (is_cancelled(top.seq)) {
-      forget_cancelled(top.seq);
-      continue;
-    }
-    PAP_CHECK(top.at >= now_);
-    now_ = top.at;
-    pending_.erase(top.seq);
-    --live_count_;
-    ++executed_;
-    top.fn();
-    return true;
-  }
-  return false;
+  if (heap_.empty()) return false;
+  const std::uint32_t slot = pop_root();
+  Entry& e = pool_[slot];
+  PAP_CHECK(e.at >= now_);
+  now_ = e.at;
+  ++executed_;
+  // Detach fn and free the slot before running: the handler may schedule new
+  // events (which can legally reuse this slot) or re-enter the kernel.
+  EventFn fn = std::move(e.fn);
+  release_slot(slot);
+  fn();
+  return true;
 }
 
 std::uint64_t Kernel::run(Time until) {
   std::uint64_t ran = 0;
-  while (!queue_.empty()) {
+  while (!heap_.empty()) {
+    const Time t = pool_[heap_[0]].at;
     // Peek: do not advance past `until`.
-    if (queue_.top().at > until) break;
-    if (step()) ++ran;
+    if (t > until) break;
+    PAP_CHECK(t >= now_);
+    now_ = t;
+    // Drain the whole timestamp as one batch: same-t events run in
+    // (priority, insertion) order without re-checking `until` per event, and
+    // events the handlers schedule *at* t join the batch (schedule_at
+    // forbids the past, so nothing can sneak in before t).
+    while (!heap_.empty() && pool_[heap_[0]].at == t) {
+      const std::uint32_t slot = pop_root();
+      ++executed_;
+      EventFn fn = std::move(pool_[slot].fn);
+      release_slot(slot);
+      fn();
+      ++ran;
+    }
   }
   return ran;
 }
 
 void Kernel::reset() {
-  queue_ = {};
-  pending_.clear();
-  cancelled_.clear();
+  pool_.clear();
+  heap_.clear();
+  free_.clear();
   now_ = Time::zero();
   executed_ = 0;
-  live_count_ = 0;
 }
 
 PeriodicEvent::PeriodicEvent(Kernel& kernel, Time start, Time period,

@@ -12,9 +12,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
 #include "common/check.hpp"
@@ -28,7 +26,10 @@ namespace pap::sim {
 
 using EventFn = std::function<void()>;
 
-/// Opaque handle for cancelling a scheduled event.
+/// Opaque handle for cancelling a scheduled event. Carries the pool slot of
+/// the event (for O(1) lookup) plus its unique sequence number (so a handle
+/// that outlives its event — the slot having been recycled — is detected and
+/// rejected instead of cancelling a stranger).
 class EventId {
  public:
   EventId() = default;
@@ -36,8 +37,9 @@ class EventId {
 
  private:
   friend class Kernel;
-  explicit EventId(std::uint64_t s) : seq_(s) {}
+  EventId(std::uint64_t s, std::uint32_t slot) : seq_(s), slot_(slot) {}
   std::uint64_t seq_ = 0;
+  std::uint32_t slot_ = 0;
 };
 
 class Kernel {
@@ -57,8 +59,10 @@ class Kernel {
     return schedule_at(now_ + delay, std::move(fn), priority);
   }
 
-  /// Cancel a pending event. Returns false (and changes nothing) when the
-  /// event already ran or was already cancelled — stale handles are safe.
+  /// Cancel a pending event in O(log n): the entry is removed from the heap
+  /// in place (no tombstones linger in the queue). Returns false (and
+  /// changes nothing) when the event already ran or was already cancelled —
+  /// stale handles are safe.
   bool cancel(EventId id);
 
   /// Run until the event queue drains or `until` is reached (events at
@@ -68,7 +72,7 @@ class Kernel {
   /// Run exactly one event if any is pending; returns false when drained.
   bool step();
 
-  bool empty() const { return live_count_ == 0; }
+  bool empty() const { return heap_.empty(); }
   std::uint64_t events_executed() const { return executed_; }
 
   /// Drop all pending events and reset the clock (for test reuse).
@@ -84,32 +88,47 @@ class Kernel {
   trace::Tracer* tracer() const { return tracer_; }
 
  private:
+  // Event storage: a slot pool indexed by a 4-ary min-heap of slot numbers.
+  //
+  //  * The heap holds 4-byte slot indices, so a sift moves ints, not
+  //    std::function-bearing structs — one Entry move per executed event
+  //    (when its fn is handed to the caller) instead of O(log n) moves.
+  //  * Each Entry records its heap position, so cancel() removes the entry
+  //    in place (swap with the last leaf + one sift) instead of leaving a
+  //    tombstone to filter at pop time. Cancel-heavy workloads (timeouts,
+  //    PeriodicEvent churn) no longer inflate the queue.
+  //  * Slots are recycled through a free list; the monotone `seq` stamped
+  //    into each Entry distinguishes a live event from a stale handle whose
+  //    slot has been reused.
+  //  * 4-ary beats binary here: the heap is shallower (log_4 n levels) and
+  //    the four children share a cache line of slot indices.
   struct Entry {
     Time at;
-    int priority;
-    std::uint64_t seq;  // insertion order; also the cancellation key
+    int priority = 0;
+    std::uint64_t seq = 0;       // insertion order; 0 = free slot
+    std::uint32_t heap_pos = 0;  // index into heap_ while scheduled
     EventFn fn;
-    bool operator>(const Entry& o) const {
-      if (at != o.at) return at > o.at;
-      if (priority != o.priority) return priority > o.priority;
-      return seq > o.seq;
-    }
   };
 
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
-  std::unordered_set<std::uint64_t> pending_;  // scheduled, not yet run
-  // Cancelled but still buried in queue_. A hash set keeps cancel-heavy
-  // workloads (timeout patterns, PeriodicEvent churn) O(1) per cancel and
-  // per drain instead of the O(n) linear scans a vector would cost on
-  // every surfacing event.
-  std::unordered_set<std::uint64_t> cancelled_;
-  bool is_cancelled(std::uint64_t seq) const;
-  void forget_cancelled(std::uint64_t seq);
+  static constexpr std::uint32_t kNoPos = 0xffffffffu;
+
+  /// True when pool_[a] fires strictly before pool_[b]
+  /// ((at, priority, seq) lexicographic).
+  bool before(std::uint32_t a, std::uint32_t b) const;
+  void sift_up(std::uint32_t pos);
+  void sift_down(std::uint32_t pos);
+  /// Detach the heap root and return its slot (heap_pos becomes kNoPos).
+  std::uint32_t pop_root();
+  /// Return a slot to the free list (clears seq and releases fn).
+  void release_slot(std::uint32_t slot);
+
+  std::vector<Entry> pool_;
+  std::vector<std::uint32_t> heap_;  // slot indices, 4-ary min-heap
+  std::vector<std::uint32_t> free_;  // recycled slot indices
 
   Time now_ = Time::zero();
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
-  std::uint64_t live_count_ = 0;
   trace::Tracer* tracer_ = nullptr;
 };
 

@@ -248,5 +248,57 @@ TEST_P(SimVsBound, SimulatedLatencyWithinUpperBound) {
 INSTANTIATE_TEST_SUITE_P(Rates, SimVsBound,
                          ::testing::Values(1.0, 2.0, 4.0, 5.0, 6.0));
 
+TEST(WcdServiceCurve, IncrementalMatchesReferenceBitExactly) {
+  // service_curve warm-starts each depth's fixpoint from the previous one;
+  // Time is integer picoseconds, so the warm iteration must land on the
+  // *identical* least fixpoint, making the curves comparable with EXPECT_EQ
+  // (canonical-representation equality), not just within tolerance.
+  const auto timings = ddr3_1600();
+  const auto ctrl = paper_controller();
+  for (double gbps : {1.0, 4.0, 6.0, 7.0}) {
+    const auto writes = nc::TokenBucket::from_rate(Rate::gbps(gbps), 64, 8);
+    WcdAnalysis analysis(timings, ctrl, writes);
+    for (int depth : {1, 2, 8, 32, 128}) {
+      EXPECT_EQ(analysis.service_curve(depth),
+                analysis.service_curve_reference(depth))
+          << "depth " << depth << " at " << gbps << " Gbps";
+    }
+  }
+}
+
+TEST(WcdServiceCurve, IncrementalMatchesReferenceNearSaturation) {
+  // Approaching write-service saturation (utilization 0.93-0.98 for this
+  // controller) the cold fixpoint needs dozens of iterations; the warm-start
+  // advantage is largest here and so is the room for disagreement. Still
+  // bit-exact. (Past saturation the windows blow through the cut-off and no
+  // service curve exists — bounds() reports !converged there instead.)
+  const auto timings = ddr3_1600();
+  const auto ctrl = paper_controller();
+  for (double gbps : {7.4, 7.6, 7.8}) {
+    const auto writes = nc::TokenBucket::from_rate(Rate::gbps(gbps), 64, 8);
+    WcdAnalysis analysis(timings, ctrl, writes);
+    EXPECT_EQ(analysis.service_curve(32), analysis.service_curve_reference(32))
+        << gbps << " Gbps";
+  }
+}
+
+using WcdDeathTest = ::testing::Test;
+
+TEST(WcdDeathTest, RejectsZeroWriteBatchSize) {
+  const auto timings = ddr3_1600();
+  auto ctrl = paper_controller();
+  ctrl.n_wd = 0;  // would divide by zero in the batch count
+  const auto writes = nc::TokenBucket::from_rate(Rate::gbps(4), 64, 8);
+  EXPECT_DEATH(WcdAnalysis(timings, ctrl, writes), "n_wd must be >= 1");
+}
+
+TEST(WcdDeathTest, RejectsNegativeHitCap) {
+  const auto timings = ddr3_1600();
+  auto ctrl = paper_controller();
+  ctrl.n_cap = -1;  // would make the hit block negative
+  const auto writes = nc::TokenBucket::from_rate(Rate::gbps(4), 64, 8);
+  EXPECT_DEATH(WcdAnalysis(timings, ctrl, writes), "n_cap must be >= 0");
+}
+
 }  // namespace
 }  // namespace pap::dram

@@ -1,6 +1,10 @@
 // Unit and property tests for piecewise-linear curves.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
 #include "nc/arrival.hpp"
 #include "nc/curve.hpp"
 #include "nc/service.hpp"
@@ -198,6 +202,71 @@ INSTANTIATE_TEST_SUITE_P(
                       CurvePairCase{1, 0, 0, 1}, CurvePairCase{7, 7, 7, 7},
                       CurvePairCase{0, 0.1, 100, 0.1},
                       CurvePairCase{2.5, 1.25, 8, 0.75}));
+
+TEST(Curve, SubNanosecondCrossingIsExact) {
+  // Regression for the finite-difference crossing probe: two curves that
+  // cross 0.25 ns after a shared breakpoint. The merge derives the crossing
+  // from the active segment slopes, so the min must introduce a breakpoint
+  // at exactly x = 0.25 instead of blurring the corner across a whole
+  // nanosecond the way an eval(x + 1.0) probe did.
+  const Curve a = Curve::affine(1.0, 1.0);   // 1 + t
+  const Curve b = Curve::affine(0.0, 5.0);   // 5t, crosses at t = 0.25
+  const Curve m = min(a, b);
+  EXPECT_NEAR(m.eval(0.20), 1.00, 1e-12);    // b below a: 5 * 0.2
+  EXPECT_NEAR(m.eval(0.25), 1.25, 1e-12);    // the corner itself
+  EXPECT_NEAR(m.eval(0.30), 1.30, 1e-12);    // a below b: 1 + 0.3
+  bool has_corner = false;
+  for (const auto& s : m.segments()) {
+    if (std::fabs(s.x - 0.25) < 1e-12) has_corner = true;
+  }
+  EXPECT_TRUE(has_corner) << m.to_string();
+
+  // Same story with segments entirely shorter than a nanosecond.
+  const Curve c{std::vector<Segment>{{0.0, 0.0, 8.0}, {0.1, 0.8, 2.0}}};
+  const Curve d = Curve::affine(0.5, 3.0);
+  const Curve m2 = min(c, d);
+  for (double x : {0.0, 0.05, 0.1, 0.13, 0.2, 0.5, 2.0}) {
+    EXPECT_NEAR(m2.eval(x), std::min(c.eval(x), d.eval(x)), 1e-12) << x;
+  }
+}
+
+TEST(Curve, CursorMatchesFreshLookups) {
+  const Curve c{std::vector<Segment>{
+      {0.0, 2.0, 4.0}, {0.5, 4.0, 2.0}, {3.0, 9.0, 2.0 - 1e-12},
+      {7.0, 17.0, 0.5}}};
+  Curve::Cursor cur(c);
+  // Monotone sweep: the fast path.
+  for (double x = 0.0; x < 12.0; x += 0.0625) {
+    ASSERT_DOUBLE_EQ(cur.eval(x), c.eval(x)) << x;
+  }
+  // Backward jumps fall back to a fresh search.
+  for (double x : {11.0, 0.25, 6.5, 0.0, 3.0}) {
+    ASSERT_DOUBLE_EQ(cur.eval(x), c.eval(x)) << x;
+  }
+  Curve::Cursor inv(c);
+  for (double y = 0.0; y < 20.0; y += 0.125) {
+    const auto got = inv.inverse(y);
+    const auto want = c.inverse(y);
+    ASSERT_EQ(got.has_value(), want.has_value()) << y;
+    if (got) ASSERT_DOUBLE_EQ(*got, *want) << y;
+  }
+  // Backward inverse jumps, including onto plateau edges.
+  const Curve flat{std::vector<Segment>{
+      {0.0, 0.0, 2.0}, {1.0, 2.0, 0.0}, {4.0, 2.0, 1.0}}};
+  Curve::Cursor finv(flat);
+  for (double y : {3.0, 2.0, 0.5, 2.0, 1.9999999999, 0.0, 3.5}) {
+    const auto got = finv.inverse(y);
+    const auto want = flat.inverse(y);
+    ASSERT_EQ(got.has_value(), want.has_value()) << y;
+    if (got) ASSERT_DOUBLE_EQ(*got, *want) << y;
+  }
+  // Beyond the reachable range both report nullopt (flat tail).
+  const Curve capped{std::vector<Segment>{{0.0, 0.0, 1.0}, {2.0, 2.0, 0.0}}};
+  Curve::Cursor cinv(capped);
+  EXPECT_TRUE(cinv.inverse(1.0).has_value());
+  EXPECT_FALSE(cinv.inverse(5.0).has_value());
+  EXPECT_TRUE(cinv.inverse(2.0).has_value());  // backward after a failure
+}
 
 }  // namespace
 }  // namespace pap::nc
