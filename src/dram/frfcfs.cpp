@@ -39,6 +39,16 @@ void FrFcfsController::submit(Request request) {
   kick();
 }
 
+void FrFcfsController::inject_stall(Time until) {
+  ready_at_ = std::max(ready_at_, until);
+  last_was_hit_ = false;  // the stall breaks any data-bus pipeline
+  counters_.inc("injected_stalls");
+  if (auto* t = kernel_.tracer()) {
+    t->span(kernel_.now(), until - kernel_.now(), "dram", "injected_stall",
+            "fault");
+  }
+}
+
 void FrFcfsController::kick() {
   if (busy_) return;
   busy_ = true;

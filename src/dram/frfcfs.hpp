@@ -75,6 +75,13 @@ class FrFcfsController {
   void set_master_priority(std::uint32_t master, std::uint8_t priority);
   std::uint8_t master_priority(std::uint32_t master) const;
 
+  /// Fault injection: freeze command issue until `until` — a transient
+  /// stall window (thermal throttle, RAS scrub, rank power event). Requests
+  /// keep arriving and queue normally; the in-flight command completes, then
+  /// the engine stays idle until the window closes. Counted under
+  /// "injected_stalls" (fault::Injector's dram-stall handler binds here).
+  void inject_stall(Time until);
+
   /// Called with every completed request and its completion time.
   void set_completion_handler(CompletionFn fn) { on_complete_ = std::move(fn); }
 

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "common/check.hpp"
+#include "fault/plan.hpp"
 #include "trace/chrome_trace.hpp"
 #include "trace/tracer.hpp"
 
@@ -157,6 +158,11 @@ std::string cli_usage(const std::string& prog) {
          "bench/out)\n"
          "  --trace[=DIR]                write per-point Chrome traces and\n"
          "                               counter CSVs (default <out>/traces)\n"
+         "  --faults PLAN | --faults=PLAN\n"
+         "                               fault-injection plan, e.g.\n"
+         "                               'seed=7,drop=stop:0.1,crash@1ms=app2'"
+         "\n"
+         "                               (see docs/fault_injection.md)\n"
          "  --help                       show this message and exit\n";
 }
 
@@ -210,6 +216,22 @@ Expected<CliOptions> parse_cli_args(int argc, const char* const* argv) {
       if (a.size() == 8) return cli_error("--trace= requires a directory");
       cli.trace = true;
       cli.trace_dir = a.substr(8);
+    } else if (a == "--faults" || a.rfind("--faults=", 0) == 0) {
+      std::string plan_text;
+      if (a.rfind("--faults=", 0) == 0) {
+        plan_text = a.substr(9);
+      } else {
+        if (i + 1 >= argc) return cli_error("--faults requires a plan");
+        plan_text = argv[++i];
+      }
+      if (plan_text.empty()) return cli_error("--faults requires a plan");
+      // Validate eagerly so a typo'd plan fails at the CLI (exit 64 via
+      // parse_cli), not deep inside a sweep.
+      auto plan = fault::FaultPlan::parse(plan_text);
+      if (!plan) {
+        return cli_error("invalid --faults plan: " + plan.error_message());
+      }
+      cli.faults = plan_text;
     } else {
       return cli_error("unknown argument: '" + a + "'");
     }
@@ -240,6 +262,7 @@ RunnerOptions to_runner_options(const CliOptions& cli) {
     opts.trace_dir =
         cli.trace_dir.empty() ? cli.out_dir + "/traces" : cli.trace_dir;
   }
+  opts.faults = cli.faults;
   return opts;
 }
 

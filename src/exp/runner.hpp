@@ -40,6 +40,10 @@ struct RunnerOptions {
   /// runs with its own trace::Tracer and the exported Chrome-trace JSON /
   /// counter CSV land in PointOutcome (written out by TraceDirSink).
   std::string trace_dir;
+  /// Fault plan text (see fault::FaultPlan::parse), already validated by
+  /// the CLI layer. Benches that support fault injection merge it into each
+  /// point's plan; empty means no CLI-injected faults.
+  std::string faults;
 };
 
 enum class PointStatus {
@@ -114,6 +118,9 @@ class Runner {
 ///   --out DIR                    sink/cache output directory
 ///   --trace[=DIR]                emit per-point Chrome traces + counter
 ///                                CSVs (default DIR: <out>/traces)
+///   --faults PLAN                fault-injection plan (strictly validated
+///                                with fault::FaultPlan::parse; a bad plan
+///                                exits 64)
 ///   --help                       print usage and exit
 struct CliOptions {
   int jobs = 0;
@@ -121,6 +128,7 @@ struct CliOptions {
   std::string out_dir = "bench/out";
   bool trace = false;
   std::string trace_dir;  ///< empty with trace=true means <out>/traces
+  std::string faults;     ///< validated fault-plan text; empty = none
   bool help = false;
 };
 

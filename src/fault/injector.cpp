@@ -1,0 +1,120 @@
+#include "fault/injector.hpp"
+
+#include "common/check.hpp"
+#include "trace/tracer.hpp"
+
+namespace pap::fault {
+
+Injector::Injector(sim::Kernel& kernel, FaultPlan plan)
+    : kernel_(kernel), plan_(std::move(plan)), rng_(plan_.seed()) {
+  PAP_CHECK_MSG(plan_.validate().is_ok(), "invalid fault plan");
+  fired_.assign(plan_.specs().size(), 0);
+}
+
+void Injector::emit(const std::string& name) {
+  if (auto* t = kernel_.tracer()) t->instant("fault", name, "inject");
+}
+
+LegDecision Injector::control_leg(MsgClass cls, const std::string& what,
+                                  Time nominal) {
+  LegDecision d;
+  d.latency = nominal;
+  if (!enabled()) return d;
+  const auto& specs = plan_.specs();
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const FaultSpec& s = specs[i];
+    const bool is_msg_fault =
+        s.kind == FaultKind::kMsgDrop || s.kind == FaultKind::kMsgDup ||
+        s.kind == FaultKind::kMsgDelay || s.kind == FaultKind::kMsgReorder;
+    if (!is_msg_fault) continue;
+    if (s.msg_class != MsgClass::kAny && s.msg_class != cls) continue;
+    if (s.max_count != 0 && fired_[i] >= s.max_count) continue;
+    // One RNG draw per matching spec per leg, taken in deterministic kernel
+    // order — the whole fault sequence is a pure function of plan + seed.
+    if (!rng_.chance(s.probability)) continue;
+    ++fired_[i];
+    switch (s.kind) {
+      case FaultKind::kMsgDrop:
+        ++stats_.msgs_dropped;
+        emit("drop/" + what);
+        d.dropped = true;
+        return d;  // a dropped leg can suffer no further fault
+      case FaultKind::kMsgDelay:
+        ++stats_.msgs_delayed;
+        emit("delay/" + what);
+        d.latency += s.delay;
+        break;
+      case FaultKind::kMsgReorder: {
+        ++stats_.msgs_jittered;
+        emit("reorder/" + what);
+        d.latency += Time::from_ns(rng_.next_double() * s.delay.nanos());
+        break;
+      }
+      case FaultKind::kMsgDup:
+        ++stats_.msgs_duplicated;
+        emit("dup/" + what);
+        d.duplicated = true;
+        break;
+      default:
+        break;
+    }
+  }
+  // The duplicate trails the (possibly inflated) original by one nominal
+  // latency: it took the same path again.
+  if (d.duplicated) d.dup_latency = d.latency + nominal;
+  return d;
+}
+
+void Injector::arm() {
+  PAP_CHECK_MSG(!armed_, "Injector::arm called twice");
+  armed_ = true;
+  const auto& specs = plan_.specs();
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const FaultSpec& s = specs[i];
+    switch (s.kind) {
+      case FaultKind::kClientCrash: {
+        PAP_CHECK_MSG(static_cast<bool>(crash_),
+                      "plan has crash faults but no on_crash handler");
+        PAP_CHECK_MSG(s.duration.is_zero() || static_cast<bool>(restart_),
+                      "plan has restarting crashes but no on_restart handler");
+        kernel_.schedule_at(s.at, [this, s] {
+          ++stats_.crashes;
+          emit("crash/app" + std::to_string(s.app));
+          crash_(s.app);
+        });
+        if (s.duration > Time::zero()) {
+          kernel_.schedule_at(s.at + s.duration, [this, s] {
+            ++stats_.restarts;
+            emit("restart/app" + std::to_string(s.app));
+            restart_(s.app);
+          });
+        }
+        break;
+      }
+      case FaultKind::kLinkDown: {
+        PAP_CHECK_MSG(static_cast<bool>(link_down_),
+                      "plan has link faults but no on_link_down handler");
+        kernel_.schedule_at(s.at, [this, s] {
+          ++stats_.link_downs;
+          emit("link_down/r" + std::to_string(s.router));
+          link_down_(s.router, s.port, kernel_.now() + s.duration);
+        });
+        break;
+      }
+      case FaultKind::kDramStall: {
+        PAP_CHECK_MSG(static_cast<bool>(dram_stall_),
+                      "plan has dram faults but no on_dram_stall handler");
+        kernel_.schedule_at(s.at, [this, s] {
+          ++stats_.dram_stalls;
+          emit("dram_stall");
+          dram_stall_(kernel_.now() + s.duration);
+        });
+        break;
+      }
+      default:
+        break;  // message faults are consulted leg by leg, not scheduled
+    }
+  }
+}
+
+}  // namespace pap::fault

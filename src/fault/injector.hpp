@@ -1,0 +1,107 @@
+// Deterministic fault injection for the DES (the execution side of
+// plan.hpp).
+//
+// An `Injector` binds a `FaultPlan` to a `sim::Kernel`. It plays two roles:
+//
+//  * Control-plane interposition: protocol endpoints (rm::ResourceManager,
+//    rm::Client) pass every control-message leg through `control_leg`,
+//    which rolls the plan's message faults and returns the leg's fate —
+//    dropped, delayed/jittered, and/or duplicated. Decisions are drawn from
+//    an `Rng` seeded by the plan, and legs are consulted in deterministic
+//    kernel order, so the same plan + seed yields a bit-identical fault
+//    sequence.
+//  * Timed faults: `arm()` schedules the plan's crash/restart, link-down
+//    and DRAM-stall specs as kernel events that invoke handlers the harness
+//    registered (`on_crash`, `on_link_down`, ...). The injector stays
+//    ignorant of rm/noc/dram types — handlers close over the targets — so
+//    pap_fault depends only on pap_sim.
+//
+// Every injected fault is counted in `InjectionStats` and, when a tracer is
+// attached to the kernel, emitted as a trace instant on the "fault" track,
+// so recovery behaviour can be read off the timeline next to the protocol's
+// own events.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "fault/plan.hpp"
+#include "sim/kernel.hpp"
+
+namespace pap::fault {
+
+/// What actually got injected, for comparing against protocol-side
+/// accounting (tests assert ProtocolStats matches these).
+struct InjectionStats {
+  std::uint64_t msgs_dropped = 0;
+  std::uint64_t msgs_duplicated = 0;
+  std::uint64_t msgs_delayed = 0;
+  std::uint64_t msgs_jittered = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t link_downs = 0;
+  std::uint64_t dram_stalls = 0;
+
+  std::uint64_t total() const {
+    return msgs_dropped + msgs_duplicated + msgs_delayed + msgs_jittered +
+           crashes + restarts + link_downs + dram_stalls;
+  }
+};
+
+/// The fate of one control-message leg after interposition.
+struct LegDecision {
+  bool dropped = false;
+  Time latency;            ///< possibly inflated vs the nominal latency
+  bool duplicated = false;
+  Time dup_latency;        ///< the extra copy's (independent) latency
+};
+
+class Injector {
+ public:
+  /// `plan` is copied; the injector owns its RNG, seeded from the plan.
+  Injector(sim::Kernel& kernel, FaultPlan plan);
+
+  bool enabled() const { return !plan_.empty(); }
+  const FaultPlan& plan() const { return plan_; }
+  const InjectionStats& stats() const { return stats_; }
+
+  /// Interpose on one control-message leg of class `cls` whose healthy
+  /// latency is `nominal`. `what` labels the leg in trace output
+  /// ("stopMsg/app3"). Call exactly once per transmission attempt
+  /// (retransmissions are separate legs and roll their own faults).
+  LegDecision control_leg(MsgClass cls, const std::string& what, Time nominal);
+
+  // --- timed-fault handlers, registered by the harness before arm() ---
+  using AppFn = std::function<void(int app)>;
+  using LinkFn = std::function<void(int router, int port, Time until)>;
+  using StallFn = std::function<void(Time until)>;
+  void on_crash(AppFn fn) { crash_ = std::move(fn); }
+  void on_restart(AppFn fn) { restart_ = std::move(fn); }
+  void on_link_down(LinkFn fn) { link_down_ = std::move(fn); }
+  void on_dram_stall(StallFn fn) { dram_stall_ = std::move(fn); }
+
+  /// Schedule every timed fault in the plan. Call once, after registering a
+  /// handler for every timed fault kind the plan contains (missing handlers
+  /// are a harness bug and abort).
+  void arm();
+
+ private:
+  void emit(const std::string& name);
+
+  sim::Kernel& kernel_;
+  FaultPlan plan_;
+  Rng rng_;
+  InjectionStats stats_;
+  std::vector<std::uint64_t> fired_;  ///< per-spec injection counts
+  AppFn crash_;
+  AppFn restart_;
+  LinkFn link_down_;
+  StallFn dram_stall_;
+  bool armed_ = false;
+};
+
+}  // namespace pap::fault

@@ -53,6 +53,10 @@ Time TokenBucketShaper::earliest_release(Time now, double amount) const {
   return now + Time::ps(wait_ps);
 }
 
+bool TokenBucketShaper::conformant(Time now, double amount) const {
+  return level(now) + 1e-6 >= amount;  // same tolerance as on_release
+}
+
 void TokenBucketShaper::on_release(Time when, double amount) {
   const double have = level(when);
   // Tolerance covers picosecond-grid rounding of the release instant.

@@ -47,6 +47,12 @@ class TokenBucketShaper {
   /// Record that `amount` units were released at `when`.
   void on_release(Time when, double amount = 1.0);
 
+  /// Would on_release(now, amount) conform? Uses on_release's own
+  /// tolerance, so a release instant that was scheduled under the current
+  /// parameters always passes; only a reconfigure to a slower bucket in
+  /// the meantime makes it false.
+  bool conformant(Time now, double amount = 1.0) const;
+
   /// Atomically pick the earliest conformant release at/after `now` and
   /// account it — the operation an injection queue needs when several
   /// requests are submitted at the same instant (each reservation advances

@@ -133,6 +133,28 @@ LatencyHistogram Network::latency_of_app(AppId app) const {
   return h;
 }
 
+void Network::take_link_down(NodeId router, Direction out, Time until) {
+  PAP_CHECK(router < static_cast<NodeId>(mesh_.num_nodes()));
+  channel(router, out).block_until(until);
+  ++link_faults_;
+  if (auto* t = kernel_.tracer()) {
+    const std::string link =
+        "r" + std::to_string(router) + "/" + direction_name(out);
+    t->span(kernel_.now(), until - kernel_.now(), "noc", "link_down/" + link,
+            "fault");
+  }
+}
+
+void Network::take_injection_down(NodeId node, Time until) {
+  PAP_CHECK(node < static_cast<NodeId>(mesh_.num_nodes()));
+  injection_[node].block_until(until);
+  ++link_faults_;
+  if (auto* t = kernel_.tracer()) {
+    t->span(kernel_.now(), until - kernel_.now(), "noc",
+            "link_down/inject" + std::to_string(node), "fault");
+  }
+}
+
 double Network::channel_utilization(NodeId router, Direction out) const {
   const Time now = kernel_.now();
   if (now.is_zero()) return 0.0;

@@ -55,6 +55,15 @@ class Network {
   /// Utilization of a router's output channel in [0, 1] over elapsed time.
   double channel_utilization(NodeId router, Direction out) const;
 
+  /// Fault injection: take router `router`'s `out` channel down until
+  /// `until`. In-flight and arriving packets queue behind the outage and
+  /// resume in FCFS order when the link comes back (fault::Injector's
+  /// link-down handler binds here).
+  void take_link_down(NodeId router, Direction out, Time until);
+  /// Same, for a node's NIC -> router injection link.
+  void take_injection_down(NodeId node, Time until);
+  std::uint64_t link_faults() const { return link_faults_; }
+
  private:
   void process_hop(Packet packet, std::vector<Direction> route,
                    std::size_t hop, NodeId router, Time head_in, Time tail_in);
@@ -74,6 +83,7 @@ class Network {
   std::vector<OutputChannel> injection_;   // per node, NIC -> router link
   DeliveryFn on_deliver_;
   std::uint64_t delivered_ = 0;
+  std::uint64_t link_faults_ = 0;
   LatencyHistogram latency_all_;
   std::vector<std::pair<AppId, Time>> per_packet_latency_;  // (app, latency)
 };

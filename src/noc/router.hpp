@@ -53,6 +53,11 @@ class OutputChannel {
     ++grants_;
   }
 
+  /// Fault injection: refuse grants until `until` (link down). Queued and
+  /// newly arriving packets wait behind the outage exactly like behind a
+  /// long packet, but the window is neither a grant nor busy time.
+  void block_until(Time until) { free_at_ = std::max(free_at_, until); }
+
   Time free_at() const { return free_at_; }
   std::uint64_t grants() const { return grants_; }
 

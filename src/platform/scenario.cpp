@@ -3,6 +3,7 @@
 #include "cache/dsu.hpp"
 #include "common/check.hpp"
 #include "common/units.hpp"
+#include "fault/injector.hpp"
 #include "trace/tracer.hpp"
 
 namespace pap::platform {
@@ -39,6 +40,13 @@ Status ScenarioConfig::validate() const {
   }
   if (k.rt_working_set < kCacheLineBytes) {
     return Status::error("rt_working_set must cover at least one cache line");
+  }
+  for (const auto& spec : k.fault_plan.specs()) {
+    if (spec.kind != fault::FaultKind::kDramStall) {
+      return Status::error("fault plan: '" + fault::to_string(spec.kind) +
+                           "' is not injectable in a scenario (it has no "
+                           "NoC or RM); only dram@T=DUR applies");
+    }
   }
   return Status::ok();
 }
@@ -149,6 +157,13 @@ ScenarioResult run_impl(const ScenarioKnobs& knobs, std::string label) {
         });
   }
 
+  fault::Injector injector(kernel, knobs.fault_plan);
+  if (injector.enabled()) {
+    injector.on_dram_stall(
+        [&soc](Time until) { soc.dram_controller().inject_stall(until); });
+    injector.arm();
+  }
+
   if (t) {
     t->end("scenario", "setup", "phase");
     t->begin("scenario", "simulate", "phase");
@@ -178,6 +193,7 @@ ScenarioResult run_impl(const ScenarioKnobs& knobs, std::string label) {
           static_cast<mpam::PartId>(10 + h));
     }
   }
+  result.injected_dram_stalls = injector.stats().dram_stalls;
   return result;
 }
 

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/status.hpp"
+#include "fault/plan.hpp"
 #include "platform/soc.hpp"
 #include "platform/workload.hpp"
 
@@ -49,6 +50,11 @@ struct ScenarioKnobs {
   /// all instrumented mechanisms emit, plus scenario phase spans. Tracing
   /// never changes simulation results (asserted in tests/trace_test.cpp).
   trace::Tracer* tracer = nullptr;
+  /// Fault plan for this scenario. The scenario world has a DRAM controller
+  /// but no NoC or RM, so only `dram@T=DUR` entries are meaningful;
+  /// `validate()` rejects any other fault kind by name. Empty = no faults
+  /// (byte-identical to a pre-fault-subsystem run).
+  fault::FaultPlan fault_plan;
 };
 
 /// Chainable scenario builder. Every setter returns *this; `build()`
@@ -89,6 +95,9 @@ class ScenarioConfig {
   ScenarioConfig& tracer(trace::Tracer* t) {
     return (knobs_.tracer = t, *this);
   }
+  ScenarioConfig& faults(fault::FaultPlan plan) {
+    return (knobs_.fault_plan = std::move(plan), *this);
+  }
 
   /// Why the current knob combination is invalid, or OK.
   Status validate() const;
@@ -111,6 +120,7 @@ struct ScenarioResult {
   std::uint64_t memguard_throttles = 0;
   Time memguard_overhead;
   std::uint64_t mpam_throttles = 0;
+  std::uint64_t injected_dram_stalls = 0;  ///< fault-plan stalls that fired
 
   /// Inflation of the given percentile vs. a baseline run.
   static double inflation(const ScenarioResult& base,

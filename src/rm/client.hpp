@@ -6,10 +6,21 @@
 // unbounded NoC accesses. ... Whenever an application is activated and
 // trying to conduct the first transmission its request is trapped by the
 // client. It remains blocked until acknowledged by the RM with a confMsg."
+//
+// Under the hardened protocol (ProtocolConfig::hardened) the client also
+// carries its half of the fault-tolerance machinery: it acks stopMsg and
+// confMsg, discards duplicate deliveries by sequence number, retransmits
+// its own actMsg/terMsg with bounded exponential backoff, and runs a
+// watchdog that — when the RM goes quiet while the client is blocked —
+// degrades to a configured safe static rate (Memguard-style fallback)
+// instead of wedging the application forever. Fault injection can crash()
+// and restart() the client; a restarted client re-admits itself through a
+// fresh actMsg.
 #pragma once
 
 #include <deque>
 #include <optional>
+#include <unordered_set>
 
 #include "nc/arrival.hpp"
 #include "noc/network.hpp"
@@ -27,6 +38,8 @@ class Client {
     kAwaitingAdmission,  ///< first send trapped, actMsg issued
     kActive,             ///< admitted, rate-regulated
     kStopped,            ///< stopMsg received, awaiting confMsg
+    kDegraded,           ///< RM silent; injecting at the safe static rate
+    kCrashed,            ///< fault injection took the client down
     kTerminated,
   };
 
@@ -37,15 +50,27 @@ class Client {
 
   /// Submit a packet. The first call traps and triggers admission; later
   /// calls are queued and injected at the granted rate. Non-authorized
-  /// sends (wrong app id) are dropped and counted.
+  /// sends (wrong app id) are dropped and counted, as are sends into a
+  /// crashed client.
   void send(noc::Packet packet);
 
   /// The application finished; the client releases its resources (terMsg).
   void terminate();
 
+  // --- fault-injection interface ---
+
+  /// Crash: all supervisor state is lost (queue, shaper, dedup window,
+  /// timers). Packets sent while crashed are rejected.
+  void crash();
+  /// Restart after a crash: the client comes back empty, as if never
+  /// activated; the app's next send re-admits it via a fresh actMsg.
+  void restart();
+
   // --- RM-facing interface (invoked after control-message latency) ---
-  void on_stop();
-  void on_configure(int mode, nc::TokenBucket rate);
+  void on_stop();  ///< legacy ideal-channel delivery (no header, no ack)
+  void on_configure(int mode, nc::TokenBucket rate);  ///< legacy delivery
+  void on_stop(const ControlMessage& msg);       ///< hardened delivery
+  void on_configure(const ControlMessage& msg);  ///< hardened delivery
 
   State state() const { return state_; }
   noc::NodeId node() const { return node_; }
@@ -58,9 +83,22 @@ class Client {
   const std::optional<nc::TokenBucketShaper>& shaper() const {
     return shaper_;
   }
+  /// Total time spent at the safe static rate, including a still-open
+  /// degraded interval (measured up to the current simulated time).
+  Time degraded_time() const;
 
  private:
+  friend class ResourceManager;
+
   void pump();
+  void arm_watchdog();    ///< (re)start the RM-silence watchdog
+  void disarm_timers();
+  void enter_degraded();  ///< Memguard-style fallback to the safe rate
+  /// Close an open degraded interval into the shared ProtocolStats.
+  void settle_degraded();
+  void retransmit_act();
+  bool is_duplicate(std::uint64_t seq);  ///< records seq; true on replay
+  bool hardened() const;
 
   sim::Kernel& kernel_;
   noc::Network& network_;
@@ -76,6 +114,19 @@ class Client {
   Time blocked_;
   std::uint64_t sent_ = 0;
   std::uint64_t rejected_ = 0;
+
+  // --- hardened-protocol state ---
+  std::uint64_t incarnation_ = 0;  ///< bumped on crash; stale events abort
+  std::uint64_t epoch_ = 0;        ///< highest transition epoch seen
+  std::uint64_t act_seq_ = 0;      ///< seq of the in-flight actMsg
+  int act_retries_ = 0;
+  Time act_rto_;
+  std::unordered_set<std::uint64_t> seen_seqs_;  ///< RM->client dedup window
+  Time degraded_since_;
+  Time degraded_accum_;
+  bool degraded_open_ = false;
+  sim::Timeout watchdog_;
+  sim::Timeout act_timer_;
 };
 
 }  // namespace pap::rm

@@ -11,13 +11,31 @@
 // stopMsg to every active client, then (once all stops have landed) a
 // confMsg per client carrying the new mode and rate; clients adjust their
 // shapers and unblock.
+//
+// Two control planes share this class:
+//
+//  * The legacy ideal channel (default): every message arrives exactly
+//    once, in order — the paper's idealized protocol, kept bit-identical
+//    for the established benches.
+//  * The hardened protocol (ProtocolConfig::hardened): messages carry
+//    sequence/epoch headers and may be dropped, duplicated, delayed or
+//    reordered by an attached fault::Injector. stopMsg/confMsg are acked
+//    and retransmitted with bounded exponential backoff; a per-client
+//    watchdog (retry exhaustion) evicts silent clients so one dead node
+//    cannot wedge a mode transition; clients degrade to a safe static rate
+//    when the RM itself goes quiet. ProtocolStats accounts for the
+//    recovery work — the overhead side of the trade-off analysis the
+//    paper asks for.
 #pragma once
 
 #include <deque>
 #include <functional>
 #include <memory>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "fault/injector.hpp"
 #include "noc/network.hpp"
 #include "rm/client.hpp"
 #include "rm/protocol.hpp"
@@ -32,17 +50,44 @@ class ResourceManager {
                   noc::NodeId rm_node, RateTable table,
                   Time processing_delay = Time::ns(50));
 
-  /// Create the client supervising `app` at `node`. Owned by the RM.
+  /// Select the protocol variant and its reliability knobs. Call before any
+  /// client traffic; the default is the legacy ideal channel.
+  void set_protocol_config(ProtocolConfig config);
+  const ProtocolConfig& protocol_config() const { return pcfg_; }
+
+  /// Attach a fault injector (not owned; nullptr detaches). Every control
+  /// leg — both directions, acks included — is interposed. Only meaningful
+  /// together with the hardened protocol: injecting faults into the legacy
+  /// ideal channel would simply lose messages with no recovery.
+  void set_injector(fault::Injector* injector);
+  fault::Injector* injector() const { return injector_; }
+
+  /// Create the client supervising `app` at `node`. Owned by the RM; one
+  /// client per app (duplicates are a configuration bug and abort).
   Client* add_client(noc::NodeId node, noc::AppId app);
 
   // --- protocol endpoints (invoked by clients; latency applied here) ---
   void send_act(Client* from);
   void send_ter(Client* from);
+  /// Hardened protocol: a client ack (or a client actMsg/terMsg
+  /// retransmission) leg; `seq` identifies the acked message.
+  void send_client_msg(Client* from, MsgType type, std::uint64_t seq);
 
   const std::vector<noc::AppId>& active_apps() const { return active_; }
-  int mode() const { return static_cast<int>(active_.size()); }
+  /// The last *committed* mode. Stable through in-flight transitions: it
+  /// only advances when a reconfiguration completes (the instant the mode
+  /// trace fires), never while stop/conf messages are still in the air.
+  int mode() const { return mode_; }
+  /// Mode-transition epoch: increments when a transition starts; stamped
+  /// into every hardened control message so stale copies are recognizable.
+  std::uint64_t epoch() const { return epoch_; }
   const ProtocolStats& stats() const { return stats_; }
   const RateTable& table() const { return table_; }
+  /// Every completed transition as (start, commit) instants — transition
+  /// duration under faults is the recovery latency the fault bench sweeps.
+  const std::vector<std::pair<Time, Time>>& transitions() const {
+    return transitions_;
+  }
 
   /// Trace hook fired after every completed mode change: (time, mode,
   /// (app, granted bucket) list) — drives the Fig. 7 bench.
@@ -51,25 +96,66 @@ class ResourceManager {
   void set_mode_trace(ModeTraceFn fn) { on_mode_ = std::move(fn); }
 
  private:
+  friend class Client;
+
   struct PendingEvent {
     bool activation;
     Client* client;
   };
+  /// One unacked stopMsg/confMsg of the in-flight transition.
+  struct Outstanding {
+    Client* client;
+    ControlMessage msg;
+    int retries = 0;
+    Time rto;
+    sim::EventId timer;
+  };
+  enum class Phase { kIdle, kStopping, kConfiguring };
+
   Time control_latency(noc::NodeId node) const;
-  void process(PendingEvent ev);  ///< runs one mode transition
+  /// Trace one leg as a span on the "rm" track (no-op without a tracer).
+  void trace_leg(MsgType type, noc::AppId app, Time latency) const;
+  void process(PendingEvent ev);  ///< runs one mode transition (legacy)
   void maybe_process_next();
+
+  // --- hardened-protocol machinery ---
+  void process_hardened(PendingEvent ev);
+  void send_reliable(Client* to, ControlMessage msg);
+  void transmit(Outstanding& o);  ///< one leg through the injector
+  void on_leg_timeout(std::uint64_t seq);
+  void evict(std::size_t outstanding_index);
+  void on_client_msg(Client* from, MsgType type, std::uint64_t seq);
+  void phase_done();       ///< all outstanding legs acked or evicted
+  void begin_configure();  ///< processing delay, then confMsg fan-out
+  void commit();           ///< transition complete
+  ProtocolStats& mutable_stats() { return stats_; }
 
   sim::Kernel& kernel_;
   noc::Network& network_;
   noc::NodeId rm_node_;
   RateTable table_;
   Time processing_delay_;
+  ProtocolConfig pcfg_;
+  fault::Injector* injector_ = nullptr;
   std::vector<std::unique_ptr<Client>> clients_;
   std::vector<noc::AppId> active_;
   std::deque<PendingEvent> pending_;
   bool reconfiguring_ = false;
+  int mode_ = 0;  ///< committed mode (see mode())
   ProtocolStats stats_;
   ModeTraceFn on_mode_;
+  std::vector<std::pair<Time, Time>> transitions_;
+  Time transition_start_;
+
+  // --- hardened in-flight transition state ---
+  std::uint64_t epoch_ = 0;
+  std::uint64_t next_seq_ = 1;  ///< RM -> client message ids
+  Phase phase_ = Phase::kIdle;
+  std::vector<Outstanding> outstanding_;
+  std::vector<std::pair<noc::AppId, nc::TokenBucket>> granted_;
+  /// Client -> already-processed client-message seqs (act/ter dedup).
+  std::unordered_map<const Client*, std::unordered_set<std::uint64_t>>
+      seen_from_client_;
 };
 
 }  // namespace pap::rm

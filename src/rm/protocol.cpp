@@ -12,6 +12,10 @@ std::string to_string(MsgType t) {
       return "stopMsg";
     case MsgType::kConfigure:
       return "confMsg";
+    case MsgType::kStopAck:
+      return "stopAck";
+    case MsgType::kConfAck:
+      return "confAck";
   }
   return "?";
 }

@@ -23,6 +23,8 @@ enum class MsgType : std::uint8_t {
   kTerminate,  ///< terMsg: client -> RM, app finished
   kStop,       ///< stopMsg: RM -> client, block NoC access for reconfig
   kConfigure,  ///< confMsg: RM -> client, new system mode + rate
+  kStopAck,    ///< client -> RM, stopMsg received (hardened protocol only)
+  kConfAck,    ///< client -> RM, confMsg received (hardened protocol only)
 };
 
 std::string to_string(MsgType t);
@@ -33,11 +35,40 @@ struct ControlMessage {
   noc::NodeId node = 0;  ///< client's node
   int mode = 0;          ///< system mode (confMsg)
   nc::TokenBucket rate;  ///< granted injection rate (confMsg)
+  /// Hardened-protocol header. `seq` uniquely identifies a logical message
+  /// (retransmitted copies carry the same seq, so receivers discard
+  /// duplicates and acks stay idempotent); `epoch` counts mode transitions,
+  /// so messages surviving from before a crash are recognizably stale.
+  /// Both stay 0 on the legacy ideal-channel path.
+  std::uint64_t seq = 0;
+  std::uint64_t epoch = 0;
+};
+
+/// Reliability knobs for the hardened control plane. Default-constructed
+/// (`hardened == false`) selects the legacy ideal-channel protocol — no
+/// acks, retries or watchdogs — preserving byte-identical behaviour of all
+/// pre-existing benches. Hardened mode adds ack + timeout + bounded
+/// exponential-backoff retransmission for stopMsg/confMsg, an RM-side
+/// per-client watchdog that evicts silent clients, and a client-side
+/// watchdog that falls back to a safe static rate (Memguard-style) when
+/// the RM goes quiet.
+struct ProtocolConfig {
+  bool hardened = false;
+  Time rto = Time::us(2);    ///< initial retransmission timeout
+  double backoff = 2.0;      ///< exponential backoff factor per retry
+  int max_retries = 5;       ///< per message; exhaustion evicts the client
+  /// RM silence tolerated by a blocked client before it degrades to
+  /// `safe_rate` instead of staying wedged.
+  Time client_watchdog = Time::us(50);
+  /// The degraded-mode static injection rate: conservative enough to be
+  /// safe in any mode, like a Memguard static budget.
+  nc::TokenBucket safe_rate{1.0, 0.005};
 };
 
 /// Protocol accounting, for the trade-off analysis the paper asks for
 /// ("a trade-off analysis is required at design time to determine the
-/// overhead of the synchronization protocol").
+/// overhead of the synchronization protocol"). The recovery counters stay
+/// zero on the legacy path.
 struct ProtocolStats {
   std::uint64_t act_msgs = 0;
   std::uint64_t ter_msgs = 0;
@@ -45,8 +76,19 @@ struct ProtocolStats {
   std::uint64_t conf_msgs = 0;
   std::uint64_t mode_changes = 0;
 
+  // --- hardened-protocol recovery accounting ---
+  std::uint64_t stop_acks = 0;  ///< acks sent by clients
+  std::uint64_t conf_acks = 0;
+  std::uint64_t retransmissions = 0;  ///< RM resends after timeout
+  std::uint64_t timeouts = 0;         ///< retransmission timer expiries
+  std::uint64_t duplicates_discarded = 0;  ///< seq-dedup hits (both sides)
+  std::uint64_t evictions = 0;  ///< clients given up on by the RM watchdog
+  std::uint64_t degraded_entries = 0;  ///< client safe-rate fallbacks
+  Time degraded_time;  ///< closed degraded residencies, summed over clients
+
   std::uint64_t total_messages() const {
-    return act_msgs + ter_msgs + stop_msgs + conf_msgs;
+    return act_msgs + ter_msgs + stop_msgs + conf_msgs + stop_acks +
+           conf_acks + retransmissions;
   }
 };
 

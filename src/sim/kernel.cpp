@@ -163,6 +163,24 @@ void Kernel::reset() {
   executed_ = 0;
 }
 
+void Timeout::arm(Time delay) {
+  cancel();
+  pending_ = true;
+  id_ = kernel_.schedule_in(delay,
+                            [this] {
+                              pending_ = false;
+                              fn_();
+                            },
+                            priority_);
+}
+
+void Timeout::cancel() {
+  if (!pending_) return;
+  kernel_.cancel(id_);
+  pending_ = false;
+  id_ = EventId{};
+}
+
 PeriodicEvent::PeriodicEvent(Kernel& kernel, Time start, Time period,
                              EventFn fn, int priority)
     : kernel_(kernel), period_(period), fn_(std::move(fn)), priority_(priority) {

@@ -132,6 +132,33 @@ class Kernel {
   trace::Tracer* tracer_ = nullptr;
 };
 
+/// A restartable one-shot timer: the building block for protocol
+/// retransmission timeouts and watchdogs. `arm(delay)` (re)schedules the
+/// callback — any pending firing is cancelled first, so re-arming on every
+/// heartbeat implements an idle watchdog in one line. The callback runs at
+/// most once per arm(); destroying the Timeout cancels it.
+class Timeout {
+ public:
+  Timeout(Kernel& kernel, EventFn fn, int priority = 0)
+      : kernel_(kernel), fn_(std::move(fn)), priority_(priority) {}
+  ~Timeout() { cancel(); }
+  Timeout(const Timeout&) = delete;
+  Timeout& operator=(const Timeout&) = delete;
+
+  /// Schedule (or push back) the firing to `delay` from now.
+  void arm(Time delay);
+  /// Drop any pending firing; a no-op when none is scheduled.
+  void cancel();
+  bool pending() const { return pending_; }
+
+ private:
+  Kernel& kernel_;
+  EventFn fn_;
+  int priority_;
+  EventId id_;
+  bool pending_ = false;
+};
+
 /// A recurring event helper: calls `fn` every `period` starting at `start`.
 /// Owns its rescheduling; destroy or call stop() to end the series.
 class PeriodicEvent {

@@ -161,7 +161,11 @@ TEST(Runner, CancellationSkipsUnstartedPoints) {
 class CacheTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() / "pap-exp-cache-test";
+    // Unique per test case: ctest runs the discovered cases in parallel,
+    // and a shared directory would let two cases race on remove_all.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = std::filesystem::temp_directory_path() /
+           (std::string("pap-exp-cache-test-") + info->name());
     std::filesystem::remove_all(dir_);
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }
@@ -329,6 +333,36 @@ TEST(ParseCli, TraceDirDefaultsUnderOutDir) {
   EXPECT_EQ(to_runner_options(expl.value()).trace_dir, "elsewhere");
   const auto off = cli::parse({"--out", "my/out"});
   EXPECT_TRUE(to_runner_options(off.value()).trace_dir.empty());
+}
+
+TEST(ParseCli, FaultsPlanIsValidatedEagerly) {
+  // A well-formed plan is stored verbatim for the bench to merge.
+  const auto ok =
+      cli::parse({"--faults=seed=7,drop=stop:0.1,crash@1ms=app2"});
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok.value().faults, "seed=7,drop=stop:0.1,crash@1ms=app2");
+  EXPECT_EQ(to_runner_options(ok.value()).faults, ok.value().faults);
+
+  const auto split = cli::parse({"--faults", "dram@10us=1us"});
+  ASSERT_TRUE(split.has_value());
+  EXPECT_EQ(split.value().faults, "dram@10us=1us");
+
+  // Malformed plans fail at the CLI boundary (exit 64 in main), with the
+  // plan parser's diagnostic surfaced, not deep inside a bench run.
+  const auto bad = cli::parse({"--faults=explode=0.5"});
+  ASSERT_FALSE(bad.has_value());
+  EXPECT_NE(bad.error_message().find("invalid --faults plan"),
+            std::string::npos);
+  EXPECT_NE(bad.error_message().find("unknown fault"), std::string::npos);
+
+  EXPECT_FALSE(cli::parse({"--faults=drop=1.5"}).has_value());
+  EXPECT_FALSE(cli::parse({"--faults="}).has_value());
+  EXPECT_FALSE(cli::parse({"--faults"}).has_value());  // missing value
+
+  // Omitted entirely: no plan, and benches run fault-free.
+  const auto none = cli::parse({});
+  ASSERT_TRUE(none.has_value());
+  EXPECT_TRUE(none.value().faults.empty());
 }
 
 TEST_F(CacheTest, TracedSweepEmitsPerPointTracesAndIdenticalResults) {

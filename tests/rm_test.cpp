@@ -267,6 +267,99 @@ TEST_P(ProtocolFuzz, LifecycleStormKeepsInvariants) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ProtocolFuzz,
                          ::testing::Values(1u, 7u, 42u, 1234u, 99999u));
 
+// Regression: mode() used to report active_apps().size() directly, so a
+// reader probing mid-transition saw the *target* mode before any client had
+// been reconfigured. mode() must report the committed mode and only advance
+// at commit time.
+TEST(Protocol, ModeReportsCommittedModeThroughInFlightTransition) {
+  Fixture f;
+  auto* c1 = f.rm.add_client(f.net.mesh().node(1, 0), 1);
+  auto* c2 = f.rm.add_client(f.net.mesh().node(3, 3), 2);
+  c1->send(f.packet(1, f.net.mesh().node(1, 0)));
+  f.kernel.run();
+  ASSERT_EQ(f.rm.mode(), 1);
+
+  c2->send(f.packet(2, f.net.mesh().node(3, 3)));
+  // Probe densely across the second transition. Whenever the membership
+  // has already grown but the transition has not committed, mode() must
+  // still report the old committed mode.
+  const Time base = f.kernel.now();
+  bool observed_in_flight = false;
+  std::vector<int> modes_seen;
+  for (int t = 0; t <= 5000; t += 10) {
+    f.kernel.schedule_at(base + Time::ns(t), [&] {
+      modes_seen.push_back(f.rm.mode());
+      if (f.rm.active_apps().size() == 2 && f.rm.transitions().size() < 2) {
+        observed_in_flight = true;
+        EXPECT_EQ(f.rm.mode(), 1);
+      }
+    });
+  }
+  f.kernel.run();
+  EXPECT_TRUE(observed_in_flight);
+  EXPECT_EQ(f.rm.mode(), 2);
+  EXPECT_TRUE(std::is_sorted(modes_seen.begin(), modes_seen.end()));
+}
+
+// A client may terminate while still awaiting its first confMsg: the actMsg
+// and terMsg are then processed back-to-back, and the system ends where it
+// started — mode 0 — without wedging or crashing.
+TEST(Protocol, TerminateBeforeFirstConfMsg) {
+  Fixture f;
+  auto* c1 = f.rm.add_client(f.net.mesh().node(1, 0), 1);
+  c1->send(f.packet(1, f.net.mesh().node(1, 0)));
+  ASSERT_EQ(c1->state(), Client::State::kAwaitingAdmission);
+  c1->terminate();
+  EXPECT_EQ(c1->state(), Client::State::kTerminated);
+  f.kernel.run();
+  EXPECT_EQ(f.rm.mode(), 0);
+  EXPECT_TRUE(f.rm.active_apps().empty());
+  EXPECT_EQ(f.rm.stats().act_msgs, 1u);
+  EXPECT_EQ(f.rm.stats().ter_msgs, 1u);
+  EXPECT_EQ(f.rm.stats().mode_changes, 2u);
+}
+
+TEST(Protocol, DuplicateAppRegistrationForbidden) {
+  Fixture f;
+  f.rm.add_client(f.net.mesh().node(1, 0), 1);
+  EXPECT_DEATH(f.rm.add_client(f.net.mesh().node(2, 0), 1),
+               "duplicate add_client");
+}
+
+// Activate-then-terminate a single client: the termination transition has
+// nobody left to stop or configure, and must still commit (to mode 0).
+TEST(Protocol, ZeroClientModeChangeCommits) {
+  Fixture f;
+  auto* c1 = f.rm.add_client(f.net.mesh().node(1, 0), 1);
+  c1->send(f.packet(1, f.net.mesh().node(1, 0)));
+  f.kernel.run();
+  c1->terminate();
+  f.kernel.run();
+  EXPECT_EQ(f.rm.mode(), 0);
+  EXPECT_EQ(f.rm.stats().mode_changes, 2u);
+  EXPECT_EQ(f.rm.transitions().size(), 2u);
+}
+
+// Same shape under the hardened protocol: both the stop and the conf phase
+// of the termination transition are empty, and the commit must chain
+// through the empty phases instead of waiting for acks that never come.
+TEST(Protocol, ZeroClientModeChangeCommitsHardened) {
+  Fixture f;
+  ProtocolConfig pcfg;
+  pcfg.hardened = true;
+  f.rm.set_protocol_config(pcfg);
+  auto* c1 = f.rm.add_client(f.net.mesh().node(1, 0), 1);
+  c1->send(f.packet(1, f.net.mesh().node(1, 0)));
+  f.kernel.run();
+  EXPECT_EQ(f.rm.mode(), 1);
+  c1->terminate();
+  f.kernel.run();
+  EXPECT_EQ(f.rm.mode(), 0);
+  EXPECT_EQ(f.rm.stats().mode_changes, 2u);
+  EXPECT_EQ(f.rm.transitions().size(), 2u);
+  EXPECT_EQ(f.rm.stats().timeouts, 0u);
+}
+
 TEST(Protocol, DoubleTerminationForbidden) {
   Fixture f;
   auto* c1 = f.rm.add_client(f.net.mesh().node(1, 0), 1);
