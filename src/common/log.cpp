@@ -1,9 +1,15 @@
 #include "common/log.hpp"
 
+#include <atomic>
+
 namespace pap {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+// Concurrent sessions (papd connection and worker threads) log at the same
+// time: the threshold is an atomic, and each message is emitted with one
+// fprintf call (atomic per POSIX stdio locking), so lines never interleave
+// mid-message.
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -22,11 +28,14 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void log_message(LogLevel level, const std::string& msg) {
-  if (level < g_level || g_level == LogLevel::kOff) return;
+  const LogLevel threshold = g_level.load(std::memory_order_relaxed);
+  if (level < threshold || threshold == LogLevel::kOff) return;
   std::fprintf(level >= LogLevel::kWarn ? stderr : stdout, "[%s] %s\n",
                level_name(level), msg.c_str());
 }

@@ -1,5 +1,7 @@
 // Minimal leveled logger. Simulators log at Debug level (off by default so
 // benches stay quiet and fast); scenario runners log milestones at Info.
+// Thread-safe: the threshold is atomic and each message is one stdio call,
+// so concurrent sessions (papd workers) never tear or interleave lines.
 #pragma once
 
 #include <cstdio>

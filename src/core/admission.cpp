@@ -33,17 +33,20 @@ Expected<AdmissionGrant> AdmissionController::request(
     tentative.push_back(candidate);
 
     // Every application — existing and new — must keep a proven bound.
+    // One batched pass: the burst-propagation fixpoint is shared across
+    // all flows instead of being recomputed per application.
+    const auto bounds = analysis_.e2e_bounds(tentative);
     std::string error;
-    for (const auto& a : tentative) {
-      const auto bound = analysis_.e2e_bound(a, tentative);
-      if (!bound) {
+    for (std::size_t i = 0; i < tentative.size(); ++i) {
+      const auto& a = tentative[i];
+      if (!bounds[i]) {
         error = "admitting '" + req.name + "' would leave '" + a.name +
                 "' without a bounded end-to-end delay (resource saturated)";
         break;
       }
-      if (*bound > a.deadline) {
+      if (*bounds[i] > a.deadline) {
         error = "admitting '" + req.name + "' would break '" + a.name +
-                "': bound " + bound->to_string() + " > deadline " +
+                "': bound " + bounds[i]->to_string() + " > deadline " +
                 a.deadline.to_string();
         break;
       }
@@ -58,7 +61,7 @@ Expected<AdmissionGrant> AdmissionController::request(
     AdmissionGrant grant;
     grant.app = req.app;
     grant.noc_shaper = req.traffic;  // the contract becomes the enforced rate
-    grant.e2e_bound = *analysis_.e2e_bound(admitted_.back(), admitted_);
+    grant.e2e_bound = *bounds.back();
     grant.route_order = admitted_.back().route_order;
     return grant;
   }

@@ -45,12 +45,8 @@ nc::Curve E2eAnalysis::link_beta_flits(bool injection) const {
 }
 
 std::optional<E2eAnalysis::PropagatedBursts> E2eAnalysis::propagate(
-    const std::vector<AppRequirement>& flows) const {
-  // Collect every flow's path once.
-  std::vector<std::vector<PathLink>> paths;
-  paths.reserve(flows.size());
-  for (const auto& f : flows) paths.push_back(links_of(f));
-
+    const std::vector<AppRequirement>& flows,
+    const std::vector<std::vector<PathLink>>& paths) const {
   // Distinct links and the (flow, hop) pairs crossing them.
   std::vector<PathLink> links;
   std::vector<std::vector<std::pair<std::size_t, std::size_t>>> users;
@@ -159,27 +155,12 @@ std::optional<E2eAnalysis::PropagatedBursts> E2eAnalysis::propagate(
   return std::nullopt;
 }
 
-std::optional<nc::Curve> E2eAnalysis::path_service(
-    const AppRequirement& req,
-    const std::vector<AppRequirement>& others) const {
-  // Assemble the full flow set with `req` included exactly once.
-  std::vector<AppRequirement> flows;
-  std::size_t self_idx = others.size();
-  for (const auto& o : others) {
-    if (o.app == req.app) self_idx = flows.size();
-    flows.push_back(o);
-  }
-  if (self_idx == others.size()) {
-    self_idx = flows.size();
-    flows.push_back(req);
-  }
-  const auto propagated = propagate(flows);
-  if (!propagated) return std::nullopt;
-  if (propagated->flow_unbounded[self_idx]) return std::nullopt;
-
-  const auto my_links = links_of(req);
-  std::vector<std::vector<PathLink>> paths;
-  for (const auto& f : flows) paths.push_back(links_of(f));
+std::optional<nc::Curve> E2eAnalysis::chain_for(
+    const std::vector<AppRequirement>& flows, std::size_t self_idx,
+    const PropagatedBursts& propagated,
+    const std::vector<std::vector<PathLink>>& paths) const {
+  const AppRequirement& req = flows[self_idx];
+  const auto& my_links = paths[self_idx];
 
   nc::Curve chain;
   bool first = true;
@@ -201,7 +182,7 @@ std::optional<nc::Curve> E2eAnalysis::path_service(
               static_cast<double>(flows[f].flits_per_packet) /
               static_cast<double>(req.flits_per_packet);
           const nc::Curve oc =
-              nc::Curve::affine(propagated->bursts[f][oh] * scale,
+              nc::Curve::affine(propagated.bursts[f][oh] * scale,
                                 flows[f].traffic.rate * scale);
           cross = any_cross ? nc::add(cross, oc) : oc;
           any_cross = true;
@@ -216,6 +197,50 @@ std::optional<nc::Curve> E2eAnalysis::path_service(
     first = false;
   }
   return chain;
+}
+
+std::optional<nc::Curve> E2eAnalysis::path_service(
+    const AppRequirement& req,
+    const std::vector<AppRequirement>& others) const {
+  // Assemble the full flow set with `req` included exactly once.
+  std::vector<AppRequirement> flows;
+  std::size_t self_idx = others.size();
+  for (const auto& o : others) {
+    if (o.app == req.app) self_idx = flows.size();
+    flows.push_back(o);
+  }
+  if (self_idx == others.size()) {
+    self_idx = flows.size();
+    flows.push_back(req);
+  }
+  std::vector<std::vector<PathLink>> paths;
+  paths.reserve(flows.size());
+  for (const auto& f : flows) paths.push_back(links_of(f));
+  const auto propagated = propagate(flows, paths);
+  if (!propagated) return std::nullopt;
+  if (propagated->flow_unbounded[self_idx]) return std::nullopt;
+  return chain_for(flows, self_idx, *propagated, paths);
+}
+
+std::vector<std::optional<Time>> E2eAnalysis::e2e_bounds(
+    const std::vector<AppRequirement>& flows) const {
+  std::vector<std::optional<Time>> out(flows.size());
+  std::vector<std::vector<PathLink>> paths;
+  paths.reserve(flows.size());
+  for (const auto& f : flows) paths.push_back(links_of(f));
+  const auto propagated = propagate(flows, paths);
+  if (!propagated) return out;  // fixpoint diverged: nothing is bounded
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    if (propagated->flow_unbounded[i]) continue;
+    auto chain = chain_for(flows, i, *propagated, paths);
+    if (!chain) continue;
+    if (flows[i].uses_dram) {
+      const nc::Curve dram = dram_service(flows[i], flows);
+      chain = nc::convolve(*chain, dram);
+    }
+    out[i] = nc::delay_bound(flows[i].traffic.to_curve(), *chain);
+  }
+  return out;
 }
 
 nc::Curve E2eAnalysis::dram_service(

@@ -84,6 +84,16 @@ class E2eAnalysis {
   std::optional<Time> e2e_bound(const AppRequirement& req,
                                 const std::vector<AppRequirement>& others) const;
 
+  /// Bounds for every flow of the set in one pass. Numerically identical
+  /// to calling `e2e_bound(flows[i], flows)` per flow, but the paths and
+  /// the burst-propagation fixpoint — the dominant cost — are computed
+  /// once and shared. The admission controller re-proves every admitted
+  /// application on each decision, which is exactly this shape; the
+  /// flow-by-flow form repeats the fixpoint N times on identical input.
+  /// bounds[i] is empty when flow i has no bounded delay.
+  std::vector<std::optional<Time>> e2e_bounds(
+      const std::vector<AppRequirement>& flows) const;
+
   const PlatformModel& model() const { return model_; }
 
  private:
@@ -95,7 +105,15 @@ class E2eAnalysis {
     std::vector<bool> flow_unbounded;
   };
   std::optional<PropagatedBursts> propagate(
-      const std::vector<AppRequirement>& flows) const;
+      const std::vector<AppRequirement>& flows,
+      const std::vector<std::vector<PathLink>>& paths) const;
+
+  /// The residual NoC service chain of flows[self_idx], built from a
+  /// shared propagation result (`paths` parallel to `flows`).
+  std::optional<nc::Curve> chain_for(
+      const std::vector<AppRequirement>& flows, std::size_t self_idx,
+      const PropagatedBursts& propagated,
+      const std::vector<std::vector<PathLink>>& paths) const;
 
   nc::Curve link_beta_flits(bool injection) const;
 

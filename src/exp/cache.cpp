@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 #include <thread>
 
@@ -39,9 +40,21 @@ std::string ResultCache::path_for(const Experiment& exp,
   return dir_ + "/" + exp.name + "-" + hex + ".result";
 }
 
+ResultCache::Shard& ResultCache::shard_for(const std::string& key) const {
+  return shards_[std::hash<std::string>{}(key) % kShards];
+}
+
 std::optional<Result> ResultCache::load(const Experiment& exp,
                                         const Params& params) const {
   if (!enabled()) return std::nullopt;
+  const std::string expect = identity_header(exp, params);
+  Shard& shard = shard_for(expect);
+  {
+    // Reader path: shared lock, so concurrent lookups never serialize.
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    const auto it = shard.memo.find(expect);
+    if (it != shard.memo.end()) return it->second;
+  }
   std::ifstream in(path_for(exp, params));
   if (!in.is_open()) return std::nullopt;
   std::ostringstream text;
@@ -49,14 +62,18 @@ std::optional<Result> ResultCache::load(const Experiment& exp,
   const std::string blob = text.str();
   // Verify the identity header: a filename-hash collision or an entry from
   // an older format must read as a miss, never as someone else's Result.
-  const std::string expect = identity_header(exp, params);
   if (blob.size() < expect.size() ||
       blob.compare(0, expect.size(), expect) != 0) {
     return std::nullopt;
   }
   auto parsed = Result::deserialize(blob.substr(expect.size()));
   if (!parsed) return std::nullopt;
-  return std::move(parsed).value();
+  Result r = std::move(parsed).value();
+  {
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    if (shard.memo.size() < kMaxMemoPerShard) shard.memo.emplace(expect, r);
+  }
+  return r;
 }
 
 void ResultCache::store(const Experiment& exp, const Params& params,
@@ -77,7 +94,16 @@ void ResultCache::store(const Experiment& exp, const Params& params,
     if (!out.good()) return;
   }
   std::filesystem::rename(tmp.str(), path, ec);
-  if (ec) std::filesystem::remove(tmp.str(), ec);
+  if (ec) {
+    std::filesystem::remove(tmp.str(), ec);
+    return;
+  }
+  // Mirror the just-written entry into the memo so the writer's own next
+  // load (and everyone else's) skips the file read.
+  const std::string key = identity_header(exp, params);
+  Shard& shard = shard_for(key);
+  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  if (shard.memo.size() < kMaxMemoPerShard) shard.memo.insert_or_assign(key, r);
 }
 
 }  // namespace pap::exp

@@ -13,10 +13,23 @@
 // identity header — experiment name, version and the canonical parameter
 // encoding — that `load` verifies byte-for-byte before trusting the body;
 // any mismatch is treated as a miss.
+//
+// Concurrency: loads and stores may race from any number of threads (the
+// parallel sweep runner and the papd serving layer both hit one cache).
+// An in-memory memo in front of the files is sharded, and each shard takes
+// a shared lock for lookups — concurrent readers proceed in parallel and
+// only a first-time fill takes a shard's exclusive lock. The memo key is
+// the full identity header, so a memo hit needs no re-verification. The
+// memo is per-instance: entries verified once are trusted for the
+// instance's lifetime, so deleting cache files affects fresh instances
+// only.
 #pragma once
 
+#include <array>
 #include <optional>
+#include <shared_mutex>
 #include <string>
+#include <unordered_map>
 
 #include "exp/experiment.hpp"
 
@@ -33,7 +46,9 @@ class ResultCache {
   std::string path_for(const Experiment& exp, const Params& params) const;
 
   /// Returns the cached Result, or nullopt on miss / unreadable / stale
-  /// format. Never fails hard: a corrupt entry is just a miss.
+  /// format. Never fails hard: a corrupt entry is just a miss. Repeat
+  /// loads of the same point are answered from the in-memory memo under a
+  /// shared (reader) lock.
   std::optional<Result> load(const Experiment& exp, const Params& params) const;
 
   /// Persist `r` for this point (write-to-temp + rename, so readers never
@@ -43,7 +58,21 @@ class ResultCache {
              const Result& r) const;
 
  private:
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::unordered_map<std::string, Result> memo;  // identity header -> Result
+  };
+
+  static constexpr std::size_t kShards = 8;
+  /// Memo fill stops past this size (the files stay authoritative); a
+  /// sweep re-run touches each point once, so an unbounded memo would just
+  /// mirror the directory in RAM.
+  static constexpr std::size_t kMaxMemoPerShard = 8192;
+
+  Shard& shard_for(const std::string& key) const;
+
   std::string dir_;
+  mutable std::array<Shard, kShards> shards_;
 };
 
 }  // namespace pap::exp

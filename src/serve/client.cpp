@@ -1,0 +1,132 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace pap::serve {
+
+namespace {
+
+std::string errno_text(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+  other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    buffer_ = std::move(other.buffer_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+Expected<Client> Client::connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return Expected<Client>::error("unix socket path too long: " + path);
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Expected<Client>::error(errno_text("socket(unix)"));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
+      0) {
+    const std::string msg = errno_text("connect(" + path + ")");
+    ::close(fd);
+    return Expected<Client>::error(msg);
+  }
+  return Client{fd};
+}
+
+Expected<Client> Client::connect_tcp(const std::string& host, int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Expected<Client>::error("bad host: " + host);
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Expected<Client>::error(errno_text("socket(tcp)"));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
+      0) {
+    const std::string msg =
+        errno_text("connect(" + host + ":" + std::to_string(port) + ")");
+    ::close(fd);
+    return Expected<Client>::error(msg);
+  }
+  return Client{fd};
+}
+
+Status Client::send_line(const std::string& line) {
+  if (fd_ < 0) return Status::error("client is not connected");
+  std::string out = line;
+  out.push_back('\n');
+  const char* data = out.data();
+  std::size_t len = out.size();
+  while (len > 0) {
+    const ssize_t n = ::send(fd_, data, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::error(errno_text("send"));
+    }
+    data += static_cast<std::size_t>(n);
+    len -= static_cast<std::size_t>(n);
+  }
+  return Status::ok();
+}
+
+Expected<std::string> Client::read_line() {
+  if (fd_ < 0) return Expected<std::string>::error("client is not connected");
+  for (;;) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    char chunk[16 * 1024];
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Expected<std::string>::error(errno_text("recv"));
+    }
+    if (n == 0) {
+      return Expected<std::string>::error("connection closed by server");
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+Expected<std::string> Client::call(const std::string& line) {
+  const Status sent = send_line(line);
+  if (!sent) return Expected<std::string>::error(sent.message());
+  return read_line();
+}
+
+}  // namespace pap::serve

@@ -1,0 +1,51 @@
+// Blocking papd client: connect, send request lines, read reply lines.
+//
+// Thin by design — it frames lines and matches nothing; `call` is the
+// synchronous convenience (send one request, read one reply), while
+// `send_line` / `read_line` expose the raw pipelined stream for load
+// generators that keep many requests in flight and match replies by id.
+// One Client is one connection; it is not thread-safe (use one per
+// thread, as tools/pap_loadgen does).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.hpp"
+
+namespace pap::serve {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  static Expected<Client> connect_unix(const std::string& path);
+  static Expected<Client> connect_tcp(const std::string& host, int port);
+
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// Send one request line (newline appended here).
+  Status send_line(const std::string& line);
+
+  /// Read the next reply line (newline stripped). Errors on EOF.
+  Expected<std::string> read_line();
+
+  /// send_line + read_line. Only valid when no other replies are in
+  /// flight on this connection.
+  Expected<std::string> call(const std::string& line);
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  std::string buffer_;  // bytes read past the last returned line
+};
+
+}  // namespace pap::serve

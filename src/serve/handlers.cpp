@@ -1,0 +1,368 @@
+#include "serve/handlers.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "core/admission.hpp"
+#include "dram/timing.hpp"
+#include "dram/wcd.hpp"
+#include "nc/arrival.hpp"
+#include "nc/bounds.hpp"
+#include "nc/service.hpp"
+#include "noc/topology.hpp"
+#include "platform/scenario.hpp"
+#include "rm/rate_table.hpp"
+
+namespace pap::serve {
+
+namespace {
+
+/// Strict typed view over a flattened parameter map: every lookup is
+/// kind-checked (the underlying exp::Value accessors abort on kind
+/// mismatch, which a network-facing handler must never do), consumed keys
+/// are tracked, and `finish()` rejects any leftover — an unknown key is a
+/// client bug we surface instead of silently computing something else.
+class ParamReader {
+ public:
+  explicit ParamReader(const exp::Params& p) : p_(p) {}
+
+  bool failed() const { return !error_.empty(); }
+  const std::string& error() const { return error_; }
+
+  std::int64_t get_int(const std::string& key, std::int64_t def,
+                       std::int64_t min, std::int64_t max) {
+    const exp::Value* v = take(key);
+    if (!v) return def;
+    if (v->kind() != exp::Value::Kind::kInt) {
+      fail("'" + key + "' must be an integer");
+      return def;
+    }
+    return checked_range(key, v->as_int(), min, max);
+  }
+
+  double get_double(const std::string& key, double def, double min,
+                    double max) {
+    const exp::Value* v = take(key);
+    if (!v) return def;
+    if (v->kind() != exp::Value::Kind::kInt &&
+        v->kind() != exp::Value::Kind::kDouble) {
+      fail("'" + key + "' must be a number");
+      return def;
+    }
+    const double x = v->as_double();
+    if (!std::isfinite(x) || x < min || x > max) {
+      fail("'" + key + "' out of range [" + std::to_string(min) + ", " +
+           std::to_string(max) + "]");
+      return def;
+    }
+    return x;
+  }
+
+  bool get_bool(const std::string& key, bool def) {
+    const exp::Value* v = take(key);
+    if (!v) return def;
+    if (v->kind() != exp::Value::Kind::kBool) {
+      fail("'" + key + "' must be a boolean");
+      return def;
+    }
+    return v->as_bool();
+  }
+
+  std::string get_string(const std::string& key, const std::string& def) {
+    const exp::Value* v = take(key);
+    if (!v) return def;
+    if (v->kind() != exp::Value::Kind::kString) {
+      fail("'" + key + "' must be a string");
+      return def;
+    }
+    return v->as_string();
+  }
+
+  bool has(const std::string& key) const { return p_.find(key) != nullptr; }
+
+  void require(const std::string& key) {
+    if (!has(key)) fail("missing required parameter '" + key + "'");
+  }
+
+  /// All keys consumed? Otherwise name the first unknown one.
+  void finish() {
+    if (failed()) return;
+    for (const auto& [key, v] : p_.entries()) {
+      if (!consumed_.count(key)) {
+        fail("unknown parameter '" + key + "'");
+        return;
+      }
+    }
+  }
+
+ private:
+  const exp::Value* take(const std::string& key) {
+    consumed_.insert(key);
+    return p_.find(key);
+  }
+
+  std::int64_t checked_range(const std::string& key, std::int64_t v,
+                             std::int64_t min, std::int64_t max) {
+    if (v < min || v > max) {
+      fail("'" + key + "' out of range [" + std::to_string(min) + ", " +
+           std::to_string(max) + "]");
+      return min;
+    }
+    return v;
+  }
+
+  void fail(const std::string& msg) {
+    if (error_.empty()) error_ = msg;
+  }
+
+  const exp::Params& p_;
+  std::set<std::string> consumed_;
+  std::string error_;
+};
+
+HandlerOutcome bad(const std::string& msg) {
+  return HandlerOutcome::fail(ErrorCode::kBadRequest, msg);
+}
+
+/// Number of contiguously indexed `apps.K.*` groups; -1 on a gap.
+int count_indexed(const exp::Params& p, const std::string& prefix, int cap) {
+  int n = 0;
+  while (n < cap) {
+    const std::string group = prefix + "." + std::to_string(n) + ".";
+    bool present = false;
+    for (const auto& [key, v] : p.entries()) {
+      if (key.rfind(group, 0) == 0) {
+        present = true;
+        break;
+      }
+    }
+    if (!present) break;
+    ++n;
+  }
+  // A group past the cap or past a gap will surface as an unknown key in
+  // ParamReader::finish(), so no separate contiguity error is needed here.
+  return n;
+}
+
+}  // namespace
+
+bool is_analysis_op(const std::string& op) {
+  const auto& ops = analysis_ops();
+  return std::find(ops.begin(), ops.end(), op) != ops.end();
+}
+
+const std::vector<std::string>& analysis_ops() {
+  static const std::vector<std::string> kOps{
+      "admission_check", "wcd_bound", "nc_delay", "scenario_sim"};
+  return kOps;
+}
+
+HandlerOutcome dispatch(const std::string& op, const exp::Params& params,
+                        const HandlerLimits& limits) {
+  if (op == "admission_check") return handle_admission_check(params, limits);
+  if (op == "wcd_bound") return handle_wcd_bound(params, limits);
+  if (op == "nc_delay") return handle_nc_delay(params, limits);
+  if (op == "scenario_sim") return handle_scenario_sim(params, limits);
+  return bad("unknown op '" + op + "'");
+}
+
+HandlerOutcome handle_admission_check(const exp::Params& params,
+                                      const HandlerLimits& limits) {
+  ParamReader r(params);
+  const int cols = static_cast<int>(
+      r.get_int("mesh_cols", 4, 2, limits.max_mesh_dim));
+  const int rows = static_cast<int>(
+      r.get_int("mesh_rows", 4, 2, limits.max_mesh_dim));
+  const double budget_gbps =
+      r.get_double("noc_budget_gbps", 64.0, 0.001, 1e6);
+  const double burst_packets = r.get_double("burst_packets", 4.0, 0.0, 1e6);
+  const int n_apps = count_indexed(params, "apps", limits.max_apps);
+  if (n_apps == 0) return bad("admission_check needs at least one apps.0.*");
+
+  core::PlatformModel model;
+  model.noc.cols = cols;
+  model.noc.rows = rows;
+  noc::Mesh2D mesh(cols, rows);
+
+  std::vector<core::AppRequirement> apps;
+  std::vector<rm::AppQos> qos;
+  for (int i = 0; i < n_apps; ++i) {
+    const std::string k = "apps." + std::to_string(i) + ".";
+    core::AppRequirement a;
+    a.app = static_cast<noc::AppId>(i + 1);
+    a.name = "app" + std::to_string(a.app);
+    a.traffic.burst = r.get_double(k + "burst", 1.0, 0.0, 1e6);
+    r.require(k + "rate");
+    a.traffic.rate = r.get_double(k + "rate", 0.0, 0.0, 1e6);
+    const int sx = static_cast<int>(r.get_int(k + "src_x", 0, 0, cols - 1));
+    const int sy = static_cast<int>(r.get_int(k + "src_y", 0, 0, rows - 1));
+    const int dx =
+        static_cast<int>(r.get_int(k + "dst_x", cols - 1, 0, cols - 1));
+    const int dy = static_cast<int>(r.get_int(k + "dst_y", 0, 0, rows - 1));
+    a.src = mesh.node(sx, sy);
+    a.dst = mesh.node(dx, dy);
+    a.deadline = Time::from_ns(
+        r.get_double(k + "deadline_ns", 2000.0, 0.001, 1e9));
+    a.uses_dram = r.get_bool(k + "uses_dram", false);
+    const bool critical = r.get_bool(k + "critical", true);
+    if (critical) a.asil = sched::Asil::kC;
+    apps.push_back(a);
+    qos.push_back(rm::AppQos{
+        a.app, critical,
+        Rate::bits_per_sec(a.traffic.rate * 1e9 * 8.0 * 64.0)});
+  }
+  r.finish();
+  if (r.failed()) return bad(r.error());
+
+  // Rate-table feasibility: can the RM even program the requested
+  // guarantees into a non-symmetric mode table?
+  auto table = rm::RateTable::non_symmetric(Rate::gbps(budget_gbps), 64,
+                                            burst_packets, qos);
+
+  // Admission: apps are offered in index order; each decision is taken
+  // with everything previously admitted still in place.
+  core::AdmissionController ac(model);
+  exp::Result out("admission_check");
+  int admitted = 0;
+  for (const auto& a : apps) {
+    const std::string k = a.name;
+    const auto grant = ac.request(a);
+    if (grant) {
+      ++admitted;
+      out.add(k + ".admitted", true);
+      out.add(k + ".bound", grant.value().e2e_bound);
+      out.add(k + ".shaper_rate",
+              exp::Value{grant.value().noc_shaper.rate, 6});
+    } else {
+      out.add(k + ".admitted", false);
+      out.add(k + ".reason", grant.error_message());
+    }
+  }
+  out.add("admitted", admitted);
+  out.add("offered", n_apps);
+  out.add("rate_table_feasible", table.has_value());
+  if (!table) out.add("rate_table_error", table.error_message());
+  return HandlerOutcome::success(std::move(out));
+}
+
+HandlerOutcome handle_wcd_bound(const exp::Params& params,
+                                const HandlerLimits& limits) {
+  ParamReader r(params);
+  r.require("write_gbps");
+  const double gbps = r.get_double("write_gbps", 0.0, 0.0, 1e4);
+  const int n = static_cast<int>(
+      r.get_int("n", 13, 1, limits.max_queue_position));
+  const double burst = r.get_double("burst_requests", 8.0, 0.0, 1e6);
+  dram::ControllerParams ctrl;
+  ctrl.n_cap = static_cast<int>(r.get_int("n_cap", 16, 0, 4096));
+  ctrl.w_high = static_cast<int>(r.get_int("w_high", 55, 0, 1 << 20));
+  ctrl.w_low = static_cast<int>(r.get_int("w_low", 28, 0, 1 << 20));
+  ctrl.n_wd = static_cast<int>(r.get_int("n_wd", 16, 1, 1 << 20));
+  ctrl.banks = static_cast<int>(r.get_int("banks", 1, 1, 64));
+  const std::string policy = r.get_string("page_policy", "open");
+  r.finish();
+  if (r.failed()) return bad(r.error());
+  if (policy == "closed") {
+    ctrl.page_policy = dram::PagePolicy::kClosedPage;
+  } else if (policy != "open") {
+    return bad("'page_policy' must be \"open\" or \"closed\"");
+  }
+  if (!ctrl.valid()) {
+    return bad("invalid controller parameters (watermarks must satisfy "
+               "w_high >= w_low >= 0)");
+  }
+
+  // Identical construction to dram::table2_row (bench/table2_wcd_bounds):
+  // with burst_requests=8 the reply is byte-identical to the offline row.
+  const auto bucket = nc::TokenBucket::from_rate(Rate::gbps(gbps),
+                                                 kCacheLineBytes, burst);
+  dram::WcdAnalysis analysis(dram::ddr3_1600(), ctrl, bucket);
+  const auto b = analysis.bounds(n);
+
+  exp::Result out("wcd_bound");
+  out.add("lower", b.lower)
+      .add("upper", b.upper)
+      .add("gap", b.upper - b.lower)
+      .add("iterations_lower", b.iterations_lower)
+      .add("iterations_upper", b.iterations_upper)
+      .add("converged", b.converged)
+      .add("interference_utilization",
+           exp::Value{analysis.interference_utilization(), 6});
+  return HandlerOutcome::success(std::move(out));
+}
+
+HandlerOutcome handle_nc_delay(const exp::Params& params,
+                               const HandlerLimits& limits) {
+  (void)limits;
+  ParamReader r(params);
+  r.require("arrival.rate");
+  const double a_burst = r.get_double("arrival.burst", 0.0, 0.0, 1e9);
+  const double a_rate = r.get_double("arrival.rate", 0.0, 0.0, 1e9);
+  r.require("service.rate");
+  const double s_rate = r.get_double("service.rate", 0.0, 0.0, 1e9);
+  const double s_latency = r.get_double("service.latency_ns", 0.0, 0.0, 1e12);
+  r.finish();
+  if (r.failed()) return bad(r.error());
+  if (s_rate <= 0.0) return bad("'service.rate' must be positive");
+
+  const nc::Curve alpha = nc::TokenBucket{a_burst, a_rate}.to_curve();
+  const nc::Curve beta = nc::RateLatency{s_rate, s_latency}.to_curve();
+  const auto delay = nc::delay_bound(alpha, beta);
+  const auto backlog = nc::backlog_bound(alpha, beta);
+
+  exp::Result out("nc_delay");
+  out.add("bounded", delay.has_value() && backlog.has_value());
+  if (delay) out.add("delay", *delay);
+  if (backlog) out.add("backlog", exp::Value{*backlog, 6});
+  return HandlerOutcome::success(std::move(out));
+}
+
+HandlerOutcome handle_scenario_sim(const exp::Params& params,
+                                   const HandlerLimits& limits) {
+  ParamReader r(params);
+  const int hogs = static_cast<int>(r.get_int("hogs", 3, 0, 63));
+  const double sim_us = r.get_double("sim_time_us", 500.0, 1.0,
+                                     limits.max_sim_time.micros());
+  platform::ScenarioConfig config;
+  config.hogs(hogs)
+      .dsu_partitioning(r.get_bool("dsu_partitioning", false))
+      .memguard(r.get_bool("memguard", false))
+      .mpam_bw(r.get_bool("mpam_bw", false))
+      .stop_the_world(r.get_bool("stop_the_world", false))
+      .hog_budget_per_period(static_cast<std::uint64_t>(
+          r.get_int("hog_budget", 20, 1, 1 << 20)))
+      .memguard_period(
+          Time::from_ns(r.get_double("memguard_period_us", 10.0, 0.1, 1e6) *
+                        1000.0))
+      .sim_time(Time::from_ns(sim_us * 1000.0))
+      .rt_reads_per_batch(
+          static_cast<int>(r.get_int("rt_reads_per_batch", 32, 1, 1 << 16)))
+      .rt_period(Time::from_ns(
+          r.get_double("rt_period_us", 10.0, 0.1, 1e6) * 1000.0))
+      .rt_working_set(static_cast<std::uint64_t>(
+          r.get_int("rt_working_set", 64 * 1024, 64, 1 << 28)));
+  r.finish();
+  if (r.failed()) return bad(r.error());
+  if (const Status st = config.validate(); !st.is_ok()) {
+    return bad(st.message());
+  }
+
+  auto res = platform::run_scenario(config, "scenario_sim");
+  if (!res) return bad(res.error_message());
+  const platform::ScenarioResult& s = res.value();
+
+  exp::Result out("scenario_sim");
+  const bool has_rt = !s.rt_latency.empty();
+  out.add("rt_accesses", static_cast<std::int64_t>(s.rt_latency.count()))
+      .add("rt_p50", has_rt ? s.rt_latency.percentile(50) : Time::zero())
+      .add("rt_p99", has_rt ? s.rt_latency.percentile(99) : Time::zero())
+      .add("rt_max", has_rt ? s.rt_latency.max() : Time::zero())
+      .add("batches", static_cast<std::int64_t>(s.rt_batch.count()))
+      .add("hog_accesses", s.hog_accesses)
+      .add("memguard_throttles", s.memguard_throttles)
+      .add("mpam_throttles", s.mpam_throttles);
+  return HandlerOutcome::success(std::move(out));
+}
+
+}  // namespace pap::serve

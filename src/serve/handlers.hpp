@@ -1,0 +1,79 @@
+// Endpoint handlers: map a parsed request onto the offline analysis
+// engines and render the answer as an exp::Result.
+//
+// Every handler is a pure function of its parameters — no hidden state, no
+// wall-clock, no RNG — so the service layer may cache and coalesce calls
+// freely, and a served answer is byte-identical to the offline bench that
+// wraps the same engine (the serving_throughput bench asserts this for
+// wcd_bound vs bench/table2_wcd_bounds). Parameter validation is strict:
+// unknown keys, wrong kinds and out-of-range values are kBadRequest
+// errors, never silently defaulted — a typo'd key must not produce a
+// confidently wrong answer under a fresh cache key.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/time.hpp"
+#include "exp/experiment.hpp"
+#include "serve/protocol.hpp"
+
+namespace pap::serve {
+
+/// Static bounds the handlers enforce on request size; they keep a single
+/// request's work bounded (the "bounded platform::Scenario runs" of the
+/// scenario_sim endpoint).
+struct HandlerLimits {
+  Time max_sim_time = Time::ms(20);  ///< scenario_sim cap
+  int max_apps = 32;                 ///< admission_check app list cap
+  int max_queue_position = 256;      ///< wcd_bound / nc service depth cap
+  int max_mesh_dim = 16;             ///< admission_check mesh side cap
+};
+
+/// A handler outcome: either a Result to render, or (code, message).
+struct HandlerError {
+  ErrorCode code = ErrorCode::kBadRequest;
+  std::string message;
+};
+
+struct HandlerOutcome {
+  bool ok = false;
+  exp::Result result;     // when ok
+  HandlerError error;     // when !ok
+  static HandlerOutcome success(exp::Result r) {
+    HandlerOutcome o;
+    o.ok = true;
+    o.result = std::move(r);
+    return o;
+  }
+  static HandlerOutcome fail(ErrorCode code, std::string msg) {
+    HandlerOutcome o;
+    o.error = HandlerError{code, std::move(msg)};
+    return o;
+  }
+};
+
+/// True iff `op` names an analysis endpoint (cacheable, worker-executed).
+/// "ping" and "stats" are control endpoints the service answers inline.
+bool is_analysis_op(const std::string& op);
+
+/// All analysis ops, in documentation order.
+const std::vector<std::string>& analysis_ops();
+
+/// Dispatch an analysis request. Never crashes on bad parameters; every
+/// failure comes back as a HandlerOutcome error.
+HandlerOutcome dispatch(const std::string& op, const exp::Params& params,
+                        const HandlerLimits& limits);
+
+// Individual endpoints (exposed for unit tests; `dispatch` routes to them).
+HandlerOutcome handle_admission_check(const exp::Params& params,
+                                      const HandlerLimits& limits);
+HandlerOutcome handle_wcd_bound(const exp::Params& params,
+                                const HandlerLimits& limits);
+HandlerOutcome handle_nc_delay(const exp::Params& params,
+                               const HandlerLimits& limits);
+HandlerOutcome handle_scenario_sim(const exp::Params& params,
+                                   const HandlerLimits& limits);
+
+}  // namespace pap::serve

@@ -1,0 +1,75 @@
+// Strict, bounded JSON for the serving layer (src/serve).
+//
+// The request parser is the one component of papd that faces arbitrary
+// bytes from the network, so it is written defensively rather than
+// permissively: hard limits on input size and nesting depth, no recovery
+// heuristics, and every syntax violation reported as an error message that
+// names the byte offset — never a crash, never a partially-applied parse
+// (asserted by the fuzz test in tests/serve_protocol_test.cpp).
+//
+// The value model is deliberately tiny (null/bool/number/string plus
+// object/array of those): it exists to carry request envelopes and
+// parameter maps, not to be a general JSON library. Numbers whose source
+// text is integral (no '.', no exponent) and fits an int64 parse as
+// kInt; everything else parses as kDouble — the distinction keeps the
+// flattened exp::Params canonical encoding stable, which the coalescing
+// and cache keys depend on.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "exp/experiment.hpp"
+
+namespace pap::serve {
+
+/// Parsed JSON value (tree). Objects keep their keys sorted (std::map):
+/// two requests that differ only in member order flatten to the same
+/// exp::Params and therefore the same cache/coalescing key.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_v = false;
+  std::int64_t int_v = 0;
+  double dbl_v = 0.0;
+  std::string str_v;
+  std::vector<JsonValue> array_v;
+  std::map<std::string, JsonValue> object_v;
+
+  bool is_number() const { return kind == Kind::kInt || kind == Kind::kDouble; }
+  double number() const {
+    return kind == Kind::kInt ? static_cast<double>(int_v) : dbl_v;
+  }
+  /// Member lookup; nullptr when absent or not an object.
+  const JsonValue* get(const std::string& key) const;
+};
+
+struct JsonLimits {
+  std::size_t max_bytes = 64 * 1024;  ///< whole input
+  int max_depth = 32;                 ///< object/array nesting
+};
+
+/// Parse exactly one JSON value spanning the whole input (trailing
+/// whitespace allowed, trailing garbage is an error). All errors carry a
+/// byte offset.
+Expected<JsonValue> json_parse(const std::string& text,
+                               const JsonLimits& limits = {});
+
+/// Escape + quote `s` as a JSON string literal.
+std::string json_quote(const std::string& s);
+
+/// Flatten a parsed JSON object into an exp::Params map. Nested objects
+/// become dotted keys ("service.rate"), arrays indexed keys ("apps.0.burst"
+/// — a stable two-digit-free encoding in element order). Scalars map to
+/// exp::Value of the matching kind; null and empty containers are rejected
+/// (they have no Value representation, and silently dropping them would
+/// let two different requests share a cache key).
+Expected<exp::Params> json_flatten(const JsonValue& object);
+
+}  // namespace pap::serve

@@ -1,0 +1,252 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/log.hpp"
+#include "serve/protocol.hpp"
+
+namespace pap::serve {
+
+namespace {
+
+Status errno_status(const std::string& what) {
+  return Status::error(what + ": " + std::strerror(errno));
+}
+
+/// Write the whole buffer, retrying on short writes / EINTR. MSG_NOSIGNAL
+/// keeps a dead client from killing the process with SIGPIPE.
+bool send_all(int fd, const char* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += static_cast<std::size_t>(n);
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+/// One live connection. Reply closures hold a shared_ptr, so the socket
+/// stays open (and the write lock valid) until the last in-flight reply
+/// for this connection has been written — even after the reader thread
+/// exits or the server begins draining.
+struct Server::Conn {
+  int fd = -1;
+  std::mutex write_mu;
+
+  ~Conn() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  void write_line(const std::string& reply) {
+    std::lock_guard<std::mutex> lock(write_mu);
+    std::string line = reply;
+    line.push_back('\n');
+    (void)send_all(fd, line.data(), line.size());  // dead peer: drop reply
+  }
+};
+
+Server::Server(ServerConfig config)
+    : config_(config), service_(config.service) {}
+
+Server::~Server() { stop(); }
+
+Status Server::start() {
+  if (config_.unix_path.empty() && config_.tcp_port < 0) {
+    return Status::error("server needs a unix path or a tcp port");
+  }
+
+  if (!config_.unix_path.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (config_.unix_path.size() >= sizeof(addr.sun_path)) {
+      return Status::error("unix socket path too long: " + config_.unix_path);
+    }
+    std::strncpy(addr.sun_path, config_.unix_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return errno_status("socket(unix)");
+    ::unlink(config_.unix_path.c_str());  // stale socket from a dead server
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+      const Status s = errno_status("bind(" + config_.unix_path + ")");
+      ::close(fd);
+      return s;
+    }
+    if (::listen(fd, 128) < 0) {
+      const Status s = errno_status("listen(unix)");
+      ::close(fd);
+      return s;
+    }
+    unix_bound_ = true;
+    listen_fds_.push_back(fd);
+  }
+
+  if (config_.tcp_port >= 0) {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(config_.tcp_port));
+    if (::inet_pton(AF_INET, config_.tcp_host.c_str(), &addr.sin_addr) != 1) {
+      return Status::error("bad tcp host: " + config_.tcp_host);
+    }
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return errno_status("socket(tcp)");
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+      const Status s = errno_status("bind(" + config_.tcp_host + ":" +
+                                    std::to_string(config_.tcp_port) + ")");
+      ::close(fd);
+      return s;
+    }
+    if (::listen(fd, 128) < 0) {
+      const Status s = errno_status("listen(tcp)");
+      ::close(fd);
+      return s;
+    }
+    sockaddr_in bound{};
+    socklen_t blen = sizeof bound;
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &blen) == 0) {
+      bound_tcp_port_ = ntohs(bound.sin_port);
+    }
+    listen_fds_.push_back(fd);
+  }
+
+  acceptors_.reserve(listen_fds_.size());
+  for (const int fd : listen_fds_) {
+    acceptors_.emplace_back([this, fd] { accept_loop(fd); });
+  }
+  return Status::ok();
+}
+
+void Server::accept_loop(int listen_fd) {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener shut down (stop()) or fatal — either way, done
+    }
+    if (stopping_.load(std::memory_order_relaxed)) {
+      ::close(fd);
+      continue;
+    }
+    auto conn = std::make_shared<Conn>();
+    conn->fd = fd;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      if (stopped_) {  // raced with stop(): refuse
+        ::close(fd);
+        conn->fd = -1;
+        continue;
+      }
+      conns_.push_back(conn);
+      conn_threads_.emplace_back([this, conn] { conn_loop(conn); });
+    }
+  }
+}
+
+void Server::conn_loop(std::shared_ptr<Conn> conn) {
+  std::string pending;
+  // A line longer than the parse limit can never become a valid request;
+  // reply once and discard bytes until its newline instead of buffering.
+  const std::size_t hard_cap = config_.service.parse.max_bytes + 4096;
+  bool discarding = false;
+  char buf[16 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(conn->fd, buf, sizeof buf, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // EOF, peer reset, or SHUT_RD during drain
+    std::size_t start = 0;
+    for (ssize_t i = 0; i < n; ++i) {
+      if (buf[i] != '\n') continue;
+      if (discarding) {
+        discarding = false;
+      } else {
+        pending.append(buf + start, static_cast<std::size_t>(i) -
+                                        static_cast<std::size_t>(start));
+        if (!pending.empty() && pending.back() == '\r') pending.pop_back();
+        if (!pending.empty()) {
+          service_.submit(pending,
+                          [conn](std::string reply) { conn->write_line(reply); });
+        }
+        pending.clear();
+      }
+      start = static_cast<std::size_t>(i) + 1;
+    }
+    if (!discarding) {
+      pending.append(buf + start, static_cast<std::size_t>(n) - start);
+      if (pending.size() > hard_cap) {
+        conn->write_line(error_reply(
+            0, ErrorCode::kParseError,
+            "request line exceeds " +
+                std::to_string(config_.service.parse.max_bytes) + " bytes"));
+        pending.clear();
+        pending.shrink_to_fit();
+        discarding = true;
+      }
+    }
+  }
+  // In-flight replies still hold the Conn; the socket closes when the
+  // last one completes.
+}
+
+bool Server::stop() {
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    if (stopped_) return true;
+  }
+  stopping_.store(true, std::memory_order_relaxed);
+
+  // 1. Stop accepting: shutdown unblocks accept(), then close.
+  for (const int fd : listen_fds_) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+  for (auto& t : acceptors_) {
+    if (t.joinable()) t.join();
+  }
+  acceptors_.clear();
+  listen_fds_.clear();
+  if (unix_bound_) ::unlink(config_.unix_path.c_str());
+
+  // 2. Quiesce intake on live connections; write side stays open so the
+  //    drain below can still deliver replies.
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    stopped_ = true;
+    for (auto& weak : conns_) {
+      if (auto conn = weak.lock()) ::shutdown(conn->fd, SHUT_RD);
+    }
+  }
+
+  // 3. Drain every accepted request and flush its reply.
+  const bool drained = service_.shutdown(config_.drain_deadline);
+  if (!drained) {
+    log_warn("papd: drain deadline exceeded; abandoning in-flight work");
+  }
+
+  // 4. Reader threads saw EOF after SHUT_RD; join and release sockets.
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    threads.swap(conn_threads_);
+    conns_.clear();
+  }
+  for (auto& t : threads) {
+    if (t.joinable()) t.join();
+  }
+  return drained;
+}
+
+}  // namespace pap::serve

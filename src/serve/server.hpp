@@ -1,0 +1,87 @@
+// papd network front-end: listeners + connection threads in front of an
+// AnalysisService.
+//
+// The server accepts connections on a Unix-domain socket and/or a local
+// TCP port, frames the byte stream into newline-delimited request lines,
+// and feeds each line to the service. Replies are written back on the
+// originating connection (one line each, under a per-connection write
+// lock, so pipelined replies never interleave mid-line). Connections are
+// handled one thread each — the concurrency that matters is in the
+// service's worker pool, not here.
+//
+// Graceful stop (`stop`, the SIGTERM path in tools/papd.cpp):
+//   1. listeners close — new connections are refused by the OS;
+//   2. live connections get shutdown(SHUT_RD) — readers see EOF and stop
+//      producing work, but the write side stays open;
+//   3. the service drains: every already-accepted request completes and
+//      its reply is flushed to the client;
+//   4. connection threads join and sockets close.
+// `stop` returns true when the drain finished inside the configured
+// deadline, false when workers had to be abandoned.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.hpp"
+#include "serve/service.hpp"
+
+namespace pap::serve {
+
+struct ServerConfig {
+  std::string unix_path;              ///< empty = no Unix listener
+  std::string tcp_host = "127.0.0.1";
+  int tcp_port = -1;                  ///< -1 = no TCP listener; 0 = ephemeral
+  ServiceConfig service;
+  std::chrono::milliseconds drain_deadline{5000};
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind + listen on the configured endpoints and start accepting.
+  /// Requires at least one endpoint. Fails (Status) on bind errors.
+  Status start();
+
+  /// The actually bound TCP port (useful with tcp_port = 0), or -1.
+  int tcp_port() const { return bound_tcp_port_; }
+
+  /// Graceful stop; see file comment. Idempotent. True = fully drained.
+  bool stop();
+
+  AnalysisService& service() { return service_; }
+  const ServerConfig& config() const { return config_; }
+
+ private:
+  struct Conn;  // shared by the reader thread and in-flight reply closures
+
+  void accept_loop(int listen_fd);
+  void conn_loop(std::shared_ptr<Conn> conn);
+
+  ServerConfig config_;
+  AnalysisService service_;
+
+  std::vector<int> listen_fds_;
+  std::vector<std::thread> acceptors_;
+  int bound_tcp_port_ = -1;
+  bool unix_bound_ = false;
+
+  std::mutex conns_mu_;
+  std::list<std::weak_ptr<Conn>> conns_;      // live connections (pruned lazily)
+  std::vector<std::thread> conn_threads_;     // joined in stop()
+  std::atomic<bool> stopping_{false};
+  bool stopped_ = false;
+};
+
+}  // namespace pap::serve

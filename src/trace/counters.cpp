@@ -14,36 +14,75 @@ std::string num(double v) {
 
 }  // namespace
 
-void CounterRegistry::update(const std::string& component,
-                             const std::string& name, double value,
-                             CounterKind kind) {
+CounterRegistry::Entry& CounterRegistry::locate(const std::string& component,
+                                                const std::string& name) {
   for (auto& e : entries_) {
-    if (e.component == component && e.name == name) {
-      e.value = value;
-      e.min = value < e.min ? value : e.min;
-      e.max = value > e.max ? value : e.max;
-      ++e.updates;
-      return;
-    }
+    if (e.component == component && e.name == name) return e;
   }
   Entry e;
   e.component = component;
   e.name = name;
-  e.kind = kind;
-  e.value = e.min = e.max = value;
-  e.updates = 1;
+  e.updates = 0;
   entries_.push_back(std::move(e));
+  return entries_.back();
+}
+
+void CounterRegistry::update(const std::string& component,
+                             const std::string& name, double value,
+                             CounterKind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = locate(component, name);
+  if (e.updates == 0) {
+    e.kind = kind;
+    e.value = e.min = e.max = value;
+  } else {
+    e.value = value;
+    e.min = value < e.min ? value : e.min;
+    e.max = value > e.max ? value : e.max;
+  }
+  ++e.updates;
+}
+
+void CounterRegistry::add(const std::string& component,
+                          const std::string& name, double delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = locate(component, name);
+  if (e.updates == 0) {
+    e.kind = CounterKind::kMonotonic;
+    e.value = e.min = e.max = delta;
+  } else {
+    e.value += delta;
+    e.min = e.value < e.min ? e.value : e.min;
+    e.max = e.value > e.max ? e.value : e.max;
+  }
+  ++e.updates;
 }
 
 const CounterRegistry::Entry* CounterRegistry::find(
     const std::string& component, const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   for (const auto& e : entries_) {
     if (e.component == component && e.name == name) return &e;
   }
   return nullptr;
 }
 
+std::optional<CounterRegistry::Entry> CounterRegistry::sample(
+    const std::string& component, const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& e : entries_) {
+    if (e.component == component && e.name == name) return e;
+  }
+  return std::nullopt;
+}
+
+bool CounterRegistry::empty() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.empty();
+}
+
 std::string CounterRegistry::csv() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::string out = "component,name,kind,updates,value,min,max\n";
   for (const auto& e : entries_) {
     out += e.component + ',' + e.name + ',' +

@@ -12,11 +12,21 @@
 //
 // Entries appear in first-update order, which makes the CSV export stable
 // across identical runs — a property the determinism tests assert on.
+//
+// Thread-safety: the registry is fully synchronized — `update`, `add`,
+// `sample`, `csv` and friends may race freely (the serving layer updates
+// per-endpoint counters from every worker thread; exercised under TSan by
+// tests/trace_test.cpp). Entries live in a deque so references handed out
+// by `find` stay valid across concurrent insertions; note that a `find`
+// pointer's *fields* may still move under a concurrent writer — use
+// `sample` for a consistent copy when other threads are updating.
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
 #include <string>
-#include <vector>
 
 namespace pap::trace {
 
@@ -39,17 +49,36 @@ class CounterRegistry {
   void update(const std::string& component, const std::string& name,
               double value, CounterKind kind);
 
+  /// Atomic increment of a monotonic counter (creates it at `delta` on
+  /// first use). Read-modify-write through `update` would race between
+  /// threads; this is the one-call form concurrent producers need.
+  void add(const std::string& component, const std::string& name,
+           double delta = 1.0);
+
+  /// Pointer into the registry; stable across insertions (deque storage)
+  /// but its fields race with concurrent writers — single-threaded /
+  /// quiescent use only.
   const Entry* find(const std::string& component,
                     const std::string& name) const;
-  const std::vector<Entry>& entries() const { return entries_; }
-  bool empty() const { return entries_.empty(); }
+
+  /// Consistent copy of one entry, safe under concurrent updates.
+  std::optional<Entry> sample(const std::string& component,
+                              const std::string& name) const;
+
+  /// Single-threaded / quiescent view (exporters, tests).
+  const std::deque<Entry>& entries() const { return entries_; }
+  bool empty() const;
 
   /// "component,name,kind,updates,value,min,max" rows, header included.
   /// Deterministic: rows in first-update order, values as %.17g.
   std::string csv() const;
 
  private:
-  std::vector<Entry> entries_;  // small; linear scan, insertion order kept
+  Entry& locate(const std::string& component, const std::string& name);
+
+  mutable std::mutex mu_;
+  // Small; linear scan, insertion order kept. Deque: stable references.
+  std::deque<Entry> entries_;
 };
 
 }  // namespace pap::trace

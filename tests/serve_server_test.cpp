@@ -1,0 +1,239 @@
+// Socket-level end-to-end tests for the papd server: Unix and TCP
+// listeners, pipelined request/reply framing, oversized-line recovery,
+// in-process graceful stop, and the full SIGTERM drain contract against
+// the real daemon binary (PAPD_BIN, fork/exec'd like an init system
+// would): N requests in flight when the signal lands must all receive
+// replies, new connections must be refused, and the process must exit 0.
+
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+
+namespace pap::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::string test_socket_path(const std::string& tag) {
+  return "serve_server_test-" + tag + "-" + std::to_string(::getpid()) +
+         ".sock";
+}
+
+std::string nc_line(int id, double rate) {
+  return "{\"id\":" + std::to_string(id) +
+         ",\"op\":\"nc_delay\",\"params\":{\"arrival\":{\"burst\":8,\"rate\":" +
+         std::to_string(rate) + "},\"service\":{\"rate\":2.0," +
+         "\"latency_ns\":50}}}";
+}
+
+TEST(Server, UnixSocketEndToEnd) {
+  ServerConfig cfg;
+  cfg.unix_path = test_socket_path("e2e");
+  cfg.service.workers = 2;
+  Server server(cfg);
+  const Status st = server.start();
+  ASSERT_TRUE(st.is_ok()) << st.message();
+
+  auto client = Client::connect_unix(cfg.unix_path);
+  ASSERT_TRUE(client.has_value()) << client.error_message();
+  Client& c = client.value();
+
+  auto pong = c.call(R"({"id":1,"op":"ping"})");
+  ASSERT_TRUE(pong.has_value()) << pong.error_message();
+  EXPECT_EQ(pong.value(),
+            R"({"id":1,"ok":true,"result":{"label":"pong","metrics":{}}})");
+
+  // Served analysis replies match the in-process service byte-for-byte.
+  auto served = c.call(nc_line(2, 1.5));
+  ASSERT_TRUE(served.has_value());
+  EXPECT_EQ(served.value(), server.service().handle(nc_line(2, 1.5)));
+
+  // Malformed input gets a structured reply, and the connection survives.
+  auto bad = c.call("this is not json");
+  ASSERT_TRUE(bad.has_value());
+  EXPECT_NE(bad.value().find("\"code\":\"parse_error\""), bad.value().npos);
+  auto after = c.call(R"({"id":3,"op":"ping"})");
+  ASSERT_TRUE(after.has_value());
+  EXPECT_NE(after.value().find("pong"), after.value().npos);
+
+  EXPECT_TRUE(server.stop());
+  EXPECT_FALSE(Client::connect_unix(cfg.unix_path).has_value());
+}
+
+TEST(Server, TcpEphemeralPortAndPipelining) {
+  ServerConfig cfg;
+  cfg.tcp_port = 0;  // ephemeral
+  cfg.service.workers = 2;
+  Server server(cfg);
+  ASSERT_TRUE(server.start().is_ok());
+  ASSERT_GT(server.tcp_port(), 0);
+
+  auto client = Client::connect_tcp("127.0.0.1", server.tcp_port());
+  ASSERT_TRUE(client.has_value()) << client.error_message();
+  Client& c = client.value();
+
+  // Pipeline a burst, then collect: one reply per request, matched by id
+  // (replies may arrive in any order).
+  constexpr int kBurst = 32;
+  for (int i = 0; i < kBurst; ++i) {
+    ASSERT_TRUE(c.send_line(nc_line(i, 0.1 + 0.01 * (i % 5))).is_ok());
+  }
+  std::set<int> ids;
+  for (int i = 0; i < kBurst; ++i) {
+    auto reply = c.read_line();
+    ASSERT_TRUE(reply.has_value()) << reply.error_message();
+    int id = -1;
+    ASSERT_EQ(std::sscanf(reply.value().c_str(), "{\"id\":%d,", &id), 1)
+        << reply.value();
+    EXPECT_NE(reply.value().find("\"ok\":true"), reply.value().npos);
+    ids.insert(id);
+  }
+  EXPECT_EQ(ids.size(), static_cast<std::size_t>(kBurst));
+
+  EXPECT_TRUE(server.stop());
+}
+
+TEST(Server, OversizedLineGetsErrorAndConnectionRecovers) {
+  ServerConfig cfg;
+  cfg.unix_path = test_socket_path("oversize");
+  cfg.service.parse.max_bytes = 1024;
+  Server server(cfg);
+  ASSERT_TRUE(server.start().is_ok());
+
+  auto client = Client::connect_unix(cfg.unix_path);
+  ASSERT_TRUE(client.has_value());
+  Client& c = client.value();
+
+  // Far past the limit: the server must reply once with parse_error while
+  // discarding the rest of the line, not buffer it and not drop the
+  // connection.
+  std::string huge = R"({"id":1,"op":")" + std::string(64 * 1024, 'x') + "\"}";
+  auto reply = c.call(huge);
+  ASSERT_TRUE(reply.has_value()) << reply.error_message();
+  EXPECT_NE(reply.value().find("\"code\":\"parse_error\""),
+            reply.value().npos);
+
+  auto pong = c.call(R"({"id":2,"op":"ping"})");
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_NE(pong.value().find("pong"), pong.value().npos);
+  EXPECT_TRUE(server.stop());
+}
+
+TEST(Server, StopFlushesInFlightReplies) {
+  ServerConfig cfg;
+  cfg.unix_path = test_socket_path("drain");
+  cfg.service.workers = 1;
+  cfg.service.cache_entries = 0;
+  Server server(cfg);
+  ASSERT_TRUE(server.start().is_ok());
+
+  auto client = Client::connect_unix(cfg.unix_path);
+  ASSERT_TRUE(client.has_value());
+  Client& c = client.value();
+
+  // Several slow-ish requests in flight on one worker, then stop(): every
+  // accepted reply must still reach the client before stop returns.
+  constexpr int kInFlight = 4;
+  for (int i = 0; i < kInFlight; ++i) {
+    ASSERT_TRUE(c.send_line(
+                     "{\"id\":" + std::to_string(i) +
+                     ",\"op\":\"scenario_sim\",\"params\":{\"sim_time_us\":" +
+                     std::to_string(200 + i) + "}}")
+                    .is_ok());
+  }
+  std::this_thread::sleep_for(20ms);  // let the reader ingest the lines
+  EXPECT_TRUE(server.stop());
+
+  std::set<int> ids;
+  for (int i = 0; i < kInFlight; ++i) {
+    auto reply = c.read_line();
+    ASSERT_TRUE(reply.has_value()) << reply.error_message();
+    int id = -1;
+    ASSERT_EQ(std::sscanf(reply.value().c_str(), "{\"id\":%d,", &id), 1);
+    EXPECT_NE(reply.value().find("\"ok\":true"), reply.value().npos)
+        << reply.value();
+    ids.insert(id);
+  }
+  EXPECT_EQ(ids.size(), static_cast<std::size_t>(kInFlight));
+  // After the drain the stream ends cleanly.
+  EXPECT_FALSE(c.read_line().has_value());
+}
+
+// The satellite contract, against the real binary: SIGTERM with N requests
+// in flight → all N replies delivered, new connections refused, exit 0.
+TEST(Server, PapdBinarySigtermDrainsAndExitsZero) {
+  const std::string sock = test_socket_path("papd");
+  ::unlink(sock.c_str());
+
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    ::execl(PAPD_BIN, "papd", "--unix", sock.c_str(), "--workers", "2",
+            "--drain-ms", "8000", static_cast<char*>(nullptr));
+    _exit(127);  // exec failed
+  }
+
+  // Wait for the socket to come up.
+  Expected<Client> client = Expected<Client>::error("not yet connected");
+  for (int i = 0; i < 200 && !client.has_value(); ++i) {
+    std::this_thread::sleep_for(25ms);
+    client = Client::connect_unix(sock);
+  }
+  ASSERT_TRUE(client.has_value()) << client.error_message();
+  Client& c = client.value();
+
+  // N slow requests in flight (one worker chews ~ms per scenario), then
+  // SIGTERM while they are provably incomplete.
+  constexpr int kInFlight = 6;
+  for (int i = 0; i < kInFlight; ++i) {
+    ASSERT_TRUE(c.send_line(
+                     "{\"id\":" + std::to_string(i) +
+                     ",\"op\":\"scenario_sim\",\"params\":{\"sim_time_us\":" +
+                     std::to_string(4000 + 500 * i) + "}}")
+                    .is_ok());
+  }
+  std::this_thread::sleep_for(30ms);  // lines ingested, most still queued
+  ASSERT_EQ(::kill(pid, SIGTERM), 0);
+
+  // Every accepted request drains to a reply.
+  std::set<int> ids;
+  for (int i = 0; i < kInFlight; ++i) {
+    auto reply = c.read_line();
+    ASSERT_TRUE(reply.has_value())
+        << "reply " << i << ": " << reply.error_message();
+    int id = -1;
+    ASSERT_EQ(std::sscanf(reply.value().c_str(), "{\"id\":%d,", &id), 1);
+    EXPECT_NE(reply.value().find("\"ok\":true"), reply.value().npos)
+        << reply.value();
+    ids.insert(id);
+  }
+  EXPECT_EQ(ids.size(), static_cast<std::size_t>(kInFlight));
+
+  // The daemon exits 0 once drained.
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status)) << status;
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+
+  // And a draining/stopped daemon accepts no new connections.
+  EXPECT_FALSE(Client::connect_unix(sock).has_value());
+  ::unlink(sock.c_str());
+}
+
+}  // namespace
+}  // namespace pap::serve

@@ -1,0 +1,293 @@
+// pap_loadgen — closed-loop load generator for papd.
+//
+// Opens C connections, keeps up to P requests pipelined on each, and
+// drives a deterministic request mix: request i's operation and parameters
+// are pure functions of i, and ids are assigned globally (id == i). That
+// determinism is the point — two runs against two server instances must
+// produce byte-identical reply sets, which the CI smoke job asserts by
+// diffing `--dump` outputs (replies sorted by id).
+//
+//   pap_loadgen --unix /tmp/papd.sock --requests 10000 --connections 8
+//   pap_loadgen --tcp 7171 --requests 1000 --dump replies.txt
+//
+// Prints achieved throughput and latency percentiles; exits nonzero when
+// any reply was an error (use --expect-overload to tolerate `overloaded`
+// replies when probing backpressure).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "serve/client.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Options {
+  std::string unix_path;
+  std::string host = "127.0.0.1";
+  int tcp_port = -1;
+  long requests = 1000;
+  int connections = 4;
+  int pipeline = 16;
+  bool with_scenario = false;
+  bool expect_overload = false;
+  std::string dump_path;
+  bool quiet = false;
+};
+
+/// Deterministic request body for global index i. Parameter values cycle
+/// with different periods so the request population mixes cache hits and
+/// misses without any RNG.
+std::string request_for(long i, const Options& opt) {
+  const long slot = i % 10;
+  std::string body = "{\"id\": " + std::to_string(i) + ", ";
+  if (slot < 5) {
+    // admission_check: two apps on a 4x4 mesh; rates cycle through 7 levels.
+    const double r0 = 0.5 + 0.25 * static_cast<double>(i % 7);
+    const double r1 = 0.25 + 0.25 * static_cast<double>((i / 7) % 5);
+    body += "\"op\": \"admission_check\", \"params\": {"
+            "\"mesh_cols\": 4, \"mesh_rows\": 4, \"noc_budget_gbps\": 12.0, "
+            "\"apps\": ["
+            "{\"burst\": 8, \"rate\": " + std::to_string(r0) +
+            ", \"src_x\": 0, \"src_y\": 0, \"dst_x\": 3, \"dst_y\": 3, "
+            "\"deadline_ns\": 4000, \"uses_dram\": true, \"critical\": true},"
+            "{\"burst\": 4, \"rate\": " + std::to_string(r1) +
+            ", \"src_x\": 1, \"src_y\": 2, \"dst_x\": 2, \"dst_y\": 0, "
+            "\"deadline_ns\": 8000, \"uses_dram\": false, \"critical\": false}"
+            "]}}";
+  } else if (slot < 8) {
+    // wcd_bound: the Table II write-rate axis, 0.5..6.0 GB/s in 12 steps.
+    const double gbps = 0.5 + 0.5 * static_cast<double>(i % 12);
+    body += "\"op\": \"wcd_bound\", \"params\": {\"write_gbps\": " +
+            std::to_string(gbps) + "}}";
+  } else if (slot == 8 || !opt.with_scenario) {
+    const double burst = 4.0 + static_cast<double>(i % 4) * 4.0;
+    const double rate = 1.0 + static_cast<double>(i % 9);
+    body += "\"op\": \"nc_delay\", \"params\": {"
+            "\"arrival\": {\"burst\": " + std::to_string(burst) +
+            ", \"rate\": " + std::to_string(rate) + "}, "
+            "\"service\": {\"rate\": 12.8, \"latency_ns\": 250}}}";
+  } else {
+    body += "\"op\": \"scenario_sim\", \"params\": {"
+            "\"hogs\": " + std::to_string(i % 3) + ", "
+            "\"memguard\": " + (i % 2 ? std::string("true") : std::string("false")) +
+            ", \"sim_time_us\": 200}}";
+  }
+  return body;
+}
+
+struct WorkerResult {
+  pap::LatencyHistogram latency;
+  long ok = 0;
+  long errors = 0;
+  long overloaded = 0;
+  std::map<long, std::string> replies;  // id -> reply line (sorted)
+  std::string fatal;                    // transport failure, ends the run
+};
+
+/// True when the reply line is an error reply carrying the given code.
+bool reply_has_code(const std::string& reply, const char* code) {
+  return reply.find("\"ok\":false") != std::string::npos &&
+         reply.find(std::string("\"code\":\"") + code + "\"") !=
+             std::string::npos;
+}
+
+void run_connection(const Options& opt, int conn_index, WorkerResult* out) {
+  auto connected = opt.unix_path.empty()
+                       ? pap::serve::Client::connect_tcp(opt.host, opt.tcp_port)
+                       : pap::serve::Client::connect_unix(opt.unix_path);
+  if (!connected) {
+    out->fatal = connected.error_message();
+    return;
+  }
+  pap::serve::Client client = std::move(connected.value());
+
+  // This connection owns global indices i with i % connections == index.
+  std::vector<long> ids;
+  for (long i = conn_index; i < opt.requests; i += opt.connections) {
+    ids.push_back(i);
+  }
+
+  std::unordered_map<long, Clock::time_point> sent_at;
+  std::size_t next = 0;
+  long outstanding = 0;
+  long completed = 0;
+  const long total = static_cast<long>(ids.size());
+  while (completed < total) {
+    while (outstanding < opt.pipeline && next < ids.size()) {
+      const long id = ids[next++];
+      const std::string line = request_for(id, opt);
+      sent_at[id] = Clock::now();
+      const pap::Status sent = client.send_line(line);
+      if (!sent) {
+        out->fatal = sent.message();
+        return;
+      }
+      ++outstanding;
+    }
+    auto reply = client.read_line();
+    if (!reply) {
+      out->fatal = reply.error_message();
+      return;
+    }
+    const std::string& line = reply.value();
+    // Replies interleave arbitrarily; recover the id from the fixed prefix
+    // `{"id":N,` every reply starts with.
+    long id = -1;
+    if (line.rfind("{\"id\":", 0) == 0) {
+      id = std::strtol(line.c_str() + 6, nullptr, 10);
+    }
+    const auto it = id >= 0 ? sent_at.find(id) : sent_at.end();
+    if (it == sent_at.end()) {
+      out->fatal = "unmatched reply: " + line.substr(0, 120);
+      return;
+    }
+    const double us = std::chrono::duration<double, std::micro>(Clock::now() -
+                                                                it->second)
+                          .count();
+    out->latency.add(pap::Time::from_ns(us * 1000.0));
+    sent_at.erase(it);
+    --outstanding;
+    ++completed;
+    if (line.find("\"ok\":true") != std::string::npos) {
+      ++out->ok;
+    } else if (reply_has_code(line, "overloaded")) {
+      ++out->overloaded;
+    } else {
+      ++out->errors;
+    }
+    if (!opt.dump_path.empty()) out->replies.emplace(id, line);
+  }
+}
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s (--unix PATH | --tcp PORT) [--host ADDR] [--requests N]\n"
+      "          [--connections C] [--pipeline P] [--with-scenario]\n"
+      "          [--expect-overload] [--dump FILE] [--quiet]\n",
+      argv0);
+}
+
+bool parse_long(const char* text, long min, long max, long* out) {
+  char* end = nullptr;
+  const long v = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || v < min || v > max) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_next = i + 1 < argc;
+    long v = 0;
+    if (arg == "--unix" && has_next) {
+      opt.unix_path = argv[++i];
+    } else if (arg == "--tcp" && has_next &&
+               parse_long(argv[++i], 1, 65535, &v)) {
+      opt.tcp_port = static_cast<int>(v);
+    } else if (arg == "--host" && has_next) {
+      opt.host = argv[++i];
+    } else if (arg == "--requests" && has_next &&
+               parse_long(argv[++i], 1, 100000000, &v)) {
+      opt.requests = v;
+    } else if (arg == "--connections" && has_next &&
+               parse_long(argv[++i], 1, 512, &v)) {
+      opt.connections = static_cast<int>(v);
+    } else if (arg == "--pipeline" && has_next &&
+               parse_long(argv[++i], 1, 4096, &v)) {
+      opt.pipeline = static_cast<int>(v);
+    } else if (arg == "--with-scenario") {
+      opt.with_scenario = true;
+    } else if (arg == "--expect-overload") {
+      opt.expect_overload = true;
+    } else if (arg == "--dump" && has_next) {
+      opt.dump_path = argv[++i];
+    } else if (arg == "--quiet") {
+      opt.quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "pap_loadgen: bad argument '%s'\n", arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (opt.unix_path.empty() && opt.tcp_port < 0) {
+    usage(argv[0]);
+    return 2;
+  }
+  if (opt.connections > opt.requests) {
+    opt.connections = static_cast<int>(opt.requests);
+  }
+
+  std::vector<WorkerResult> results(static_cast<std::size_t>(opt.connections));
+  std::vector<std::thread> threads;
+  const auto t0 = Clock::now();
+  for (int c = 0; c < opt.connections; ++c) {
+    threads.emplace_back(run_connection, std::cref(opt), c, &results[c]);
+  }
+  for (auto& t : threads) t.join();
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+
+  pap::LatencyHistogram latency;
+  long ok = 0, errors = 0, overloaded = 0;
+  for (const auto& r : results) {
+    if (!r.fatal.empty()) {
+      std::fprintf(stderr, "pap_loadgen: %s\n", r.fatal.c_str());
+      return 1;
+    }
+    latency.merge(r.latency);
+    ok += r.ok;
+    errors += r.errors;
+    overloaded += r.overloaded;
+  }
+
+  if (!opt.dump_path.empty()) {
+    std::FILE* f = std::fopen(opt.dump_path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "pap_loadgen: cannot write %s\n",
+                   opt.dump_path.c_str());
+      return 1;
+    }
+    std::map<long, std::string> merged;
+    for (auto& r : results) merged.insert(r.replies.begin(), r.replies.end());
+    for (const auto& [id, line] : merged) {
+      std::fprintf(f, "%s\n", line.c_str());
+    }
+    std::fclose(f);
+  }
+
+  if (!opt.quiet) {
+    std::printf("requests:   %ld (%ld ok, %ld overloaded, %ld errors)\n",
+                opt.requests, ok, overloaded, errors);
+    std::printf("elapsed:    %.3f s  (%.0f req/s)\n", seconds,
+                static_cast<double>(opt.requests) / seconds);
+    if (!latency.empty()) {
+      std::printf("latency us: p50 %.1f  p95 %.1f  p99 %.1f  max %.1f\n",
+                  latency.percentile(50).nanos() / 1000.0,
+                  latency.percentile(95).nanos() / 1000.0,
+                  latency.percentile(99).nanos() / 1000.0,
+                  latency.max().nanos() / 1000.0);
+    }
+  }
+
+  if (errors > 0) return 1;
+  if (overloaded > 0 && !opt.expect_overload) return 1;
+  return 0;
+}
