@@ -7,7 +7,7 @@
 #include <cstdio>
 
 #include "common/table.hpp"
-#include "dram/frfcfs.hpp"
+#include "dram/controller.hpp"
 #include "dram/traffic.hpp"
 #include "dram/wcd.hpp"
 #include "sim/kernel.hpp"
@@ -23,9 +23,7 @@ struct Measured {
 
 Measured run(PagePolicy policy, double locality) {
   sim::Kernel k;
-  ControllerParams p;
-  p.page_policy = policy;
-  FrFcfsController c(k, ddr3_1600(), p);
+  Controller c(k, ddr3_1600(), ControllerConfig{}.page_policy(policy));
   RandomAccessSource::Config cfg;
   cfg.mean_inter_arrival = Time::ns(120);
   cfg.write_fraction = 0.3;
@@ -63,10 +61,9 @@ int main() {
 
   print_heading("Analytic worst case (N = 13, 5 Gbps writes)");
   const auto writes = nc::TokenBucket::from_rate(Rate::gbps(5), 64, 8.0);
-  ControllerParams open;
-  open.banks = 1;
-  ControllerParams closed = open;
-  closed.page_policy = PagePolicy::kClosedPage;
+  const ControllerConfig open = ControllerConfig{}.banks(1);
+  const ControllerConfig closed =
+      ControllerConfig{open.params()}.page_policy(PagePolicy::kClosedPage);
   WcdAnalysis open_a(ddr3_1600(), open, writes);
   WcdAnalysis closed_a(ddr3_1600(), closed, writes);
   TextTable w({"policy", "hit block (ns)", "WCD upper (ns)"});

@@ -1,0 +1,279 @@
+// Ablation: the DRAM scheduler-policy zoo (Sec. IV-A generalized).
+//
+// The paper analyses one arbitration policy — FR-FCFS with watermark write
+// batching and a hit-promotion cap — but its WCD method only needs a
+// bounded-interference scheduler. This bench sweeps the five policies of
+// `dram::SchedulerPolicy` across the three timing presets (Table I plus
+// the "any technology" presets) and two workload axes:
+//
+//   1. Measured: policy x device x row locality x write fraction, the
+//      mixed random load of bench/ablation_controller_policy.cpp. Reports
+//      per-read p50/p99/max — the average-vs-tail trade each policy makes.
+//   2. Conformance: policy x device under the adversarial same-bank setup
+//      of the analysis (queue position N = 13, shaped writes). For every
+//      analyzable policy the measured worst case must stay below
+//      `WcdAnalysis::upper_bound(13)`; write_drain has no bound and is
+//      reported as such.
+//
+// The FR-FCFS x DDR3-1600 rows double as the refactor anchor: they are
+// checked picosecond-exact against bench/golden/
+// ablation_dram_policy_frfcfs_ddr3.csv (captured from the monolithic
+// pre-policy controller) and re-emitted under <out>/ for CI's `cmp`.
+// `--smoke` trims the measured sweep to write fraction 0.3; the golden
+// pass and the conformance sweep always run in full.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "dram/controller.hpp"
+#include "dram/policy.hpp"
+#include "dram/timing.hpp"
+#include "dram/traffic.hpp"
+#include "dram/wcd.hpp"
+#include "exp/runner.hpp"
+#include "sim/kernel.hpp"
+
+using namespace pap;
+
+namespace {
+
+struct Measured {
+  std::size_t reads = 0;
+  Time mean, p50, p99, max;
+};
+
+/// One mixed-load run: the exact configuration of the pre-policy
+/// ablation_controller_policy bench (120 ns mean inter-arrival, seed 7,
+/// 2 ms), with the write fraction opened up as a sweep axis.
+Measured measure(dram::PolicyKind kind, const dram::Timings& timings,
+                 double locality, double write_fraction) {
+  sim::Kernel k;
+  dram::Controller c(k, timings, dram::ControllerConfig{}.policy(kind));
+  dram::RandomAccessSource::Config cfg;
+  cfg.mean_inter_arrival = Time::ns(120);
+  cfg.write_fraction = write_fraction;
+  cfg.locality = locality;
+  cfg.seed = 7;
+  dram::RandomAccessSource src(k, c, cfg);
+  src.start();
+  k.run(Time::ms(2));
+  src.stop();
+  const auto& h = c.read_latency();
+  return {h.count(), h.mean(), h.percentile(50), h.percentile(99), h.max()};
+}
+
+/// Adversarial worst-case probe: bursts of 13 same-bank, distinct-row reads
+/// against token-bucket writes — the setup `WcdAnalysis` bounds (and
+/// tests/dram_wcd_test.cpp cross-validates for FR-FCFS).
+Time conformance_max(dram::PolicyKind kind, const dram::Timings& timings,
+                     const nc::TokenBucket& writes) {
+  sim::Kernel kernel;
+  dram::Controller controller(kernel, timings,
+                              dram::ControllerConfig{}
+                                  .n_cap(16)
+                                  .watermarks(55, 28)
+                                  .n_wd(16)
+                                  .banks(1)
+                                  .policy(kind));
+  dram::ShapedWriteSource hog(kernel, controller, writes, 0, 99);
+  hog.start();
+  LatencyHistogram tagged;
+  controller.set_completion_handler([&](const dram::Request& r, Time t) {
+    if (r.op == dram::Op::kRead) tagged.add(t - r.arrival);
+  });
+  std::uint32_t row = 1000;
+  for (int burst = 0; burst < 40; ++burst) {
+    kernel.schedule_at(Time::us(burst * 25), [&controller, &row] {
+      for (int i = 0; i < 13; ++i) {
+        dram::Request r;
+        r.id = 5000 + row;
+        r.op = dram::Op::kRead;
+        r.bank = 0;
+        r.row = row++;
+        controller.submit(r);
+      }
+    });
+  }
+  kernel.run(Time::ms(1));
+  hog.stop();
+  return tagged.max();
+}
+
+// --- The refactor anchor -----------------------------------------------
+// FR-FCFS on DDR3-1600, captured from the monolithic controller before the
+// policy extraction. Values are integer picoseconds, so equality is exact.
+struct GoldenRow {
+  double locality;
+  double write_fraction;
+  std::size_t reads;
+  std::int64_t mean_ps, p50_ps, p99_ps, max_ps;
+};
+constexpr GoldenRow kGolden[] = {
+    {0.9, 0.1, 14770, 33575, 18750, 304324, 735832},
+    {0.9, 0.3, 11458, 34463, 18750, 293369, 585619},
+    {0.9, 0.5, 8163, 34751, 18750, 272533, 622664},
+    {0.5, 0.1, 15033, 61761, 46250, 602255, 1036948},
+    {0.5, 0.3, 11561, 76726, 46250, 599690, 924315},
+    {0.5, 0.5, 8288, 82456, 46250, 576258, 853272},
+    {0.1, 0.1, 14835, 80894, 46250, 704483, 1100332},
+    {0.1, 0.3, 11484, 115043, 46250, 781478, 1126307},
+    {0.1, 0.5, 8243, 142867, 46250, 792584, 1069174},
+};
+
+/// Re-measure every golden row through the policy-based controller, write
+/// the CSV CI compares byte-for-byte against bench/golden/, and fail on
+/// the first picosecond of drift.
+bool check_golden(const std::string& out_dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  const std::string path = out_dir + "/ablation_dram_policy_frfcfs_ddr3.csv";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fputs("locality,write_fraction,reads,mean_ps,p50_ps,p99_ps,max_ps\n",
+             f);
+  bool identical = true;
+  for (const auto& g : kGolden) {
+    const auto m = measure(dram::PolicyKind::kFrFcfs, dram::ddr3_1600(),
+                           g.locality, g.write_fraction);
+    std::fprintf(f, "%.1f,%.1f,%zu,%lld,%lld,%lld,%lld\n", g.locality,
+                 g.write_fraction, m.reads,
+                 static_cast<long long>(m.mean.picos()),
+                 static_cast<long long>(m.p50.picos()),
+                 static_cast<long long>(m.p99.picos()),
+                 static_cast<long long>(m.max.picos()));
+    const bool row_ok = m.reads == g.reads && m.mean.picos() == g.mean_ps &&
+                        m.p50.picos() == g.p50_ps &&
+                        m.p99.picos() == g.p99_ps && m.max.picos() == g.max_ps;
+    if (!row_ok) {
+      identical = false;
+      std::printf(
+          "  DRIFT at locality %.1f wf %.1f: got %zu/%lld/%lld/%lld/%lld ps\n",
+          g.locality, g.write_fraction, m.reads,
+          static_cast<long long>(m.mean.picos()),
+          static_cast<long long>(m.p50.picos()),
+          static_cast<long long>(m.p99.picos()),
+          static_cast<long long>(m.max.picos()));
+    }
+  }
+  std::fclose(f);
+  std::printf("FR-FCFS x DDR3-1600 vs pre-refactor golden (9 rows): %s\n",
+              identical ? "BIT-IDENTICAL" : "DRIFTED");
+  return identical;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto cli = exp::parse_cli(argc, argv);
+
+  print_heading("Refactor anchor — FR-FCFS through the policy interface");
+  const bool golden_ok = check_golden(cli.out_dir);
+
+  std::vector<exp::Value> policy_axis;
+  for (const auto kind : dram::all_policy_kinds()) {
+    policy_axis.emplace_back(dram::to_string(kind));
+  }
+  std::vector<exp::Value> device_axis;
+  for (const auto& name : dram::device_names()) device_axis.emplace_back(name);
+
+  print_heading("Measured — policy x device x workload shape");
+  exp::Experiment measured_exp{
+      "ablation_dram_policy", [](const exp::Params& p) {
+        const auto kind = dram::parse_policy(p.get_string("policy")).value();
+        const auto timings =
+            dram::device_by_name(p.get_string("device")).value();
+        const auto m = measure(kind, timings, p.get_double("locality"),
+                               p.get_double("write_fraction"));
+        exp::Result out(p.get_string("policy") + "/" + p.get_string("device"));
+        out.add("policy", p.get_string("policy"))
+            .add("device", p.get_string("device"))
+            .add("locality", exp::Value{p.get_double("locality"), 1})
+            .add("wf", exp::Value{p.get_double("write_fraction"), 1})
+            .add("reads", m.reads)
+            .add("mean", m.mean)
+            .add("p50", m.p50)
+            .add("p99", m.p99)
+            .add("max", m.max);
+        return out;
+      }};
+  // --smoke keeps every policy/device/locality cell but fixes the write
+  // fraction at the pre-policy bench's 0.3 (45 of the 135 points).
+  const std::vector<exp::Value> wf_axis =
+      cli.smoke ? std::vector<exp::Value>{0.3}
+                : std::vector<exp::Value>{0.1, 0.3, 0.5};
+  const auto measured_sweep = exp::SweepBuilder{}
+                                  .axis("policy", policy_axis)
+                                  .axis("device", device_axis)
+                                  .axis("locality", {0.9, 0.5, 0.1})
+                                  .axis("write_fraction", wf_axis)
+                                  .build()
+                                  .value();
+  exp::ConsoleTableSink measured_table;
+  exp::CsvSink measured_csv(cli.out_dir + "/ablation_dram_policy.csv");
+  exp::JsonlSink measured_jsonl(cli.out_dir + "/ablation_dram_policy.jsonl");
+  exp::Runner runner(exp::to_runner_options(cli));
+  runner.add_sink(&measured_table)
+      .add_sink(&measured_csv)
+      .add_sink(&measured_jsonl);
+  const auto measured_summary = runner.run(measured_exp, measured_sweep);
+
+  print_heading("Conformance — measured worst case vs analytic bound");
+  const auto writes = nc::TokenBucket::from_rate(Rate::gbps(4), 64, 8.0);
+  exp::Experiment conf_exp{
+      "ablation_dram_policy_conformance", [&writes](const exp::Params& p) {
+        const auto kind = dram::parse_policy(p.get_string("policy")).value();
+        const auto timings =
+            dram::device_by_name(p.get_string("device")).value();
+        const Time worst = conformance_max(kind, timings, writes);
+        exp::Result out(p.get_string("policy") + "/" + p.get_string("device"));
+        out.add("policy", p.get_string("policy"))
+            .add("device", p.get_string("device"))
+            .add("sim worst", worst);
+        if (dram::WcdAnalysis::analyzable(kind)) {
+          dram::WcdAnalysis analysis(timings,
+                                     dram::ControllerConfig{}
+                                         .n_cap(16)
+                                         .watermarks(55, 28)
+                                         .n_wd(16)
+                                         .banks(1)
+                                         .policy(kind),
+                                     writes);
+          const Time bound = analysis.upper_bound(13);
+          out.add("bound (N=13)", bound)
+              .add("within", worst <= bound ? "yes" : "VIOLATED");
+        } else {
+          out.add("bound (N=13)", "n/a").add("within", "n/a");
+        }
+        return out;
+      }};
+  const auto conf_sweep = exp::SweepBuilder{}
+                              .axis("policy", policy_axis)
+                              .axis("device", device_axis)
+                              .build()
+                              .value();
+  exp::ConsoleTableSink conf_table;
+  exp::CsvSink conf_csv(cli.out_dir + "/ablation_dram_policy_conformance.csv");
+  exp::Runner conf_runner(exp::to_runner_options(cli));
+  conf_runner.add_sink(&conf_table).add_sink(&conf_csv);
+  const auto conf_summary = conf_runner.run(conf_exp, conf_sweep);
+
+  bool all_within = true;
+  for (const auto& r : conf_summary.results()) {
+    const auto& verdict = r.at("within").as_string();
+    if (verdict == "VIOLATED") all_within = false;
+  }
+
+  std::printf("%s\n%s\n", measured_summary.timing_summary().c_str(),
+              conf_summary.timing_summary().c_str());
+  const bool pass = golden_ok && all_within;
+  std::printf(
+      "\nshape check (FR-FCFS bit-identical to the pre-policy controller, "
+      "every analyzable policy within its bound): %s\n",
+      pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}

@@ -6,7 +6,7 @@
 #include <cstdio>
 
 #include "common/table.hpp"
-#include "dram/frfcfs.hpp"
+#include "dram/controller.hpp"
 #include "dram/traffic.hpp"
 #include "dram/wcd.hpp"
 #include "sim/kernel.hpp"
@@ -15,12 +15,11 @@ using namespace pap;
 
 int main() {
   const auto timings = dram::ddr3_1600();
-  dram::ControllerParams ctrl;
-  ctrl.n_cap = 16;
-  ctrl.w_high = 55;
-  ctrl.w_low = 28;
-  ctrl.n_wd = 16;
-  ctrl.banks = 1;
+  const dram::ControllerConfig ctrl = dram::ControllerConfig{}
+                                          .n_cap(16)
+                                          .watermarks(55, 28)
+                                          .n_wd(16)
+                                          .banks(1);
 
   print_heading("Fig. 4 — FR-FCFS controller: simulation vs analysis");
   TextTable t({"write rate", "N (queue pos.)", "sim worst (ns)",
@@ -31,7 +30,7 @@ int main() {
     dram::WcdAnalysis analysis(timings, ctrl, writes);
     for (int n : {4, 8, 13}) {
       sim::Kernel kernel;
-      dram::FrFcfsController controller(kernel, timings, ctrl);
+      dram::Controller controller(kernel, timings, ctrl);
       dram::ShapedWriteSource hog(kernel, controller, writes, 0, 9);
       hog.start();
       LatencyHistogram lat;

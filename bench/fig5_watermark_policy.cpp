@@ -9,7 +9,7 @@
 #include <vector>
 
 #include "common/table.hpp"
-#include "dram/frfcfs.hpp"
+#include "dram/controller.hpp"
 #include "dram/traffic.hpp"
 #include "exp/runner.hpp"
 #include "sim/kernel.hpp"
@@ -28,12 +28,11 @@ struct SweepResult {
 SweepResult run(int w_high, int w_low, int n_wd, trace::Tracer* tracer) {
   sim::Kernel kernel;
   kernel.set_tracer(tracer);
-  dram::ControllerParams ctrl;
-  ctrl.w_high = w_high;
-  ctrl.w_low = w_low;
-  ctrl.n_wd = n_wd;
-  ctrl.banks = 1;
-  dram::FrFcfsController c(kernel, dram::ddr3_1600(), ctrl);
+  dram::Controller c(kernel, dram::ddr3_1600(),
+                     dram::ControllerConfig{}
+                         .watermarks(w_high, w_low)
+                         .n_wd(n_wd)
+                         .banks(1));
   // Mixed load: periodic reads + shaped writes at 5 Gbps.
   dram::PeriodicReadSource reads(kernel, c, Time::ns(400), 0, 1, 1);
   dram::ShapedWriteSource writes(
@@ -58,12 +57,9 @@ int main(int argc, char** argv) {
   print_heading("Fig. 5 — watermark policy: mode-switch trace");
   {
     sim::Kernel kernel;
-    dram::ControllerParams ctrl;
-    ctrl.w_high = 8;
-    ctrl.w_low = 4;
-    ctrl.n_wd = 4;
-    ctrl.banks = 1;
-    dram::FrFcfsController c(kernel, dram::ddr3_1600(), ctrl);
+    dram::Controller c(
+        kernel, dram::ddr3_1600(),
+        dram::ControllerConfig{}.watermarks(8, 4).n_wd(4).banks(1));
     std::vector<std::tuple<Time, dram::Mode, std::size_t>> trace;
     c.set_mode_trace([&](Time t, dram::Mode m, std::size_t wq) {
       trace.emplace_back(t, m, wq);

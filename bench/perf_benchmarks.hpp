@@ -71,12 +71,12 @@ inline nc::Curve many_segment_convex(int pieces) {
 constexpr int kCurvePieces = 48;
 
 inline dram::ControllerParams bench_controller() {
-  dram::ControllerParams c;
-  c.n_cap = 16;
-  c.w_high = 55;
-  c.w_low = 28;
-  c.n_wd = 16;
-  return c;
+  return dram::ControllerConfig{}
+      .n_cap(16)
+      .watermarks(55, 28)
+      .n_wd(16)
+      .build()
+      .value();
 }
 
 // ---------------------------------------------------------------------------

@@ -25,7 +25,7 @@
 #include <vector>
 
 #include "common/stats.hpp"
-#include "dram/frfcfs.hpp"
+#include "dram/controller.hpp"
 #include "dram/timing.hpp"
 #include "dram/wcd.hpp"
 #include "serve/protocol.hpp"
@@ -112,12 +112,13 @@ BenchRow bench_wcd_byte_identity() {
   AnalysisService service(config);
 
   // The Table II configuration (bench/table2_wcd_bounds.cpp).
-  pap::dram::ControllerParams ctrl;
-  ctrl.n_cap = 16;
-  ctrl.w_high = 55;
-  ctrl.w_low = 28;
-  ctrl.n_wd = 16;
-  ctrl.banks = 1;
+  const pap::dram::ControllerParams ctrl = pap::dram::ControllerConfig{}
+                                               .n_cap(16)
+                                               .watermarks(55, 28)
+                                               .n_wd(16)
+                                               .banks(1)
+                                               .build()
+                                               .value();
   constexpr int kN = 13;
   const auto timings = pap::dram::ddr3_1600();
 

@@ -35,12 +35,13 @@ constexpr PaperRow kPaper[] = {
 int main(int argc, char** argv) {
   const auto cli = exp::parse_cli(argc, argv);
   const auto timings = dram::ddr3_1600();
-  dram::ControllerParams ctrl;
-  ctrl.n_cap = 16;
-  ctrl.w_high = 55;
-  ctrl.w_low = 28;
-  ctrl.n_wd = 16;
-  ctrl.banks = 1;
+  const dram::ControllerParams ctrl = dram::ControllerConfig{}
+                                          .n_cap(16)
+                                          .watermarks(55, 28)
+                                          .n_wd(16)
+                                          .banks(1)
+                                          .build()
+                                          .value();
   const int kN = 13;
 
   print_heading(

@@ -12,7 +12,7 @@
 #include "common/table.hpp"
 #include "core/configurator.hpp"
 #include "core/profiling.hpp"
-#include "dram/frfcfs.hpp"
+#include "dram/controller.hpp"
 #include "dram/traffic.hpp"
 #include "sim/kernel.hpp"
 
@@ -23,8 +23,8 @@ namespace {
 /// Profile a workload's DRAM request stream in an unconstrained run.
 core::TraceProfiler profile_workload(double locality, std::uint64_t seed) {
   sim::Kernel kernel;
-  dram::FrFcfsController controller(kernel, dram::ddr3_1600(),
-                                    dram::ControllerParams{});
+  dram::Controller controller(kernel, dram::ddr3_1600(),
+                              dram::ControllerConfig{});
   dram::RandomAccessSource::Config cfg;
   cfg.mean_inter_arrival = Time::ns(400);
   cfg.locality = locality;

@@ -7,7 +7,7 @@
 // delay bound, and (3) confirm with the event-driven controller simulator.
 #include <cstdio>
 
-#include "dram/frfcfs.hpp"
+#include "dram/controller.hpp"
 #include "dram/timing.hpp"
 #include "dram/traffic.hpp"
 #include "dram/wcd.hpp"
@@ -19,8 +19,9 @@ using namespace pap;
 int main() {
   // --- 1. Describe the platform and the interference contract. ----------
   const dram::Timings timings = dram::ddr3_1600();  // Table I
-  dram::ControllerParams ctrl;  // W_high=55, N_wd=16, N_cap=16 defaults
-  ctrl.banks = 1;               // worst case: everything on one bank
+  // W_high=55, N_wd=16, N_cap=16 defaults; banks=1 is the worst case
+  // (everything on one bank). build() validates the combination.
+  const dram::ControllerConfig ctrl = dram::ControllerConfig{}.banks(1);
   const auto writes =
       nc::TokenBucket::from_rate(Rate::gbps(5), kCacheLineBytes, 8.0);
 
@@ -40,7 +41,7 @@ int main() {
 
   // --- 3. Cross-check with the FR-FCFS controller simulator. ------------
   sim::Kernel kernel;
-  dram::FrFcfsController controller(kernel, timings, ctrl);
+  dram::Controller controller(kernel, timings, ctrl);
   dram::ShapedWriteSource write_hog(kernel, controller, writes, 0, 1);
   LatencyHistogram observed;
   controller.set_completion_handler([&](const dram::Request& r, Time done) {

@@ -37,12 +37,11 @@ int main(int argc, char** argv) {
     for (int n_wd : {8, 16, 32}) {
       for (int w_high : {32, 55, 96}) {
         if (w_high < n_wd) continue;
-        dram::ControllerParams ctrl;
-        ctrl.n_cap = n_cap;
-        ctrl.n_wd = n_wd;
-        ctrl.w_high = w_high;
-        ctrl.w_low = w_high / 2;
-        ctrl.banks = 1;
+        const dram::ControllerConfig ctrl = dram::ControllerConfig{}
+                                                .n_cap(n_cap)
+                                                .n_wd(n_wd)
+                                                .watermarks(w_high, w_high / 2)
+                                                .banks(1);
         dram::WcdAnalysis analysis(timings, ctrl, writes);
         const auto b = analysis.bounds(kN);
         ++total;

@@ -26,7 +26,7 @@
 #include <vector>
 
 #include "core/qos_spec.hpp"
-#include "dram/frfcfs.hpp"
+#include "dram/controller.hpp"
 #include "dram/timing.hpp"
 #include "dram/wcd.hpp"
 #include "nc/bounds.hpp"
@@ -38,7 +38,7 @@ namespace pap::core {
 struct PlatformModel {
   noc::NocConfig noc;
   dram::Timings dram = dram::ddr3_1600();
-  dram::ControllerParams dram_ctrl;
+  dram::ControllerConfig dram_ctrl;
   /// Aggregate write traffic at the controller assumed by the WCD analysis
   /// (requests; the admission controller adds admitted apps' writes).
   nc::TokenBucket background_writes{8.0, 0.0};

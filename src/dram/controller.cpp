@@ -1,4 +1,4 @@
-#include "dram/frfcfs.hpp"
+#include "dram/controller.hpp"
 
 #include <algorithm>
 
@@ -7,11 +7,51 @@
 
 namespace pap::dram {
 
-FrFcfsController::FrFcfsController(sim::Kernel& kernel, const Timings& timings,
-                                   const ControllerParams& params)
+Expected<ControllerParams> ControllerConfig::build() const {
+  using E = Expected<ControllerParams>;
+  if (p_.banks <= 0) {
+    return E::error("banks must be >= 1 (got " + std::to_string(p_.banks) +
+                    ")");
+  }
+  if (p_.n_cap < 0) {
+    return E::error("hit promotion cap n_cap must be >= 0 (got " +
+                    std::to_string(p_.n_cap) + ")");
+  }
+  if (p_.n_wd <= 0) {
+    return E::error("write batch size n_wd must be >= 1 (got " +
+                    std::to_string(p_.n_wd) + ")");
+  }
+  if (p_.w_low < 0) {
+    return E::error("write watermark w_low must be >= 0 (got " +
+                    std::to_string(p_.w_low) + ")");
+  }
+  if (p_.w_high < p_.w_low) {
+    return E::error("write watermarks must satisfy w_high >= w_low (got " +
+                    std::to_string(p_.w_high) + " < " +
+                    std::to_string(p_.w_low) + ")");
+  }
+  if (p_.age_cap <= Time::zero()) {
+    return E::error("starvation age_cap must be positive");
+  }
+  return p_;
+}
+
+namespace {
+
+ControllerParams checked_params(const Expected<ControllerParams>& built) {
+  PAP_CHECK_MSG(built.has_value(),
+                built.has_value() ? "" : built.error_message().c_str());
+  return built.value();
+}
+
+}  // namespace
+
+Controller::Controller(sim::Kernel& kernel, const Timings& timings,
+                       const ControllerConfig& config)
     : kernel_(kernel),
       timings_(timings),
-      params_(params),
+      params_(checked_params(config.build())),
+      policy_(make_policy(params_.policy)),
       refresh_timer_(kernel, kernel.now() + timings.tREFI, timings.tREFI,
                      [this] {
                        refresh_due_ = true;
@@ -22,11 +62,16 @@ FrFcfsController::FrFcfsController(sim::Kernel& kernel, const Timings& timings,
   banks_.assign(static_cast<std::size_t>(params_.banks), Bank{timings_});
 }
 
-void FrFcfsController::submit(Request request) {
+Controller::Controller(sim::Kernel& kernel, const Timings& timings,
+                       const ControllerParams& params)
+    : Controller(kernel, timings, ControllerConfig(params)) {}
+
+void Controller::submit(Request request) {
   PAP_CHECK(request.bank < static_cast<std::uint32_t>(params_.banks));
   request.arrival = kernel_.now();
   if (request.op == Op::kRead) {
     read_q_.push_back(request);
+    max_read_depth_ = std::max(max_read_depth_, read_q_.size());
     counters_.inc("reads_submitted");
   } else {
     write_q_.push_back(request);
@@ -39,7 +84,7 @@ void FrFcfsController::submit(Request request) {
   kick();
 }
 
-void FrFcfsController::inject_stall(Time until) {
+void Controller::inject_stall(Time until) {
   ready_at_ = std::max(ready_at_, until);
   last_was_hit_ = false;  // the stall breaks any data-bus pipeline
   counters_.inc("injected_stalls");
@@ -49,30 +94,15 @@ void FrFcfsController::inject_stall(Time until) {
   }
 }
 
-void FrFcfsController::kick() {
+void Controller::kick() {
   if (busy_) return;
   busy_ = true;
   kernel_.schedule_at(std::max(kernel_.now(), ready_at_),
                       [this] { dispatch(); });
 }
 
-bool FrFcfsController::should_switch_to_writes() const {
-  // Fig. 5: in read mode, go to writes when the read queue is empty and at
-  // least W_low writes wait, or unconditionally at W_high. The
-  // one-read-per-batch guard prevents the degenerate instant re-switch that
-  // would starve reads outright (the worst-case pattern of Sec. IV-A is
-  // "one read miss followed by a batch of N_wd writes").
-  if (write_q_.empty()) return false;
-  if (read_q_.empty() &&
-      write_q_.size() >= static_cast<std::size_t>(params_.w_low)) {
-    return true;
-  }
-  if (must_serve_read_ && !read_q_.empty()) return false;
-  return write_q_.size() >= static_cast<std::size_t>(params_.w_high);
-}
-
-void FrFcfsController::set_master_priority(std::uint32_t master,
-                                           std::uint8_t priority) {
+void Controller::set_master_priority(std::uint32_t master,
+                                     std::uint8_t priority) {
   for (auto& [m, p] : master_priorities_) {
     if (m == master) {
       p = priority;
@@ -82,44 +112,19 @@ void FrFcfsController::set_master_priority(std::uint32_t master,
   master_priorities_.emplace_back(master, priority);
 }
 
-std::uint8_t FrFcfsController::master_priority(std::uint32_t master) const {
+std::uint8_t Controller::master_priority(std::uint32_t master) const {
   for (const auto& [m, p] : master_priorities_) {
     if (m == master) return p;
   }
   return 255;
 }
 
-int FrFcfsController::pick_read() {
-  if (read_q_.empty()) return -1;
-  // MPAM priority partitioning: restrict the candidate set to the highest-
-  // priority master class present in the queue.
-  std::uint8_t best_prio = 255;
-  for (const auto& r : read_q_) {
-    best_prio = std::min(best_prio, master_priority(r.master));
-  }
-  auto eligible = [&](const Request& r) {
-    return master_priority(r.master) == best_prio;
-  };
-  // Closed-page policy: rows never stay open, so there is nothing to
-  // promote; FCFS within the class.
-  if (params_.page_policy == PagePolicy::kOpenRow &&
-      hit_streak_ < params_.n_cap) {
-    // FR-FCFS: the oldest eligible row hit is promoted over older misses,
-    // but only for up to N_cap consecutive promotions.
-    for (std::size_t i = 0; i < read_q_.size(); ++i) {
-      const Request& r = read_q_[i];
-      if (eligible(r) && banks_[r.bank].is_hit(r.row)) {
-        return static_cast<int>(i);
-      }
-    }
-  }
-  for (std::size_t i = 0; i < read_q_.size(); ++i) {
-    if (eligible(read_q_[i])) return static_cast<int>(i);  // class FCFS head
-  }
-  return 0;  // unreachable: best_prio comes from the queue
+bool Controller::row_open_hit(const Request& r) const {
+  return params_.page_policy == PagePolicy::kOpenRow &&
+         !policy_->auto_precharge() && banks_[r.bank].is_hit(r.row);
 }
 
-void FrFcfsController::switch_mode(Mode m, Time turnaround) {
+void Controller::switch_mode(Mode m, Time turnaround) {
   mode_ = m;
   ready_at_ = std::max(ready_at_, kernel_.now()) + turnaround;
   last_was_hit_ = false;  // turnaround breaks any data-bus pipeline
@@ -140,7 +145,7 @@ void FrFcfsController::switch_mode(Mode m, Time turnaround) {
   if (on_mode_) on_mode_(kernel_.now(), m, write_q_.size());
 }
 
-void FrFcfsController::do_refresh() {
+void Controller::do_refresh() {
   refresh_due_ = false;
   counters_.inc("refreshes");
   Time done = std::max(kernel_.now(), ready_at_);
@@ -158,7 +163,7 @@ void FrFcfsController::do_refresh() {
   kernel_.schedule_at(done, [this] { dispatch(); });
 }
 
-void FrFcfsController::dispatch() {
+void Controller::dispatch() {
   // Invariant: busy_ == true; we either schedule a follow-up dispatch or
   // set busy_ = false before returning.
   if (refresh_due_) {
@@ -170,20 +175,23 @@ void FrFcfsController::dispatch() {
   }
 
   if (mode_ == Mode::kRead) {
-    if (should_switch_to_writes()) {
-      switch_mode(Mode::kWrite, timings_.switch_read_to_write());
+    if (policy_->switch_to_writes(*this)) {
+      switch_mode(Mode::kWrite, timings_.switch_read_to_write() +
+                                    policy_->turnaround_penalty(timings_));
       kernel_.schedule_at(ready_at_, [this] { dispatch(); });
       return;
     }
-    const int idx = pick_read();
+    const int idx = policy_->pick_read(*this);
     if (idx < 0) {
       busy_ = false;  // idle; next submit() or refresh kicks us
       return;
     }
     Request r = read_q_[static_cast<std::size_t>(idx)];
-    const bool hit = params_.page_policy == PagePolicy::kOpenRow &&
-                     banks_[r.bank].is_hit(r.row);
+    const bool hit = row_open_hit(r);
     if (hit) {
+      // A hit served from a non-head position was promoted over an older
+      // request (under FCFS-ordered policies the pick is always the class
+      // head, so this never fires).
       if (idx != 0) counters_.inc("read_hit_promotions");
       ++hit_streak_;
     } else {
@@ -196,36 +204,21 @@ void FrFcfsController::dispatch() {
   }
 
   // Write mode.
-  const bool batch_done = writes_in_batch_ >= params_.n_wd;
-  const bool drained =
-      read_q_.empty() &&
-      write_q_.size() <
-          static_cast<std::size_t>(std::max(params_.w_low - params_.n_wd, 0));
-  if ((batch_done && !read_q_.empty()) || write_q_.empty() || drained) {
-    switch_mode(Mode::kRead, timings_.switch_write_to_read());
+  if (policy_->write_batch_done(*this)) {
+    switch_mode(Mode::kRead, timings_.switch_write_to_read() +
+                                 policy_->turnaround_penalty(timings_));
     kernel_.schedule_at(ready_at_, [this] { dispatch(); });
     return;
   }
-  // Oldest row hit first (no cap on the write side: writes are not
-  // latency-critical, Sec. IV-A), else FCFS.
-  std::size_t idx = 0;
-  if (params_.page_policy == PagePolicy::kOpenRow) {
-    for (std::size_t i = 0; i < write_q_.size(); ++i) {
-      if (banks_[write_q_[i].bank].is_hit(write_q_[i].row)) {
-        idx = i;
-        break;
-      }
-    }
-  }
+  const std::size_t idx = policy_->pick_write(*this);
   Request w = write_q_[idx];
-  const bool hit = params_.page_policy == PagePolicy::kOpenRow &&
-                   banks_[w.bank].is_hit(w.row);
-  write_q_.erase(write_q_.begin() + idx);
+  const bool hit = row_open_hit(w);
+  write_q_.erase(write_q_.begin() + static_cast<std::ptrdiff_t>(idx));
   ++writes_in_batch_;
   serve(w, hit);
 }
 
-void FrFcfsController::serve(Request r, bool is_hit) {
+void Controller::serve(Request r, bool is_hit) {
   const Time now = std::max(kernel_.now(), ready_at_);
   Time completion;
   if (is_hit) {
@@ -241,7 +234,8 @@ void FrFcfsController::serve(Request r, bool is_hit) {
   } else {
     completion = banks_[r.bank].access(
         now, r.row, r.op == Op::kWrite,
-        params_.page_policy == PagePolicy::kClosedPage);
+        params_.page_policy == PagePolicy::kClosedPage ||
+            policy_->auto_precharge());
     counters_.inc(r.op == Op::kRead ? "read_misses" : "write_misses");
   }
   last_was_hit_ = is_hit;

@@ -1,145 +1,7 @@
-// First-Ready First-Come-First-Served DRAM controller simulator (Sec. IV-A,
-// Fig. 4) with the watermark-based read/write switching policy of Fig. 5.
-//
-// Mechanisms modelled, following the paper:
-//  * separate read and write queues;
-//  * row hits promoted to the front of the read queue, capped at N_cap
-//    consecutive promotions to avoid starving misses;
-//  * write batching: switch to writes when (read queue empty and
-//    write queue >= W_low) or write queue >= W_high; switch back after
-//    N_wd writes when reads are pending (or when the write queue falls
-//    below max(W_low - N_wd, 0) with no reads waiting);
-//  * bus turnaround overheads tRTW / tWTR on every switch;
-//  * periodic refresh every tREFI costing tRFC, executed at the first
-//    request boundary after the timer expires.
-//
-// The simulator serves one request at a time (no bank-level parallelism)
-// except that consecutive row hits to the same open row pipeline their data
-// bursts at tBurst spacing — exactly the cost model the worst-case analysis
-// in wcd.hpp uses, so `simulated latency <= analytic upper bound` is a
-// meaningful cross-check (tested in tests/dram_wcd_test.cpp).
+// Forwarding header: the FR-FCFS controller was redesigned around a
+// pluggable arbitration policy and renamed to dram::Controller
+// (controller.hpp); FR-FCFS is now its default SchedulerPolicy
+// (policy.hpp). `FrFcfsController` remains as a deprecated alias.
 #pragma once
 
-#include <deque>
-#include <functional>
-#include <vector>
-
-#include "common/stats.hpp"
-#include "dram/bank.hpp"
-#include "dram/request.hpp"
-#include "dram/timing.hpp"
-#include "sim/kernel.hpp"
-
-namespace pap::dram {
-
-/// Row-buffer management policy.
-///
-/// "Commercial off-the-shelf memory controllers are optimized for the
-/// average-case performance and for this they rely on the open-row policy"
-/// (Sec. V). The closed-page policy is the classic predictable baseline:
-/// every access pays the same ACT + CAS + PRE cycle (auto-precharge), so
-/// there are no row hits to promote and no hit-block term in the WCD — a
-/// lower worst case bought with a worse average.
-enum class PagePolicy : std::uint8_t { kOpenRow, kClosedPage };
-
-struct ControllerParams {
-  int n_cap = 16;   ///< max consecutive row-hit promotions
-  int w_high = 55;  ///< write-queue high watermark (switch to writes)
-  int w_low = 28;   ///< write-queue low watermark (serve writes when idle)
-  int n_wd = 16;    ///< write batch length
-  int banks = 8;
-  PagePolicy page_policy = PagePolicy::kOpenRow;
-
-  bool valid() const {
-    return n_cap >= 0 && n_wd > 0 && w_high >= w_low && w_low >= 0 &&
-           banks > 0;
-  }
-};
-
-enum class Mode { kRead, kWrite, kRefresh };
-
-class FrFcfsController {
- public:
-  FrFcfsController(sim::Kernel& kernel, const Timings& timings,
-                   const ControllerParams& params);
-
-  /// Enqueue a request at the current simulation time.
-  void submit(Request request);
-
-  /// MPAM priority partitioning at the memory controller (Sec. III-B-4:
-  /// "Priority partitioning provides a way for resources to expose
-  /// partition-based configuration of internal arbitration policies").
-  /// Read scheduling first selects the highest-priority master class
-  /// present in the queue, then applies FR-FCFS within that class. Lower
-  /// value = more important; unset masters default to the lowest (255).
-  void set_master_priority(std::uint32_t master, std::uint8_t priority);
-  std::uint8_t master_priority(std::uint32_t master) const;
-
-  /// Fault injection: freeze command issue until `until` — a transient
-  /// stall window (thermal throttle, RAS scrub, rank power event). Requests
-  /// keep arriving and queue normally; the in-flight command completes, then
-  /// the engine stays idle until the window closes. Counted under
-  /// "injected_stalls" (fault::Injector's dram-stall handler binds here).
-  void inject_stall(Time until);
-
-  /// Called with every completed request and its completion time.
-  void set_completion_handler(CompletionFn fn) { on_complete_ = std::move(fn); }
-
-  /// Called on every read<->write/refresh mode change (for Fig. 5 traces).
-  using ModeTraceFn =
-      std::function<void(Time when, Mode mode, std::size_t write_queue_depth)>;
-  void set_mode_trace(ModeTraceFn fn) { on_mode_ = std::move(fn); }
-
-  std::size_t read_queue_depth() const { return read_q_.size(); }
-  std::size_t write_queue_depth() const { return write_q_.size(); }
-  Mode mode() const { return mode_; }
-
-  const Counters& counters() const { return counters_; }
-  const LatencyHistogram& read_latency() const { return read_latency_; }
-  const LatencyHistogram& write_latency() const { return write_latency_; }
-
-  const Timings& timings() const { return timings_; }
-  const ControllerParams& params() const { return params_; }
-
- private:
-  void kick();           ///< schedule a dispatch if the engine is idle
-  void dispatch();       ///< pick and serve the next command
-  void serve(Request r, bool is_hit);
-  void do_refresh();
-  void switch_mode(Mode m, Time turnaround);
-  bool should_switch_to_writes() const;
-  /// Index into read_q_ of the request to serve next under FR-FCFS rules,
-  /// or -1 when the queue is empty.
-  int pick_read() ;
-
-  sim::Kernel& kernel_;
-  Timings timings_;
-  ControllerParams params_;
-
-  std::vector<Bank> banks_;
-  std::deque<Request> read_q_;
-  std::deque<Request> write_q_;
-
-  Mode mode_ = Mode::kRead;
-  bool busy_ = false;
-  bool refresh_due_ = false;
-  bool must_serve_read_ = false;  ///< anti-starvation: one read per batch
-  int hit_streak_ = 0;       ///< consecutive promoted hits (vs FCFS order)
-  int writes_in_batch_ = 0;
-  Time ready_at_;            ///< engine free from this instant
-  Time last_data_end_;       ///< data-bus occupancy for hit pipelining
-  bool last_was_hit_ = false;
-  std::uint32_t last_bank_ = 0;
-  std::uint32_t last_row_ = 0;
-
-  sim::PeriodicEvent refresh_timer_;
-  std::vector<std::pair<std::uint32_t, std::uint8_t>> master_priorities_;
-
-  CompletionFn on_complete_;
-  ModeTraceFn on_mode_;
-  Counters counters_;
-  LatencyHistogram read_latency_;
-  LatencyHistogram write_latency_;
-};
-
-}  // namespace pap::dram
+#include "dram/controller.hpp"  // IWYU pragma: export

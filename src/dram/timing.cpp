@@ -85,4 +85,23 @@ Timings lpddr4_3200() {
   return t;
 }
 
+const std::vector<std::string>& device_names() {
+  static const std::vector<std::string> kNames{"ddr3_1600", "ddr4_2400",
+                                              "lpddr4_3200"};
+  return kNames;
+}
+
+Expected<Timings> device_by_name(const std::string& name) {
+  if (name == "ddr3_1600") return ddr3_1600();
+  if (name == "ddr4_2400") return ddr4_2400();
+  if (name == "lpddr4_3200") return lpddr4_3200();
+  std::string valid;
+  for (const std::string& n : device_names()) {
+    if (!valid.empty()) valid += ", ";
+    valid += n;
+  }
+  return Expected<Timings>::error("unknown DRAM device '" + name +
+                                  "' (valid: " + valid + ")");
+}
+
 }  // namespace pap::dram

@@ -8,7 +8,9 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
+#include "common/status.hpp"
 #include "common/time.hpp"
 
 namespace pap::dram {
@@ -75,5 +77,14 @@ Timings ddr3_1600();
 /// Additional presets demonstrating the "any technology" claim.
 Timings ddr4_2400();
 Timings lpddr4_3200();
+
+/// Preset names accepted by `device_by_name`, in sweep/report order:
+/// "ddr3_1600", "ddr4_2400", "lpddr4_3200".
+const std::vector<std::string>& device_names();
+
+/// Strict preset lookup for configuration paths (scenario knobs, papd's
+/// `dram.device` parameter, the policy ablation); the error lists the
+/// valid names.
+Expected<Timings> device_by_name(const std::string& name);
 
 }  // namespace pap::dram

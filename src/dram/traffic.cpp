@@ -5,7 +5,7 @@
 namespace pap::dram {
 
 ShapedWriteSource::ShapedWriteSource(sim::Kernel& kernel,
-                                     FrFcfsController& controller,
+                                     Controller& controller,
                                      nc::TokenBucket bucket,
                                      std::uint32_t bank,
                                      std::uint32_t master_id)
@@ -40,7 +40,7 @@ void ShapedWriteSource::emit_next() {
 }
 
 PeriodicReadSource::PeriodicReadSource(sim::Kernel& kernel,
-                                       FrFcfsController& controller,
+                                       Controller& controller,
                                        Time period, std::uint32_t bank,
                                        std::uint32_t row_stride,
                                        std::uint32_t master_id)
@@ -72,7 +72,7 @@ void PeriodicReadSource::emit() {
 }
 
 RandomAccessSource::RandomAccessSource(sim::Kernel& kernel,
-                                       FrFcfsController& controller,
+                                       Controller& controller,
                                        Config config)
     : kernel_(kernel),
       controller_(controller),

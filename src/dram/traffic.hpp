@@ -12,7 +12,7 @@
 #include "common/rng.hpp"
 #include "common/time.hpp"
 #include "common/units.hpp"
-#include "dram/frfcfs.hpp"
+#include "dram/controller.hpp"
 #include "nc/arrival.hpp"
 #include "sim/kernel.hpp"
 
@@ -23,7 +23,7 @@ namespace pap::dram {
 /// row miss) — the adversary of Sec. IV-A.
 class ShapedWriteSource {
  public:
-  ShapedWriteSource(sim::Kernel& kernel, FrFcfsController& controller,
+  ShapedWriteSource(sim::Kernel& kernel, Controller& controller,
                     nc::TokenBucket bucket, std::uint32_t bank,
                     std::uint32_t master_id);
 
@@ -34,7 +34,7 @@ class ShapedWriteSource {
  private:
   void emit_next();
   sim::Kernel& kernel_;
-  FrFcfsController& controller_;
+  Controller& controller_;
   nc::TokenBucketShaper shaper_;
   std::uint32_t bank_;
   std::uint32_t master_;
@@ -47,7 +47,7 @@ class ShapedWriteSource {
 /// hitting the same row (row hits once open); != 0 rotates rows (misses).
 class PeriodicReadSource {
  public:
-  PeriodicReadSource(sim::Kernel& kernel, FrFcfsController& controller,
+  PeriodicReadSource(sim::Kernel& kernel, Controller& controller,
                      Time period, std::uint32_t bank, std::uint32_t row_stride,
                      std::uint32_t master_id);
 
@@ -58,7 +58,7 @@ class PeriodicReadSource {
  private:
   void emit();
   sim::Kernel& kernel_;
-  FrFcfsController& controller_;
+  Controller& controller_;
   Time period_;
   std::uint32_t bank_;
   std::uint32_t row_stride_;
@@ -82,7 +82,7 @@ class RandomAccessSource {
     std::uint64_t seed = 1;
   };
 
-  RandomAccessSource(sim::Kernel& kernel, FrFcfsController& controller,
+  RandomAccessSource(sim::Kernel& kernel, Controller& controller,
                      Config config);
 
   void start();
@@ -92,7 +92,7 @@ class RandomAccessSource {
  private:
   void emit_next();
   sim::Kernel& kernel_;
-  FrFcfsController& controller_;
+  Controller& controller_;
   Config cfg_;
   Rng rng_;
   std::uint32_t cur_bank_ = 0;

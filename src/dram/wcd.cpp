@@ -23,8 +23,17 @@ WcdAnalysis::WcdAnalysis(const Timings& timings,
   PAP_CHECK_MSG(c_.n_wd > 0, "write batch size n_wd must be >= 1");
   PAP_CHECK_MSG(c_.n_cap >= 0, "hit promotion cap n_cap must be >= 0");
   PAP_CHECK_MSG(c_.valid(), "invalid controller parameters");
+  PAP_CHECK_MSG(analyzable(c_.policy),
+                ("no analytic WCD bound for policy '" + to_string(c_.policy) +
+                 "'")
+                    .c_str());
   PAP_CHECK(writes_.burst >= 0.0 && writes_.rate >= 0.0);
 }
+
+WcdAnalysis::WcdAnalysis(const Timings& timings,
+                         const ControllerConfig& controller,
+                         const nc::TokenBucket& write_traffic)
+    : WcdAnalysis(timings, controller.params(), write_traffic) {}
 
 Time WcdAnalysis::miss_service_time(int n) const {
   PAP_CHECK(n >= 1);
@@ -34,14 +43,26 @@ Time WcdAnalysis::miss_service_time(int n) const {
 
 Time WcdAnalysis::hit_block_time() const {
   // Closed-page controllers never produce row hits, so no promoted-hit
-  // block can delay the tagged miss: the WCD loses its O(N_cap) term.
+  // block can delay the tagged miss: the WCD loses its O(N_cap) term. The
+  // same holds for the kClosePage scheduler policy (auto-precharge) and for
+  // kFcfs, which keeps rows open but never serves a hit ahead of an older
+  // miss.
   if (c_.page_policy == PagePolicy::kClosedPage) return Time::zero();
+  if (c_.policy == PolicyKind::kFcfs || c_.policy == PolicyKind::kClosePage) {
+    return Time::zero();
+  }
   if (c_.n_cap == 0) return Time::zero();
   // N_cap promoted hits back-to-back: first pays the CAS latency, the rest
   // stream at tBurst ("the time that it takes to serve a batch of hits is
   // convex with their number, hence scheduling them back-to-back generates
   // the largest delay").
-  return t_.tCL + t_.tBurst * c_.n_cap;
+  const Time full = t_.tCL + t_.tBurst * c_.n_cap;
+  if (c_.policy == PolicyKind::kStarvationGuard) {
+    // Promotion only happens while the tagged miss is younger than the age
+    // cap; one more in-flight hit can still complete after it crosses it.
+    return std::min(full, c_.age_cap + t_.tCL + t_.tBurst);
+  }
+  return full;
 }
 
 Time WcdAnalysis::write_batch_time() const {

@@ -40,7 +40,7 @@
 #include <vector>
 
 #include "common/time.hpp"
-#include "dram/frfcfs.hpp"
+#include "dram/controller.hpp"
 #include "dram/timing.hpp"
 #include "nc/arrival.hpp"
 #include "nc/curve.hpp"
@@ -59,8 +59,19 @@ class WcdAnalysis {
  public:
   /// `write_traffic` is in requests: burst in requests, rate in requests/ns
   /// (use nc::TokenBucket::from_rate to build it from a line rate).
+  /// Aborts when `controller.policy` has no analytic bound — gate on
+  /// `analyzable()` first.
   WcdAnalysis(const Timings& timings, const ControllerParams& controller,
               const nc::TokenBucket& write_traffic);
+
+  /// Validated-builder convenience overload.
+  WcdAnalysis(const Timings& timings, const ControllerConfig& controller,
+              const nc::TokenBucket& write_traffic);
+
+  /// Which arbitration policies this analysis can bound: everything except
+  /// kWriteDrain, whose drain length is not limited by N_wd (the fixpoint's
+  /// write-batch term assumes batches of exactly N_wd writes).
+  static bool analyzable(PolicyKind kind) { return policy_analyzable(kind); }
 
   /// Bounds on the WCD of a read miss entering the read queue at (1-based)
   /// position `n` — i.e. n misses, the tagged one last, must be served.
@@ -97,7 +108,12 @@ class WcdAnalysis {
 
   // --- exposed building blocks (tested individually) ---
   Time miss_service_time(int n) const;   ///< step 1
-  Time hit_block_time() const;           ///< step 2
+  /// Step 2, per arbitration policy: FR-FCFS pays the full promoted-hit
+  /// block tCL + N_cap * tBurst; the starvation guard caps it at
+  /// age_cap + tCL + tBurst (promotion stops once the tagged miss is older
+  /// than the cap, plus one in-flight hit); FCFS and close-page never
+  /// promote, so the term vanishes.
+  Time hit_block_time() const;
   Time write_batch_time() const;         ///< one batch incl. turnarounds
   std::int64_t write_batches_within(Time window) const;  ///< step 3 count
   std::int64_t refreshes_within(Time window) const;      ///< step 4 count

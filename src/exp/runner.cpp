@@ -163,6 +163,7 @@ std::string cli_usage(const std::string& prog) {
          "                               'seed=7,drop=stop:0.1,crash@1ms=app2'"
          "\n"
          "                               (see docs/fault_injection.md)\n"
+         "  --smoke                      reduced sweep for CI smoke runs\n"
          "  --help                       show this message and exit\n";
 }
 
@@ -204,6 +205,8 @@ Expected<CliOptions> parse_cli_args(int argc, const char* const* argv) {
       }
     } else if (a == "--cache") {
       cli.cache = true;
+    } else if (a == "--smoke") {
+      cli.smoke = true;
     } else if (a.rfind("--out=", 0) == 0) {
       if (a.size() == 6) return cli_error("--out requires a directory");
       cli.out_dir = a.substr(6);

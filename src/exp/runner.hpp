@@ -121,6 +121,8 @@ class Runner {
 ///   --faults PLAN                fault-injection plan (strictly validated
 ///                                with fault::FaultPlan::parse; a bad plan
 ///                                exits 64)
+///   --smoke                      reduced sweep for CI (each bench decides
+///                                what to cut; results stay deterministic)
 ///   --help                       print usage and exit
 struct CliOptions {
   int jobs = 0;
@@ -129,6 +131,7 @@ struct CliOptions {
   bool trace = false;
   std::string trace_dir;  ///< empty with trace=true means <out>/traces
   std::string faults;     ///< validated fault-plan text; empty = none
+  bool smoke = false;     ///< benches shrink their sweep, not their checks
   bool help = false;
 };
 

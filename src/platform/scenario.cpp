@@ -41,6 +41,9 @@ Status ScenarioConfig::validate() const {
   if (k.rt_working_set < kCacheLineBytes) {
     return Status::error("rt_working_set must cover at least one cache line");
   }
+  if (const auto dev = dram::device_by_name(k.dram_device); !dev) {
+    return Status::error(dev.error_message());
+  }
   for (const auto& spec : k.fault_plan.specs()) {
     if (spec.kind != fault::FaultKind::kDramStall) {
       return Status::error("fault plan: '" + fault::to_string(spec.kind) +
@@ -71,6 +74,8 @@ ScenarioResult run_impl(const ScenarioKnobs& knobs, std::string label) {
   SocConfig cfg;
   cfg.clusters = 1;
   cfg.cores_per_cluster = 1 + knobs.hogs;
+  cfg.dram = dram::device_by_name(knobs.dram_device).value();  // validated
+  cfg.dram_ctrl.policy(knobs.dram_policy);
   Soc soc(kernel, cfg);
 
   constexpr cache::SchemeId kRtScheme = 1;

@@ -46,6 +46,10 @@ struct ScenarioKnobs {
   int rt_reads_per_batch = 32;      ///< RT duty cycle knobs
   Time rt_period = Time::us(10);
   std::uint64_t rt_working_set = 64 * 1024;  ///< > L3 makes RT DRAM-bound
+  /// DRAM arbitration policy of the scenario's memory controller.
+  dram::PolicyKind dram_policy = dram::PolicyKind::kFrFcfs;
+  /// DRAM timing preset by name (dram::device_by_name; validated).
+  std::string dram_device = "ddr3_1600";
   /// Observability hook (not owned): attached to the scenario's kernel so
   /// all instrumented mechanisms emit, plus scenario phase spans. Tracing
   /// never changes simulation results (asserted in tests/trace_test.cpp).
@@ -91,6 +95,12 @@ class ScenarioConfig {
   }
   ScenarioConfig& rt_working_set(std::uint64_t bytes) {
     return (knobs_.rt_working_set = bytes, *this);
+  }
+  ScenarioConfig& dram_policy(dram::PolicyKind kind) {
+    return (knobs_.dram_policy = kind, *this);
+  }
+  ScenarioConfig& dram_device(std::string name) {
+    return (knobs_.dram_device = std::move(name), *this);
   }
   ScenarioConfig& tracer(trace::Tracer* t) {
     return (knobs_.tracer = t, *this);

@@ -20,7 +20,7 @@ Soc::Soc(sim::Kernel& kernel, const SocConfig& config)
     clusters_.push_back(
         std::make_unique<cache::DsuCluster>(cfg_.l3_sets, cfg_.l3_ways));
   }
-  dram_ = std::make_unique<dram::FrFcfsController>(kernel_, cfg_.dram,
+  dram_ = std::make_unique<dram::Controller>(kernel_, cfg_.dram,
                                                    cfg_.dram_ctrl);
   scheme_of_core_.assign(static_cast<std::size_t>(cores), 0);
   core_latency_.resize(static_cast<std::size_t>(cores));
@@ -82,7 +82,7 @@ std::pair<std::uint32_t, std::uint32_t> Soc::addr_to_bank_row(
     cache::Addr addr) const {
   // Row-interleaved mapping: consecutive rows rotate across banks.
   const cache::Addr row_global = addr / cfg_.dram_row_bytes;
-  const auto banks = static_cast<std::uint32_t>(cfg_.dram_ctrl.banks);
+  const auto banks = static_cast<std::uint32_t>(cfg_.dram_ctrl.params().banks);
   return {static_cast<std::uint32_t>(row_global % banks),
           static_cast<std::uint32_t>(row_global / banks)};
 }

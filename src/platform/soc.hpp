@@ -18,7 +18,7 @@
 #include "cache/cache.hpp"
 #include "cache/dsu.hpp"
 #include "common/stats.hpp"
-#include "dram/frfcfs.hpp"
+#include "dram/controller.hpp"
 #include "dram/timing.hpp"
 #include "mpam/regulator.hpp"
 #include "sched/memguard.hpp"
@@ -41,7 +41,7 @@ struct SocConfig {
   Time interconnect_latency = Time::ns(15);  ///< cluster <-> controller
 
   dram::Timings dram = dram::ddr3_1600();
-  dram::ControllerParams dram_ctrl;
+  dram::ControllerConfig dram_ctrl;
 
   std::uint32_t dram_row_bytes = 2048;
 
@@ -82,7 +82,7 @@ class Soc {
   }
 
   cache::DsuCluster& dsu(int cluster) { return *clusters_.at(cluster); }
-  dram::FrFcfsController& dram_controller() { return *dram_; }
+  dram::Controller& dram_controller() { return *dram_; }
   const SocConfig& config() const { return cfg_; }
   sim::Kernel& kernel() { return kernel_; }
 
@@ -100,7 +100,7 @@ class Soc {
   SocConfig cfg_;
   std::vector<std::unique_ptr<cache::Cache>> l1_;  // per core
   std::vector<std::unique_ptr<cache::DsuCluster>> clusters_;
-  std::unique_ptr<dram::FrFcfsController> dram_;
+  std::unique_ptr<dram::Controller> dram_;
   std::unique_ptr<sched::Memguard> memguard_;
   std::vector<std::uint32_t> domain_of_core_;
   std::unique_ptr<mpam::BandwidthRegulator> mpam_reg_;

@@ -254,30 +254,40 @@ HandlerOutcome handle_wcd_bound(const exp::Params& params,
   const int n = static_cast<int>(
       r.get_int("n", 13, 1, limits.max_queue_position));
   const double burst = r.get_double("burst_requests", 8.0, 0.0, 1e6);
-  dram::ControllerParams ctrl;
-  ctrl.n_cap = static_cast<int>(r.get_int("n_cap", 16, 0, 4096));
-  ctrl.w_high = static_cast<int>(r.get_int("w_high", 55, 0, 1 << 20));
-  ctrl.w_low = static_cast<int>(r.get_int("w_low", 28, 0, 1 << 20));
-  ctrl.n_wd = static_cast<int>(r.get_int("n_wd", 16, 1, 1 << 20));
-  ctrl.banks = static_cast<int>(r.get_int("banks", 1, 1, 64));
+  dram::ControllerConfig ctrl;
+  ctrl.n_cap(static_cast<int>(r.get_int("n_cap", 16, 0, 4096)))
+      .w_high(static_cast<int>(r.get_int("w_high", 55, 0, 1 << 20)))
+      .w_low(static_cast<int>(r.get_int("w_low", 28, 0, 1 << 20)))
+      .n_wd(static_cast<int>(r.get_int("n_wd", 16, 1, 1 << 20)))
+      .banks(static_cast<int>(r.get_int("banks", 1, 1, 64)));
   const std::string policy = r.get_string("page_policy", "open");
+  const std::string sched_policy = r.get_string("dram.policy", "frfcfs");
+  const std::string device = r.get_string("dram.device", "ddr3_1600");
   r.finish();
   if (r.failed()) return bad(r.error());
   if (policy == "closed") {
-    ctrl.page_policy = dram::PagePolicy::kClosedPage;
+    ctrl.page_policy(dram::PagePolicy::kClosedPage);
   } else if (policy != "open") {
     return bad("'page_policy' must be \"open\" or \"closed\"");
   }
-  if (!ctrl.valid()) {
-    return bad("invalid controller parameters (watermarks must satisfy "
-               "w_high >= w_low >= 0)");
+  const auto kind = dram::parse_policy(sched_policy);
+  if (!kind) return bad(kind.error_message());
+  if (!dram::WcdAnalysis::analyzable(kind.value())) {
+    return bad("no analytic WCD bound for policy '" + sched_policy + "'");
   }
+  ctrl.policy(kind.value());
+  const auto timings = dram::device_by_name(device);
+  if (!timings) return bad(timings.error_message());
+  const auto built = ctrl.build();
+  if (!built) return bad("invalid controller parameters: " +
+                         built.error_message());
 
   // Identical construction to dram::table2_row (bench/table2_wcd_bounds):
-  // with burst_requests=8 the reply is byte-identical to the offline row.
+  // with the defaults (burst_requests=8, FR-FCFS, ddr3_1600) the reply is
+  // byte-identical to the offline row.
   const auto bucket = nc::TokenBucket::from_rate(Rate::gbps(gbps),
                                                  kCacheLineBytes, burst);
-  dram::WcdAnalysis analysis(dram::ddr3_1600(), ctrl, bucket);
+  dram::WcdAnalysis analysis(timings.value(), built.value(), bucket);
   const auto b = analysis.bounds(n);
 
   exp::Result out("wcd_bound");
@@ -341,9 +351,14 @@ HandlerOutcome handle_scenario_sim(const exp::Params& params,
       .rt_period(Time::from_ns(
           r.get_double("rt_period_us", 10.0, 0.1, 1e6) * 1000.0))
       .rt_working_set(static_cast<std::uint64_t>(
-          r.get_int("rt_working_set", 64 * 1024, 64, 1 << 28)));
+          r.get_int("rt_working_set", 64 * 1024, 64, 1 << 28)))
+      .dram_device(r.get_string("dram.device", "ddr3_1600"));
+  const std::string sched_policy = r.get_string("dram.policy", "frfcfs");
   r.finish();
   if (r.failed()) return bad(r.error());
+  const auto kind = dram::parse_policy(sched_policy);
+  if (!kind) return bad(kind.error_message());
+  config.dram_policy(kind.value());
   if (const Status st = config.validate(); !st.is_ok()) {
     return bad(st.message());
   }

@@ -6,7 +6,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
-#include "dram/frfcfs.hpp"
+#include "dram/controller.hpp"
 #include "dram/traffic.hpp"
 #include "sim/kernel.hpp"
 
@@ -30,7 +30,7 @@ Request write_req(std::uint64_t id, std::uint32_t bank, std::uint32_t row) {
 
 struct Completions {
   std::vector<std::pair<std::uint64_t, Time>> done;
-  void attach(FrFcfsController& c) {
+  void attach(Controller& c) {
     c.set_completion_handler([this](const Request& r, Time t) {
       done.emplace_back(r.id, t);
     });
@@ -52,7 +52,7 @@ struct Completions {
 
 TEST(FrFcfs, SingleReadCompletes) {
   sim::Kernel k;
-  FrFcfsController c(k, ddr3_1600(), ControllerParams{});
+  Controller c(k, ddr3_1600(), ControllerConfig{});
   Completions done;
   done.attach(c);
   c.submit(read_req(1, 0, 5));
@@ -64,7 +64,7 @@ TEST(FrFcfs, SingleReadCompletes) {
 
 TEST(FrFcfs, RowHitsPromotedOverOlderMisses) {
   sim::Kernel k;
-  FrFcfsController c(k, ddr3_1600(), ControllerParams{});
+  Controller c(k, ddr3_1600(), ControllerConfig{});
   Completions done;
   done.attach(c);
   // Open row 1, then queue a miss (row 2) and a hit (row 1) while busy.
@@ -79,9 +79,8 @@ TEST(FrFcfs, RowHitsPromotedOverOlderMisses) {
 
 TEST(FrFcfs, NcapLimitsConsecutivePromotions) {
   sim::Kernel k;
-  ControllerParams p;
-  p.n_cap = 2;  // after 2 promoted hits, FCFS must serve the miss
-  FrFcfsController c(k, ddr3_1600(), p);
+  // After 2 promoted hits, FCFS must serve the miss.
+  Controller c(k, ddr3_1600(), ControllerConfig{}.n_cap(2));
   Completions done;
   done.attach(c);
   c.submit(read_req(1, 0, 1));
@@ -103,9 +102,7 @@ TEST(FrFcfs, NcapLimitsConsecutivePromotions) {
 TEST(FrFcfs, UnlimitedNcapStarvesMissLonger) {
   auto run_with_cap = [](int cap) {
     sim::Kernel k;
-    ControllerParams p;
-    p.n_cap = cap;
-    FrFcfsController c(k, ddr3_1600(), p);
+    Controller c(k, ddr3_1600(), ControllerConfig{}.n_cap(cap));
     Completions done;
     done.attach(c);
     c.submit(read_req(1, 0, 1));
@@ -120,11 +117,7 @@ TEST(FrFcfs, UnlimitedNcapStarvesMissLonger) {
 
 TEST(FrFcfs, WatermarkHighTriggersWriteBatch) {
   sim::Kernel k;
-  ControllerParams p;
-  p.w_high = 4;
-  p.w_low = 2;
-  p.n_wd = 2;
-  FrFcfsController c(k, ddr3_1600(), p);
+  Controller c(k, ddr3_1600(), ControllerConfig{}.watermarks(4, 2).n_wd(2));
   std::vector<Mode> modes;
   c.set_mode_trace([&](Time, Mode m, std::size_t) { modes.push_back(m); });
   Completions done;
@@ -143,11 +136,7 @@ TEST(FrFcfs, WatermarkHighTriggersWriteBatch) {
 
 TEST(FrFcfs, IdleReadQueueDrainsWritesAtLowWatermark) {
   sim::Kernel k;
-  ControllerParams p;
-  p.w_high = 50;
-  p.w_low = 3;
-  p.n_wd = 4;
-  FrFcfsController c(k, ddr3_1600(), p);
+  Controller c(k, ddr3_1600(), ControllerConfig{}.watermarks(50, 3).n_wd(4));
   Completions done;
   done.attach(c);
   // No reads at all; W_low writes should be served (rule 1 of Fig. 5).
@@ -160,11 +149,7 @@ TEST(FrFcfs, IdleReadQueueDrainsWritesAtLowWatermark) {
 
 TEST(FrFcfs, BelowLowWatermarkWritesWait) {
   sim::Kernel k;
-  ControllerParams p;
-  p.w_high = 50;
-  p.w_low = 5;
-  p.n_wd = 4;
-  FrFcfsController c(k, ddr3_1600(), p);
+  Controller c(k, ddr3_1600(), ControllerConfig{}.watermarks(50, 5).n_wd(4));
   Completions done;
   done.attach(c);
   c.submit(write_req(1, 0, 1));  // 1 < W_low: deferred
@@ -175,11 +160,7 @@ TEST(FrFcfs, BelowLowWatermarkWritesWait) {
 
 TEST(FrFcfs, BatchLengthRespectedWhenReadsWait) {
   sim::Kernel k;
-  ControllerParams p;
-  p.w_high = 3;
-  p.w_low = 1;
-  p.n_wd = 2;
-  FrFcfsController c(k, ddr3_1600(), p);
+  Controller c(k, ddr3_1600(), ControllerConfig{}.watermarks(3, 1).n_wd(2));
   Completions done;
   done.attach(c);
   c.submit(read_req(1, 0, 1));
@@ -199,7 +180,7 @@ TEST(FrFcfs, BatchLengthRespectedWhenReadsWait) {
 
 TEST(FrFcfs, RefreshHappensPeriodically) {
   sim::Kernel k;
-  FrFcfsController c(k, ddr3_1600(), ControllerParams{});
+  Controller c(k, ddr3_1600(), ControllerConfig{});
   // Idle controller; run for 10 refresh intervals.
   k.run(Time::from_ns(78'000));
   EXPECT_GE(c.counters().get("refreshes"), 9);
@@ -208,7 +189,7 @@ TEST(FrFcfs, RefreshHappensPeriodically) {
 
 TEST(FrFcfs, RefreshDelaysInFlightTraffic) {
   sim::Kernel k;
-  FrFcfsController c(k, ddr3_1600(), ControllerParams{});
+  Controller c(k, ddr3_1600(), ControllerConfig{});
   Completions done;
   done.attach(c);
   // Submit reads just before the refresh timer (tREFI = 7800 ns) expires.
@@ -224,9 +205,8 @@ TEST(FrFcfs, RefreshDelaysInFlightTraffic) {
 
 TEST(FrFcfs, PerMasterTrafficAccounted) {
   sim::Kernel k;
-  ControllerParams p;
-  p.w_low = 1;  // serve the lone write once the read queue drains
-  FrFcfsController c(k, ddr3_1600(), p);
+  // Serve the lone write once the read queue drains.
+  Controller c(k, ddr3_1600(), ControllerConfig{}.w_low(1));
   c.submit(read_req(1, 0, 1));
   c.submit(write_req(2, 1, 1));
   k.run(Time::us(2));
@@ -238,7 +218,7 @@ TEST(FrFcfs, PerMasterTrafficAccounted) {
 
 TEST(FrFcfs, MpamPriorityClassServedFirst) {
   sim::Kernel k;
-  FrFcfsController c(k, ddr3_1600(), ControllerParams{});
+  Controller c(k, ddr3_1600(), ControllerConfig{});
   c.set_master_priority(1, 0);    // critical master
   c.set_master_priority(2, 10);   // best effort
   Completions done;
@@ -265,7 +245,7 @@ TEST(FrFcfs, MpamPriorityClassServedFirst) {
 TEST(FrFcfs, MpamPriorityDefaultKeepsFcfs) {
   // Without configured priorities, behaviour is unchanged (plain FR-FCFS).
   sim::Kernel k;
-  FrFcfsController c(k, ddr3_1600(), ControllerParams{});
+  Controller c(k, ddr3_1600(), ControllerConfig{});
   Completions done;
   done.attach(c);
   c.submit(read_req(0, 0, 0));
@@ -285,8 +265,7 @@ TEST(FrFcfs, MpamPriorityBoundsCriticalLatencyUnderLoad) {
   // read latency under heavy BE load stays near its unloaded value.
   auto run = [](bool prioritized) {
     sim::Kernel k;
-    ControllerParams p;
-    FrFcfsController c(k, ddr3_1600(), p);
+    Controller c(k, ddr3_1600(), ControllerConfig{});
     if (prioritized) {
       c.set_master_priority(1, 0);
       c.set_master_priority(2, 10);
@@ -327,7 +306,7 @@ TEST(FrFcfs, MpamPriorityBoundsCriticalLatencyUnderLoad) {
 
 TEST(Traffic, ShapedWriteSourceRespectsBucket) {
   sim::Kernel k;
-  FrFcfsController c(k, ddr3_1600(), ControllerParams{});
+  Controller c(k, ddr3_1600(), ControllerConfig{});
   // 1 request per 100 ns with burst 4.
   ShapedWriteSource src(k, c, nc::TokenBucket{4.0, 0.01}, 0, 7);
   src.start();
@@ -340,7 +319,7 @@ TEST(Traffic, ShapedWriteSourceRespectsBucket) {
 
 TEST(Traffic, PeriodicReadSourceEmitsOnSchedule) {
   sim::Kernel k;
-  FrFcfsController c(k, ddr3_1600(), ControllerParams{});
+  Controller c(k, ddr3_1600(), ControllerConfig{});
   PeriodicReadSource src(k, c, Time::ns(500), 0, 1, 3);
   src.start();
   k.run(Time::us(5));
@@ -355,9 +334,8 @@ class FrFcfsFuzz : public ::testing::TestWithParam<std::uint64_t> {};
 TEST_P(FrFcfsFuzz, AllReadsCompleteUnderRandomLoad) {
   Rng rng(GetParam());
   sim::Kernel k;
-  ControllerParams p;
-  p.w_low = 4;  // writes drain even in quiet phases
-  FrFcfsController c(k, ddr3_1600(), p);
+  // w_low = 4: writes drain even in quiet phases.
+  Controller c(k, ddr3_1600(), ControllerConfig{}.w_low(4));
   std::vector<std::uint64_t> submitted_reads;
   std::vector<std::uint64_t> completed_reads;
   c.set_completion_handler([&](const Request& r, Time) {
@@ -394,7 +372,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, FrFcfsFuzz,
 TEST(Traffic, RandomSourceDeterministicPerSeed) {
   auto run = [](std::uint64_t seed) {
     sim::Kernel k;
-    FrFcfsController c(k, ddr3_1600(), ControllerParams{});
+    Controller c(k, ddr3_1600(), ControllerConfig{});
     RandomAccessSource::Config cfg;
     cfg.seed = seed;
     RandomAccessSource src(k, c, cfg);

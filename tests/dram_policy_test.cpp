@@ -2,7 +2,7 @@
 // predictability trade at the heart of the paper's argument.
 #include <gtest/gtest.h>
 
-#include "dram/frfcfs.hpp"
+#include "dram/controller.hpp"
 #include "dram/traffic.hpp"
 #include "dram/wcd.hpp"
 #include "sim/kernel.hpp"
@@ -10,16 +10,13 @@
 namespace pap::dram {
 namespace {
 
-ControllerParams closed_page() {
-  ControllerParams p;
-  p.page_policy = PagePolicy::kClosedPage;
-  p.banks = 1;
-  return p;
+ControllerConfig closed_page() {
+  return ControllerConfig{}.page_policy(PagePolicy::kClosedPage).banks(1);
 }
 
 TEST(ClosedPage, EveryAccessPaysTheFullCycle) {
   sim::Kernel k;
-  FrFcfsController c(k, ddr3_1600(), closed_page());
+  Controller c(k, ddr3_1600(), closed_page());
   std::vector<Time> completions;
   c.set_completion_handler(
       [&](const Request&, Time t) { completions.push_back(t); });
@@ -45,10 +42,8 @@ TEST(ClosedPage, EveryAccessPaysTheFullCycle) {
 TEST(ClosedPage, OpenRowIsFasterOnLocality) {
   auto run = [](PagePolicy policy) {
     sim::Kernel k;
-    ControllerParams p;
-    p.page_policy = policy;
-    p.banks = 1;
-    FrFcfsController c(k, ddr3_1600(), p);
+    Controller c(k, ddr3_1600(),
+                 ControllerConfig{}.page_policy(policy).banks(1));
     // Sequential same-row stream: the open-row policy's best case.
     for (std::uint64_t i = 0; i < 64; ++i) {
       Request r;
@@ -68,7 +63,7 @@ TEST(ClosedPage, LatencyIsUniformUnderMixedRows) {
   // The predictability claim: per-access completion spacing does not
   // depend on row locality under closed-page.
   sim::Kernel k;
-  FrFcfsController c(k, ddr3_1600(), closed_page());
+  Controller c(k, ddr3_1600(), closed_page());
   std::vector<Time> completions;
   c.set_completion_handler(
       [&](const Request&, Time t) { completions.push_back(t); });
@@ -91,8 +86,7 @@ TEST(ClosedPage, LatencyIsUniformUnderMixedRows) {
 
 TEST(ClosedPage, WcdLosesTheHitBlockTerm) {
   const auto writes = nc::TokenBucket::from_rate(Rate::gbps(5), 64, 8.0);
-  ControllerParams open;
-  open.banks = 1;
+  const ControllerConfig open = ControllerConfig{}.banks(1);
   WcdAnalysis open_a(ddr3_1600(), open, writes);
   WcdAnalysis closed_a(ddr3_1600(), closed_page(), writes);
   EXPECT_EQ(closed_a.hit_block_time(), Time::zero());
@@ -107,7 +101,7 @@ TEST(ClosedPage, SimulationWithinClosedPageBound) {
   const auto writes = nc::TokenBucket::from_rate(Rate::gbps(4), 64, 8.0);
   WcdAnalysis analysis(ddr3_1600(), closed_page(), writes);
   sim::Kernel k;
-  FrFcfsController c(k, ddr3_1600(), closed_page());
+  Controller c(k, ddr3_1600(), closed_page());
   ShapedWriteSource hog(k, c, writes, 0, 9);
   hog.start();
   LatencyHistogram lat;

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/units.hpp"
+#include "dram/controller.hpp"
 #include "dram/traffic.hpp"
 #include "dram/wcd.hpp"
 #include "nc/bounds.hpp"
@@ -212,7 +213,7 @@ TEST_P(SimVsBound, SimulatedLatencyWithinUpperBound) {
   const int kN = 13;
 
   sim::Kernel kernel;
-  FrFcfsController controller(kernel, timings, ctrl);
+  Controller controller(kernel, timings, ControllerConfig(ctrl));
   ShapedWriteSource hog(kernel, controller, writes, 0, 99);
   hog.start();
 

@@ -342,6 +342,17 @@ TEST(ParseCli, AcceptsTheDocumentedFlags) {
   EXPECT_EQ(none.value().jobs, 0);
   EXPECT_FALSE(none.value().cache);
   EXPECT_FALSE(none.value().trace);
+  EXPECT_FALSE(none.value().smoke);
+}
+
+TEST(ParseCli, SmokeIsAFlag) {
+  const auto cli = cli::parse({"--smoke", "--jobs=2"});
+  ASSERT_TRUE(cli.has_value());
+  EXPECT_TRUE(cli.value().smoke);
+  EXPECT_EQ(cli.value().jobs, 2);
+  EXPECT_NE(cli_usage("prog").find("--smoke"), std::string::npos);
+  // No value form: --smoke=1 is an unknown argument, not a silent accept.
+  EXPECT_FALSE(cli::parse({"--smoke=1"}).has_value());
 }
 
 TEST(ParseCli, RejectsUnknownArguments) {

@@ -6,7 +6,7 @@
 
 #include <vector>
 
-#include "dram/frfcfs.hpp"
+#include "dram/controller.hpp"
 #include "dram/traffic.hpp"
 #include "fault/injector.hpp"
 #include "fault/plan.hpp"
@@ -171,7 +171,7 @@ TEST(Injector, ArmWithoutHandlerAborts) {
 TEST(Injector, DramStallDelaysCompletions) {
   auto run = [](bool stall) {
     sim::Kernel k;
-    dram::FrFcfsController c(k, dram::ddr3_1600(), dram::ControllerParams{});
+    dram::Controller c(k, dram::ddr3_1600(), dram::ControllerConfig{});
     Time done;
     c.set_completion_handler(
         [&](const dram::Request&, Time t) { done = t; });

@@ -95,12 +95,11 @@ TEST(Integration, DramServiceCurveFeedsAdmission) {
   // The Sec. IV-A service curve is consumed by the Sec. V admission test:
   // a reader admitted against the DRAM keeps its bound in simulation.
   const auto timings = dram::ddr3_1600();
-  dram::ControllerParams ctrl;
-  ctrl.n_cap = 16;
-  ctrl.w_high = 55;
-  ctrl.w_low = 28;
-  ctrl.n_wd = 16;
-  ctrl.banks = 1;
+  const dram::ControllerConfig ctrl = dram::ControllerConfig{}
+                                          .n_cap(16)
+                                          .watermarks(55, 28)
+                                          .n_wd(16)
+                                          .banks(1);
   const auto writes = nc::TokenBucket::from_rate(Rate::gbps(4), 64, 8.0);
   dram::WcdAnalysis analysis(timings, ctrl, writes);
   const auto beta = analysis.service_curve(32);
@@ -111,7 +110,7 @@ TEST(Integration, DramServiceCurveFeedsAdmission) {
   ASSERT_TRUE(bound.has_value());
 
   sim::Kernel kernel;
-  dram::FrFcfsController controller(kernel, timings, ctrl);
+  dram::Controller controller(kernel, timings, ctrl);
   dram::ShapedWriteSource hog(kernel, controller, writes, 0, 99);
   hog.start();
   LatencyHistogram read_lat;

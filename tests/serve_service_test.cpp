@@ -111,6 +111,81 @@ TEST(Service, AnswersEveryEndpointAndControlOp) {
       << badparam;
 }
 
+TEST(Service, WcdBoundPolicyAndDeviceAreStrictlyValidated) {
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  AnalysisService svc(cfg);
+
+  // Defaults (frfcfs / ddr3_1600) and the explicit spelling of the same
+  // configuration must produce byte-identical result payloads.
+  auto result_of = [](const std::string& reply) {
+    const auto at = reply.find("\"result\"");
+    return at == reply.npos ? reply : reply.substr(at);
+  };
+  const std::string defaults = svc.handle(
+      R"({"id":1,"op":"wcd_bound","params":{"write_gbps":4.0}})");
+  const std::string spelled = svc.handle(
+      R"({"id":2,"op":"wcd_bound","params":{"write_gbps":4.0,)"
+      R"("dram":{"policy":"frfcfs","device":"ddr3_1600"}}})");
+  EXPECT_NE(defaults.find("\"ok\":true"), defaults.npos) << defaults;
+  EXPECT_EQ(result_of(defaults), result_of(spelled));
+
+  // Every analyzable policy answers; a different device shifts the bound.
+  for (const std::string policy : {"fcfs", "close_page", "starvation_guard"}) {
+    const std::string r = svc.handle(
+        R"({"id":3,"op":"wcd_bound","params":{"write_gbps":4.0,)"
+        R"("dram":{"policy":")" + policy + R"("}}})");
+    EXPECT_NE(r.find("\"ok\":true"), r.npos) << r;
+  }
+  const std::string ddr4 = svc.handle(
+      R"({"id":4,"op":"wcd_bound","params":{"write_gbps":4.0,)"
+      R"("dram":{"device":"ddr4_2400"}}})");
+  EXPECT_NE(ddr4.find("\"ok\":true"), ddr4.npos) << ddr4;
+  EXPECT_NE(result_of(ddr4), result_of(defaults));
+
+  // Unknown policy: a typed bad_request naming the valid set — not a crash.
+  const std::string bad_policy = svc.handle(
+      R"({"id":5,"op":"wcd_bound","params":{"write_gbps":4.0,)"
+      R"("dram":{"policy":"lifo"}}})");
+  EXPECT_NE(bad_policy.find("\"code\":\"bad_request\""), bad_policy.npos)
+      << bad_policy;
+  EXPECT_NE(bad_policy.find("starvation_guard"), bad_policy.npos)
+      << bad_policy;
+
+  // write_drain exists but has no analytic bound: refused, not aborted.
+  const std::string unbounded = svc.handle(
+      R"({"id":6,"op":"wcd_bound","params":{"write_gbps":4.0,)"
+      R"("dram":{"policy":"write_drain"}}})");
+  EXPECT_NE(unbounded.find("\"code\":\"bad_request\""), unbounded.npos)
+      << unbounded;
+  EXPECT_NE(unbounded.find("no analytic WCD bound"), unbounded.npos)
+      << unbounded;
+
+  const std::string bad_device = svc.handle(
+      R"({"id":7,"op":"wcd_bound","params":{"write_gbps":4.0,)"
+      R"("dram":{"device":"ddr5_6400"}}})");
+  EXPECT_NE(bad_device.find("\"code\":\"bad_request\""), bad_device.npos)
+      << bad_device;
+  EXPECT_NE(bad_device.find("lpddr4_3200"), bad_device.npos) << bad_device;
+
+  // Invalid controller-knob combinations surface the builder's diagnostic.
+  const std::string inverted = svc.handle(
+      R"({"id":8,"op":"wcd_bound","params":{"write_gbps":4.0,)"
+      R"("w_high":4,"w_low":9}})");
+  EXPECT_NE(inverted.find("\"code\":\"bad_request\""), inverted.npos)
+      << inverted;
+  EXPECT_NE(inverted.find("w_high >= w_low"), inverted.npos) << inverted;
+
+  // scenario_sim shares the same strict policy/device validation.
+  const std::string sim_bad = svc.handle(
+      R"({"id":9,"op":"scenario_sim","params":{"dram":{"policy":"lifo"}}})");
+  EXPECT_NE(sim_bad.find("\"code\":\"bad_request\""), sim_bad.npos) << sim_bad;
+  const std::string sim_ok = svc.handle(
+      R"({"id":10,"op":"scenario_sim","params":{"sim_time_us":50,)"
+      R"("dram":{"policy":"close_page","device":"lpddr4_3200"}}})");
+  EXPECT_NE(sim_ok.find("\"ok\":true"), sim_ok.npos) << sim_ok;
+}
+
 TEST(Service, CacheHitsAreByteIdenticalToComputedReplies) {
   ServiceConfig cfg;
   cfg.workers = 1;
