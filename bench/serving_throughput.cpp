@@ -11,15 +11,28 @@
 //      metric (dram::table2_row + the JsonlSink value rendering);
 //   3. bounded overload — with the queue saturated, `overloaded` replies
 //      must come back in well under 10 ms and the process RSS must stay
-//      flat: backpressure sheds load instead of buffering it.
+//      flat: backpressure sheds load instead of buffering it;
+//   4. sharded fleet — four service shards behind the consistent-hash
+//      router must answer byte-identically to one service, and because
+//      routing happens on the cache identity every key has a home shard:
+//      steady-state traffic over a bounded key population is all cache
+//      hits, and the fleet must sustain >= 100k req/s aggregate;
+//   5. disk warm restart — a service restarted over the same --cache-dir
+//      must answer previously computed requests from the disk tier
+//      (disk_hits > 0) with exactly the bytes the first run produced.
 //
 // Results go to BENCH_serve.json in the pap-bench-v1 schema consumed by
 // tools/bench_compare.py; the committed baseline lives at the repo root
 // next to BENCH_nc.json / BENCH_sim.json.
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
+#include <memory>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -28,6 +41,7 @@
 #include "dram/controller.hpp"
 #include "dram/timing.hpp"
 #include "dram/wcd.hpp"
+#include "serve/client.hpp"
 #include "serve/protocol.hpp"
 #include "serve/service.hpp"
 
@@ -264,6 +278,158 @@ BenchRow bench_overload() {
   return BenchRow{"BM_ServeOverloadReject", mean_ns, overloaded};
 }
 
+/// Section 4: a 4-shard fleet routed on the cache identity. Every distinct
+/// computation has exactly one home shard, so a bounded key population is
+/// computed once per key fleet-wide and then served from each home
+/// shard's LRU — the steady state a papd fleet runs in. The gate is on
+/// that steady state: >= 100k req/s aggregate, byte-identical to a single
+/// service the whole way.
+BenchRow bench_sharded_fleet() {
+  constexpr std::size_t kShards = 4;
+  constexpr int kKeys = 64;
+  constexpr long kHot = 300000;
+  constexpr int kSubmitters = 2;
+
+  std::vector<std::unique_ptr<AnalysisService>> fleet;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    fleet.push_back(std::make_unique<AnalysisService>(cfg));
+  }
+  ServiceConfig ref_cfg;
+  ref_cfg.workers = 1;
+  AnalysisService reference(ref_cfg);
+
+  // Warm phase: every key computed once on its home shard and once on the
+  // reference — replies must match byte for byte. The population is
+  // compact single-app admission checks: steady-state RM traffic repeats
+  // a bounded set of admission questions, and parse cost scales with line
+  // length, so the hot path measures serving overhead, not JSON length.
+  std::vector<std::string> lines(kKeys);
+  std::vector<std::size_t> home(kKeys);
+  std::vector<std::string> expect(kKeys);
+  std::set<std::size_t> shards_used;
+  bool identical = true;
+  for (int k = 0; k < kKeys; ++k) {
+    lines[k] = "{\"id\":" + std::to_string(k) +
+               ",\"op\":\"admission_check\",\"params\":{\"apps\":[{\"rate\":" +
+               std::to_string(0.01 + 0.001 * k) + "}]}}";
+    const auto req = pap::serve::parse_request(lines[k]);
+    home[k] = pap::serve::Client::route(req.value().key(), kShards);
+    shards_used.insert(home[k]);
+    expect[k] = reference.handle(lines[k]);
+    const std::string sharded = fleet[home[k]]->handle(lines[k]);
+    if (sharded != expect[k]) identical = false;
+  }
+  check(identical, "4-shard replies byte-identical to single service");
+  check(shards_used.size() == kShards, "routing uses every shard");
+
+  // Steady state: closed-loop traffic over the warmed population, every
+  // request answered from its home shard. Cache-hit replies fire
+  // synchronously on the submitting thread by contract, so a plain slot
+  // captures them — no future round trip per request.
+  std::atomic<long> next{0};
+  std::atomic<long> mismatches{0};
+  const auto t0 = Clock::now();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kSubmitters; ++t) {
+    threads.emplace_back([&] {
+      std::string reply;
+      auto capture = [&reply](std::string r) { reply = std::move(r); };
+      for (;;) {
+        const long i = next.fetch_add(1);
+        if (i >= kHot) return;
+        const int k = static_cast<int>(i % kKeys);
+        reply.clear();
+        fleet[home[k]]->submit(lines[k], capture);
+        if (reply != expect[k]) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  const double rps = static_cast<double>(kHot) / seconds;
+
+  long hits = 0;
+  for (const auto& s : fleet) {
+    const auto entry =
+        s->counters().sample("serve", "admission_check/cache_hits");
+    if (entry) hits += static_cast<long>(entry->value);
+  }
+  std::printf("sharded fleet: %ld requests over %d keys x %zu shards, "
+              "%.2f s, %.0f req/s aggregate, %ld cache hits\n",
+              kHot, kKeys, kShards, seconds, rps, hits);
+  check(mismatches.load() == 0, "hot-path replies byte-identical throughout");
+  check(hits >= kHot, "steady state served from each key's home shard LRU");
+  check(rps >= 100000.0, "sustained >= 100k req/s aggregate across 4 shards");
+
+  for (auto& s : fleet) s->shutdown();
+  reference.shutdown();
+  return BenchRow{"BM_ServeShardedHot", seconds * 1e9 / kHot, kHot};
+}
+
+/// Section 5: restart warmth. A fresh service over the same cache
+/// directory must serve previously computed answers from disk —
+/// byte-identical, without rerunning the analysis.
+BenchRow bench_disk_warm_restart() {
+  const std::string dir =
+      "bench_serve_diskcache-" + std::to_string(::getpid());
+  std::filesystem::remove_all(dir);
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.cache_dir = dir;
+
+  const std::vector<double> gbps = {0.5, 1.0, 2.0, 4.0,  5.0,
+                                    6.0, 6.5, 7.0, 7.2};
+  auto line = [](std::size_t i, double g) {
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "{\"id\": %zu, \"op\": \"wcd_bound\", "
+                  "\"params\": {\"write_gbps\": %.17g}}",
+                  i, g);
+    return std::string(buf);
+  };
+
+  // Cold run: compute and persist.
+  std::vector<std::string> first(gbps.size());
+  {
+    AnalysisService service(cfg);
+    for (std::size_t i = 0; i < gbps.size(); ++i) {
+      first[i] = service.handle(line(i, gbps[i]));
+    }
+    service.shutdown();
+  }
+
+  // Restart: a new service, empty LRU, same directory.
+  AnalysisService restarted(cfg);
+  bool identical = true;
+  double total_ns = 0.0;
+  for (std::size_t i = 0; i < gbps.size(); ++i) {
+    const auto t0 = Clock::now();
+    const std::string reply = restarted.handle(line(i, gbps[i]));
+    total_ns +=
+        std::chrono::duration<double, std::nano>(Clock::now() - t0).count();
+    if (reply != first[i]) identical = false;
+  }
+  const auto entry =
+      restarted.counters().sample("serve", "wcd_bound/disk_hits");
+  const long disk_hits = entry ? static_cast<long>(entry->value) : 0;
+
+  std::printf("disk warm restart: %zu requests, %ld disk hits\n",
+              gbps.size(), disk_hits);
+  check(disk_hits > 0, "restarted service answers from the disk tier");
+  check(disk_hits == static_cast<long>(gbps.size()),
+        "every previously computed answer came from disk");
+  check(identical, "disk-served replies byte-identical to the first run");
+
+  restarted.shutdown();
+  std::filesystem::remove_all(dir);
+  return BenchRow{"BM_ServeDiskWarmRestart",
+                  total_ns / static_cast<double>(gbps.size()),
+                  static_cast<long long>(gbps.size())};
+}
+
 bool write_report(const std::string& path, const std::vector<BenchRow>& rows) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {
@@ -309,6 +475,10 @@ int main(int argc, char** argv) {
   rows.push_back(bench_wcd_byte_identity());
   std::printf("== overload behaviour ==\n");
   rows.push_back(bench_overload());
+  std::printf("== sharded fleet ==\n");
+  rows.push_back(bench_sharded_fleet());
+  std::printf("== disk warm restart ==\n");
+  rows.push_back(bench_disk_warm_restart());
 
   if (!write_report(out_dir + "/BENCH_serve.json", rows)) return 1;
   if (g_failures > 0) {

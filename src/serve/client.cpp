@@ -7,6 +7,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <utility>
 
@@ -64,6 +65,11 @@ Expected<Client> Client::connect_unix(const std::string& path) {
 }
 
 Expected<Client> Client::connect_tcp(const std::string& host, int port) {
+  if (port < 1 || port > 65535) {
+    return Expected<Client>::error("tcp port out of range: " +
+                                   std::to_string(port) +
+                                   " (expected 1..65535)");
+  }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(static_cast<std::uint16_t>(port));
@@ -127,6 +133,93 @@ Expected<std::string> Client::call(const std::string& line) {
   const Status sent = send_line(line);
   if (!sent) return Expected<std::string>::error(sent.message());
   return read_line();
+}
+
+namespace {
+
+/// FNV-1a 64-bit (the exp::content_hash scheme) — NOT std::hash, whose
+/// value may differ across implementations; shard routing must agree
+/// between every process that ever touches a key.
+std::uint64_t route_fnv1a(const std::string& bytes, std::uint64_t h) {
+  for (const unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// splitmix64 finalizer: decorrelates the per-shard scores so rendezvous
+/// hashing spreads keys evenly even for similar keys.
+std::uint64_t route_mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::size_t Client::route(const std::string& key, std::size_t n_shards) {
+  if (n_shards <= 1) return 0;
+  // Rendezvous (highest-random-weight) hashing: score every shard against
+  // the key, pick the max. Deterministic across processes, O(n) with tiny
+  // n, and growing n -> n+1 remaps only the keys whose new max is the new
+  // shard (~1/(n+1) of the key space) — cache affinity survives resizes.
+  const std::uint64_t kh = route_fnv1a(key, 14695981039346656037ull);
+  std::size_t best = 0;
+  std::uint64_t best_score = 0;
+  for (std::size_t i = 0; i < n_shards; ++i) {
+    const std::uint64_t score = route_mix(kh ^ route_mix(i));
+    if (i == 0 || score > best_score) {
+      best = i;
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+Expected<ShardEndpoint> parse_endpoint(const std::string& text) {
+  if (text.empty()) return Expected<ShardEndpoint>::error("empty endpoint");
+  ShardEndpoint ep;
+  if (text.rfind("unix:", 0) == 0) {
+    ep.unix_path = text.substr(5);
+    if (ep.unix_path.empty()) {
+      return Expected<ShardEndpoint>::error("empty unix path in '" + text +
+                                            "'");
+    }
+    return ep;
+  }
+  if (text.rfind("tcp:", 0) == 0) {
+    const std::string rest = text.substr(4);
+    const std::size_t colon = rest.rfind(':');
+    std::string port_text = rest;
+    if (colon != std::string::npos) {
+      ep.host = rest.substr(0, colon);
+      port_text = rest.substr(colon + 1);
+    }
+    char* end = nullptr;
+    const long port = std::strtol(port_text.c_str(), &end, 10);
+    if (end == port_text.c_str() || *end != '\0' || port < 1 || port > 65535) {
+      return Expected<ShardEndpoint>::error("bad tcp port in '" + text +
+                                            "' (expected 1..65535)");
+    }
+    ep.port = static_cast<int>(port);
+    return ep;
+  }
+  ep.unix_path = text;  // bare path = unix socket
+  return ep;
+}
+
+Expected<Client> ShardRouter::connect(std::size_t index) const {
+  if (index >= shards_.size()) {
+    return Expected<Client>::error("shard index " + std::to_string(index) +
+                                   " out of range (" +
+                                   std::to_string(shards_.size()) +
+                                   " shards)");
+  }
+  const ShardEndpoint& ep = shards_[index];
+  return ep.unix_path.empty() ? Client::connect_tcp(ep.host, ep.port)
+                              : Client::connect_unix(ep.unix_path);
 }
 
 }  // namespace pap::serve

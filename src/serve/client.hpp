@@ -1,4 +1,5 @@
-// Blocking papd client: connect, send request lines, read reply lines.
+// Blocking papd client: connect, send request lines, read reply lines —
+// plus the shard-routing layer for talking to a papd fleet.
 //
 // Thin by design — it frames lines and matches nothing; `call` is the
 // synchronous convenience (send one request, read one reply), while
@@ -6,10 +7,20 @@
 // generators that keep many requests in flight and match replies by id.
 // One Client is one connection; it is not thread-safe (use one per
 // thread, as tools/pap_loadgen does).
+//
+// Sharding: `Client::route(key, n)` maps a request's protocol identity
+// (`Request::key()` — op + canonical params, the same identity the cache
+// and coalescing layers use) onto one of n shards by rendezvous
+// (highest-random-weight) hashing. Because the routing key *is* the cache
+// key, every distinct computation has exactly one home shard and cache
+// affinity falls out for free; growing a fleet from n to n+1 shards
+// remaps only ~1/(n+1) of the key space. `ShardRouter` wraps a parsed
+// endpoint list around it for tools and tests.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/status.hpp"
 
@@ -26,7 +37,14 @@ class Client {
   Client& operator=(Client&& other) noexcept;
 
   static Expected<Client> connect_unix(const std::string& path);
+  /// Rejects ports outside 1..65535 with a named error — 70000 must never
+  /// silently alias to port 4464 through a uint16 cast.
   static Expected<Client> connect_tcp(const std::string& host, int port);
+
+  /// Deterministic shard index in [0, n_shards) for a request identity.
+  /// Pure function of (key, n_shards) — every client in every process
+  /// routes a given key to the same shard. n_shards == 0 returns 0.
+  static std::size_t route(const std::string& key, std::size_t n_shards);
 
   bool connected() const { return fd_ >= 0; }
   void close();
@@ -46,6 +64,40 @@ class Client {
 
   int fd_ = -1;
   std::string buffer_;  // bytes read past the last returned line
+};
+
+/// One papd endpoint a router can connect to.
+struct ShardEndpoint {
+  std::string unix_path;             ///< non-empty = Unix-domain endpoint
+  std::string host = "127.0.0.1";
+  int port = -1;                     ///< used when unix_path is empty
+};
+
+/// Parse "unix:PATH", "tcp:PORT", "tcp:HOST:PORT" or a bare PATH (treated
+/// as a Unix socket path).
+Expected<ShardEndpoint> parse_endpoint(const std::string& text);
+
+/// A fixed list of shard endpoints plus the consistent-hash routing over
+/// them. Immutable after construction; safe to share across threads.
+class ShardRouter {
+ public:
+  ShardRouter() = default;
+  explicit ShardRouter(std::vector<ShardEndpoint> shards)
+      : shards_(std::move(shards)) {}
+
+  std::size_t size() const { return shards_.size(); }
+  const std::vector<ShardEndpoint>& shards() const { return shards_; }
+
+  /// The home shard index for a request identity (Client::route).
+  std::size_t route(const std::string& key) const {
+    return Client::route(key, shards_.size());
+  }
+
+  /// Open a connection to shard `index`.
+  Expected<Client> connect(std::size_t index) const;
+
+ private:
+  std::vector<ShardEndpoint> shards_;
 };
 
 }  // namespace pap::serve

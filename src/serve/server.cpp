@@ -3,12 +3,16 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
+#include <unordered_map>
 
 #include "common/log.hpp"
 #include "serve/protocol.hpp"
@@ -21,41 +25,190 @@ Status errno_status(const std::string& what) {
   return Status::error(what + ": " + std::strerror(errno));
 }
 
-/// Write the whole buffer, retrying on short writes / EINTR. MSG_NOSIGNAL
-/// keeps a dead client from killing the process with SIGPIPE.
-bool send_all(int fd, const char* data, std::size_t len) {
-  while (len > 0) {
-    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    data += static_cast<std::size_t>(n);
-    len -= static_cast<std::size_t>(n);
-  }
-  return true;
-}
+/// Per-reply flush bound: a peer that accepts no bytes for this long in a
+/// row has its reply dropped, so a stuck client can stall only its own
+/// replies and only for a bounded time.
+constexpr std::chrono::seconds kWriteStall{5};
 
 }  // namespace
 
 /// One live connection. Reply closures hold a shared_ptr, so the socket
 /// stays open (and the write lock valid) until the last in-flight reply
-/// for this connection has been written — even after the reader thread
-/// exits or the server begins draining.
+/// for this connection has been written — even after its reactor dropped
+/// it at EOF or the server began draining. The read-side state (pending,
+/// discarding) is touched only by the owning reactor thread.
 struct Server::Conn {
-  int fd = -1;
+  int fd = -1;                ///< nonblocking
+  std::size_t hard_cap = 0;   ///< read-buffer bound before oversized discard
+  std::string pending;        ///< partial request line across recv()s
+  bool discarding = false;    ///< inside an oversized line, eat until '\n'
   std::mutex write_mu;
 
   ~Conn() {
     if (fd >= 0) ::close(fd);
   }
 
+  /// Write one reply line. Nonblocking socket: a full kernel buffer is
+  /// waited out with poll() up to kWriteStall, then the reply is dropped
+  /// (dead or stuck peer). Serialized per connection, so pipelined
+  /// replies never interleave mid-line.
   void write_line(const std::string& reply) {
     std::lock_guard<std::mutex> lock(write_mu);
     std::string line = reply;
     line.push_back('\n');
-    (void)send_all(fd, line.data(), line.size());  // dead peer: drop reply
+    const char* data = line.data();
+    std::size_t len = line.size();
+    const auto deadline = std::chrono::steady_clock::now() + kWriteStall;
+    while (len > 0) {
+      const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+      if (n >= 0) {
+        data += static_cast<std::size_t>(n);
+        len -= static_cast<std::size_t>(n);
+        continue;
+      }
+      if (errno == EINTR) continue;
+      if (errno != EAGAIN && errno != EWOULDBLOCK) return;  // dead peer: drop
+      if (std::chrono::steady_clock::now() >= deadline) return;  // stuck: drop
+      pollfd p{};
+      p.fd = fd;
+      p.events = POLLOUT;
+      (void)::poll(&p, 1, 100);
+    }
   }
+};
+
+/// One epoll event loop owning a share of the connections. Acceptors hand
+/// connections over through a mutex-guarded inbox plus an eventfd wake;
+/// from then on all read-side work for the connection happens on this
+/// reactor's thread.
+class Server::Reactor {
+ public:
+  Reactor() {
+    epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  }
+
+  ~Reactor() {
+    if (thread_.joinable()) thread_.join();
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    if (wake_fd_ >= 0) ::close(wake_fd_);
+  }
+
+  Status start(Server* server) {
+    if (epoll_fd_ < 0 || wake_fd_ < 0) return errno_status("reactor setup");
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = wake_fd_;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) < 0) {
+      return errno_status("epoll_ctl(wake)");
+    }
+    server_ = server;
+    thread_ = std::thread([this] { run(); });
+    return Status::ok();
+  }
+
+  /// Hand a freshly accepted connection to this reactor. Thread-safe.
+  void add_conn(std::shared_ptr<Conn> conn) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      inbox_.push_back(std::move(conn));
+    }
+    wake();
+  }
+
+  void request_stop() {
+    stop_.store(true, std::memory_order_release);
+    wake();
+  }
+
+  void join() {
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  void wake() {
+    const std::uint64_t one = 1;
+    (void)!::write(wake_fd_, &one, sizeof one);
+  }
+
+  void run() {
+    epoll_event events[64];
+    for (;;) {
+      const int n = ::epoll_wait(epoll_fd_, events, 64, -1);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return;  // epoll fd gone — shutting down
+      }
+      for (int i = 0; i < n; ++i) {
+        if (events[i].data.fd == wake_fd_) {
+          drain_wake();
+        } else {
+          on_readable(events[i].data.fd);
+        }
+      }
+      if (stop_.load(std::memory_order_acquire)) return;
+    }
+  }
+
+  void drain_wake() {
+    std::uint64_t count = 0;
+    (void)!::read(wake_fd_, &count, sizeof count);
+    std::vector<std::shared_ptr<Conn>> fresh;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      fresh.swap(inbox_);
+    }
+    for (auto& conn : fresh) {
+      epoll_event ev{};
+      ev.events = EPOLLIN | EPOLLRDHUP;
+      ev.data.fd = conn->fd;
+      if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, conn->fd, &ev) < 0) {
+        continue;  // fd already dead; dropping the ref closes it
+      }
+      conns_.emplace(conn->fd, std::move(conn));
+    }
+  }
+
+  void on_readable(int fd) {
+    const auto it = conns_.find(fd);
+    if (it == conns_.end()) return;  // dropped earlier in this batch
+    const std::shared_ptr<Conn> conn = it->second;
+    char buf[16 * 1024];
+    // Level-triggered: bounded rounds per event keep one firehose
+    // connection from starving its reactor siblings; epoll re-fires for
+    // whatever is left.
+    for (int round = 0; round < 4; ++round) {
+      const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        drop(fd);
+        return;
+      }
+      if (n == 0) {  // EOF, peer reset, or SHUT_RD during drain
+        drop(fd);
+        return;
+      }
+      server_->ingest(conn, buf, static_cast<std::size_t>(n));
+    }
+  }
+
+  /// Forget a connection: out of epoll, out of the table. In-flight
+  /// replies still hold the Conn; the socket closes when the last one
+  /// completes.
+  void drop(int fd) {
+    (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+    conns_.erase(fd);
+  }
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  Server* server_ = nullptr;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::mutex mu_;
+  std::vector<std::shared_ptr<Conn>> inbox_;       // guarded by mu_
+  std::unordered_map<int, std::shared_ptr<Conn>> conns_;  // loop thread only
 };
 
 Server::Server(ServerConfig config)
@@ -63,9 +216,31 @@ Server::Server(ServerConfig config)
 
 Server::~Server() { stop(); }
 
+Status Server::unwind_start(Status why) {
+  for (auto& r : reactors_) r->request_stop();
+  for (auto& r : reactors_) r->join();
+  reactors_.clear();
+  for (const int fd : listen_fds_) ::close(fd);
+  listen_fds_.clear();
+  if (unix_bound_) {
+    ::unlink(config_.unix_path.c_str());
+    unix_bound_ = false;
+  }
+  bound_tcp_port_ = -1;
+  return why;
+}
+
 Status Server::start() {
   if (config_.unix_path.empty() && config_.tcp_port < 0) {
     return Status::error("server needs a unix path or a tcp port");
+  }
+  if (config_.tcp_port > 65535) {
+    return Status::error("tcp port out of range: " +
+                         std::to_string(config_.tcp_port) +
+                         " (expected 0..65535)");
+  }
+  if (config_.reactors < 1) {
+    return Status::error("server needs >= 1 reactor thread");
   }
 
   if (!config_.unix_path.empty()) {
@@ -87,6 +262,7 @@ Status Server::start() {
     if (::listen(fd, 128) < 0) {
       const Status s = errno_status("listen(unix)");
       ::close(fd);
+      ::unlink(config_.unix_path.c_str());
       return s;
     }
     unix_bound_ = true;
@@ -98,22 +274,22 @@ Status Server::start() {
     addr.sin_family = AF_INET;
     addr.sin_port = htons(static_cast<std::uint16_t>(config_.tcp_port));
     if (::inet_pton(AF_INET, config_.tcp_host.c_str(), &addr.sin_addr) != 1) {
-      return Status::error("bad tcp host: " + config_.tcp_host);
+      return unwind_start(Status::error("bad tcp host: " + config_.tcp_host));
     }
     const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (fd < 0) return errno_status("socket(tcp)");
+    if (fd < 0) return unwind_start(errno_status("socket(tcp)"));
     const int one = 1;
     ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
     if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
       const Status s = errno_status("bind(" + config_.tcp_host + ":" +
                                     std::to_string(config_.tcp_port) + ")");
       ::close(fd);
-      return s;
+      return unwind_start(s);
     }
     if (::listen(fd, 128) < 0) {
       const Status s = errno_status("listen(tcp)");
       ::close(fd);
-      return s;
+      return unwind_start(s);
     }
     sockaddr_in bound{};
     socklen_t blen = sizeof bound;
@@ -121,6 +297,14 @@ Status Server::start() {
       bound_tcp_port_ = ntohs(bound.sin_port);
     }
     listen_fds_.push_back(fd);
+  }
+
+  reactors_.reserve(static_cast<std::size_t>(config_.reactors));
+  for (int i = 0; i < config_.reactors; ++i) {
+    auto reactor = std::make_unique<Reactor>();
+    const Status s = reactor->start(this);
+    if (!s) return unwind_start(s);
+    reactors_.push_back(std::move(reactor));
   }
 
   acceptors_.reserve(listen_fds_.size());
@@ -131,8 +315,10 @@ Status Server::start() {
 }
 
 void Server::accept_loop(int listen_fd) {
+  std::size_t prune_at = 64;
   for (;;) {
-    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    const int fd =
+        ::accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
       if (errno == EINTR) continue;
       return;  // listener shut down (stop()) or fatal — either way, done
@@ -143,6 +329,7 @@ void Server::accept_loop(int listen_fd) {
     }
     auto conn = std::make_shared<Conn>();
     conn->fd = fd;
+    conn->hard_cap = config_.service.parse.max_bytes + 4096;
     {
       std::lock_guard<std::mutex> lock(conns_mu_);
       if (stopped_) {  // raced with stop(): refuse
@@ -151,54 +338,54 @@ void Server::accept_loop(int listen_fd) {
         continue;
       }
       conns_.push_back(conn);
-      conn_threads_.emplace_back([this, conn] { conn_loop(conn); });
+      // A long-lived daemon must not accumulate one tombstone per
+      // connection ever accepted: sweep expired entries, amortized O(1)
+      // per accept.
+      if (conns_.size() >= prune_at) {
+        conns_.remove_if([](const std::weak_ptr<Conn>& w) { return w.expired(); });
+        prune_at = std::max<std::size_t>(64, conns_.size() * 2);
+      }
     }
+    const std::size_t idx =
+        next_reactor_.fetch_add(1, std::memory_order_relaxed) %
+        reactors_.size();
+    reactors_[idx]->add_conn(std::move(conn));
   }
 }
 
-void Server::conn_loop(std::shared_ptr<Conn> conn) {
-  std::string pending;
+void Server::ingest(const std::shared_ptr<Conn>& conn, const char* buf,
+                    std::size_t len) {
   // A line longer than the parse limit can never become a valid request;
   // reply once and discard bytes until its newline instead of buffering.
-  const std::size_t hard_cap = config_.service.parse.max_bytes + 4096;
-  bool discarding = false;
-  char buf[16 * 1024];
-  for (;;) {
-    const ssize_t n = ::recv(conn->fd, buf, sizeof buf, 0);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) break;  // EOF, peer reset, or SHUT_RD during drain
-    std::size_t start = 0;
-    for (ssize_t i = 0; i < n; ++i) {
-      if (buf[i] != '\n') continue;
-      if (discarding) {
-        discarding = false;
-      } else {
-        pending.append(buf + start, static_cast<std::size_t>(i) -
-                                        static_cast<std::size_t>(start));
-        if (!pending.empty() && pending.back() == '\r') pending.pop_back();
-        if (!pending.empty()) {
-          service_.submit(pending,
-                          [conn](std::string reply) { conn->write_line(reply); });
-        }
-        pending.clear();
+  std::string& pending = conn->pending;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < len; ++i) {
+    if (buf[i] != '\n') continue;
+    if (conn->discarding) {
+      conn->discarding = false;
+    } else {
+      pending.append(buf + start, i - start);
+      if (!pending.empty() && pending.back() == '\r') pending.pop_back();
+      if (!pending.empty()) {
+        service_.submit(pending,
+                        [conn](std::string reply) { conn->write_line(reply); });
       }
-      start = static_cast<std::size_t>(i) + 1;
+      pending.clear();
     }
-    if (!discarding) {
-      pending.append(buf + start, static_cast<std::size_t>(n) - start);
-      if (pending.size() > hard_cap) {
-        conn->write_line(error_reply(
-            0, ErrorCode::kParseError,
-            "request line exceeds " +
-                std::to_string(config_.service.parse.max_bytes) + " bytes"));
-        pending.clear();
-        pending.shrink_to_fit();
-        discarding = true;
-      }
+    start = i + 1;
+  }
+  if (!conn->discarding) {
+    pending.append(buf + start, len - start);
+    if (pending.size() > conn->hard_cap) {
+      conn->write_line(error_reply(
+          0, ErrorCode::kParseError,
+          "request line exceeds " +
+              std::to_string(config_.service.parse.max_bytes) + " bytes"));
+      pending.clear();
+      pending.shrink_to_fit();
+      conn->discarding = true;
     }
   }
-  // In-flight replies still hold the Conn; the socket closes when the
-  // last one completes.
 }
 
 bool Server::stop() {
@@ -230,21 +417,21 @@ bool Server::stop() {
     }
   }
 
-  // 3. Drain every accepted request and flush its reply.
+  // 3. Drain every accepted request and flush its reply. The reactors
+  //    keep running through the drain, consuming the EOFs from step 2.
   const bool drained = service_.shutdown(config_.drain_deadline);
   if (!drained) {
     log_warn("papd: drain deadline exceeded; abandoning in-flight work");
   }
 
-  // 4. Reader threads saw EOF after SHUT_RD; join and release sockets.
-  std::vector<std::thread> threads;
+  // 4. Retire the reactor fleet and release sockets (reply closures from
+  //    an abandoned drain keep their Conn — and its fd — alive safely).
+  for (auto& r : reactors_) r->request_stop();
+  for (auto& r : reactors_) r->join();
+  reactors_.clear();
   {
     std::lock_guard<std::mutex> lock(conns_mu_);
-    threads.swap(conn_threads_);
     conns_.clear();
-  }
-  for (auto& t : threads) {
-    if (t.joinable()) t.join();
   }
   return drained;
 }

@@ -1,21 +1,36 @@
-// papd network front-end: listeners + connection threads in front of an
-// AnalysisService.
+// papd network front-end: listeners + an epoll reactor fleet in front of
+// an AnalysisService.
 //
 // The server accepts connections on a Unix-domain socket and/or a local
 // TCP port, frames the byte stream into newline-delimited request lines,
-// and feeds each line to the service. Replies are written back on the
-// originating connection (one line each, under a per-connection write
-// lock, so pipelined replies never interleave mid-line). Connections are
-// handled one thread each — the concurrency that matters is in the
-// service's worker pool, not here.
+// and feeds each line to the service. Connections are *not* one thread
+// each: one blocking acceptor thread per listener hands accepted sockets
+// (switched to nonblocking) round-robin to a small fleet of reactor
+// threads, each running an epoll event loop over its share of the
+// connections. Thread count is fixed at acceptors + reactors + service
+// workers no matter how many clients connect — the thread-per-connection
+// design this replaced fell over around ~10k sockets, and leaked one
+// joinable thread handle per connection ever accepted on top.
+//
+// Each connection owns a read buffer (the partial line accumulated across
+// recv()s, with the oversized-line discard: a line past the parse limit
+// costs one parse_error reply and the rest of the line is dropped, not
+// buffered). Replies are written back on the originating connection by
+// the service worker that computed them, under a per-connection write
+// lock so pipelined replies never interleave mid-line; the socket being
+// nonblocking, a full kernel buffer is waited out with a bounded poll()
+// and a peer stuck past that bound has its reply dropped — a slow client
+// stalls only its own replies, never the reactors.
 //
 // Graceful stop (`stop`, the SIGTERM path in tools/papd.cpp):
-//   1. listeners close — new connections are refused by the OS;
+//   1. listeners close and acceptors join — new connections are refused
+//      by the OS;
 //   2. live connections get shutdown(SHUT_RD) — readers see EOF and stop
 //      producing work, but the write side stays open;
 //   3. the service drains: every already-accepted request completes and
 //      its reply is flushed to the client;
-//   4. connection threads join and sockets close.
+//   4. reactor threads join and sockets close (a reply closure still in
+//      flight keeps its connection's socket alive until delivered).
 // `stop` returns true when the drain finished inside the configured
 // deadline, false when workers had to be abandoned.
 #pragma once
@@ -38,6 +53,7 @@ struct ServerConfig {
   std::string unix_path;              ///< empty = no Unix listener
   std::string tcp_host = "127.0.0.1";
   int tcp_port = -1;                  ///< -1 = no TCP listener; 0 = ephemeral
+  int reactors = 2;                   ///< epoll event-loop threads (>= 1)
   ServiceConfig service;
   std::chrono::milliseconds drain_deadline{5000};
 };
@@ -50,8 +66,12 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Bind + listen on the configured endpoints and start accepting.
-  /// Requires at least one endpoint. Fails (Status) on bind errors.
+  /// Bind + listen on the configured endpoints, start the reactor fleet
+  /// and the acceptors. Requires at least one endpoint; a tcp_port
+  /// outside 0..65535 is a named error, never a silent uint16 truncation.
+  /// On any failure every listener already bound is unwound (fds closed,
+  /// the Unix socket file unlinked) — a failed start leaves nothing
+  /// behind.
   Status start();
 
   /// The actually bound TCP port (useful with tcp_port = 0), or -1.
@@ -64,22 +84,31 @@ class Server {
   const ServerConfig& config() const { return config_; }
 
  private:
-  struct Conn;  // shared by the reader thread and in-flight reply closures
+  struct Conn;     // shared by its reactor and in-flight reply closures
+  class Reactor;   // one epoll event loop; defined in server.cpp
 
   void accept_loop(int listen_fd);
-  void conn_loop(std::shared_ptr<Conn> conn);
+  /// Read-side byte intake for one connection: line framing, oversized
+  /// discard, submit. Runs on the connection's reactor thread only.
+  void ingest(const std::shared_ptr<Conn>& conn, const char* buf,
+              std::size_t len);
+  /// Close every bound listener (+ unlink the Unix socket file) and stop
+  /// any reactors already running; returns `why` for tail-calling out of
+  /// a partially failed start().
+  Status unwind_start(Status why);
 
   ServerConfig config_;
   AnalysisService service_;
 
   std::vector<int> listen_fds_;
   std::vector<std::thread> acceptors_;
+  std::vector<std::unique_ptr<Reactor>> reactors_;
+  std::atomic<std::size_t> next_reactor_{0};  // round-robin assignment
   int bound_tcp_port_ = -1;
   bool unix_bound_ = false;
 
   std::mutex conns_mu_;
   std::list<std::weak_ptr<Conn>> conns_;      // live connections (pruned lazily)
-  std::vector<std::thread> conn_threads_;     // joined in stop()
   std::atomic<bool> stopping_{false};
   bool stopped_ = false;
 };

@@ -14,6 +14,7 @@
 
 #include "common/check.hpp"
 #include "common/stats.hpp"
+#include "serve/diskcache.hpp"
 
 namespace pap::serve {
 
@@ -85,7 +86,7 @@ struct OpLatency {
 }  // namespace
 
 struct AnalysisService::State {
-  explicit State(const ServiceConfig& cfg) : config(cfg) {
+  explicit State(const ServiceConfig& cfg) : config(cfg), disk(cfg.cache_dir) {
     const std::size_t per_shard =
         cfg.cache_entries == 0
             ? 0
@@ -118,6 +119,7 @@ struct AnalysisService::State {
   int running = 0;  // jobs currently executing in a worker
 
   std::array<LruShard, kShards> cache;
+  const DiskCache disk;  // persistent tier under the LRU; no-op when disabled
   trace::CounterRegistry counters;
   // Keys fixed at construction; the map itself is never mutated after, so
   // lock-free lookup is safe and each OpLatency has its own mutex.
@@ -186,6 +188,21 @@ void AnalysisService::submit_request(Request req, ReplyFn reply,
   if (config_.cache_entries != 0) {
     if (auto hit = st.shard_of(key).get(key)) {
       st.counters.add("serve", req.op + "/cache_hits");
+      st.counters.add("serve", req.op + "/ok");
+      st.latency.at(req.op).record(us_since(t0));
+      reply(ok_reply(req.id, *hit));
+      return;
+    }
+  }
+
+  // Second chance: the persistent tier. A verified disk hit refills the
+  // LRU (so the file read is paid once per key per process) and is
+  // answered inline like an LRU hit — the payload bytes are identical to
+  // a computed answer by construction.
+  if (st.disk.enabled()) {
+    if (auto hit = st.disk.load(key)) {
+      if (config_.cache_entries != 0) st.shard_of(key).put(key, *hit);
+      st.counters.add("serve", req.op + "/disk_hits");
       st.counters.add("serve", req.op + "/ok");
       st.latency.at(req.op).record(us_since(t0));
       reply(ok_reply(req.id, *hit));
@@ -277,6 +294,7 @@ void AnalysisService::worker_loop(std::shared_ptr<State> state) {
       // Populate the cache before unpublishing the in-flight entry so an
       // identical request arriving in between hits one of the two.
       if (st.config.cache_entries != 0) st.shard_of(job->key).put(job->key, payload);
+      st.disk.store(job->key, payload);  // no-op when the disk tier is off
     }
 
     std::vector<State::Waiter> waiters;
@@ -363,8 +381,8 @@ std::string AnalysisService::stats_json() const {
     if (!first_op) out += ',';
     first_op = false;
     out += json_quote(op) + ":{";
-    const char* names[] = {"requests", "ok",        "errors",
-                           "cache_hits", "coalesced", "overloaded"};
+    const char* names[] = {"requests",   "ok",        "errors",    "cache_hits",
+                           "disk_hits",  "coalesced", "overloaded"};
     bool first = true;
     for (const char* n : names) {
       if (!first) out += ',';

@@ -10,7 +10,13 @@
 //   * caching     — completed answers enter a sharded LRU keyed by the
 //                   same content identity the offline exp::ResultCache
 //                   uses; repeat requests are answered inline on the
-//                   submitting thread without touching the queue.
+//                   submitting thread without touching the queue. With a
+//                   cache_dir configured, a persistent disk tier
+//                   (serve::DiskCache) sits under the LRU: answers are
+//                   persisted on completion, an LRU miss consults the disk
+//                   before queueing, and a disk hit refills the LRU — so
+//                   warm results survive restarts and are shared across a
+//                   shard fleet.
 //   * backpressure— the pending-job queue is bounded. When it is full a
 //                   new (non-coalescible) request is answered immediately
 //                   with an `overloaded` error instead of buffering — the
@@ -49,6 +55,10 @@ struct ServiceConfig {
   int workers = 4;                    ///< handler threads (>= 1)
   std::size_t queue_capacity = 1024;  ///< pending unique jobs before 429s
   std::size_t cache_entries = 4096;   ///< LRU capacity; 0 disables caching
+  /// Directory for the persistent disk tier under the LRU (serve::DiskCache):
+  /// survives restarts and is shared read-mostly across papd processes.
+  /// Empty disables it.
+  std::string cache_dir;
   bool coalesce = true;               ///< batch identical in-flight requests
   ParseLimits parse;                  ///< request line limits
   HandlerLimits handlers;             ///< per-endpoint work bounds

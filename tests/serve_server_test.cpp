@@ -174,6 +174,54 @@ TEST(Server, StopFlushesInFlightReplies) {
   EXPECT_FALSE(c.read_line().has_value());
 }
 
+// Regression: start() used to leave the bound Unix listener (and its
+// socket file) behind when the TCP listener failed to come up afterwards —
+// a half-started server nobody could stop() and a stale socket file that
+// broke the next start. A failed start must unwind completely.
+TEST(Server, StartFailureUnwindsUnixListenerAndSocketFile) {
+  ServerConfig cfg;
+  cfg.unix_path = test_socket_path("unwind");
+  cfg.tcp_port = 7171;
+  cfg.tcp_host = "definitely not an address";  // TCP setup fails after Unix
+  Server server(cfg);
+  const Status st = server.start();
+  ASSERT_FALSE(st.is_ok());
+
+  // The socket file is gone and nothing is listening on it.
+  EXPECT_NE(::access(cfg.unix_path.c_str(), F_OK), 0)
+      << "stale socket file left behind by failed start";
+  EXPECT_FALSE(Client::connect_unix(cfg.unix_path).has_value());
+
+  // The path is reusable immediately: a corrected config starts cleanly.
+  ServerConfig good = cfg;
+  good.tcp_port = -1;
+  good.tcp_host = "127.0.0.1";
+  Server retry(good);
+  ASSERT_TRUE(retry.start().is_ok());
+  auto c = Client::connect_unix(good.unix_path);
+  ASSERT_TRUE(c.has_value()) << c.error_message();
+  auto pong = c.value().call(R"({"id":1,"op":"ping"})");
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_NE(pong.value().find("pong"), pong.value().npos);
+  EXPECT_TRUE(retry.stop());
+}
+
+// Regression: ServerConfig::tcp_port was cast straight to uint16, so
+// 70000 silently bound port 4464. Out-of-range ports must be refused by
+// name before any socket is created.
+TEST(Server, TcpPortOutOfRangeIsRefusedByName) {
+  for (const int bad : {65536, 70000, 1 << 20}) {
+    ServerConfig cfg;
+    cfg.tcp_port = bad;
+    Server server(cfg);
+    const Status st = server.start();
+    ASSERT_FALSE(st.is_ok()) << "port " << bad << " must not truncate";
+    EXPECT_NE(st.message().find("out of range"), st.message().npos)
+        << st.message();
+    EXPECT_LT(server.tcp_port(), 0);
+  }
+}
+
 // The satellite contract, against the real binary: SIGTERM with N requests
 // in flight → all N replies delivered, new connections refused, exit 0.
 TEST(Server, PapdBinarySigtermDrainsAndExitsZero) {

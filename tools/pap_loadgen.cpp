@@ -9,6 +9,14 @@
 //
 //   pap_loadgen --unix /tmp/papd.sock --requests 10000 --connections 8
 //   pap_loadgen --tcp 7171 --requests 1000 --dump replies.txt
+//   pap_loadgen --shard unix:/tmp/papd0.sock --shard unix:/tmp/papd1.sock ...
+//
+// Sharded mode (`--shard ENDPOINT`, repeatable; unix:PATH / tcp:PORT /
+// tcp:HOST:PORT): every request is routed to its home shard by
+// `serve::Client::route` over the request's cache identity — the same
+// consistent hash every other client uses, so shard caches stay hot. The
+// reply set is byte-identical to a single-daemon run over the same
+// requests, which the CI smoke job asserts with `cmp` on `--dump` files.
 //
 // Prints achieved throughput and latency percentiles; exits nonzero when
 // any reply was an error (use --expect-overload to tolerate `overloaded`
@@ -26,6 +34,7 @@
 
 #include "common/stats.hpp"
 #include "serve/client.hpp"
+#include "serve/protocol.hpp"
 
 namespace {
 
@@ -35,6 +44,7 @@ struct Options {
   std::string unix_path;
   std::string host = "127.0.0.1";
   int tcp_port = -1;
+  std::vector<std::string> shard_specs;  ///< non-empty = sharded fleet mode
   long requests = 1000;
   int connections = 4;
   int pipeline = 16;
@@ -101,40 +111,77 @@ bool reply_has_code(const std::string& reply, const char* code) {
              std::string::npos;
 }
 
-void run_connection(const Options& opt, int conn_index, WorkerResult* out) {
-  auto connected = opt.unix_path.empty()
-                       ? pap::serve::Client::connect_tcp(opt.host, opt.tcp_port)
-                       : pap::serve::Client::connect_unix(opt.unix_path);
-  if (!connected) {
-    out->fatal = connected.error_message();
-    return;
+/// One worker: owns global indices i with i % connections == conn_index.
+/// Single-endpoint mode keeps one pipelined connection; sharded mode keeps
+/// one connection per shard and routes each request to its home shard by
+/// the request's cache identity, still respecting the global pipeline cap.
+void run_connection(const Options& opt, const pap::serve::ShardRouter* router,
+                    int conn_index, WorkerResult* out) {
+  std::vector<pap::serve::Client> clients;
+  if (router != nullptr) {
+    for (std::size_t s = 0; s < router->size(); ++s) {
+      auto connected = router->connect(s);
+      if (!connected) {
+        out->fatal = connected.error_message();
+        return;
+      }
+      clients.push_back(std::move(connected.value()));
+    }
+  } else {
+    auto connected = opt.unix_path.empty()
+                         ? pap::serve::Client::connect_tcp(opt.host,
+                                                           opt.tcp_port)
+                         : pap::serve::Client::connect_unix(opt.unix_path);
+    if (!connected) {
+      out->fatal = connected.error_message();
+      return;
+    }
+    clients.push_back(std::move(connected.value()));
   }
-  pap::serve::Client client = std::move(connected.value());
 
-  // This connection owns global indices i with i % connections == index.
   std::vector<long> ids;
   for (long i = conn_index; i < opt.requests; i += opt.connections) {
     ids.push_back(i);
   }
 
   std::unordered_map<long, Clock::time_point> sent_at;
+  std::vector<long> outstanding(clients.size(), 0);
   std::size_t next = 0;
-  long outstanding = 0;
+  long total_outstanding = 0;
   long completed = 0;
   const long total = static_cast<long>(ids.size());
   while (completed < total) {
-    while (outstanding < opt.pipeline && next < ids.size()) {
+    while (total_outstanding < opt.pipeline && next < ids.size()) {
       const long id = ids[next++];
       const std::string line = request_for(id, opt);
+      std::size_t shard = 0;
+      if (router != nullptr) {
+        // Route by the protocol identity (op + canonical params) — the
+        // exact key the shard's cache and coalescing layers use.
+        auto parsed = pap::serve::parse_request(line);
+        if (!parsed) {  // cannot happen: request_for emits valid lines
+          out->fatal = "unroutable request: " + parsed.error_message();
+          return;
+        }
+        shard = router->route(parsed.value().key());
+      }
       sent_at[id] = Clock::now();
-      const pap::Status sent = client.send_line(line);
+      const pap::Status sent = clients[shard].send_line(line);
       if (!sent) {
         out->fatal = sent.message();
         return;
       }
-      ++outstanding;
+      ++outstanding[shard];
+      ++total_outstanding;
     }
-    auto reply = client.read_line();
+    // Read from the connection with the deepest pipeline — it is
+    // guaranteed to owe us a reply, and draining the deepest first keeps
+    // every shard's pipeline moving.
+    std::size_t busiest = 0;
+    for (std::size_t s = 1; s < outstanding.size(); ++s) {
+      if (outstanding[s] > outstanding[busiest]) busiest = s;
+    }
+    auto reply = clients[busiest].read_line();
     if (!reply) {
       out->fatal = reply.error_message();
       return;
@@ -156,7 +203,8 @@ void run_connection(const Options& opt, int conn_index, WorkerResult* out) {
                           .count();
     out->latency.add(pap::Time::from_ns(us * 1000.0));
     sent_at.erase(it);
-    --outstanding;
+    --outstanding[busiest];
+    --total_outstanding;
     ++completed;
     if (line.find("\"ok\":true") != std::string::npos) {
       ++out->ok;
@@ -172,9 +220,13 @@ void run_connection(const Options& opt, int conn_index, WorkerResult* out) {
 void usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s (--unix PATH | --tcp PORT) [--host ADDR] [--requests N]\n"
-      "          [--connections C] [--pipeline P] [--with-scenario]\n"
-      "          [--expect-overload] [--dump FILE] [--quiet]\n",
+      "usage: %s (--unix PATH | --tcp PORT | --shard EP...) [--host ADDR]\n"
+      "          [--requests N] [--connections C] [--pipeline P]\n"
+      "          [--with-scenario] [--expect-overload] [--dump FILE]\n"
+      "          [--quiet]\n"
+      "--shard EP (repeatable) drives a papd fleet; EP is unix:PATH,\n"
+      "tcp:PORT or tcp:HOST:PORT. Requests route to their home shard by\n"
+      "consistent hash of the request identity.\n",
       argv0);
 }
 
@@ -201,6 +253,8 @@ int main(int argc, char** argv) {
       opt.tcp_port = static_cast<int>(v);
     } else if (arg == "--host" && has_next) {
       opt.host = argv[++i];
+    } else if (arg == "--shard" && has_next) {
+      opt.shard_specs.push_back(argv[++i]);
     } else if (arg == "--requests" && has_next &&
                parse_long(argv[++i], 1, 100000000, &v)) {
       opt.requests = v;
@@ -227,7 +281,7 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (opt.unix_path.empty() && opt.tcp_port < 0) {
+  if (opt.unix_path.empty() && opt.tcp_port < 0 && opt.shard_specs.empty()) {
     usage(argv[0]);
     return 2;
   }
@@ -235,11 +289,29 @@ int main(int argc, char** argv) {
     opt.connections = static_cast<int>(opt.requests);
   }
 
+  pap::serve::ShardRouter router;
+  if (!opt.shard_specs.empty()) {
+    std::vector<pap::serve::ShardEndpoint> endpoints;
+    for (const auto& spec : opt.shard_specs) {
+      auto parsed = pap::serve::parse_endpoint(spec);
+      if (!parsed) {
+        std::fprintf(stderr, "pap_loadgen: %s\n",
+                     parsed.error_message().c_str());
+        return 2;
+      }
+      endpoints.push_back(std::move(parsed.value()));
+    }
+    router = pap::serve::ShardRouter(std::move(endpoints));
+  }
+  const pap::serve::ShardRouter* route_with =
+      opt.shard_specs.empty() ? nullptr : &router;
+
   std::vector<WorkerResult> results(static_cast<std::size_t>(opt.connections));
   std::vector<std::thread> threads;
   const auto t0 = Clock::now();
   for (int c = 0; c < opt.connections; ++c) {
-    threads.emplace_back(run_connection, std::cref(opt), c, &results[c]);
+    threads.emplace_back(run_connection, std::cref(opt), route_with, c,
+                         &results[c]);
   }
   for (auto& t : threads) t.join();
   const double seconds =

@@ -25,10 +25,12 @@ void usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--unix PATH] [--tcp PORT] [--host ADDR] [--workers N]\n"
-      "          [--queue N] [--cache N] [--no-coalesce] [--drain-ms N]\n"
-      "          [--verbose]\n"
+      "          [--reactors N] [--queue N] [--cache N] [--cache-dir DIR]\n"
+      "          [--no-coalesce] [--drain-ms N] [--verbose]\n"
       "At least one of --unix / --tcp is required. --tcp 0 picks an\n"
-      "ephemeral port (printed on stdout as 'papd: tcp port NNNN').\n",
+      "ephemeral port (printed on stdout as 'papd: tcp port NNNN').\n"
+      "--cache-dir enables the persistent result cache (survives restarts;\n"
+      "safe to share read-mostly across a shard fleet).\n",
       argv0);
 }
 
@@ -67,6 +69,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--cache" && has_next &&
                parse_int(argv[++i], 0, 1 << 24, &v)) {
       config.service.cache_entries = static_cast<std::size_t>(v);
+    } else if (arg == "--cache-dir" && has_next) {
+      config.service.cache_dir = argv[++i];
+    } else if (arg == "--reactors" && has_next &&
+               parse_int(argv[++i], 1, 64, &v)) {
+      config.reactors = static_cast<int>(v);
     } else if (arg == "--no-coalesce") {
       config.service.coalesce = false;
     } else if (arg == "--drain-ms" && has_next &&
@@ -109,9 +116,12 @@ int main(int argc, char** argv) {
   if (server.tcp_port() >= 0) {
     std::fprintf(stdout, "papd: tcp port %d\n", server.tcp_port());
   }
-  std::fprintf(stdout, "papd: ready (%d workers, queue %zu, cache %zu)\n",
-               config.service.workers, config.service.queue_capacity,
-               config.service.cache_entries);
+  std::fprintf(stdout,
+               "papd: ready (%d workers, %d reactors, queue %zu, cache %zu%s%s)\n",
+               config.service.workers, config.reactors,
+               config.service.queue_capacity, config.service.cache_entries,
+               config.service.cache_dir.empty() ? "" : ", disk ",
+               config.service.cache_dir.c_str());
   std::fflush(stdout);
 
   int sig = 0;
