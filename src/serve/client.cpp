@@ -196,6 +196,23 @@ Expected<ShardEndpoint> parse_endpoint(const std::string& text) {
     if (colon != std::string::npos) {
       ep.host = rest.substr(0, colon);
       port_text = rest.substr(colon + 1);
+      if (ep.host.empty()) {
+        return Expected<ShardEndpoint>::error("empty host in '" + text +
+                                              "' (expected tcp:HOST:PORT)");
+      }
+      // The grammar is tcp:PORT or tcp:IPV4HOST:PORT. An IPv6 literal
+      // ("tcp:::1:7171") would otherwise split on its last colon and
+      // silently misparse into a wrong host — refuse it by name.
+      if (ep.host.find(':') != std::string::npos) {
+        return Expected<ShardEndpoint>::error(
+            "IPv6 literal in '" + text +
+            "' is not supported (endpoint grammar is tcp:PORT or "
+            "tcp:IPV4HOST:PORT)");
+      }
+    }
+    if (port_text.empty()) {
+      return Expected<ShardEndpoint>::error("empty tcp port in '" + text +
+                                            "' (expected 1..65535)");
     }
     char* end = nullptr;
     const long port = std::strtol(port_text.c_str(), &end, 10);

@@ -3,7 +3,6 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
-#include <poll.h>
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
@@ -13,6 +12,7 @@
 #include <cerrno>
 #include <cstring>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/log.hpp"
 #include "serve/protocol.hpp"
@@ -25,62 +25,108 @@ Status errno_status(const std::string& what) {
   return Status::error(what + ": " + std::strerror(errno));
 }
 
-/// Per-reply flush bound: a peer that accepts no bytes for this long in a
-/// row has its reply dropped, so a stuck client can stall only its own
-/// replies and only for a bounded time.
-constexpr std::chrono::seconds kWriteStall{5};
+/// Hard bound on a connection's queued-but-unsent reply bytes. A peer
+/// that pipelines requests without reading replies hits this and is
+/// disconnected; memory per slow client stays bounded.
+constexpr std::size_t kOutBufCap = 4u << 20;
+
+using SteadyClock = std::chrono::steady_clock;
 
 }  // namespace
 
 /// One live connection. Reply closures hold a shared_ptr, so the socket
-/// stays open (and the write lock valid) until the last in-flight reply
-/// for this connection has been written — even after its reactor dropped
-/// it at EOF or the server began draining. The read-side state (pending,
-/// discarding) is touched only by the owning reactor thread.
+/// stays open (and the outbound buffer valid) until the last in-flight
+/// reply for this connection has been queued — even after its reactor
+/// dropped it at EOF or the server began draining. The read-side state
+/// (pending, discarding, events) is touched only by the owning reactor
+/// thread; the outbound state is shared under out_mu, whose critical
+/// sections only append bytes or make one nonblocking send — no thread
+/// ever sleeps holding it, or at all, to write.
 struct Server::Conn {
-  int fd = -1;                ///< nonblocking
+  int fd = -1;                     ///< nonblocking
+  std::weak_ptr<Reactor> reactor;  ///< owner; expired once the fleet retired
   std::size_t hard_cap = 0;   ///< read-buffer bound before oversized discard
   std::string pending;        ///< partial request line across recv()s
   bool discarding = false;    ///< inside an oversized line, eat until '\n'
-  std::mutex write_mu;
+  std::uint32_t events = EPOLLIN | EPOLLRDHUP;  ///< current epoll interest
+
+  std::atomic<bool> read_closed{false};  ///< EOF seen; conn lives for replies
+  std::atomic<int> inflight{0};  ///< submitted requests awaiting their reply
+
+  std::mutex out_mu;
+  std::string out;          ///< reply bytes the socket has not yet accepted
+  std::size_t out_off = 0;  ///< consumed prefix of `out`
+  bool dead = false;        ///< no further writes; being torn down
+  SteadyClock::time_point last_progress{};  ///< socket last accepted bytes
 
   ~Conn() {
     if (fd >= 0) ::close(fd);
   }
 
-  /// Write one reply line. Nonblocking socket: a full kernel buffer is
-  /// waited out with poll() up to kWriteStall, then the reply is dropped
-  /// (dead or stuck peer). Serialized per connection, so pipelined
-  /// replies never interleave mid-line.
-  void write_line(const std::string& reply) {
-    std::lock_guard<std::mutex> lock(write_mu);
-    std::string line = reply;
-    line.push_back('\n');
-    const char* data = line.data();
-    std::size_t len = line.size();
-    const auto deadline = std::chrono::steady_clock::now() + kWriteStall;
-    while (len > 0) {
-      const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+  bool has_pending_locked() const { return out.size() > out_off; }
+
+  /// Push queued bytes with nonblocking sends until the socket refuses or
+  /// the buffer drains. Requires out_mu. Sets `dead` on a dead peer.
+  void flush_locked() {
+    while (has_pending_locked()) {
+      const ssize_t n =
+          ::send(fd, out.data() + out_off, out.size() - out_off, MSG_NOSIGNAL);
       if (n >= 0) {
-        data += static_cast<std::size_t>(n);
-        len -= static_cast<std::size_t>(n);
+        out_off += static_cast<std::size_t>(n);
+        last_progress = SteadyClock::now();
         continue;
       }
       if (errno == EINTR) continue;
-      if (errno != EAGAIN && errno != EWOULDBLOCK) return;  // dead peer: drop
-      if (std::chrono::steady_clock::now() >= deadline) return;  // stuck: drop
-      pollfd p{};
-      p.fd = fd;
-      p.events = POLLOUT;
-      (void)::poll(&p, 1, 100);
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      dead = true;  // peer reset/closed
+      break;
     }
+    if (out_off == out.size() || dead) {
+      out.clear();
+      out_off = 0;
+    } else if (out_off > 64 * 1024) {
+      out.erase(0, out_off);
+      out_off = 0;
+    }
+  }
+
+  enum class SendState { kFlushed, kPending, kDead };
+
+  /// Queue one reply line and push what the socket takes right now; never
+  /// blocks. kPending means bytes remain queued and the reactor must
+  /// finish the flush on EPOLLOUT. Appends under out_mu, so pipelined
+  /// replies from different threads never interleave mid-line. Overflow
+  /// past kOutBufCap (or a dead peer) kills the connection: shutdown()
+  /// makes the reactor reap it, so the client sees a closed socket, never
+  /// a silent hole in its reply stream.
+  SendState enqueue(const std::string& reply) {
+    std::lock_guard<std::mutex> lock(out_mu);
+    if (dead) return SendState::kDead;
+    if (!has_pending_locked()) last_progress = SteadyClock::now();
+    out.append(reply);
+    out.push_back('\n');
+    if (out.size() - out_off > kOutBufCap) {
+      dead = true;
+      out.clear();
+      out_off = 0;
+    } else {
+      flush_locked();
+    }
+    if (dead) {
+      ::shutdown(fd, SHUT_RDWR);
+      return SendState::kDead;
+    }
+    return has_pending_locked() ? SendState::kPending : SendState::kFlushed;
   }
 };
 
 /// One epoll event loop owning a share of the connections. Acceptors hand
 /// connections over through a mutex-guarded inbox plus an eventfd wake;
-/// from then on all read-side work for the connection happens on this
-/// reactor's thread.
+/// from then on all read-side work — and all epoll bookkeeping for the
+/// write side — happens on this reactor's thread. Worker threads that
+/// leave bytes queued on a connection nudge its reactor through the same
+/// inbox/wake mechanism (`request_flush`) instead of touching epoll
+/// themselves.
 class Server::Reactor {
  public:
   Reactor() {
@@ -89,6 +135,7 @@ class Server::Reactor {
   }
 
   ~Reactor() {
+    request_stop();  // destruction is safe even on a never-stopped reactor
     if (thread_.joinable()) thread_.join();
     if (epoll_fd_ >= 0) ::close(epoll_fd_);
     if (wake_fd_ >= 0) ::close(wake_fd_);
@@ -116,6 +163,18 @@ class Server::Reactor {
     wake();
   }
 
+  /// Ask the loop to finish flushing (or reap) a connection that has
+  /// queued output or just delivered its last in-flight reply after EOF.
+  /// Thread-safe; callers reach this through the Conn's weak_ptr, so a
+  /// retired reactor is never touched.
+  void request_flush(std::shared_ptr<Conn> conn) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      flush_inbox_.push_back(std::move(conn));
+    }
+    wake();
+  }
+
   void request_stop() {
     stop_.store(true, std::memory_order_release);
     wake();
@@ -134,7 +193,11 @@ class Server::Reactor {
   void run() {
     epoll_event events[64];
     for (;;) {
-      const int n = ::epoll_wait(epoll_fd_, events, 64, -1);
+      // Block indefinitely only while no connection has queued output;
+      // otherwise tick so the write-stall sweep can disconnect peers that
+      // stopped reading.
+      const int timeout = writable_.empty() ? -1 : 100;
+      const int n = ::epoll_wait(epoll_fd_, events, 64, timeout);
       if (n < 0) {
         if (errno == EINTR) continue;
         return;  // epoll fd gone — shutting down
@@ -143,9 +206,10 @@ class Server::Reactor {
         if (events[i].data.fd == wake_fd_) {
           drain_wake();
         } else {
-          on_readable(events[i].data.fd);
+          on_event(events[i].data.fd, events[i].events);
         }
       }
+      sweep_stalled();
       if (stop_.load(std::memory_order_acquire)) return;
     }
   }
@@ -154,51 +218,168 @@ class Server::Reactor {
     std::uint64_t count = 0;
     (void)!::read(wake_fd_, &count, sizeof count);
     std::vector<std::shared_ptr<Conn>> fresh;
+    std::vector<std::shared_ptr<Conn>> flushes;
     {
       std::lock_guard<std::mutex> lock(mu_);
       fresh.swap(inbox_);
+      flushes.swap(flush_inbox_);
     }
     for (auto& conn : fresh) {
       epoll_event ev{};
-      ev.events = EPOLLIN | EPOLLRDHUP;
+      ev.events = conn->events;
       ev.data.fd = conn->fd;
       if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, conn->fd, &ev) < 0) {
         continue;  // fd already dead; dropping the ref closes it
       }
       conns_.emplace(conn->fd, std::move(conn));
     }
+    for (auto& conn : flushes) try_flush(conn);
   }
 
-  void on_readable(int fd) {
+  void on_event(int fd, std::uint32_t ev) {
     const auto it = conns_.find(fd);
     if (it == conns_.end()) return;  // dropped earlier in this batch
     const std::shared_ptr<Conn> conn = it->second;
+    if (ev & EPOLLOUT) {
+      try_flush(conn);
+      const auto again = conns_.find(fd);
+      if (again == conns_.end() || again->second != conn) return;  // reaped
+    }
+    if (!conn->read_closed.load()) {
+      if (ev & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR)) {
+        on_readable(conn);
+      }
+    } else if (ev & (EPOLLHUP | EPOLLERR)) {
+      kill(conn);  // peer gone; parked replies are undeliverable
+    }
+  }
+
+  void on_readable(const std::shared_ptr<Conn>& conn) {
     char buf[16 * 1024];
     // Level-triggered: bounded rounds per event keep one firehose
     // connection from starving its reactor siblings; epoll re-fires for
     // whatever is left.
     for (int round = 0; round < 4; ++round) {
-      const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+      const ssize_t n = ::recv(conn->fd, buf, sizeof buf, 0);
       if (n < 0) {
         if (errno == EINTR) continue;
         if (errno == EAGAIN || errno == EWOULDBLOCK) return;
-        drop(fd);
+        kill(conn);
         return;
       }
       if (n == 0) {  // EOF, peer reset, or SHUT_RD during drain
-        drop(fd);
+        on_eof(conn);
         return;
       }
       server_->ingest(conn, buf, static_cast<std::size_t>(n));
+      if (conns_.find(conn->fd) == conns_.end()) return;  // killed by ingest
     }
   }
 
-  /// Forget a connection: out of epoll, out of the table. In-flight
-  /// replies still hold the Conn; the socket closes when the last one
-  /// completes.
-  void drop(int fd) {
-    (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
-    conns_.erase(fd);
+  /// The peer finished sending. The connection stays parked — readable
+  /// interest off, in the table — until every in-flight reply has been
+  /// queued and flushed, which is what makes the drain guarantee hold.
+  void on_eof(const std::shared_ptr<Conn>& conn) {
+    conn->read_closed.store(true);
+    bool pending = false;
+    bool dead = false;
+    {
+      std::lock_guard<std::mutex> lock(conn->out_mu);
+      pending = conn->has_pending_locked();
+      dead = conn->dead;
+    }
+    if (dead) {
+      kill(conn);
+      return;
+    }
+    if (!pending && conn->inflight.load() == 0) {
+      remove(conn);  // fully answered: let the refcount close the socket
+      return;
+    }
+    update_events(conn, pending ? EPOLLOUT : 0u);
+  }
+
+  /// Push queued bytes, then update epoll interest to match what is left;
+  /// reaps the connection once it is both drained and done.
+  void try_flush(const std::shared_ptr<Conn>& conn) {
+    const auto it = conns_.find(conn->fd);
+    if (it == conns_.end() || it->second != conn) return;  // already gone
+    bool pending = false;
+    bool dead = false;
+    {
+      std::lock_guard<std::mutex> lock(conn->out_mu);
+      conn->flush_locked();
+      pending = conn->has_pending_locked();
+      dead = conn->dead;
+    }
+    if (dead) {
+      kill(conn);
+      return;
+    }
+    if (!pending && conn->read_closed.load() && conn->inflight.load() == 0) {
+      remove(conn);
+      return;
+    }
+    const std::uint32_t base =
+        conn->read_closed.load() ? 0u : (EPOLLIN | EPOLLRDHUP);
+    update_events(conn, base | (pending ? EPOLLOUT : 0u));
+  }
+
+  /// Disconnect peers whose queued output made no progress for the
+  /// configured stall bound — they stopped reading; holding their bytes
+  /// (or silently dropping them) would be worse than a clean close.
+  void sweep_stalled() {
+    if (writable_.empty()) return;
+    const auto now = SteadyClock::now();
+    std::vector<std::shared_ptr<Conn>> stuck;
+    for (const int fd : writable_) {
+      const auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;
+      std::lock_guard<std::mutex> lock(it->second->out_mu);
+      if (it->second->has_pending_locked() &&
+          now - it->second->last_progress >= server_->config_.write_stall) {
+        stuck.push_back(it->second);
+      }
+    }
+    for (auto& conn : stuck) kill(conn);
+  }
+
+  void update_events(const std::shared_ptr<Conn>& conn, std::uint32_t ev) {
+    if (ev & EPOLLOUT) {
+      writable_.insert(conn->fd);
+    } else {
+      writable_.erase(conn->fd);
+    }
+    if (conn->events == ev) return;
+    epoll_event e{};
+    e.events = ev;
+    e.data.fd = conn->fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &e) == 0) {
+      conn->events = ev;
+    }
+  }
+
+  /// Tear a connection down on error, overflow or write stall: mark it
+  /// dead (late replies are dropped at enqueue), shut the socket so the
+  /// peer observes a clean failure, and forget it.
+  void kill(const std::shared_ptr<Conn>& conn) {
+    {
+      std::lock_guard<std::mutex> lock(conn->out_mu);
+      conn->dead = true;
+      conn->out.clear();
+      conn->out_off = 0;
+    }
+    ::shutdown(conn->fd, SHUT_RDWR);
+    remove(conn);
+  }
+
+  /// Forget a connection: out of epoll, out of the tables. In-flight
+  /// reply closures still hold the Conn; the socket closes when the last
+  /// reference drops.
+  void remove(const std::shared_ptr<Conn>& conn) {
+    (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+    writable_.erase(conn->fd);
+    conns_.erase(conn->fd);
   }
 
   int epoll_fd_ = -1;
@@ -207,8 +388,10 @@ class Server::Reactor {
   std::thread thread_;
   std::atomic<bool> stop_{false};
   std::mutex mu_;
-  std::vector<std::shared_ptr<Conn>> inbox_;       // guarded by mu_
+  std::vector<std::shared_ptr<Conn>> inbox_;        // guarded by mu_
+  std::vector<std::shared_ptr<Conn>> flush_inbox_;  // guarded by mu_
   std::unordered_map<int, std::shared_ptr<Conn>> conns_;  // loop thread only
+  std::unordered_set<int> writable_;  // conns with queued output; loop only
 };
 
 Server::Server(ServerConfig config)
@@ -301,7 +484,7 @@ Status Server::start() {
 
   reactors_.reserve(static_cast<std::size_t>(config_.reactors));
   for (int i = 0; i < config_.reactors; ++i) {
-    auto reactor = std::make_unique<Reactor>();
+    auto reactor = std::make_shared<Reactor>();
     const Status s = reactor->start(this);
     if (!s) return unwind_start(s);
     reactors_.push_back(std::move(reactor));
@@ -330,6 +513,7 @@ void Server::accept_loop(int listen_fd) {
     auto conn = std::make_shared<Conn>();
     conn->fd = fd;
     conn->hard_cap = config_.service.parse.max_bytes + 4096;
+    conn->last_progress = SteadyClock::now();
     {
       std::lock_guard<std::mutex> lock(conns_mu_);
       if (stopped_) {  // raced with stop(): refuse
@@ -349,7 +533,17 @@ void Server::accept_loop(int listen_fd) {
     const std::size_t idx =
         next_reactor_.fetch_add(1, std::memory_order_relaxed) %
         reactors_.size();
+    conn->reactor = reactors_[idx];
     reactors_[idx]->add_conn(std::move(conn));
+  }
+}
+
+void Server::deliver(const std::shared_ptr<Conn>& conn,
+                     const std::string& reply) {
+  if (conn->enqueue(reply) == Conn::SendState::kPending) {
+    // The socket would not take everything; the conn's reactor finishes
+    // the flush on EPOLLOUT (and enforces the write-stall bound).
+    if (auto reactor = conn->reactor.lock()) reactor->request_flush(conn);
   }
 }
 
@@ -367,8 +561,18 @@ void Server::ingest(const std::shared_ptr<Conn>& conn, const char* buf,
       pending.append(buf + start, i - start);
       if (!pending.empty() && pending.back() == '\r') pending.pop_back();
       if (!pending.empty()) {
-        service_.submit(pending,
-                        [conn](std::string reply) { conn->write_line(reply); });
+        conn->inflight.fetch_add(1);
+        service_.submit(pending, [this, conn](std::string reply) {
+          deliver(conn, reply);
+          // Last reply after EOF: nudge the reactor so the parked conn is
+          // reaped once its buffer drains (deliver only nudges when bytes
+          // remain queued).
+          if (conn->inflight.fetch_sub(1) == 1 && conn->read_closed.load()) {
+            if (auto reactor = conn->reactor.lock()) {
+              reactor->request_flush(conn);
+            }
+          }
+        });
       }
       pending.clear();
     }
@@ -377,7 +581,7 @@ void Server::ingest(const std::shared_ptr<Conn>& conn, const char* buf,
   if (!conn->discarding) {
     pending.append(buf + start, len - start);
     if (pending.size() > conn->hard_cap) {
-      conn->write_line(error_reply(
+      deliver(conn, error_reply(
           0, ErrorCode::kParseError,
           "request line exceeds " +
               std::to_string(config_.service.parse.max_bytes) + " bytes"));
@@ -422,6 +626,33 @@ bool Server::stop() {
   const bool drained = service_.shutdown(config_.drain_deadline);
   if (!drained) {
     log_warn("papd: drain deadline exceeded; abandoning in-flight work");
+  }
+
+  // 3b. The drain queued its replies; give the still-running reactors a
+  //     bounded window to push any bytes a slow socket has not yet
+  //     accepted. Peers stuck past write_stall are disconnected by the
+  //     reactor sweep, so this loop terminates.
+  if (drained) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          config_.write_stall +
+                          std::chrono::milliseconds(500);
+    for (;;) {
+      bool pending = false;
+      {
+        std::lock_guard<std::mutex> lock(conns_mu_);
+        for (auto& weak : conns_) {
+          if (auto conn = weak.lock()) {
+            std::lock_guard<std::mutex> out_lock(conn->out_mu);
+            if (!conn->dead && conn->has_pending_locked()) {
+              pending = true;
+              break;
+            }
+          }
+        }
+      }
+      if (!pending || std::chrono::steady_clock::now() >= deadline) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
   }
 
   // 4. Retire the reactor fleet and release sockets (reply closures from

@@ -15,12 +15,18 @@
 // Each connection owns a read buffer (the partial line accumulated across
 // recv()s, with the oversized-line discard: a line past the parse limit
 // costs one parse_error reply and the rest of the line is dropped, not
-// buffered). Replies are written back on the originating connection by
-// the service worker that computed them, under a per-connection write
-// lock so pipelined replies never interleave mid-line; the socket being
-// nonblocking, a full kernel buffer is waited out with a bounded poll()
-// and a peer stuck past that bound has its reply dropped — a slow client
-// stalls only its own replies, never the reactors.
+// buffered) and an outbound buffer. Every reply — computed on a worker,
+// or produced inline on the reactor thread (cache hits, parse errors,
+// overload) — is appended to the connection's outbound buffer and pushed
+// with a nonblocking send under a short lock; nothing, on any thread,
+// ever sleeps waiting for a socket to accept bytes. When the kernel
+// buffer is full the leftover stays queued and the connection's reactor
+// finishes the flush on EPOLLOUT. A peer that accepts no bytes for
+// `write_stall`, or lets its outbound buffer grow past a hard cap, is
+// disconnected outright — never left open with a silently dropped reply,
+// which would permanently desync a pipelined client's request/reply
+// matching. A slow client therefore costs its reactor nothing but a
+// bounded buffer, and its own connection at worst.
 //
 // Graceful stop (`stop`, the SIGTERM path in tools/papd.cpp):
 //   1. listeners close and acceptors join — new connections are refused
@@ -56,6 +62,9 @@ struct ServerConfig {
   int reactors = 2;                   ///< epoll event-loop threads (>= 1)
   ServiceConfig service;
   std::chrono::milliseconds drain_deadline{5000};
+  /// A connection whose outbound buffer makes no progress for this long
+  /// (peer stopped reading) is disconnected.
+  std::chrono::milliseconds write_stall{5000};
 };
 
 class Server {
@@ -92,6 +101,9 @@ class Server {
   /// discard, submit. Runs on the connection's reactor thread only.
   void ingest(const std::shared_ptr<Conn>& conn, const char* buf,
               std::size_t len);
+  /// Queue one reply on the connection and push what the socket will take
+  /// right now; never blocks. Callable from any thread.
+  void deliver(const std::shared_ptr<Conn>& conn, const std::string& reply);
   /// Close every bound listener (+ unlink the Unix socket file) and stop
   /// any reactors already running; returns `why` for tail-calling out of
   /// a partially failed start().
@@ -102,7 +114,9 @@ class Server {
 
   std::vector<int> listen_fds_;
   std::vector<std::thread> acceptors_;
-  std::vector<std::unique_ptr<Reactor>> reactors_;
+  // shared_ptr: a reply closure finishing after stop() may still need to
+  // nudge its connection's reactor; weak_ptr in the Conn keeps that safe.
+  std::vector<std::shared_ptr<Reactor>> reactors_;
   std::atomic<std::size_t> next_reactor_{0};  // round-robin assignment
   int bound_tcp_port_ = -1;
   bool unix_bound_ = false;

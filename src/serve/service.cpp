@@ -195,21 +195,10 @@ void AnalysisService::submit_request(Request req, ReplyFn reply,
     }
   }
 
-  // Second chance: the persistent tier. A verified disk hit refills the
-  // LRU (so the file read is paid once per key per process) and is
-  // answered inline like an LRU hit — the payload bytes are identical to
-  // a computed answer by construction.
-  if (st.disk.enabled()) {
-    if (auto hit = st.disk.load(key)) {
-      if (config_.cache_entries != 0) st.shard_of(key).put(key, *hit);
-      st.counters.add("serve", req.op + "/disk_hits");
-      st.counters.add("serve", req.op + "/ok");
-      st.latency.at(req.op).record(us_since(t0));
-      reply(ok_reply(req.id, *hit));
-      return;
-    }
-  }
-
+  // The persistent tier is probed by the worker that picks the job up,
+  // never here: submit() runs on a reactor (event-loop) thread, and a
+  // blocking file read there would add disk latency to every connection
+  // sharing the reactor. Coalescing still means one waiter pays the read.
   ErrorCode inline_error = ErrorCode::kInternal;
   bool send_inline_error = false;
   {
@@ -286,15 +275,32 @@ void AnalysisService::worker_loop(std::shared_ptr<State> state) {
     }
 
     if (st.config.before_dispatch) st.config.before_dispatch(job->op);
-    const HandlerOutcome outcome =
-        dispatch(job->op, job->params, st.config.handlers);
+    // Second chance below the LRU: the persistent tier, probed here on
+    // the worker so the blocking file read never runs on a reactor
+    // thread. A verified hit refills the LRU (the read is paid once per
+    // key per process) and skips the handler — the payload bytes are
+    // identical to a computed answer by construction.
+    bool ok = false;
+    bool from_disk = false;
     std::string payload;
-    if (outcome.ok) {
-      payload = render_result(outcome.result);
+    HandlerOutcome outcome;
+    if (st.disk.enabled()) {
+      if (auto hit = st.disk.load(job->key)) {
+        payload = std::move(*hit);
+        ok = true;
+        from_disk = true;
+      }
+    }
+    if (!from_disk) {
+      outcome = dispatch(job->op, job->params, st.config.handlers);
+      ok = outcome.ok;
+      if (ok) payload = render_result(outcome.result);
+    }
+    if (ok) {
       // Populate the cache before unpublishing the in-flight entry so an
       // identical request arriving in between hits one of the two.
       if (st.config.cache_entries != 0) st.shard_of(job->key).put(job->key, payload);
-      st.disk.store(job->key, payload);  // no-op when the disk tier is off
+      if (!from_disk) st.disk.store(job->key, payload);  // no-op when off
     }
 
     std::vector<State::Waiter> waiters;
@@ -306,7 +312,8 @@ void AnalysisService::worker_loop(std::shared_ptr<State> state) {
     }
 
     for (auto& w : waiters) {
-      if (outcome.ok) {
+      if (ok) {
+        if (from_disk) st.counters.add("serve", job->op + "/disk_hits");
         st.counters.add("serve", job->op + "/ok");
         st.latency.at(job->op).record(us_since(w.t0));
         w.reply(ok_reply(w.id, payload));

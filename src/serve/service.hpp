@@ -13,10 +13,11 @@
 //                   submitting thread without touching the queue. With a
 //                   cache_dir configured, a persistent disk tier
 //                   (serve::DiskCache) sits under the LRU: answers are
-//                   persisted on completion, an LRU miss consults the disk
-//                   before queueing, and a disk hit refills the LRU — so
-//                   warm results survive restarts and are shared across a
-//                   shard fleet.
+//                   persisted on completion, and an LRU-missed job probes
+//                   the disk on its worker before computing (never on the
+//                   submitting thread — that is a reactor event loop); a
+//                   disk hit refills the LRU, so warm results survive
+//                   restarts and are shared across a shard fleet.
 //   * backpressure— the pending-job queue is bounded. When it is full a
 //                   new (non-coalescible) request is answered immediately
 //                   with an `overloaded` error instead of buffering — the
@@ -31,8 +32,9 @@
 // a deadline variant detaches stuck workers instead of hanging forever.
 //
 // Thread-safety: `submit` may be called from any number of threads
-// (connection handlers); replies fire on a worker thread for computed
-// answers and on the submitting thread for cache hits and error replies.
+// (connection handlers); replies fire on a worker thread for computed and
+// disk-served answers and on the submitting thread for LRU hits and error
+// replies. Nothing on the submit path blocks on I/O.
 // The reply callback must therefore be thread-safe itself; it is invoked
 // exactly once per submit, never while service locks are held.
 #pragma once
@@ -81,9 +83,9 @@ class AnalysisService {
   AnalysisService& operator=(const AnalysisService&) = delete;
 
   /// Handle one request line. `reply` fires exactly once with the full
-  /// reply line (no trailing newline). Parse errors, cache hits, overload
-  /// and shutdown replies fire synchronously on this thread; computed
-  /// answers fire later on a worker thread.
+  /// reply line (no trailing newline). Parse errors, LRU cache hits,
+  /// overload and shutdown replies fire synchronously on this thread;
+  /// computed and disk-served answers fire later on a worker thread.
   void submit(const std::string& line, ReplyFn reply);
 
   /// Synchronous convenience for tests and in-process callers: submit and

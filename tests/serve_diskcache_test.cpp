@@ -11,9 +11,14 @@
 
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
 #include <string>
+#include <thread>
 
 #include "serve/diskcache.hpp"
 #include "serve/service.hpp"
@@ -177,6 +182,72 @@ TEST_F(DiskCacheTest, ServiceServesFromDiskAcrossRestart) {
   EXPECT_EQ(from_lru, computed);
   EXPECT_EQ(counter(second, "wcd_bound/disk_hits"), 1.0);
   EXPECT_EQ(counter(second, "wcd_bound/cache_hits"), 1.0);
+}
+
+// Regression: the disk probe used to run inline in submit(), i.e. on the
+// caller — which in papd is a reactor event-loop thread, so with a
+// cache_dir every LRU miss paid a blocking file read inside the event
+// loop, adding disk latency to every connection on that reactor. The
+// probe must run on the worker that picks the job up (coalescing still
+// means one waiter pays the read).
+TEST_F(DiskCacheTest, DiskProbeRunsOnWorkerNotSubmittingThread) {
+  using namespace std::chrono_literals;
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.cache_dir = dir_;
+  {
+    AnalysisService warm(cfg);
+    const std::string computed = warm.handle(wcd_line(1, 6.5));
+    ASSERT_NE(computed.find("\"ok\":true"), computed.npos) << computed;
+  }
+
+  // Hold the single worker right before it would probe the disk.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool open = false;
+  std::atomic<int> at_gate{0};
+  cfg.before_dispatch = [&](const std::string&) {
+    ++at_gate;
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait(lk, [&] { return open; });
+  };
+
+  // Fresh service: cold LRU, warm disk.
+  AnalysisService second(cfg);
+  std::mutex reply_mu;
+  std::condition_variable reply_cv;
+  std::string reply;
+  std::atomic<bool> replied{false};
+  second.submit(wcd_line(1, 6.5), [&](std::string r) {
+    {
+      std::lock_guard<std::mutex> lk(reply_mu);
+      reply = std::move(r);
+      replied = true;
+    }
+    reply_cv.notify_all();
+  });
+  // submit() returned without an answer: the disk was not read inline on
+  // the submitting thread (pre-fix it was, and the reply fired here).
+  EXPECT_FALSE(replied.load());
+
+  // The job reached the (held) worker; releasing it serves the disk hit.
+  for (int i = 0; i < 20000 && at_gate.load() < 1; ++i) {
+    std::this_thread::sleep_for(100us);
+  }
+  ASSERT_EQ(at_gate.load(), 1) << "disk-warm job never reached a worker";
+  EXPECT_FALSE(replied.load());
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    open = true;
+  }
+  cv.notify_all();
+  {
+    std::unique_lock<std::mutex> lk(reply_mu);
+    ASSERT_TRUE(reply_cv.wait_for(lk, 10s, [&] { return replied.load(); }));
+  }
+  EXPECT_NE(reply.find("\"ok\":true"), reply.npos) << reply;
+  EXPECT_EQ(counter(second, "wcd_bound/disk_hits"), 1.0);
+  second.shutdown();
 }
 
 TEST_F(DiskCacheTest, ServiceWithoutCacheDirNeverTouchesDisk) {

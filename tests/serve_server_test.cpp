@@ -7,18 +7,24 @@
 
 #include <gtest/gtest.h>
 
+#include <fcntl.h>
+#include <poll.h>
 #include <signal.h>
 #include <sys/socket.h>
 #include <sys/types.h>
+#include <sys/un.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <set>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "serve/client.hpp"
@@ -40,6 +46,96 @@ std::string nc_line(int id, double rate) {
          std::to_string(rate) + "},\"service\":{\"rate\":2.0," +
          "\"latency_ns\":50}}}";
 }
+
+using Clock = std::chrono::steady_clock;
+
+/// A raw nonblocking Unix-socket client for the slow-peer tests: a
+/// cooperative Client would read its replies and unstick the very stalls
+/// these tests need to create.
+struct RawConn {
+  int fd = -1;
+
+  explicit RawConn(const std::string& path) {
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+      ::close(fd);
+      fd = -1;
+      return;
+    }
+    ::fcntl(fd, F_SETFL, O_NONBLOCK);
+  }
+  ~RawConn() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  /// Send all of `bytes` before `deadline`; false on timeout or error.
+  bool send_all(const std::string& bytes, Clock::time_point deadline) {
+    const char* data = bytes.data();
+    std::size_t len = bytes.size();
+    while (len > 0) {
+      const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+      if (n > 0) {
+        data += n;
+        len -= static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno != EINTR && errno != EAGAIN &&
+          errno != EWOULDBLOCK) {
+        return false;
+      }
+      if (Clock::now() >= deadline) return false;
+      pollfd p{fd, POLLOUT, 0};
+      (void)::poll(&p, 1, 50);
+    }
+    return true;
+  }
+
+  /// Wait for at least one full reply line; false on timeout or EOF.
+  bool read_line(Clock::time_point deadline) {
+    std::string buf;
+    for (;;) {
+      char chunk[4096];
+      const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+      if (n > 0) {
+        buf.append(chunk, static_cast<std::size_t>(n));
+        if (buf.find('\n') != std::string::npos) return true;
+        continue;
+      }
+      if (n == 0) return false;
+      if (errno != EINTR && errno != EAGAIN && errno != EWOULDBLOCK) {
+        return false;
+      }
+      if (Clock::now() >= deadline) return false;
+      pollfd p{fd, POLLIN, 0};
+      (void)::poll(&p, 1, 50);
+    }
+  }
+
+  /// Read replies until the server closes the connection or the deadline
+  /// passes. Returns {complete reply lines seen, connection closed}.
+  std::pair<std::size_t, bool> drain(Clock::time_point deadline) {
+    std::size_t lines = 0;
+    for (;;) {
+      char chunk[16 * 1024];
+      const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+      if (n > 0) {
+        for (ssize_t i = 0; i < n; ++i) lines += chunk[i] == '\n';
+        continue;
+      }
+      if (n == 0) return {lines, true};
+      if (errno != EINTR && errno != EAGAIN && errno != EWOULDBLOCK) {
+        return {lines, true};  // reset: the peer observed a failure too
+      }
+      if (Clock::now() >= deadline) return {lines, false};
+      pollfd p{fd, POLLIN, 0};
+      (void)::poll(&p, 1, 50);
+    }
+  }
+};
 
 TEST(Server, UnixSocketEndToEnd) {
   ServerConfig cfg;
@@ -172,6 +268,102 @@ TEST(Server, StopFlushesInFlightReplies) {
   EXPECT_EQ(ids.size(), static_cast<std::size_t>(kInFlight));
   // After the drain the stream ends cleanly.
   EXPECT_FALSE(c.read_line().has_value());
+}
+
+// Regression: inline replies (LRU hits, parse errors, overload) fire on
+// the reactor thread, and the old write path could block there up to 5 s
+// per reply polling a stuck peer's socket — one client that pipelined
+// cache hits without reading stalled EVERY connection on its reactor,
+// cumulatively unbounded. Replies must never block the event loop: the
+// leftover queues on the connection and flushes via EPOLLOUT.
+TEST(Server, SlowPeerDoesNotStallOtherConnectionsOnItsReactor) {
+  ServerConfig cfg;
+  cfg.unix_path = test_socket_path("slowpeer");
+  cfg.reactors = 1;  // victim and bystander provably share one event loop
+  cfg.service.workers = 1;
+  cfg.write_stall = std::chrono::milliseconds(400);
+  Server server(cfg);
+  ASSERT_TRUE(server.start().is_ok());
+
+  RawConn slow(cfg.unix_path);
+  ASSERT_GE(slow.fd, 0);
+  const std::string line = nc_line(1, 1.25) + "\n";
+  // Warm the LRU so the flood below is answered inline on the reactor.
+  ASSERT_TRUE(slow.send_all(line, Clock::now() + 2s));
+  ASSERT_TRUE(slow.read_line(Clock::now() + 5s));
+
+  // Pipeline thousands of cache-hit requests and never read a reply. The
+  // replies overflow this client's socket buffers; the reactor must park
+  // them and move on. (Bounded sends: pre-fix the server stopped reading
+  // while wedged in its 5 s write polls, and this flood would hang.)
+  std::string burst;
+  for (int i = 0; i < 64; ++i) burst += line;
+  const auto flood_deadline = Clock::now() + 3s;
+  for (int i = 0; i < 64 && Clock::now() < flood_deadline; ++i) {
+    if (!slow.send_all(burst, flood_deadline)) break;
+  }
+
+  // A bystander on the same reactor still gets answered promptly. The
+  // bound is generous wall-clock slack for CI; a single pre-fix write
+  // stall alone was 5 s.
+  const auto t0 = Clock::now();
+  auto bystander = Client::connect_unix(cfg.unix_path);
+  ASSERT_TRUE(bystander.has_value()) << bystander.error_message();
+  auto pong = bystander.value().call(R"({"id":2,"op":"ping"})");
+  ASSERT_TRUE(pong.has_value()) << pong.error_message();
+  EXPECT_NE(pong.value().find("pong"), pong.value().npos);
+  EXPECT_LT(Clock::now() - t0, 2500ms)
+      << "a stuck peer delayed an unrelated connection on the same reactor";
+  EXPECT_TRUE(server.stop());
+}
+
+// Regression: when a reply could not be written within the stall bound it
+// was silently dropped while the connection stayed open — a pipelined
+// client that was momentarily slow was permanently desynced, waiting
+// forever on a reply that never comes while later replies still arrive.
+// A peer stuck past write_stall must be disconnected outright so it
+// observes a clean failure instead of a hole in the reply stream.
+TEST(Server, StalledPeerIsDisconnectedNotSilentlyDesynced) {
+  ServerConfig cfg;
+  cfg.unix_path = test_socket_path("stall");
+  cfg.reactors = 1;
+  cfg.service.workers = 1;
+  cfg.write_stall = std::chrono::milliseconds(200);
+  Server server(cfg);
+  ASSERT_TRUE(server.start().is_ok());
+
+  RawConn conn(cfg.unix_path);
+  ASSERT_GE(conn.fd, 0);
+  const std::string line = nc_line(1, 2.5) + "\n";
+  ASSERT_TRUE(conn.send_all(line, Clock::now() + 2s));
+  ASSERT_TRUE(conn.read_line(Clock::now() + 5s));
+
+  // Far more replies than the socket buffers absorb, never reading: the
+  // connection's outbound buffer stalls and must be cut off.
+  std::string burst;
+  for (int i = 0; i < 64; ++i) burst += line;
+  std::size_t sent = 1;
+  const auto flood_deadline = Clock::now() + 3s;
+  for (int i = 0; i < 128 && Clock::now() < flood_deadline; ++i) {
+    if (!conn.send_all(burst, flood_deadline)) break;
+    sent += 64;
+  }
+
+  // Hold the stall: read nothing for comfortably longer than write_stall,
+  // so the queued replies sit with zero progress and the sweep must cut
+  // the connection while we are away. (Draining immediately would unstick
+  // the socket before the stall bound ever elapsed.)
+  std::this_thread::sleep_for(1s);
+
+  // Whatever was already delivered can be read, and then the stream ends
+  // with EOF/reset inside a bounded window — never an open socket with a
+  // silent gap.
+  const auto [replies, closed] = conn.drain(Clock::now() + 10s);
+  EXPECT_TRUE(closed)
+      << "stalled connection was left open after dropping replies";
+  EXPECT_LT(replies, sent)
+      << "every reply was delivered — the test never created a stall";
+  EXPECT_TRUE(server.stop());
 }
 
 // Regression: start() used to leave the bound Unix listener (and its

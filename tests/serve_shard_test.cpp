@@ -110,6 +110,32 @@ TEST(ParseEndpoint, RejectsMalformedAndOutOfRange) {
   EXPECT_FALSE(parse_endpoint("tcp:10.0.0.8:65536").has_value());
 }
 
+// Regression: the tcp form split on the LAST colon, so "tcp::7171"
+// silently produced an empty host and an IPv6 literal like
+// "tcp:::1:7171" misparsed into host "::1" instead of a named error.
+// Empty segments and IPv6 literals are rejected by name.
+TEST(ParseEndpoint, RejectsEmptySegmentsAndIpv6Literals) {
+  auto empty_host = parse_endpoint("tcp::7171");
+  ASSERT_FALSE(empty_host.has_value());
+  EXPECT_NE(empty_host.error_message().find("empty host"),
+            empty_host.error_message().npos)
+      << empty_host.error_message();
+
+  auto empty_port = parse_endpoint("tcp:10.0.0.8:");
+  ASSERT_FALSE(empty_port.has_value());
+  EXPECT_NE(empty_port.error_message().find("port"),
+            empty_port.error_message().npos)
+      << empty_port.error_message();
+
+  for (const char* ipv6 : {"tcp:::1:7171", "tcp:[::1]:7171",
+                           "tcp:fe80::1:7171"}) {
+    auto ep = parse_endpoint(ipv6);
+    ASSERT_FALSE(ep.has_value()) << ipv6 << " must not misparse";
+    EXPECT_NE(ep.error_message().find("IPv6"), ep.error_message().npos)
+        << ep.error_message();
+  }
+}
+
 // Regression for the silent uint16 truncation: connect_tcp(host, P+65536)
 // used to alias to port P. With a live listener on P, the pre-fix code
 // *successfully connected* to the wrong port; the fix must refuse with a

@@ -26,7 +26,8 @@ void usage(const char* argv0) {
       stderr,
       "usage: %s [--unix PATH] [--tcp PORT] [--host ADDR] [--workers N]\n"
       "          [--reactors N] [--queue N] [--cache N] [--cache-dir DIR]\n"
-      "          [--no-coalesce] [--drain-ms N] [--verbose]\n"
+      "          [--no-coalesce] [--write-stall-ms N] [--drain-ms N]\n"
+      "          [--verbose]\n"
       "At least one of --unix / --tcp is required. --tcp 0 picks an\n"
       "ephemeral port (printed on stdout as 'papd: tcp port NNNN').\n"
       "--cache-dir enables the persistent result cache (survives restarts;\n"
@@ -76,6 +77,9 @@ int main(int argc, char** argv) {
       config.reactors = static_cast<int>(v);
     } else if (arg == "--no-coalesce") {
       config.service.coalesce = false;
+    } else if (arg == "--write-stall-ms" && has_next &&
+               parse_int(argv[++i], 1, 600000, &v)) {
+      config.write_stall = std::chrono::milliseconds(v);
     } else if (arg == "--drain-ms" && has_next &&
                parse_int(argv[++i], 1, 600000, &v)) {
       drain_ms = v;
