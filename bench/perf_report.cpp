@@ -20,6 +20,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -95,19 +96,40 @@ bool write_suite(const std::string& path, const std::string& suite,
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Strip our own flag before google-benchmark sees the argv.
+  // Strip our own flags before google-benchmark sees the argv.
+  // --min-runtime-ms N is a warmup/repeat knob: it maps to google-benchmark's
+  // --benchmark_min_time=<N/1000>s, forcing every benchmark to run at least
+  // that long so short kernels get enough iterations for a stable median on
+  // noisy CI runners.
   std::string out_dir = ".";
+  std::string min_time_flag;  // owns the synthesized argv entry
   std::vector<char*> args;
   args.push_back(argv[0]);
+  auto set_min_runtime = [&](const char* val) {
+    const double ms = std::atof(val);
+    if (ms <= 0.0) {
+      std::fprintf(stderr,
+                   "perf_report: --min-runtime-ms needs a positive number, "
+                   "got '%s'\n",
+                   val);
+      std::exit(64);
+    }
+    min_time_flag = "--benchmark_min_time=" + std::to_string(ms / 1000.0);
+  };
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--out-dir=", 10) == 0) {
       out_dir = argv[i] + 10;
     } else if (std::strcmp(argv[i], "--out-dir") == 0 && i + 1 < argc) {
       out_dir = argv[++i];
+    } else if (std::strncmp(argv[i], "--min-runtime-ms=", 17) == 0) {
+      set_min_runtime(argv[i] + 17);
+    } else if (std::strcmp(argv[i], "--min-runtime-ms") == 0 && i + 1 < argc) {
+      set_min_runtime(argv[++i]);
     } else {
       args.push_back(argv[i]);
     }
   }
+  if (!min_time_flag.empty()) args.push_back(min_time_flag.data());
   int bench_argc = static_cast<int>(args.size());
   benchmark::Initialize(&bench_argc, args.data());
   if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {

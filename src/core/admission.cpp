@@ -29,24 +29,25 @@ Expected<AdmissionGrant> AdmissionController::request(
               ? noc::Mesh2D::RouteOrder::kYX
               : noc::Mesh2D::RouteOrder::kXY;
     }
-    std::vector<AppRequirement> tentative = admitted_;
-    tentative.push_back(candidate);
+    tentative_ = admitted_;
+    tentative_.push_back(candidate);
 
     // Every application — existing and new — must keep a proven bound.
     // One batched pass: the burst-propagation fixpoint is shared across
-    // all flows instead of being recomputed per application.
-    const auto bounds = analysis_.e2e_bounds(tentative);
+    // all flows instead of being recomputed per application, and the
+    // analysis runs on this thread's arena with reused output storage.
+    analysis_.e2e_bounds_into(tentative_, &bounds_);
     std::string error;
-    for (std::size_t i = 0; i < tentative.size(); ++i) {
-      const auto& a = tentative[i];
-      if (!bounds[i]) {
+    for (std::size_t i = 0; i < tentative_.size(); ++i) {
+      const auto& a = tentative_[i];
+      if (!bounds_[i]) {
         error = "admitting '" + req.name + "' would leave '" + a.name +
                 "' without a bounded end-to-end delay (resource saturated)";
         break;
       }
-      if (*bounds[i] > a.deadline) {
+      if (*bounds_[i] > a.deadline) {
         error = "admitting '" + req.name + "' would break '" + a.name +
-                "': bound " + bounds[i]->to_string() + " > deadline " +
+                "': bound " + bounds_[i]->to_string() + " > deadline " +
                 a.deadline.to_string();
         break;
       }
@@ -56,12 +57,14 @@ Expected<AdmissionGrant> AdmissionController::request(
       continue;
     }
 
-    admitted_ = std::move(tentative);
+    // Swap (not move) so the old admitted_ buffer becomes next decision's
+    // tentative_ scratch instead of being freed.
+    std::swap(admitted_, tentative_);
     ++admissions_;
     AdmissionGrant grant;
     grant.app = req.app;
     grant.noc_shaper = req.traffic;  // the contract becomes the enforced rate
-    grant.e2e_bound = *bounds.back();
+    grant.e2e_bound = *bounds_.back();
     grant.route_order = admitted_.back().route_order;
     return grant;
   }

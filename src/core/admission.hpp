@@ -49,6 +49,11 @@ class AdmissionController {
  private:
   E2eAnalysis analysis_;
   std::vector<AppRequirement> admitted_;
+  /// Decision scratch, reused across request() calls so a warm controller
+  /// allocates nothing per decision (the analysis itself runs on the
+  /// calling thread's nc::Arena — see E2eAnalysis::e2e_bounds_into).
+  std::vector<AppRequirement> tentative_;
+  std::vector<std::optional<Time>> bounds_;
   std::uint64_t admissions_ = 0;
   std::uint64_t rejections_ = 0;
 };

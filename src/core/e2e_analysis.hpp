@@ -29,6 +29,8 @@
 #include "dram/controller.hpp"
 #include "dram/timing.hpp"
 #include "dram/wcd.hpp"
+#include "nc/arena.hpp"
+#include "nc/batch.hpp"
 #include "nc/bounds.hpp"
 #include "nc/ops.hpp"
 #include "noc/network.hpp"
@@ -94,6 +96,16 @@ class E2eAnalysis {
   std::vector<std::optional<Time>> e2e_bounds(
       const std::vector<AppRequirement>& flows) const;
 
+  /// e2e_bounds with caller-owned output storage. The whole analysis —
+  /// paths, the burst-propagation fixpoint, every intermediate curve — runs
+  /// on the calling thread's nc::Arena (reset once on entry), so a warm
+  /// steady state (arena blocks grown, *out at capacity) makes zero heap
+  /// allocations per decision. Results are numerically identical to
+  /// e2e_bounds: every view kernel mirrors its scalar counterpart bit for
+  /// bit (pinned by tests/core_e2e_test.cpp and tests/nc_batch_test.cpp).
+  void e2e_bounds_into(const std::vector<AppRequirement>& flows,
+                       std::vector<std::optional<Time>>* out) const;
+
   const PlatformModel& model() const { return model_; }
 
  private:
@@ -116,6 +128,39 @@ class E2eAnalysis {
       const std::vector<std::vector<PathLink>>& paths) const;
 
   nc::Curve link_beta_flits(bool injection) const;
+
+  // --- arena path (e2e_bounds_into): flat storage, view kernels ---
+
+  /// All flows' paths concatenated: flow f's links are
+  /// links[off[f] .. off[f + 1]). Both arrays live in the arena.
+  struct FlatPaths {
+    PathLink* links = nullptr;
+    std::uint32_t* off = nullptr;  // flows.size() + 1 entries
+  };
+  FlatPaths flat_paths(const std::vector<AppRequirement>& flows,
+                       nc::Arena& arena) const;
+
+  /// propagate() over flat arena storage; bursts is indexed like
+  /// FlatPaths::links. converged == false means the fixpoint diverged.
+  struct PropagatedFlat {
+    double* bursts = nullptr;
+    bool* flow_unbounded = nullptr;
+    bool converged = false;
+  };
+  PropagatedFlat propagate_flat(const std::vector<AppRequirement>& flows,
+                                const FlatPaths& paths,
+                                nc::Arena& arena) const;
+
+  /// chain_for() on arena curves; the returned view lives in `arena`.
+  std::optional<nc::CurveView> chain_view_for(
+      const std::vector<AppRequirement>& flows, std::size_t self_idx,
+      const PropagatedFlat& propagated, const FlatPaths& paths,
+      nc::Arena& arena) const;
+
+  /// dram_service() on arena curves.
+  nc::CurveView dram_service_view(const AppRequirement& req,
+                                  const std::vector<AppRequirement>& others,
+                                  nc::Arena& arena) const;
 
   PlatformModel model_;
   noc::Mesh2D mesh_;

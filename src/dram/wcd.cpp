@@ -211,6 +211,42 @@ nc::Curve WcdAnalysis::service_curve(int max_n) const {
   return curve_from_wcd_points(points, t_.row_cycle());
 }
 
+nc::CurveView WcdAnalysis::service_curve_view(int max_n,
+                                              nc::Arena& arena) const {
+  // Mirror of service_curve + curve_from_wcd_points on arena storage: the
+  // fixpoint points stay integer Times so the tail slope is computed from
+  // the same Time-difference expression, bit for bit.
+  PAP_CHECK(max_n >= 1);
+  const Time hit_block = hit_block_time();
+  auto* times = arena.alloc<Time>(static_cast<std::size_t>(max_n));
+  auto* counts = arena.alloc<double>(static_cast<std::size_t>(max_n));
+  Time prev = Time::zero();
+  for (int n = 1; n <= max_n; ++n) {
+    const Time counted_base = miss_service_time(n) + hit_block;
+    const Time warm =
+        (n == 1) ? counted_base : std::max(counted_base, prev + t_.row_cycle());
+    bool conv = true;
+    Time window = fixpoint_from(counted_base, warm, &conv).first;
+    if (!conv && warm > counted_base) {
+      window = fixpoint_from(counted_base, counted_base, &conv).first;
+    }
+    prev = window;
+    times[n - 1] = window;
+    counts[n - 1] = static_cast<double>(n);
+  }
+  double tail;
+  if (max_n >= 2) {
+    const double dt = (times[max_n - 1] - times[max_n - 2]).nanos();
+    tail = dt > 0 ? 1.0 / dt : 0.0;
+  } else {
+    tail = 1.0 / t_.row_cycle().nanos();
+  }
+  auto* px = arena.alloc<double>(static_cast<std::size_t>(max_n));
+  for (int n = 0; n < max_n; ++n) px[n] = times[n].nanos();
+  return nc::from_points_view(arena, px, counts,
+                              static_cast<std::uint32_t>(max_n), tail);
+}
+
 nc::Curve WcdAnalysis::service_curve_reference(int max_n) const {
   PAP_CHECK(max_n >= 1);
   std::vector<std::pair<Time, double>> points;

@@ -43,6 +43,7 @@
 #include "dram/controller.hpp"
 #include "dram/timing.hpp"
 #include "nc/arrival.hpp"
+#include "nc/batch.hpp"
 #include "nc/curve.hpp"
 
 namespace pap::dram {
@@ -91,6 +92,11 @@ class WcdAnalysis {
   /// iteration from scratch for every N. Produces bit-identical points to
   /// service_curve_reference (Time is integer picoseconds).
   nc::Curve service_curve(int max_n) const;
+
+  /// service_curve built on arena storage — same points, same tail, zero
+  /// heap allocation; the returned view lives in `arena`. Used by the
+  /// arena-backed e2e analysis (core::E2eAnalysis::e2e_bounds_into).
+  nc::CurveView service_curve_view(int max_n, nc::Arena& arena) const;
 
   /// The pre-optimization construction (one cold fixpoint per point,
   /// O(max_n * iterations)); retained for benchmarking and as the oracle the

@@ -9,6 +9,7 @@
 
 #include "common/check.hpp"
 #include "fault/plan.hpp"
+#include "nc/arena.hpp"
 #include "trace/chrome_trace.hpp"
 #include "trace/tracer.hpp"
 
@@ -124,6 +125,10 @@ SweepSummary Runner::run(const Experiment& exp, const Sweep& sweep) {
       out.wall_ms = ms_since(point_start);
       cache.store(exp, out.params, out.result);
     }
+    // Analyses that ran on this worker grew its thread-local curve arena to
+    // the sweep's peak decision footprint; return that memory before the
+    // worker exits (the next sweep re-grows in one block).
+    nc::thread_arena().release();
   };
 
   if (jobs == 1) {

@@ -48,26 +48,29 @@ void Curve::normalize() {
           "curve must be continuous");
     }
   }
-  // Drop zero-width segments, then merge collinear neighbours.
-  std::vector<Segment> cleaned;
-  cleaned.reserve(segments_.size());
-  for (const auto& s : segments_) {
-    if (!cleaned.empty() && nearly_equal(s.x, cleaned.back().x)) {
-      cleaned.back() = s;  // later definition wins on a zero-width span
-      cleaned.back().x = cleaned.size() == 1 ? 0.0 : cleaned.back().x;
+  // Drop zero-width segments, then merge collinear neighbours — two
+  // sequential in-place compaction passes (the write index never overtakes
+  // the read index), so construction allocates nothing beyond the caller's
+  // segment vector.
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    const Segment s = segments_[i];
+    if (w > 0 && nearly_equal(s.x, segments_[w - 1].x)) {
+      segments_[w - 1] = s;  // later definition wins on a zero-width span
+      if (w == 1) segments_[0].x = 0.0;
       continue;
     }
-    cleaned.push_back(s);
+    segments_[w++] = s;
   }
-  std::vector<Segment> merged;
-  merged.reserve(cleaned.size());
-  for (const auto& s : cleaned) {
-    if (!merged.empty() && nearly_equal(merged.back().slope, s.slope)) {
+  const std::size_t cleaned = w;
+  w = 0;
+  for (std::size_t i = 0; i < cleaned; ++i) {
+    if (w > 0 && nearly_equal(segments_[w - 1].slope, segments_[i].slope)) {
       continue;  // same line continues; keep the earlier anchor
     }
-    merged.push_back(s);
+    segments_[w++] = segments_[i];
   }
-  segments_ = std::move(merged);
+  segments_.resize(w);
 }
 
 Curve Curve::affine(double value0, double slope) {
@@ -86,6 +89,7 @@ Curve Curve::from_points(const std::vector<std::pair<double, double>>& points,
                          double final_slope) {
   PAP_CHECK_MSG(!points.empty(), "need at least one point");
   std::vector<Segment> segs;
+  segs.reserve(points.size() + 1);
   double px = 0.0;
   double py = 0.0;
   if (nearly_equal(points.front().first, 0.0)) {
@@ -306,6 +310,7 @@ Curve Curve::shifted_right(double dx) const {
   PAP_CHECK_MSG(value_at_zero() <= kEps,
                 "shifting a curve with a burst at 0 would create a jump");
   std::vector<Segment> segs;
+  segs.reserve(segments_.size() + 1);
   segs.push_back(Segment{0.0, 0.0, 0.0});
   for (const auto& s : segments_) segs.push_back(Segment{s.x + dx, s.y, s.slope});
   return Curve{std::move(segs)};
@@ -318,6 +323,7 @@ Curve positive_nondecreasing_closure(const std::vector<Segment>& raw) {
   // Invariant at the start of each interval [x1, x2): f(x1) <= best, because
   // best is the supremum of a continuous f over [0, x1] (clamped at 0).
   std::vector<Segment> out;
+  out.reserve(2 * raw.size() + 2);
   double best = std::max(0.0, raw.front().y);
   out.push_back(Segment{0.0, best, 0.0});
   for (std::size_t i = 0; i < raw.size(); ++i) {

@@ -14,6 +14,7 @@
 
 #include "common/check.hpp"
 #include "common/stats.hpp"
+#include "nc/arena.hpp"
 #include "serve/diskcache.hpp"
 
 namespace pap::serve {
@@ -267,7 +268,13 @@ void AnalysisService::worker_loop(std::shared_ptr<State> state) {
     {
       std::unique_lock<std::mutex> lk(st.mu);
       st.work_cv.wait(lk, [&] { return st.stopping || !st.queue.empty(); });
-      if (st.queue.empty()) return;  // stopping and drained
+      if (st.queue.empty()) {
+        // Stopping and drained. Handlers that ran admission/e2e analyses
+        // grew this worker's thread-local curve arena; hand the blocks
+        // back before the thread exits.
+        nc::thread_arena().release();
+        return;
+      }
       job = std::move(st.queue.front());
       st.queue.pop_front();
       ++st.running;

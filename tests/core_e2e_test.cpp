@@ -190,5 +190,43 @@ TEST(E2e, AnalysisBoundsCoverSimulation) {
   EXPECT_LE(lat.max(), *bound_a);
 }
 
+// The arena path (e2e_bounds_into) must reproduce the scalar per-flow
+// analysis exactly — Time is integer picoseconds, so any arithmetic
+// divergence in the mirrored view kernels shows up as a hard inequality
+// here. Covers NoC-only and DRAM flows, and a saturated set where bounds
+// go unbounded.
+TEST(E2e, BatchBoundsMatchPerFlowScalarExactly) {
+  E2eAnalysis e(model());
+  noc::Mesh2D mesh(4, 4);
+  const std::vector<std::vector<AppRequirement>> flow_sets = {
+      // Disjoint and contending NoC-only flows.
+      {app(1, 2, 0.002, mesh.node(0, 0), mesh.node(3, 0), Time::us(10)),
+       app(2, 4, 0.004, mesh.node(0, 1), mesh.node(3, 0), Time::us(10)),
+       app(3, 1, 0.001, mesh.node(1, 2), mesh.node(2, 3), Time::us(10))},
+      // DRAM users mixed with NoC-only flows.
+      {app(1, 2, 0.001, mesh.node(0, 0), mesh.node(1, 1), Time::ms(1), true),
+       app(2, 4, 0.004, mesh.node(2, 0), mesh.node(1, 1), Time::ms(1), true),
+       app(3, 2, 0.002, mesh.node(3, 3), mesh.node(0, 3), Time::ms(1))},
+      // Saturating rate on a shared link: bounds must go unbounded the
+      // same way in both paths.
+      {app(1, 2, 0.09, mesh.node(0, 0), mesh.node(3, 0), Time::us(10)),
+       app(2, 2, 0.09, mesh.node(0, 1), mesh.node(3, 0), Time::us(10))},
+  };
+  std::vector<std::optional<Time>> batch;
+  for (std::size_t s = 0; s < flow_sets.size(); ++s) {
+    const auto& flows = flow_sets[s];
+    e.e2e_bounds_into(flows, &batch);
+    ASSERT_EQ(batch.size(), flows.size());
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+      const auto scalar = e.e2e_bound(flows[i], flows);
+      ASSERT_EQ(batch[i].has_value(), scalar.has_value())
+          << "set " << s << " flow " << i;
+      if (scalar) {
+        EXPECT_EQ(*batch[i], *scalar) << "set " << s << " flow " << i;
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace pap::core

@@ -27,9 +27,32 @@ input (missing file, malformed JSON, unknown benchmark name).
 
 import argparse
 import json
+import os
 import sys
 
 SCHEMA = "pap-bench-v1"
+
+
+def write_summary(args, title, header, rows):
+    """Append a markdown table to the CI job summary.
+
+    The target file is --summary when given, else $GITHUB_STEP_SUMMARY (set
+    by GitHub Actions for every step); when neither exists this is a no-op,
+    so local runs stay plain-console.
+    """
+    path = args.summary or os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    try:
+        with open(path, "a", encoding="utf-8") as f:
+            f.write(f"### {title}\n\n")
+            f.write("| " + " | ".join(header) + " |\n")
+            f.write("|" + "|".join("---" for _ in header) + "|\n")
+            for row in rows:
+                f.write("| " + " | ".join(str(c) for c in row) + " |\n")
+            f.write("\n")
+    except OSError as e:
+        print(f"bench_compare: cannot write summary {path}: {e}", file=sys.stderr)
 
 
 def load(path):
@@ -56,11 +79,13 @@ def cmd_regress(args):
     baseline = load(args.baseline)
     current = load(args.current)
     failures = []
+    rows = []
     for name, base_ns in sorted(baseline.items()):
         cur_ns = current.get(name)
         if cur_ns is None:
             print(f"  MISSING  {name} (in baseline, not in current run)")
             failures.append(name)
+            rows.append((f"`{name}`", f"{base_ns:.1f}", "—", "—", "missing"))
             continue
         ratio = cur_ns / base_ns if base_ns > 0 else float("inf")
         marker = " "
@@ -71,8 +96,25 @@ def cmd_regress(args):
             f"  {marker} {name:45s} {base_ns:12.1f} -> {cur_ns:12.1f} ns "
             f"({ratio:5.2f}x)"
         )
+        speedup = base_ns / cur_ns if cur_ns > 0 else float("inf")
+        rows.append(
+            (
+                f"`{name}`",
+                f"{base_ns:.1f}",
+                f"{cur_ns:.1f}",
+                f"{speedup:.2f}x",
+                ":x: regressed" if marker == "!" else ":white_check_mark:",
+            )
+        )
     for name in sorted(set(current) - set(baseline)):
         print(f"  NEW      {name} (not in baseline; add it on the next refresh)")
+        rows.append((f"`{name}`", "—", f"{current[name]:.1f}", "—", "new"))
+    write_summary(
+        args,
+        f"Perf vs baseline ({args.baseline})",
+        ("op", "old (ns)", "new (ns)", "speedup", "status"),
+        rows,
+    )
     if failures:
         pct = int(args.threshold * 100)
         print(
@@ -105,6 +147,7 @@ def cmd_speedup(args):
     for path in args.current:
         current.update(load(path))
     failures = []
+    rows = []
     for spec in args.pair:
         fast, slow, floor = parse_pair(spec, args.floor)
         missing = [n for n in (fast, slow) if n not in current]
@@ -121,8 +164,25 @@ def cmd_speedup(args):
             f"  {' ' if ok else '!'} {fast:40s} {ratio:7.1f}x over {slow} "
             f"(floor {floor:g}x)"
         )
+        rows.append(
+            (
+                f"`{fast}`",
+                f"`{slow}`",
+                f"{current[fast]:.1f}",
+                f"{current[slow]:.1f}",
+                f"{ratio:.2f}x",
+                f"{floor:g}x",
+                ":white_check_mark:" if ok else ":x: below floor",
+            )
+        )
         if not ok:
             failures.append(fast)
+    write_summary(
+        args,
+        "Speedup floors",
+        ("optimized", "reference", "opt (ns)", "ref (ns)", "speedup", "floor", "status"),
+        rows,
+    )
     if failures:
         print(f"bench_compare: {len(failures)} speedup floor(s) not met")
         return 1
@@ -139,6 +199,10 @@ def main():
     pr.add_argument("--current", required=True)
     pr.add_argument("--threshold", type=float, default=0.25)
     pr.add_argument("--warn-only", action="store_true")
+    pr.add_argument(
+        "--summary",
+        help="markdown table target (default: $GITHUB_STEP_SUMMARY if set)",
+    )
     pr.set_defaults(func=cmd_regress)
 
     ps = sub.add_parser("speedup", help="enforce optimized-vs-reference floors")
@@ -150,6 +214,10 @@ def main():
         metavar="FAST:SLOW[:FLOOR]",
     )
     ps.add_argument("--floor", type=float, default=5.0)
+    ps.add_argument(
+        "--summary",
+        help="markdown table target (default: $GITHUB_STEP_SUMMARY if set)",
+    )
     ps.set_defaults(func=cmd_speedup)
 
     args = p.parse_args()
