@@ -58,6 +58,14 @@ class LatencyHistogram {
   /// Render "count/mean/p50/p99/max" on one line, for logs and tables.
   std::string summary() const;
 
+  /// All samples in ascending order, as picosecond counts. Used where an
+  /// exact distribution comparison is needed (e.g. pinning trace replay
+  /// ps-identical to the originating run).
+  const std::vector<std::int64_t>& sorted_samples() const {
+    ensure_sorted();
+    return samples_;
+  }
+
   /// Fixed-width ASCII bar chart of the distribution (for bench output).
   std::string ascii_chart(int buckets = 20, int width = 40) const;
 

@@ -168,6 +168,12 @@ std::string cli_usage(const std::string& prog) {
          "                               'seed=7,drop=stop:0.1,crash@1ms=app2'"
          "\n"
          "                               (see docs/fault_injection.md)\n"
+         "  --scenario FILE | --scenario=FILE\n"
+         "                               a .pap scenario file (repeatable;\n"
+         "                               see docs/scenarios.md)\n"
+         "  --scenario-family SPEC | --scenario-family=SPEC\n"
+         "                               a seeded scenario family,\n"
+         "                               NAME[,seed=S][,n=K] (repeatable)\n"
          "  --smoke                      reduced sweep for CI smoke runs\n"
          "  --help                       show this message and exit\n";
 }
@@ -189,6 +195,41 @@ bool parse_jobs(const char* s, int* out) {
 
 Expected<CliOptions> cli_error(const std::string& msg) {
   return Expected<CliOptions>::error(msg);
+}
+
+/// Shape check for `--scenario-family NAME[,seed=S][,n=K]`: family token
+/// in [a-z0-9_]+, options decimal. Known-family validation happens in the
+/// scenario layer (exp sits below it).
+bool family_spec_shape_ok(const std::string& spec) {
+  const std::size_t comma = spec.find(',');
+  const std::string family = spec.substr(0, comma);
+  if (family.empty()) return false;
+  for (char c : family) {
+    const bool ok =
+        (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_';
+    if (!ok) return false;
+  }
+  std::size_t start = comma;
+  while (start != std::string::npos) {
+    ++start;
+    const std::size_t next = spec.find(',', start);
+    const std::string part = spec.substr(
+        start, next == std::string::npos ? std::string::npos : next - start);
+    std::size_t digits = 0;
+    if (part.rfind("seed=", 0) == 0) {
+      digits = 5;
+    } else if (part.rfind("n=", 0) == 0) {
+      digits = 2;
+    } else {
+      return false;
+    }
+    if (part.size() == digits) return false;
+    for (std::size_t i = digits; i < part.size(); ++i) {
+      if (part[i] < '0' || part[i] > '9') return false;
+    }
+    start = next;
+  }
+  return true;
 }
 
 }  // namespace
@@ -240,6 +281,32 @@ Expected<CliOptions> parse_cli_args(int argc, const char* const* argv) {
         return cli_error("invalid --faults plan: " + plan.error_message());
       }
       cli.faults = plan_text;
+    } else if (a == "--scenario" || a.rfind("--scenario=", 0) == 0) {
+      std::string file;
+      if (a.rfind("--scenario=", 0) == 0) {
+        file = a.substr(11);
+      } else {
+        if (i + 1 >= argc) return cli_error("--scenario requires a file");
+        file = argv[++i];
+      }
+      if (file.empty()) return cli_error("--scenario requires a file");
+      cli.scenarios.push_back(std::move(file));
+    } else if (a == "--scenario-family" ||
+               a.rfind("--scenario-family=", 0) == 0) {
+      std::string spec;
+      if (a.rfind("--scenario-family=", 0) == 0) {
+        spec = a.substr(18);
+      } else {
+        if (i + 1 >= argc) {
+          return cli_error("--scenario-family requires a spec");
+        }
+        spec = argv[++i];
+      }
+      if (!family_spec_shape_ok(spec)) {
+        return cli_error("invalid --scenario-family spec '" + spec +
+                         "' (want NAME[,seed=S][,n=K])");
+      }
+      cli.scenario_families.push_back(std::move(spec));
     } else {
       return cli_error("unknown argument: '" + a + "'");
     }

@@ -121,6 +121,9 @@ class Runner {
 ///   --faults PLAN                fault-injection plan (strictly validated
 ///                                with fault::FaultPlan::parse; a bad plan
 ///                                exits 64)
+///   --scenario FILE              a `.pap` scenario file (docs/scenarios.md)
+///   --scenario-family SPEC       a seeded scenario family,
+///                                NAME[,seed=S][,n=K]
 ///   --smoke                      reduced sweep for CI (each bench decides
 ///                                what to cut; results stay deterministic)
 ///   --help                       print usage and exit
@@ -133,6 +136,16 @@ struct CliOptions {
   std::string faults;     ///< validated fault-plan text; empty = none
   bool smoke = false;     ///< benches shrink their sweep, not their checks
   bool help = false;
+  /// `.pap` scenario files, in argument order. Only syntactically screened
+  /// here (non-empty paths); scenario-aware binaries parse them with
+  /// scenario::load_scenario and exit 64 on malformed content. Binaries
+  /// that take no scenarios reject a non-empty list (exp cannot validate
+  /// deeper without depending on the scenario layer above it).
+  std::vector<std::string> scenarios;
+  /// `--scenario-family` specs, shape-checked (`NAME[,seed=S][,n=K]`,
+  /// decimal values); family names are validated by
+  /// scenario::parse_family_spec in the consumer.
+  std::vector<std::string> scenario_families;
 };
 
 /// The usage text `parse_cli` prints (`prog` names the binary).

@@ -94,9 +94,13 @@ void JsonlSink::on_result(const SweepSummary& sweep, std::size_t index) {
     first = false;
     out_ << Value{name}.json() << ':' << v.json();
   }
-  char wall[32];
-  std::snprintf(wall, sizeof wall, "%.3f", outcome.wall_ms);
-  out_ << "},\"wall_ms\":" << wall << "}\n";
+  out_ << '}';
+  if (timing_) {
+    char wall[32];
+    std::snprintf(wall, sizeof wall, "%.3f", outcome.wall_ms);
+    out_ << ",\"wall_ms\":" << wall;
+  }
+  out_ << "}\n";
 }
 
 void TraceDirSink::on_result(const SweepSummary& sweep, std::size_t index) {

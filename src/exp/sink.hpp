@@ -73,10 +73,19 @@ class JsonlSink : public ResultSink {
  public:
   explicit JsonlSink(const std::string& path);
 
+  /// Omit the per-point `wall_ms` field — the one non-deterministic cell.
+  /// Reproducibility harnesses (the scenario-determinism CI job) set this
+  /// so two runs of the same sweep `cmp` byte-identical.
+  JsonlSink& without_timing() {
+    timing_ = false;
+    return *this;
+  }
+
   void on_result(const SweepSummary& sweep, std::size_t index) override;
 
  private:
   std::ofstream out_;
+  bool timing_ = true;
 };
 
 /// Writes each traced point's Chrome trace JSON and counter CSV under a

@@ -2,7 +2,9 @@
 // a shared cluster, with the paper's isolation mechanisms as switchable
 // knobs. This is the harness behind the motivation bench (latency
 // inflation under interference), the Fig. 2 bench (DSU partitioning
-// efficacy) and the Memguard ablation.
+// efficacy), the Memguard ablation, and the scenario description language
+// (src/scenario): every `.pap` file of kind `soc` lowers to a
+// `ScenarioConfig`.
 //
 // Configuration is a chainable builder:
 //
@@ -14,6 +16,13 @@
 // returns the immutable knob set; `run_scenario` does the same validation
 // before running. Each run constructs its own `sim::Kernel`, so scenario
 // runs are safe to execute concurrently from the exp::Runner thread pool.
+//
+// Beyond the classic RT-reader-vs-hogs world, a scenario can add extra
+// masters (`MasterSpec`: more readers, more hogs, or trace-replay masters
+// feeding a recorded access stream back through the SoC) and a phase
+// script (`PhaseSpec`: timed start/stop actions against named masters —
+// flash crowds, mode changes). The default world is byte-identical to the
+// pre-master-list runner when `masters`/`phases` are empty.
 #pragma once
 
 #include <memory>
@@ -23,6 +32,7 @@
 #include "common/status.hpp"
 #include "fault/plan.hpp"
 #include "platform/soc.hpp"
+#include "platform/trace_master.hpp"
 #include "platform/workload.hpp"
 
 namespace pap::trace {
@@ -31,9 +41,54 @@ class Tracer;
 
 namespace pap::platform {
 
-/// The flat knob aggregate. Legacy call sites may still fill it directly
-/// (see the deprecated `run_mixed_criticality` shim); new code goes
-/// through `ScenarioConfig`.
+/// One additional master beyond the default RT-reader/hog world. Masters
+/// are named so timed phases can address them; names share a namespace
+/// with the built-in "rt" and "hog1".."hogN".
+struct MasterSpec {
+  enum class Kind { kRtReader, kBandwidthHog, kTraceReplay };
+
+  Kind kind = Kind::kBandwidthHog;
+  std::string name;          ///< unique, [a-z0-9_]+, not a built-in name
+  /// Critical masters run under the RT L3 scheme and are unregulated by
+  /// Memguard/MPAM (like the built-in reader); non-critical masters get a
+  /// budgeted domain / limited PARTID each (like the hogs).
+  bool critical = false;
+  bool start_paused = false;  ///< created stalled; a phase `start`s it
+
+  // RtReader knobs (kind == kRtReader).
+  Time period = Time::us(10);
+  int reads_per_batch = 32;
+  cache::Addr base = 0;
+  std::uint64_t working_set = 64 * 1024;
+  bool writes = false;
+
+  // BandwidthHog knobs (kind == kBandwidthHog; `base`/`working_set` above
+  // are shared).
+  double write_fraction = 0.5;
+  Time think_time;
+  std::uint64_t seed = 42;
+
+  // TraceReplay knobs (kind == kTraceReplay): inline `records` win over
+  // `trace_path` (which is loaded when the scenario runs). The recorded
+  // core indices address this scenario's cores directly; the SoC is sized
+  // to cover them, and a record's criticality flag promotes its core to
+  // the RT scheme.
+  std::string trace_path;
+  std::vector<TraceRecord> records;
+};
+
+/// One timed action of the scenario's phase script.
+struct PhaseSpec {
+  enum class Action { kStart, kStop };
+
+  Time at;                           ///< absolute scenario time
+  Action action = Action::kStart;
+  std::string master;  ///< "rt", "hog1".."hogN", or a MasterSpec name
+
+  bool operator==(const PhaseSpec&) const = default;
+};
+
+/// The flat knob aggregate. Fill it through `ScenarioConfig`.
 struct ScenarioKnobs {
   int hogs = 3;                     ///< interfering cores
   bool dsu_partitioning = false;    ///< give the RT reader a private L3 group
@@ -43,6 +98,7 @@ struct ScenarioKnobs {
   std::uint64_t hog_budget_per_period = 20;  ///< Memguard accesses/period
   Time memguard_period = Time::us(10);
   Time sim_time = Time::ms(2);
+  bool rt_enabled = true;           ///< run the built-in RT reader on core 0
   int rt_reads_per_batch = 32;      ///< RT duty cycle knobs
   Time rt_period = Time::us(10);
   std::uint64_t rt_working_set = 64 * 1024;  ///< > L3 makes RT DRAM-bound
@@ -50,10 +106,19 @@ struct ScenarioKnobs {
   dram::PolicyKind dram_policy = dram::PolicyKind::kFrFcfs;
   /// DRAM timing preset by name (dram::device_by_name; validated).
   std::string dram_device = "ddr3_1600";
+  /// Extra masters beyond the default world (empty = classic scenario).
+  std::vector<MasterSpec> masters;
+  /// Timed start/stop script over named masters (empty = all run always).
+  /// Actions at t=0 take effect before any master issues.
+  std::vector<PhaseSpec> phases;
   /// Observability hook (not owned): attached to the scenario's kernel so
   /// all instrumented mechanisms emit, plus scenario phase spans. Tracing
   /// never changes simulation results (asserted in tests/trace_test.cpp).
   trace::Tracer* tracer = nullptr;
+  /// Recording sink (not owned): when set, every `Soc::memory_access` of
+  /// the run appends one TraceRecord here (the pap_tracegen hook).
+  /// Recording never changes simulation results.
+  std::vector<TraceRecord>* record_trace = nullptr;
   /// Fault plan for this scenario. The scenario world has a DRAM controller
   /// but no NoC or RM, so only `dram@T=DUR` entries are meaningful;
   /// `validate()` rejects any other fault kind by name. Empty = no faults
@@ -87,6 +152,9 @@ class ScenarioConfig {
     return (knobs_.memguard_period = period, *this);
   }
   ScenarioConfig& sim_time(Time t) { return (knobs_.sim_time = t, *this); }
+  ScenarioConfig& rt_enabled(bool on = true) {
+    return (knobs_.rt_enabled = on, *this);
+  }
   ScenarioConfig& rt_reads_per_batch(int reads) {
     return (knobs_.rt_reads_per_batch = reads, *this);
   }
@@ -102,14 +170,30 @@ class ScenarioConfig {
   ScenarioConfig& dram_device(std::string name) {
     return (knobs_.dram_device = std::move(name), *this);
   }
+  ScenarioConfig& add_master(MasterSpec spec) {
+    return (knobs_.masters.push_back(std::move(spec)), *this);
+  }
+  ScenarioConfig& masters(std::vector<MasterSpec> m) {
+    return (knobs_.masters = std::move(m), *this);
+  }
+  ScenarioConfig& add_phase(PhaseSpec phase) {
+    return (knobs_.phases.push_back(std::move(phase)), *this);
+  }
+  ScenarioConfig& phases(std::vector<PhaseSpec> p) {
+    return (knobs_.phases = std::move(p), *this);
+  }
   ScenarioConfig& tracer(trace::Tracer* t) {
     return (knobs_.tracer = t, *this);
+  }
+  ScenarioConfig& record_trace(std::vector<TraceRecord>* sink) {
+    return (knobs_.record_trace = sink, *this);
   }
   ScenarioConfig& faults(fault::FaultPlan plan) {
     return (knobs_.fault_plan = std::move(plan), *this);
   }
 
-  /// Why the current knob combination is invalid, or OK.
+  /// Why the current knob combination is invalid, or OK. Every message
+  /// names the offending knob and the value it was given.
   Status validate() const;
 
   /// Validated snapshot of the knobs.
@@ -124,13 +208,19 @@ class ScenarioConfig {
 
 struct ScenarioResult {
   std::string label;
-  LatencyHistogram rt_latency;      ///< per-access latency of the RT reader
+  LatencyHistogram rt_latency;      ///< per-access latency of RT readers
   LatencyHistogram rt_batch;        ///< per-batch completion
   std::uint64_t hog_accesses = 0;   ///< interfering throughput achieved
+  std::uint64_t trace_accesses = 0;  ///< replayed trace records issued
+  LatencyHistogram trace_latency;    ///< per-access latency of replay masters
   std::uint64_t memguard_throttles = 0;
   Time memguard_overhead;
   std::uint64_t mpam_throttles = 0;
   std::uint64_t injected_dram_stalls = 0;  ///< fault-plan stalls that fired
+  /// Per-core access latency distributions as the Soc saw them (index =
+  /// global core). This is the ps-exact ground truth trace replay is
+  /// pinned against.
+  std::vector<LatencyHistogram> core_latency;
 
   /// Inflation of the given percentile vs. a baseline run.
   static double inflation(const ScenarioResult& base,
@@ -141,11 +231,5 @@ struct ScenarioResult {
 /// set (seeded workloads, DES kernel); errors name the offending knob.
 Expected<ScenarioResult> run_scenario(const ScenarioConfig& config,
                                       std::string label);
-
-/// Deprecated shim for pre-builder call sites: runs the scenario from a
-/// flat knob aggregate without validation.
-[[deprecated("use ScenarioConfig + run_scenario()")]]
-ScenarioResult run_mixed_criticality(const ScenarioKnobs& knobs,
-                                     std::string label);
 
 }  // namespace pap::platform

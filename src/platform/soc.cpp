@@ -90,6 +90,10 @@ std::pair<std::uint32_t, std::uint32_t> Soc::addr_to_bank_row(
 void Soc::memory_access(int core, cache::Addr addr, bool write, DoneFn done) {
   PAP_CHECK(core >= 0 && core < cfg_.total_cores());
   const Time issued = kernel_.now();
+  if (probe_) {
+    probe_(core, addr, write, issued,
+           scheme_of_core_[static_cast<std::size_t>(core)] != 0);
+  }
   counters_.inc("accesses");
   trace::Tracer* tracer = kernel_.tracer();
   if (tracer) {

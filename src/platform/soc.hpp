@@ -59,6 +59,17 @@ class Soc {
   /// L1 -> L3 -> (Memguard gate) -> DRAM; `done` fires at completion.
   void memory_access(int core, cache::Addr addr, bool write, DoneFn done);
 
+  /// Observer fired synchronously at every `memory_access` entry, before
+  /// any cache lookup: (core, addr, write, issue instant, critical), where
+  /// `critical` is true when the core's L3 scheme is a non-default (RT)
+  /// scheme. This is the recording hook behind trace-replay workloads
+  /// (platform/trace_master.hpp, tools/pap_tracegen): the probe sees the
+  /// exact (time, core, addr, op) stream that determines the memory
+  /// system's evolution. Probing never alters simulation behaviour.
+  using AccessProbe = std::function<void(int core, cache::Addr addr,
+                                         bool write, Time at, bool critical)>;
+  void set_access_probe(AccessProbe probe) { probe_ = std::move(probe); }
+
   /// L3 scheme ID used for a core's accesses (DSU partitioning handle).
   void set_scheme_id(int core, cache::SchemeId scheme);
   cache::SchemeId scheme_id(int core) const;
@@ -108,6 +119,7 @@ class Soc {
   std::vector<cache::SchemeId> scheme_of_core_;
   std::vector<LatencyHistogram> core_latency_;
   Counters counters_;
+  AccessProbe probe_;
 
   struct Outstanding {
     DoneFn done;

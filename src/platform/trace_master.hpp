@@ -1,0 +1,108 @@
+// Trace-replay workloads: recorded per-access traces fed back through the
+// SoC — the evaluation style of the Deterministic Memory Abstraction work
+// (Farshchi et al., PAPERS.md): replay a recorded memory-access trace
+// through the platform instead of a synthetic closed-loop master.
+//
+// A trace is an ordered list of `TraceRecord`s (issue instant, issuing
+// core, address, size, read/write, criticality). `Soc::set_access_probe`
+// emits one record per `memory_access` call, so any live scenario can be
+// recorded (tools/pap_tracegen); `TraceMaster` replays a trace by issuing
+// each record at its exact recorded picosecond. Because the simulation is
+// deterministic and the memory system's evolution depends only on the
+// (time, core, address, op) stream, a replayed run reproduces the
+// originating run's per-access latencies ps-exact (pinned in
+// tests/scenario_run_test.cpp; contract in docs/scenarios.md).
+//
+// Trace file format (`pap-trace-v1`, strict, line-oriented CSV):
+//
+//   # pap-trace-v1
+//   time_ps,core,addr,size,write,crit
+//   0,1,2147483648,64,0,0
+//   ...
+//
+// `time_ps` must be non-decreasing; replay preserves file order for
+// same-instant records, which is the recorded call order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/status.hpp"
+#include "platform/soc.hpp"
+#include "sim/kernel.hpp"
+
+namespace pap::platform {
+
+/// One recorded memory access.
+struct TraceRecord {
+  Time at;                        ///< issue instant (memory_access call)
+  int core = 0;                   ///< issuing core (global index)
+  cache::Addr addr = 0;
+  Bytes size = kCacheLineBytes;   ///< payload bytes (informational)
+  bool write = false;
+  int criticality = 0;  ///< 1 when the core's L3 scheme was the RT scheme
+
+  /// One `pap-trace-v1` CSV data line (no newline).
+  std::string canonical() const;
+
+  bool operator==(const TraceRecord&) const = default;
+};
+
+/// Strict parse of `pap-trace-v1` text. Errors name the offending line.
+Expected<std::vector<TraceRecord>> parse_trace(const std::string& text);
+
+/// Canonical `pap-trace-v1` rendering (header + one line per record).
+/// `parse_trace(render_trace(r)) == r` for any valid record list.
+std::string render_trace(const std::vector<TraceRecord>& records);
+
+/// File wrappers around parse/render. Errors name the path.
+Expected<std::vector<TraceRecord>> load_trace(const std::string& path);
+Status write_trace(const std::string& path,
+                   const std::vector<TraceRecord>& records);
+
+/// Replays a recorded trace through a Soc: every record is issued at its
+/// exact recorded instant on its recorded core, open-loop (completion does
+/// not gate the next issue — the recording already embeds the closed-loop
+/// timing of the originating masters).
+class TraceMaster {
+ public:
+  /// `records` must be valid per `validate_trace` (time-sorted, cores in
+  /// range for `soc`); `start()` schedules every record up front so that
+  /// same-instant records fire in file order.
+  TraceMaster(sim::Kernel& kernel, Soc& soc,
+              std::vector<TraceRecord> records);
+
+  void start();
+  void stop() { running_ = false; }
+
+  /// Phase-script hooks: while paused, records whose instants elapse are
+  /// dropped (an open-loop master cannot defer them without changing the
+  /// timing contract); resume() re-enables issue from the next record on.
+  void pause() { running_ = false; }
+  void resume() { running_ = true; }
+
+  std::uint64_t issued() const { return issued_; }
+  /// Per-access completion latencies of the replayed accesses (reads and
+  /// posted writes, exactly as the Soc reports them).
+  const LatencyHistogram& latency() const { return latency_; }
+  const std::vector<TraceRecord>& records() const { return records_; }
+
+  /// Largest core index referenced by `records`, or -1 when empty.
+  static int max_core(const std::vector<TraceRecord>& records);
+  /// Structural validation: non-negative instants, non-decreasing times,
+  /// cores >= 0. Errors name the offending record index.
+  static Status validate_trace(const std::vector<TraceRecord>& records);
+
+ private:
+  sim::Kernel& kernel_;
+  Soc& soc_;
+  std::vector<TraceRecord> records_;
+  LatencyHistogram latency_;
+  std::uint64_t issued_ = 0;
+  bool running_ = false;
+  bool started_ = false;
+};
+
+}  // namespace pap::platform

@@ -19,6 +19,7 @@ void RtReader::start() {
 void RtReader::stop() { timer_.reset(); }
 
 void RtReader::run_batch() {
+  if (paused_) return;
   if (on_batch_start_) on_batch_start_();
   issue_next(cfg_.reads_per_batch, kernel_.now());
 }

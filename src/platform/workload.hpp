@@ -33,6 +33,13 @@ class RtReader {
   void start();
   void stop();
 
+  /// Suspend/resume batch issue (scenario phase scripting). While paused
+  /// the periodic timer keeps ticking but batches are skipped; resume()
+  /// takes effect from the next period boundary, keeping batch release
+  /// instants on the configured period grid.
+  void pause() { paused_ = true; }
+  void resume() { paused_ = false; }
+
   /// Hooks fired when a batch begins / completes — used by the
   /// "stop-the-world" isolation baseline (Sec. II) to stall all other
   /// cores for the duration of the critical batch.
@@ -59,6 +66,7 @@ class RtReader {
   LatencyHistogram latency_;
   LatencyHistogram batch_latency_;
   std::uint64_t batches_ = 0;
+  bool paused_ = false;
   std::unique_ptr<sim::PeriodicEvent> timer_;
   std::function<void()> on_batch_start_;
   std::function<void()> on_batch_end_;

@@ -1,0 +1,57 @@
+// Seeded scenario-family generator.
+//
+// A *family* is a named distribution over scenarios (flash crowds, diurnal
+// load waves, mode-change storms, hog-vs-reader mixes); `generate_scenario
+// (family, seed, index)` draws its `index`-th member deterministically.
+// Determinism contract (pinned in tests/scenario_generator_test.cpp):
+//
+//   * The same (family, seed, index) yields byte-identical canonical text
+//     on every call, in every process, at any `--jobs` level — generation
+//     never reads ambient state (no clocks, no global RNG).
+//   * Every knob draws from its own RNG stream, seeded from
+//     (family, seed, index, knob-name). Adding a draw to one knob never
+//     shifts the values another knob sees, so families stay comparable
+//     across revisions that touch unrelated knobs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "scenario/scenario.hpp"
+
+namespace pap::scenario {
+
+/// A parsed `--scenario-family=NAME,seed=S,n=K` argument.
+struct FamilySpec {
+  std::string family;
+  std::uint64_t seed = 1;
+  int count = 1;
+
+  bool operator==(const FamilySpec&) const = default;
+};
+
+/// Strict parse of `NAME[,seed=S][,n=K]`. The family must be a
+/// `family_names()` member; `n` must be in [1, 100000].
+Expected<FamilySpec> parse_family_spec(const std::string& text);
+
+/// The supported families, in presentation order:
+///   flash_crowd — steady mix, then a crowd of hogs starts mid-run and
+///                 leaves again (arrival-burst stress).
+///   diurnal     — hogs that wake and sleep in periodic waves (duty-cycled
+///                 background load).
+///   mode_storm  — a burst of rapid start/stop mode changes over all
+///                 masters late in the run.
+///   hog_mix     — randomized reader-vs-hog population with randomized
+///                 DRAM policy/device and regulation knobs.
+const std::vector<std::string>& family_names();
+
+/// The `index`-th member of `family` under `seed` (a `soc` scenario named
+/// `<family>_<index>`). Errors only for unknown family names or a negative
+/// index — every generated scenario is valid by construction (checked
+/// against the scenario validator before returning).
+Expected<Scenario> generate_scenario(const std::string& family,
+                                     std::uint64_t seed, int index);
+
+}  // namespace pap::scenario

@@ -1,0 +1,958 @@
+// Parser and canonical printer for the `.pap` scenario format.
+//
+// Parsing is strict and eager: the first offence wins and every error
+// carries the 1-based `line L, col C:` position of the offending token
+// (the serve::json convention). Printing is canonical: fixed knob order,
+// fixed value formats, so parse -> print -> parse round-trips
+// byte-identically (the fault::FaultPlan precedent) and generated
+// scenario families are byte-stable across processes.
+#include "scenario/scenario.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "dram/controller.hpp"
+#include "dram/policy.hpp"
+#include "dram/timing.hpp"
+
+namespace pap::scenario {
+
+std::string to_string(Kind kind) {
+  switch (kind) {
+    case Kind::kSoc: return "soc";
+    case Kind::kDram: return "dram";
+    case Kind::kAdmission: return "admission";
+  }
+  return "?";
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Value formats (canonical printing).
+
+std::string fmt_duration(Time t) {
+  char buf[48];
+  const std::int64_t ps = t.picos();
+  if (ps % 1'000'000'000 == 0) {
+    std::snprintf(buf, sizeof buf, "%lldms",
+                  static_cast<long long>(ps / 1'000'000'000));
+  } else if (ps % 1'000'000 == 0) {
+    std::snprintf(buf, sizeof buf, "%lldus",
+                  static_cast<long long>(ps / 1'000'000));
+  } else if (ps % 1'000 == 0) {
+    std::snprintf(buf, sizeof buf, "%lldns",
+                  static_cast<long long>(ps / 1'000));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3fns", static_cast<double>(ps) / 1000.0);
+  }
+  return buf;
+}
+
+/// Shortest decimal that round-trips to exactly `v` through strtod.
+std::string fmt_double(double v) {
+  char buf[64];
+  for (int prec = 1; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) return buf;
+  }
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+const char* fmt_bool(bool b) { return b ? "on" : "off"; }
+
+// ---------------------------------------------------------------------------
+// Value parsers (strict: the whole token must be consumed).
+
+bool parse_u64(const std::string& s, std::uint64_t* out) {
+  if (s.empty() || s.size() > 20) return false;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (errno != 0 || end == s.c_str() || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool parse_int(const std::string& s, int* out) {
+  std::uint64_t v = 0;
+  if (!parse_u64(s, &v) || v > 1'000'000'000ull) return false;
+  *out = static_cast<int>(v);
+  return true;
+}
+
+bool parse_double_strict(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (errno != 0 || end == s.c_str() || *end != '\0') return false;
+  if (!(v == v) || v > 1e300 || v < -1e300) return false;  // NaN / inf
+  *out = v;
+  return true;
+}
+
+/// `0.5` or the exact rational `A/B` (how fig6 writes packet rates).
+bool parse_rate(const std::string& s, double* out) {
+  const std::size_t slash = s.find('/');
+  if (slash == std::string::npos) return parse_double_strict(s, out);
+  double num = 0.0, den = 0.0;
+  if (!parse_double_strict(s.substr(0, slash), &num) ||
+      !parse_double_strict(s.substr(slash + 1), &den) || den == 0.0) {
+    return false;
+  }
+  *out = num / den;
+  return true;
+}
+
+bool parse_onoff(const std::string& s, bool* out) {
+  if (s == "on") return (*out = true, true);
+  if (s == "off") return (*out = false, true);
+  return false;
+}
+
+/// "200ns" / "1.5us" / "2ms" -> Time. Strict: unit suffix required.
+bool parse_duration(const std::string& s, Time* out) {
+  if (s.size() < 3) return false;
+  double mult = 0.0;
+  if (s.compare(s.size() - 2, 2, "ns") == 0) {
+    mult = 1.0;
+  } else if (s.compare(s.size() - 2, 2, "us") == 0) {
+    mult = 1e3;
+  } else if (s.compare(s.size() - 2, 2, "ms") == 0) {
+    mult = 1e6;
+  } else {
+    return false;
+  }
+  const std::string num = s.substr(0, s.size() - 2);
+  double v = 0.0;
+  if (!parse_double_strict(num, &v) || v < 0.0) return false;
+  *out = Time::from_ns(v * mult);
+  return true;
+}
+
+bool is_name_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_';
+}
+
+bool parse_name(const std::string& s, std::string* out) {
+  if (s.empty() || s.size() > 64) return false;
+  for (char c : s) {
+    if (!is_name_char(c)) return false;
+  }
+  *out = s;
+  return true;
+}
+
+/// "X,Y" mesh coordinates.
+bool parse_coord(const std::string& s, int* x, int* y) {
+  const std::size_t comma = s.find(',');
+  if (comma == std::string::npos) return false;
+  return parse_int(s.substr(0, comma), x) &&
+         parse_int(s.substr(comma + 1), y);
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizer.
+
+struct Tok {
+  std::string text;
+  int col = 1;  ///< 1-based byte column of the token's first character
+};
+
+std::vector<Tok> tokenize(const std::string& line) {
+  std::vector<Tok> out;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    if (line[i] == ' ' || line[i] == '\t') {
+      ++i;
+      continue;
+    }
+    const std::size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+    out.push_back({line.substr(start, i - start), static_cast<int>(start) + 1});
+  }
+  return out;
+}
+
+struct Kv {
+  std::string key;
+  std::string value;
+  int val_col = 1;
+};
+
+bool split_kv(const Tok& t, Kv* kv) {
+  const std::size_t eq = t.text.find('=');
+  if (eq == std::string::npos || eq == 0) return false;
+  kv->key = t.text.substr(0, eq);
+  kv->value = t.text.substr(eq + 1);
+  kv->val_col = t.col + static_cast<int>(eq) + 1;
+  return true;
+}
+
+std::string position(int line, int col) {
+  return "line " + std::to_string(line) + ", col " + std::to_string(col) +
+         ": ";
+}
+
+// ---------------------------------------------------------------------------
+// Final-validation position mapping: the knob validators (ScenarioConfig /
+// DramScenario / AdmissionScenario ::validate) name the offending knob at
+// the start of every message; look the knob's definition line back up so
+// cross-field errors still carry a position.
+
+using PosMap = std::map<std::string, std::pair<int, int>>;
+
+std::string map_validate_error(const std::string& msg, const PosMap& pos,
+                               int fallback_line) {
+  std::string key;
+  if (msg.rfind("master '", 0) == 0) {
+    const std::size_t close = msg.find('\'', 8);
+    if (close != std::string::npos) key = "master:" + msg.substr(8, close - 8);
+  } else if (msg.rfind("master name '", 0) == 0) {
+    const std::size_t close = msg.find('\'', 13);
+    if (close != std::string::npos) {
+      key = "master:" + msg.substr(13, close - 13);
+    }
+  } else if (msg.rfind("phase", 0) == 0) {
+    key = "phase";
+  } else if (msg.rfind("fault plan", 0) == 0) {
+    key = "faults";
+  } else if (msg.rfind("app ", 0) == 0) {
+    const std::size_t sp = msg.find(':', 4);
+    if (sp != std::string::npos) key = "app:" + msg.substr(4, sp - 4);
+  } else {
+    const std::size_t sp = msg.find_first_of(" :");
+    key = msg.substr(0, sp == std::string::npos ? msg.size() : sp);
+  }
+  const auto it = pos.find(key);
+  const auto [line, col] =
+      it != pos.end() ? it->second : std::make_pair(fallback_line, 1);
+  return position(line, col) + msg;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Kind-payload validation.
+
+Status DramScenario::validate() const {
+  if (sim_time <= Time::zero()) {
+    return Status::error("sim_time must be positive, got " +
+                         sim_time.to_string());
+  }
+  if (const auto dev = dram::device_by_name(device); !dev) {
+    return Status::error("device: " + dev.error_message());
+  }
+  if (banks < 1) {
+    return Status::error("banks must be >= 1, got " + std::to_string(banks));
+  }
+  if (read_period <= Time::zero()) {
+    return Status::error("read_period must be positive, got " +
+                         read_period.to_string());
+  }
+  if (read_bank < 0 || read_bank >= banks) {
+    return Status::error("read_bank must be in [0, " + std::to_string(banks) +
+                         "), got " + std::to_string(read_bank));
+  }
+  if (read_stride < 0) {
+    return Status::error("read_stride must be non-negative, got " +
+                         std::to_string(read_stride));
+  }
+  if (write_rate_gbps <= 0.0) {
+    return Status::error("write_rate_gbps must be positive, got " +
+                         fmt_double(write_rate_gbps));
+  }
+  if (write_burst < 1.0) {
+    return Status::error("write_burst must be >= 1, got " +
+                         fmt_double(write_burst));
+  }
+  if (write_bank < 0 || write_bank >= banks) {
+    return Status::error("write_bank must be in [0, " + std::to_string(banks) +
+                         "), got " + std::to_string(write_bank));
+  }
+  // Watermark / batch rules live with the controller builder; reuse them so
+  // the scenario layer can never construct an aborting controller.
+  const auto params = dram::ControllerConfig{}
+                          .watermarks(w_high, w_low)
+                          .n_wd(n_wd)
+                          .banks(banks)
+                          .build();
+  if (!params) return Status::error("w_high: " + params.error_message());
+  return Status::ok();
+}
+
+Status AdmissionScenario::validate() const {
+  if (mesh_cols < 1 || mesh_rows < 1 || mesh_cols > 64 || mesh_rows > 64) {
+    return Status::error("mesh must be between 1x1 and 64x64, got " +
+                         std::to_string(mesh_cols) + "x" +
+                         std::to_string(mesh_rows));
+  }
+  if (link_rate_gbps <= 0.0) {
+    return Status::error("link_rate_gbps must be positive, got " +
+                         fmt_double(link_rate_gbps));
+  }
+  if (rm_node < 0 || rm_node >= mesh_cols * mesh_rows) {
+    return Status::error("rm_node must be a mesh node in [0, " +
+                         std::to_string(mesh_cols * mesh_rows) + "), got " +
+                         std::to_string(rm_node));
+  }
+  if (burst_factor < 1.0) {
+    return Status::error("burst_factor must be >= 1, got " +
+                         fmt_double(burst_factor));
+  }
+  if (packets < 1 || packets > 1'000'000) {
+    return Status::error("packets must be in [1, 1000000], got " +
+                         std::to_string(packets));
+  }
+  if (apps.empty()) {
+    return Status::error("admission scenario needs at least one app line");
+  }
+  for (const AdmissionApp& a : apps) {
+    const std::string who = "app " + std::to_string(a.id) + ": ";
+    if (a.id < 1) {
+      return Status::error("app id must be >= 1, got " + std::to_string(a.id));
+    }
+    const auto dup = std::count_if(
+        apps.begin(), apps.end(),
+        [&a](const AdmissionApp& o) { return o.id == a.id; });
+    if (dup > 1) {
+      return Status::error(who + "app id is not unique");
+    }
+    if (a.burst <= 0.0) {
+      return Status::error(who + "burst must be positive, got " +
+                           fmt_double(a.burst));
+    }
+    if (a.rate <= 0.0) {
+      return Status::error(who + "rate must be positive, got " +
+                           fmt_double(a.rate));
+    }
+    if (a.src_x < 0 || a.src_x >= mesh_cols || a.src_y < 0 ||
+        a.src_y >= mesh_rows) {
+      return Status::error(who + "src " + std::to_string(a.src_x) + "," +
+                           std::to_string(a.src_y) + " is outside the " +
+                           std::to_string(mesh_cols) + "x" +
+                           std::to_string(mesh_rows) + " mesh");
+    }
+    if (a.dst_x < 0 || a.dst_x >= mesh_cols || a.dst_y < 0 ||
+        a.dst_y >= mesh_rows) {
+      return Status::error(who + "dst " + std::to_string(a.dst_x) + "," +
+                           std::to_string(a.dst_y) + " is outside the " +
+                           std::to_string(mesh_cols) + "x" +
+                           std::to_string(mesh_rows) + " mesh");
+    }
+    if (a.deadline <= Time::zero()) {
+      return Status::error(who + "deadline must be positive, got " +
+                           a.deadline.to_string());
+    }
+  }
+  return Status::ok();
+}
+
+// ---------------------------------------------------------------------------
+// Canonical printer.
+
+namespace {
+
+void print_soc(const platform::ScenarioConfig& cfg, std::string* out) {
+  const platform::ScenarioKnobs& k = cfg.knobs();
+  *out += "sim_time " + fmt_duration(k.sim_time) + "\n";
+  *out += "hogs " + std::to_string(k.hogs) + "\n";
+  *out += "dsu " + std::string(fmt_bool(k.dsu_partitioning)) + "\n";
+  *out += "memguard " + std::string(fmt_bool(k.memguard)) + "\n";
+  *out += "mpam_bw " + std::string(fmt_bool(k.mpam_bw)) + "\n";
+  *out += "stop_the_world " + std::string(fmt_bool(k.stop_the_world)) + "\n";
+  *out += "hog_budget " + std::to_string(k.hog_budget_per_period) + "\n";
+  *out += "memguard_period " + fmt_duration(k.memguard_period) + "\n";
+  *out += "rt " + std::string(fmt_bool(k.rt_enabled)) + "\n";
+  *out += "rt_period " + fmt_duration(k.rt_period) + "\n";
+  *out += "rt_reads_per_batch " + std::to_string(k.rt_reads_per_batch) + "\n";
+  *out += "rt_working_set " + std::to_string(k.rt_working_set) + "\n";
+  *out += "dram_policy " + dram::to_string(k.dram_policy) + "\n";
+  *out += "dram_device " + k.dram_device + "\n";
+  if (const std::string plan = k.fault_plan.canonical(); !plan.empty()) {
+    *out += "faults " + plan + "\n";
+  }
+  for (const platform::MasterSpec& m : k.masters) {
+    *out += "master " + m.name + " ";
+    switch (m.kind) {
+      case platform::MasterSpec::Kind::kRtReader:
+        *out += "reader period=" + fmt_duration(m.period) +
+                " reads_per_batch=" + std::to_string(m.reads_per_batch) +
+                " base=" + std::to_string(m.base) +
+                " working_set=" + std::to_string(m.working_set) +
+                " writes=" + fmt_bool(m.writes);
+        break;
+      case platform::MasterSpec::Kind::kBandwidthHog:
+        *out += "hog base=" + std::to_string(m.base) +
+                " working_set=" + std::to_string(m.working_set) +
+                " write_fraction=" + fmt_double(m.write_fraction) +
+                " think_time=" + fmt_duration(m.think_time) +
+                " seed=" + std::to_string(m.seed);
+        break;
+      case platform::MasterSpec::Kind::kTraceReplay:
+        *out += "trace file=" + m.trace_path;
+        break;
+    }
+    *out += " critical=" + std::string(fmt_bool(m.critical)) +
+            " paused=" + std::string(fmt_bool(m.start_paused)) + "\n";
+  }
+  for (const platform::PhaseSpec& p : k.phases) {
+    *out += "phase " + fmt_duration(p.at) + " " +
+            (p.action == platform::PhaseSpec::Action::kStart ? "start"
+                                                             : "stop") +
+            " " + p.master + "\n";
+  }
+}
+
+void print_dram(const DramScenario& d, std::string* out) {
+  *out += "sim_time " + fmt_duration(d.sim_time) + "\n";
+  *out += "device " + d.device + "\n";
+  *out += "banks " + std::to_string(d.banks) + "\n";
+  *out += "w_high " + std::to_string(d.w_high) + "\n";
+  *out += "w_low " + std::to_string(d.w_low) + "\n";
+  *out += "n_wd " + std::to_string(d.n_wd) + "\n";
+  *out += "read_period " + fmt_duration(d.read_period) + "\n";
+  *out += "read_bank " + std::to_string(d.read_bank) + "\n";
+  *out += "read_stride " + std::to_string(d.read_stride) + "\n";
+  *out += "write_rate_gbps " + fmt_double(d.write_rate_gbps) + "\n";
+  *out += "write_burst " + fmt_double(d.write_burst) + "\n";
+  *out += "write_bank " + std::to_string(d.write_bank) + "\n";
+}
+
+void print_admission(const AdmissionScenario& a, std::string* out) {
+  *out += "mesh " + std::to_string(a.mesh_cols) + "x" +
+          std::to_string(a.mesh_rows) + "\n";
+  *out += "link_rate_gbps " + fmt_double(a.link_rate_gbps) + "\n";
+  *out += "rm_node " + std::to_string(a.rm_node) + "\n";
+  *out += "burst_factor " + fmt_double(a.burst_factor) + "\n";
+  *out += "packets " + std::to_string(a.packets) + "\n";
+  *out += "enforce " + std::string(fmt_bool(a.enforce)) + "\n";
+  for (const AdmissionApp& app : a.apps) {
+    *out += "app " + std::to_string(app.id) + " burst=" +
+            fmt_double(app.burst) + " rate=" + fmt_double(app.rate) +
+            " src=" + std::to_string(app.src_x) + "," +
+            std::to_string(app.src_y) + " dst=" + std::to_string(app.dst_x) +
+            "," + std::to_string(app.dst_y) +
+            " deadline=" + fmt_duration(app.deadline) +
+            " dram=" + fmt_bool(app.uses_dram) + "\n";
+  }
+}
+
+}  // namespace
+
+std::string Scenario::canonical() const {
+  std::string out = "scenario " + to_string(kind) + "\n";
+  out += "name " + name + "\n";
+  switch (kind) {
+    case Kind::kSoc: print_soc(soc, &out); break;
+    case Kind::kDram: print_dram(dram, &out); break;
+    case Kind::kAdmission: print_admission(admission, &out); break;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parser.
+
+namespace {
+
+using E = Expected<Scenario>;
+
+E parse_error(int line, int col, const std::string& msg) {
+  return E::error(position(line, col) + msg);
+}
+
+/// `master NAME reader|hog|trace k=v ...`
+Expected<platform::MasterSpec> parse_master_line(const std::vector<Tok>& toks,
+                                                 int line) {
+  using ME = Expected<platform::MasterSpec>;
+  auto fail = [line](int col, const std::string& msg) {
+    return ME::error(position(line, col) + msg);
+  };
+  if (toks.size() < 3) {
+    return fail(toks[0].col,
+                "expected 'master NAME reader|hog|trace [key=value...]'");
+  }
+  platform::MasterSpec m;
+  if (!parse_name(toks[1].text, &m.name)) {
+    return fail(toks[1].col,
+                "master name must match [a-z0-9_]+ (max 64 chars), got '" +
+                    toks[1].text + "'");
+  }
+  const std::string& kind = toks[2].text;
+  if (kind == "reader") {
+    m.kind = platform::MasterSpec::Kind::kRtReader;
+  } else if (kind == "hog") {
+    m.kind = platform::MasterSpec::Kind::kBandwidthHog;
+  } else if (kind == "trace") {
+    m.kind = platform::MasterSpec::Kind::kTraceReplay;
+  } else {
+    return fail(toks[2].col,
+                "master kind must be reader, hog or trace, got '" + kind +
+                    "'");
+  }
+  std::set<std::string> seen;
+  for (std::size_t i = 3; i < toks.size(); ++i) {
+    Kv kv;
+    if (!split_kv(toks[i], &kv)) {
+      return fail(toks[i].col, "expected key=value, got '" + toks[i].text +
+                                   "'");
+    }
+    if (!seen.insert(kv.key).second) {
+      return fail(toks[i].col, "duplicate master key '" + kv.key + "'");
+    }
+    bool ok = true;
+    std::uint64_t u = 0;
+    if (kv.key == "critical") {
+      ok = parse_onoff(kv.value, &m.critical);
+    } else if (kv.key == "paused") {
+      ok = parse_onoff(kv.value, &m.start_paused);
+    } else if (kv.key == "period" &&
+               m.kind == platform::MasterSpec::Kind::kRtReader) {
+      ok = parse_duration(kv.value, &m.period);
+    } else if (kv.key == "reads_per_batch" &&
+               m.kind == platform::MasterSpec::Kind::kRtReader) {
+      ok = parse_u64(kv.value, &u) && u <= 1'000'000;
+      m.reads_per_batch = static_cast<int>(u);
+    } else if (kv.key == "writes" &&
+               m.kind == platform::MasterSpec::Kind::kRtReader) {
+      ok = parse_onoff(kv.value, &m.writes);
+    } else if (kv.key == "base" &&
+               m.kind != platform::MasterSpec::Kind::kTraceReplay) {
+      ok = parse_u64(kv.value, &u);
+      m.base = u;
+    } else if (kv.key == "working_set" &&
+               m.kind != platform::MasterSpec::Kind::kTraceReplay) {
+      ok = parse_u64(kv.value, &u);
+      m.working_set = u;
+    } else if (kv.key == "write_fraction" &&
+               m.kind == platform::MasterSpec::Kind::kBandwidthHog) {
+      ok = parse_double_strict(kv.value, &m.write_fraction);
+    } else if (kv.key == "think_time" &&
+               m.kind == platform::MasterSpec::Kind::kBandwidthHog) {
+      ok = parse_duration(kv.value, &m.think_time);
+    } else if (kv.key == "seed" &&
+               m.kind == platform::MasterSpec::Kind::kBandwidthHog) {
+      ok = parse_u64(kv.value, &m.seed);
+    } else if (kv.key == "file" &&
+               m.kind == platform::MasterSpec::Kind::kTraceReplay) {
+      ok = !kv.value.empty();
+      m.trace_path = kv.value;
+    } else {
+      return fail(toks[i].col, "unknown " + kind + " master key '" + kv.key +
+                                   "'");
+    }
+    if (!ok) {
+      return fail(kv.val_col, "bad value '" + kv.value + "' for master key '" +
+                                  kv.key + "'");
+    }
+  }
+  return m;
+}
+
+/// `phase DUR start|stop NAME`
+Expected<platform::PhaseSpec> parse_phase_line(const std::vector<Tok>& toks,
+                                               int line) {
+  using PE = Expected<platform::PhaseSpec>;
+  auto fail = [line](int col, const std::string& msg) {
+    return PE::error(position(line, col) + msg);
+  };
+  if (toks.size() != 4) {
+    return fail(toks[0].col, "expected 'phase DURATION start|stop MASTER'");
+  }
+  platform::PhaseSpec p;
+  if (!parse_duration(toks[1].text, &p.at)) {
+    return fail(toks[1].col, "bad phase time '" + toks[1].text +
+                                 "' (want e.g. 200us)");
+  }
+  if (toks[2].text == "start") {
+    p.action = platform::PhaseSpec::Action::kStart;
+  } else if (toks[2].text == "stop") {
+    p.action = platform::PhaseSpec::Action::kStop;
+  } else {
+    return fail(toks[2].col, "phase action must be start or stop, got '" +
+                                 toks[2].text + "'");
+  }
+  if (!parse_name(toks[1 + 2].text, &p.master)) {
+    return fail(toks[3].col, "bad phase master name '" + toks[3].text + "'");
+  }
+  return p;
+}
+
+/// `app ID burst=F rate=R src=X,Y dst=X,Y deadline=DUR [dram=on|off]`
+Expected<AdmissionApp> parse_app_line(const std::vector<Tok>& toks, int line) {
+  using AE = Expected<AdmissionApp>;
+  auto fail = [line](int col, const std::string& msg) {
+    return AE::error(position(line, col) + msg);
+  };
+  if (toks.size() < 2) {
+    return fail(toks[0].col, "expected 'app ID key=value...'");
+  }
+  AdmissionApp a;
+  if (!parse_int(toks[1].text, &a.id)) {
+    return fail(toks[1].col, "bad app id '" + toks[1].text + "'");
+  }
+  std::set<std::string> seen;
+  for (std::size_t i = 2; i < toks.size(); ++i) {
+    Kv kv;
+    if (!split_kv(toks[i], &kv)) {
+      return fail(toks[i].col,
+                  "expected key=value, got '" + toks[i].text + "'");
+    }
+    if (!seen.insert(kv.key).second) {
+      return fail(toks[i].col, "duplicate app key '" + kv.key + "'");
+    }
+    bool ok = true;
+    if (kv.key == "burst") {
+      ok = parse_double_strict(kv.value, &a.burst);
+    } else if (kv.key == "rate") {
+      ok = parse_rate(kv.value, &a.rate);
+    } else if (kv.key == "src") {
+      ok = parse_coord(kv.value, &a.src_x, &a.src_y);
+    } else if (kv.key == "dst") {
+      ok = parse_coord(kv.value, &a.dst_x, &a.dst_y);
+    } else if (kv.key == "deadline") {
+      ok = parse_duration(kv.value, &a.deadline);
+    } else if (kv.key == "dram") {
+      ok = parse_onoff(kv.value, &a.uses_dram);
+    } else {
+      return fail(toks[i].col, "unknown app key '" + kv.key + "'");
+    }
+    if (!ok) {
+      return fail(kv.val_col,
+                  "bad value '" + kv.value + "' for app key '" + kv.key + "'");
+    }
+  }
+  for (const char* required : {"burst", "rate", "src", "dst", "deadline"}) {
+    if (!seen.count(required)) {
+      return fail(toks[0].col, "app " + std::to_string(a.id) +
+                                   " is missing required key '" + required +
+                                   "'");
+    }
+  }
+  return a;
+}
+
+}  // namespace
+
+Expected<Scenario> parse_scenario(const std::string& text) {
+  if (text.size() > 1'000'000) {
+    return parse_error(1, 1, "scenario text exceeds 1 MiB");
+  }
+  Scenario s;
+  bool saw_scenario = false;
+  int scenario_line = 1;
+  std::set<std::string> seen;  ///< scalar keys, for duplicate detection
+  PosMap pos;
+
+  // `soc` payload is accumulated in raw knob form and committed to the
+  // builder at the end (the builder owns cross-field validation).
+  platform::ScenarioKnobs soc;
+  std::vector<platform::MasterSpec> masters;
+  std::vector<platform::PhaseSpec> phases;
+
+  std::istringstream lines(text);
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(lines, raw)) {
+    ++line_no;
+    if (!raw.empty() && raw.back() == '\r') raw.pop_back();
+    const std::vector<Tok> toks = tokenize(raw);
+    if (toks.empty() || toks[0].text[0] == '#') continue;
+    const Tok& key = toks[0];
+
+    if (!saw_scenario) {
+      if (key.text != "scenario") {
+        return parse_error(line_no, key.col,
+                           "expected 'scenario soc|dram|admission' as the "
+                           "first directive, got '" +
+                               key.text + "'");
+      }
+      if (toks.size() != 2) {
+        return parse_error(line_no, key.col,
+                           "expected 'scenario soc|dram|admission'");
+      }
+      if (toks[1].text == "soc") {
+        s.kind = Kind::kSoc;
+      } else if (toks[1].text == "dram") {
+        s.kind = Kind::kDram;
+      } else if (toks[1].text == "admission") {
+        s.kind = Kind::kAdmission;
+      } else {
+        return parse_error(line_no, toks[1].col,
+                           "unknown scenario kind '" + toks[1].text +
+                               "' (want soc, dram or admission)");
+      }
+      saw_scenario = true;
+      scenario_line = line_no;
+      continue;
+    }
+
+    // Repeatable directives first.
+    if (s.kind == Kind::kSoc && key.text == "master") {
+      auto m = parse_master_line(toks, line_no);
+      if (!m) return E::error(m.error_message());
+      pos["master:" + m.value().name] = {line_no, toks[1].col};
+      masters.push_back(std::move(m).value());
+      continue;
+    }
+    if (s.kind == Kind::kSoc && key.text == "phase") {
+      auto p = parse_phase_line(toks, line_no);
+      if (!p) return E::error(p.error_message());
+      if (!pos.count("phase")) pos["phase"] = {line_no, key.col};
+      phases.push_back(std::move(p).value());
+      continue;
+    }
+    if (s.kind == Kind::kAdmission && key.text == "app") {
+      auto a = parse_app_line(toks, line_no);
+      if (!a) return E::error(a.error_message());
+      pos["app:" + std::to_string(a.value().id)] = {line_no, key.col};
+      s.admission.apps.push_back(a.value());
+      continue;
+    }
+
+    // Scalar `key value` directives.
+    if (toks.size() != 2) {
+      return parse_error(line_no, key.col,
+                         "expected 'key value' (one value), got " +
+                             std::to_string(toks.size() - 1) + " values for '" +
+                             key.text + "'");
+    }
+    if (!seen.insert(key.text).second) {
+      return parse_error(line_no, key.col,
+                         "duplicate key '" + key.text + "'");
+    }
+    const Tok& val = toks[1];
+    auto bad_value = [&](const char* want) {
+      return parse_error(line_no, val.col, "bad value '" + val.text +
+                                               "' for '" + key.text +
+                                               "' (want " + want + ")");
+    };
+
+    if (key.text == "name") {
+      if (!parse_name(val.text, &s.name)) return bad_value("[a-z0-9_]+");
+      continue;
+    }
+
+    bool handled = true;
+    bool ok = true;
+    std::uint64_t u = 0;
+    switch (s.kind) {
+      case Kind::kSoc:
+        if (key.text == "sim_time") {
+          ok = parse_duration(val.text, &soc.sim_time);
+          pos["sim_time"] = {line_no, val.col};
+        } else if (key.text == "hogs") {
+          ok = parse_u64(val.text, &u) && u <= 1'000'000;
+          soc.hogs = static_cast<int>(u);
+          pos["hogs"] = {line_no, val.col};
+        } else if (key.text == "dsu") {
+          ok = parse_onoff(val.text, &soc.dsu_partitioning);
+        } else if (key.text == "memguard") {
+          ok = parse_onoff(val.text, &soc.memguard);
+        } else if (key.text == "mpam_bw") {
+          ok = parse_onoff(val.text, &soc.mpam_bw);
+        } else if (key.text == "stop_the_world") {
+          ok = parse_onoff(val.text, &soc.stop_the_world);
+          pos["stop_the_world"] = {line_no, val.col};
+        } else if (key.text == "hog_budget") {
+          ok = parse_u64(val.text, &soc.hog_budget_per_period);
+          pos["hog_budget_per_period"] = {line_no, val.col};
+        } else if (key.text == "memguard_period") {
+          ok = parse_duration(val.text, &soc.memguard_period);
+          pos["memguard_period"] = {line_no, val.col};
+        } else if (key.text == "rt") {
+          ok = parse_onoff(val.text, &soc.rt_enabled);
+          pos["scenario"] = {line_no, val.col};
+        } else if (key.text == "rt_period") {
+          ok = parse_duration(val.text, &soc.rt_period);
+          pos["rt_period"] = {line_no, val.col};
+        } else if (key.text == "rt_reads_per_batch") {
+          ok = parse_u64(val.text, &u) && u <= 1'000'000;
+          soc.rt_reads_per_batch = static_cast<int>(u);
+          pos["rt_reads_per_batch"] = {line_no, val.col};
+        } else if (key.text == "rt_working_set") {
+          ok = parse_u64(val.text, &soc.rt_working_set);
+          pos["rt_working_set"] = {line_no, val.col};
+        } else if (key.text == "dram_policy") {
+          const auto p = dram::parse_policy(val.text);
+          if (!p) return parse_error(line_no, val.col, p.error_message());
+          soc.dram_policy = p.value();
+        } else if (key.text == "dram_device") {
+          soc.dram_device = val.text;
+          pos["dram_device"] = {line_no, val.col};
+        } else if (key.text == "faults") {
+          const auto plan = fault::FaultPlan::parse(val.text);
+          if (!plan) {
+            return parse_error(line_no, val.col, plan.error_message());
+          }
+          soc.fault_plan = plan.value();
+          pos["faults"] = {line_no, val.col};
+        } else {
+          handled = false;
+        }
+        break;
+      case Kind::kDram:
+        if (key.text == "sim_time") {
+          ok = parse_duration(val.text, &s.dram.sim_time);
+          pos["sim_time"] = {line_no, val.col};
+        } else if (key.text == "device") {
+          s.dram.device = val.text;
+          pos["device"] = {line_no, val.col};
+        } else if (key.text == "banks") {
+          ok = parse_int(val.text, &s.dram.banks);
+          pos["banks"] = {line_no, val.col};
+        } else if (key.text == "w_high") {
+          ok = parse_int(val.text, &s.dram.w_high);
+          pos["w_high"] = {line_no, val.col};
+        } else if (key.text == "w_low") {
+          ok = parse_int(val.text, &s.dram.w_low);
+          pos["w_low"] = {line_no, val.col};
+        } else if (key.text == "n_wd") {
+          ok = parse_int(val.text, &s.dram.n_wd);
+          pos["n_wd"] = {line_no, val.col};
+        } else if (key.text == "read_period") {
+          ok = parse_duration(val.text, &s.dram.read_period);
+          pos["read_period"] = {line_no, val.col};
+        } else if (key.text == "read_bank") {
+          ok = parse_int(val.text, &s.dram.read_bank);
+          pos["read_bank"] = {line_no, val.col};
+        } else if (key.text == "read_stride") {
+          ok = parse_int(val.text, &s.dram.read_stride);
+          pos["read_stride"] = {line_no, val.col};
+        } else if (key.text == "write_rate_gbps") {
+          ok = parse_double_strict(val.text, &s.dram.write_rate_gbps);
+          pos["write_rate_gbps"] = {line_no, val.col};
+        } else if (key.text == "write_burst") {
+          ok = parse_double_strict(val.text, &s.dram.write_burst);
+          pos["write_burst"] = {line_no, val.col};
+        } else if (key.text == "write_bank") {
+          ok = parse_int(val.text, &s.dram.write_bank);
+          pos["write_bank"] = {line_no, val.col};
+        } else {
+          handled = false;
+        }
+        break;
+      case Kind::kAdmission:
+        if (key.text == "mesh") {
+          const std::size_t x = val.text.find('x');
+          ok = x != std::string::npos &&
+               parse_int(val.text.substr(0, x), &s.admission.mesh_cols) &&
+               parse_int(val.text.substr(x + 1), &s.admission.mesh_rows);
+          pos["mesh"] = {line_no, val.col};
+        } else if (key.text == "link_rate_gbps") {
+          ok = parse_double_strict(val.text, &s.admission.link_rate_gbps);
+          pos["link_rate_gbps"] = {line_no, val.col};
+        } else if (key.text == "rm_node") {
+          ok = parse_int(val.text, &s.admission.rm_node);
+          pos["rm_node"] = {line_no, val.col};
+        } else if (key.text == "burst_factor") {
+          ok = parse_double_strict(val.text, &s.admission.burst_factor);
+          pos["burst_factor"] = {line_no, val.col};
+        } else if (key.text == "packets") {
+          ok = parse_int(val.text, &s.admission.packets);
+          pos["packets"] = {line_no, val.col};
+        } else if (key.text == "enforce") {
+          ok = parse_onoff(val.text, &s.admission.enforce);
+          pos["enforce"] = {line_no, val.col};
+        } else {
+          handled = false;
+        }
+        break;
+    }
+    if (!handled) {
+      return parse_error(line_no, key.col,
+                         "unknown key '" + key.text + "' for a " +
+                             to_string(s.kind) + " scenario");
+    }
+    if (!ok) {
+      return bad_value(("a canonical " + key.text + " value").c_str());
+    }
+  }
+
+  if (!saw_scenario) {
+    return parse_error(1, 1,
+                       "empty scenario (missing 'scenario soc|dram|admission' "
+                       "directive)");
+  }
+
+  // Commit and cross-validate the kind payload; validator messages name the
+  // offending knob, which maps back to its definition line.
+  Status st = Status::ok();
+  switch (s.kind) {
+    case Kind::kSoc:
+      soc.masters = std::move(masters);
+      soc.phases = std::move(phases);
+      s.soc = platform::ScenarioConfig{};
+      s.soc.hogs(soc.hogs)
+          .dsu_partitioning(soc.dsu_partitioning)
+          .memguard(soc.memguard)
+          .mpam_bw(soc.mpam_bw)
+          .stop_the_world(soc.stop_the_world)
+          .hog_budget_per_period(soc.hog_budget_per_period)
+          .memguard_period(soc.memguard_period)
+          .sim_time(soc.sim_time)
+          .rt_enabled(soc.rt_enabled)
+          .rt_reads_per_batch(soc.rt_reads_per_batch)
+          .rt_period(soc.rt_period)
+          .rt_working_set(soc.rt_working_set)
+          .dram_policy(soc.dram_policy)
+          .dram_device(soc.dram_device)
+          .masters(std::move(soc.masters))
+          .phases(std::move(soc.phases))
+          .faults(soc.fault_plan);
+      st = s.soc.validate();
+      break;
+    case Kind::kDram:
+      st = s.dram.validate();
+      break;
+    case Kind::kAdmission:
+      st = s.admission.validate();
+      break;
+  }
+  if (!st.is_ok()) {
+    return E::error(map_validate_error(st.message(), pos, scenario_line));
+  }
+  return s;
+}
+
+Expected<Scenario> load_scenario(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return E::error(path + ": cannot open scenario file");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto parsed = parse_scenario(buf.str());
+  if (!parsed) return E::error(path + ": " + parsed.error_message());
+  Scenario s = std::move(parsed).value();
+  // Resolve relative trace paths against the scenario file's directory so
+  // scenarios can ship with their traces.
+  const std::size_t slash = path.find_last_of('/');
+  if (slash != std::string::npos && s.kind == Kind::kSoc) {
+    const std::string dir = path.substr(0, slash + 1);
+    platform::ScenarioKnobs knobs = s.soc.knobs();
+    bool rewrote = false;
+    for (platform::MasterSpec& m : knobs.masters) {
+      if (m.kind == platform::MasterSpec::Kind::kTraceReplay &&
+          !m.trace_path.empty() && m.trace_path[0] != '/') {
+        m.trace_path = dir + m.trace_path;
+        rewrote = true;
+      }
+    }
+    if (rewrote) s.soc.masters(std::move(knobs.masters));
+  }
+  return s;
+}
+
+}  // namespace pap::scenario

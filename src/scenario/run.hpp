@@ -1,0 +1,50 @@
+// Executing parsed scenarios on the simulators, exp-engine style.
+//
+// `run_parsed` maps each scenario kind onto its simulation world and
+// returns a fixed, kind-specific metric set as an `exp::Result` — fixed so
+// that a family sweep's CSV has uniform columns:
+//
+//   soc       — rt_accesses, rt_p50, rt_p99, rt_max, batches, hog_accesses,
+//               trace_accesses, memguard_throttles, mpam_throttles
+//   dram      — read_p99, write_p99, write_batches
+//   admission — admitted, then per app: admit_appN, bound_appN, p99_appN
+//
+// `family_experiment` + `family_sweep` put the generator behind the exp
+// Runner: every sweep point is (family, seed, index) and the run functor
+// regenerates the scenario text deterministically, so family sweeps
+// inherit the Runner's submission-order determinism and result cache —
+// output is byte-identical for any `--jobs` (pinned by the
+// scenario-determinism CI job).
+#pragma once
+
+#include "exp/experiment.hpp"
+#include "exp/sweep.hpp"
+#include "scenario/generate.hpp"
+#include "scenario/scenario.hpp"
+
+namespace pap::trace {
+class Tracer;
+}
+
+namespace pap::scenario {
+
+struct RunOptions {
+  /// Attached to the run's kernel; tracing never changes results.
+  trace::Tracer* tracer = nullptr;
+  /// `soc` scenarios only: record every memory access of the run here
+  /// (the pap_tracegen hook). Recording never changes results.
+  std::vector<platform::TraceRecord>* record_trace = nullptr;
+};
+
+/// Validate-and-run `s`; deterministic in the scenario text.
+Expected<exp::Result> run_parsed(const Scenario& s,
+                                 const RunOptions& opts = {});
+
+/// The generator as an exp experiment: params are (family:string,
+/// seed:int, index:int); the functor regenerates and runs the scenario.
+exp::Experiment family_experiment();
+
+/// One sweep point per family member: (spec.family, spec.seed, 0..n-1).
+Expected<exp::Sweep> family_sweep(const FamilySpec& spec);
+
+}  // namespace pap::scenario

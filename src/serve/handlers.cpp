@@ -13,6 +13,8 @@
 #include "noc/topology.hpp"
 #include "platform/scenario.hpp"
 #include "rm/rate_table.hpp"
+#include "scenario/run.hpp"
+#include "scenario/scenario.hpp"
 
 namespace pap::serve {
 
@@ -328,8 +330,76 @@ HandlerOutcome handle_nc_delay(const exp::Params& params,
   return HandlerOutcome::success(std::move(out));
 }
 
+namespace {
+
+/// The inline-text flavour of scenario_sim: the request ships a `.pap`
+/// scenario source instead of individual knobs. Parse errors come back as
+/// typed kBadRequest answers carrying the parser's line/column position.
+HandlerOutcome scenario_sim_from_text(const exp::Params& params,
+                                      const HandlerLimits& limits) {
+  ParamReader r(params);
+  const std::string text = r.get_string("scenario", "");
+  r.finish();  // `scenario` is exclusive: no knob params alongside it
+  if (r.failed()) return bad(r.error());
+  if (text.size() > limits.max_scenario_text) {
+    return bad("scenario text exceeds " +
+               std::to_string(limits.max_scenario_text) + " bytes");
+  }
+  auto parsed = scenario::parse_scenario(text);
+  if (!parsed) return bad(parsed.error_message());
+  const scenario::Scenario& s = parsed.value();
+
+  // Request-size bounds, mirroring the knob flavour's caps.
+  switch (s.kind) {
+    case scenario::Kind::kSoc: {
+      const platform::ScenarioKnobs& k = s.soc.knobs();
+      if (k.sim_time > limits.max_sim_time) {
+        return bad("sim_time " + k.sim_time.to_string() + " exceeds the " +
+                   limits.max_sim_time.to_string() + " serving cap");
+      }
+      // A pure handler must not touch the filesystem: a served scenario
+      // cannot reference trace files (inline knob scenarios only).
+      for (const platform::MasterSpec& m : k.masters) {
+        if (m.kind == platform::MasterSpec::Kind::kTraceReplay) {
+          return bad("master '" + m.name +
+                     "': trace masters are not allowed in served scenarios");
+        }
+      }
+      break;
+    }
+    case scenario::Kind::kDram:
+      if (s.dram.sim_time > limits.max_sim_time) {
+        return bad("sim_time " + s.dram.sim_time.to_string() +
+                   " exceeds the " + limits.max_sim_time.to_string() +
+                   " serving cap");
+      }
+      break;
+    case scenario::Kind::kAdmission:
+      if (static_cast<int>(s.admission.apps.size()) > limits.max_apps) {
+        return bad("scenario has " +
+                   std::to_string(s.admission.apps.size()) +
+                   " apps, serving cap is " + std::to_string(limits.max_apps));
+      }
+      if (s.admission.mesh_cols > limits.max_mesh_dim ||
+          s.admission.mesh_rows > limits.max_mesh_dim) {
+        return bad("mesh exceeds the " + std::to_string(limits.max_mesh_dim) +
+                   "-node serving cap per side");
+      }
+      break;
+  }
+
+  auto res = scenario::run_parsed(s);
+  if (!res) return bad(res.error_message());
+  return HandlerOutcome::success(std::move(res).value());
+}
+
+}  // namespace
+
 HandlerOutcome handle_scenario_sim(const exp::Params& params,
                                    const HandlerLimits& limits) {
+  if (params.find("scenario") != nullptr) {
+    return scenario_sim_from_text(params, limits);
+  }
   ParamReader r(params);
   const int hogs = static_cast<int>(r.get_int("hogs", 3, 0, 63));
   const double sim_us = r.get_double("sim_time_us", 500.0, 1.0,

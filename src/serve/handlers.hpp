@@ -29,6 +29,9 @@ struct HandlerLimits {
   int max_apps = 32;                 ///< admission_check app list cap
   int max_queue_position = 256;      ///< wcd_bound / nc service depth cap
   int max_mesh_dim = 16;             ///< admission_check mesh side cap
+  /// Cap on the inline `scenario` text of scenario_sim (the `.pap` source
+  /// shipped in the request; docs/scenarios.md).
+  std::size_t max_scenario_text = 16 * 1024;
 };
 
 /// A handler outcome: either a Result to render, or (code, message).

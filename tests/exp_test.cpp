@@ -424,6 +424,32 @@ TEST(ParseCli, FaultsPlanIsValidatedEagerly) {
   EXPECT_TRUE(none.value().faults.empty());
 }
 
+TEST(ParseCli, ScenarioFlagsCollectInOrder) {
+  const auto cli = cli::parse({"--scenario=a.pap", "--scenario", "b.pap",
+                               "--scenario-family=flash_crowd,seed=7,n=3",
+                               "--scenario-family", "hog_mix"});
+  ASSERT_TRUE(cli.has_value()) << cli.error_message();
+  ASSERT_EQ(cli.value().scenarios.size(), 2u);
+  EXPECT_EQ(cli.value().scenarios[0], "a.pap");
+  EXPECT_EQ(cli.value().scenarios[1], "b.pap");
+  ASSERT_EQ(cli.value().scenario_families.size(), 2u);
+  EXPECT_EQ(cli.value().scenario_families[0], "flash_crowd,seed=7,n=3");
+  EXPECT_EQ(cli.value().scenario_families[1], "hog_mix");
+  EXPECT_NE(cli_usage("prog").find("--scenario"), std::string::npos);
+  EXPECT_NE(cli_usage("prog").find("--scenario-family"), std::string::npos);
+
+  // The exp layer screens the spec shape eagerly (the scenario layer does
+  // the deep validation — family names, seed ranges).
+  EXPECT_FALSE(cli::parse({"--scenario="}).has_value());
+  EXPECT_FALSE(cli::parse({"--scenario"}).has_value());
+  EXPECT_FALSE(cli::parse({"--scenario-family="}).has_value());
+  EXPECT_FALSE(cli::parse({"--scenario-family"}).has_value());
+  EXPECT_FALSE(cli::parse({"--scenario-family=UPPER"}).has_value());
+  EXPECT_FALSE(cli::parse({"--scenario-family=fam,seed=x"}).has_value());
+  EXPECT_FALSE(cli::parse({"--scenario-family=fam,bogus=1"}).has_value());
+  EXPECT_TRUE(cli::parse({"--scenario-family=fam,seed=1,n=50"}).has_value());
+}
+
 TEST_F(CacheTest, TracedSweepEmitsPerPointTracesAndIdenticalResults) {
   // End-to-end exp <-> trace plumbing: an Experiment with a run_traced
   // functor produces the same Results with tracing on, off, or absent, and

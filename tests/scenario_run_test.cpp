@@ -1,0 +1,292 @@
+// Scenario execution: the example .pap files are byte-identical to their
+// C++ builder twins end-to-end (same canonical text, same run results),
+// trace record -> replay reproduces the originating run ps-exact, the
+// trace format round-trips, and the CLI front doors reject malformed
+// input with exit code 64.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/admission.hpp"
+#include "noc/topology.hpp"
+#include "platform/scenario.hpp"
+#include "platform/trace_master.hpp"
+#include "scenario/run.hpp"
+#include "scenario/scenario.hpp"
+
+namespace pap::scenario {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+Scenario load_example(const char* file) {
+  const auto s = load_scenario(std::string(PAP_SCENARIO_EXAMPLES) + "/" +
+                               file);
+  EXPECT_TRUE(s) << file << ": " << s.error_message();
+  return s.value();
+}
+
+/// The fig6 request table, exactly as bench/fig6_e2e_admission.cpp builds
+/// it in C++.
+AdmissionScenario fig6_twin() {
+  AdmissionScenario a;
+  a.mesh_cols = 4;
+  a.mesh_rows = 4;
+  a.link_rate_gbps = 64;
+  a.rm_node = 15;
+  a.burst_factor = 4;
+  a.packets = 300;
+  a.enforce = true;
+  auto app = [](int id, double burst, double rate, int sx, int sy, int dx,
+                int dy, Time deadline) {
+    AdmissionApp x;
+    x.id = id;
+    x.burst = burst;
+    x.rate = rate;
+    x.src_x = sx;
+    x.src_y = sy;
+    x.dst_x = dx;
+    x.dst_y = dy;
+    x.deadline = deadline;
+    x.uses_dram = false;
+    return x;
+  };
+  a.apps = {app(1, 2, 1.0 / 300.0, 0, 0, 3, 0, Time::us(2)),
+            app(2, 2, 1.0 / 400.0, 0, 1, 3, 0, Time::us(2)),
+            app(3, 2, 1.0 / 500.0, 1, 1, 3, 0, Time::us(2)),
+            app(4, 8, 1.0 / 7.0, 2, 1, 3, 0, Time::us(2)),
+            app(5, 2, 1.0 / 350.0, 0, 2, 3, 2, Time::us(2)),
+            app(6, 4, 1.0 / 60.0, 1, 0, 3, 0, Time::ns(300))};
+  return a;
+}
+
+TEST(ScenarioTwins, Fig6TextIsByteIdenticalToTheBuilderPath) {
+  const Scenario from_file = load_example("fig6_admission.pap");
+  ASSERT_EQ(from_file.kind, Kind::kAdmission);
+
+  Scenario twin;
+  twin.kind = Kind::kAdmission;
+  twin.name = "fig6_admission";
+  twin.admission = fig6_twin();
+
+  EXPECT_EQ(from_file.canonical(), twin.canonical());
+
+  // And the runs are indistinguishable, metric for metric.
+  const auto a = run_parsed(from_file);
+  const auto b = run_parsed(twin);
+  ASSERT_TRUE(a) << a.error_message();
+  ASSERT_TRUE(b) << b.error_message();
+  EXPECT_EQ(a.value().serialize(), b.value().serialize());
+}
+
+TEST(ScenarioTwins, Fig6DecisionsMatchTheAdmissionController) {
+  const Scenario s = load_example("fig6_admission.pap");
+  const auto r = run_parsed(s);
+  ASSERT_TRUE(r) << r.error_message();
+
+  // Re-derive the decisions with core::AdmissionController directly, the
+  // way bench/fig6_e2e_admission.cpp does.
+  core::PlatformModel m;
+  m.noc.cols = 4;
+  m.noc.rows = 4;
+  core::AdmissionController ac(m);
+  noc::Mesh2D mesh(4, 4);
+  const auto apps = fig6_twin().apps;
+  int admitted = 0;
+  std::vector<bool> decisions;
+  for (const auto& app : apps) {
+    core::AppRequirement req;
+    req.app = static_cast<noc::AppId>(app.id);
+    req.name = "app" + std::to_string(app.id);
+    req.traffic = nc::TokenBucket{app.burst, app.rate};
+    req.src = mesh.node(app.src_x, app.src_y);
+    req.dst = mesh.node(app.dst_x, app.dst_y);
+    req.deadline = app.deadline;
+    req.uses_dram = false;
+    decisions.push_back(static_cast<bool>(ac.request(req)));
+    admitted += decisions.back() ? 1 : 0;
+  }
+  // Bounds are re-proved under the final admitted mix, which is what the
+  // scenario runner reports.
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    const std::string n = std::to_string(apps[i].id);
+    const auto* decision = r.value().find("admit_app" + n);
+    ASSERT_NE(decision, nullptr) << n;
+    EXPECT_EQ(decision->as_bool(), decisions[i]) << "app " << n;
+    const auto* bound = r.value().find("bound_app" + n);
+    ASSERT_NE(bound, nullptr);
+    const auto proved =
+        ac.current_bound(static_cast<noc::AppId>(apps[i].id));
+    EXPECT_EQ(bound->as_time(), proved.value_or(Time::zero()))
+        << "app " << n;
+  }
+  EXPECT_EQ(r.value().at("admitted").as_int(), admitted);
+  // The bench's known mix: only the link-saturating app4 is rejected.
+  EXPECT_FALSE(r.value().at("admit_app4").as_bool());
+  EXPECT_TRUE(r.value().at("admit_app1").as_bool());
+  EXPECT_TRUE(r.value().at("admit_app6").as_bool());
+}
+
+TEST(ScenarioTwins, Fig5TextIsByteIdenticalToTheBuilderPath) {
+  const Scenario from_file = load_example("fig5_watermark.pap");
+  ASSERT_EQ(from_file.kind, Kind::kDram);
+
+  Scenario twin;
+  twin.kind = Kind::kDram;
+  twin.name = "fig5_watermark";
+  DramScenario d;  // defaults are exactly the fig5 baseline point
+  d.sim_time = Time::ms(1);
+  d.device = "ddr3_1600";
+  d.w_high = 8;
+  d.w_low = 4;
+  d.n_wd = 4;
+  twin.dram = d;
+
+  EXPECT_EQ(from_file.canonical(), twin.canonical());
+
+  const auto a = run_parsed(from_file);
+  const auto b = run_parsed(twin);
+  ASSERT_TRUE(a) << a.error_message();
+  ASSERT_TRUE(b) << b.error_message();
+  EXPECT_EQ(a.value().serialize(), b.value().serialize());
+  EXPECT_GT(a.value().at("read_p99").as_time(), Time::zero());
+  EXPECT_GT(a.value().at("write_batches").as_int(), 0);
+}
+
+TEST(ScenarioRun, SocScenarioReportsTheFixedMetricSet) {
+  const Scenario s = load_example("ablation_memguard.pap");
+  const auto r = run_parsed(s);
+  ASSERT_TRUE(r) << r.error_message();
+  for (const char* metric :
+       {"rt_accesses", "rt_p50", "rt_p99", "rt_max", "batches",
+        "hog_accesses", "trace_accesses", "memguard_throttles",
+        "mpam_throttles"}) {
+    EXPECT_NE(r.value().find(metric), nullptr) << metric;
+  }
+  EXPECT_GT(r.value().at("rt_accesses").as_int(), 0);
+  EXPECT_GT(r.value().at("memguard_throttles").as_int(), 0);
+}
+
+/// Record a live run, replay it through a TraceMaster with the same
+/// isolation knobs, and pin the replay ps-exact: every core's per-access
+/// latency distribution is identical to the originating run's.
+TEST(TraceReplay, ReplayReproducesTheOriginatingRunPsExact) {
+  platform::ScenarioConfig recording;
+  recording.hogs(2).dsu_partitioning(true).sim_time(Time::us(200));
+  std::vector<platform::TraceRecord> records;
+  recording.record_trace(&records);
+  const auto original = platform::run_scenario(recording, "original");
+  ASSERT_TRUE(original) << original.error_message();
+  ASSERT_FALSE(records.empty());
+
+  platform::MasterSpec replayer;
+  replayer.kind = platform::MasterSpec::Kind::kTraceReplay;
+  replayer.name = "rep";
+  replayer.records = records;
+  platform::ScenarioConfig replay;
+  replay.hogs(0)
+      .rt_enabled(false)
+      .dsu_partitioning(true)
+      .sim_time(Time::us(200))
+      .add_master(replayer);
+  const auto replayed = platform::run_scenario(replay, "replay");
+  ASSERT_TRUE(replayed) << replayed.error_message();
+
+  EXPECT_EQ(replayed.value().trace_accesses, records.size());
+  const auto& orig_cores = original.value().core_latency;
+  const auto& rep_cores = replayed.value().core_latency;
+  ASSERT_LE(orig_cores.size(), rep_cores.size());
+  for (std::size_t core = 0; core < orig_cores.size(); ++core) {
+    EXPECT_EQ(orig_cores[core].sorted_samples(),
+              rep_cores[core].sorted_samples())
+        << "core " << core << " latencies diverge between live run and "
+        << "replay";
+  }
+}
+
+TEST(TraceFormat, RenderParseRoundTrip) {
+  std::vector<platform::TraceRecord> records;
+  for (int i = 0; i < 5; ++i) {
+    platform::TraceRecord r;
+    r.at = Time::from_ns(100.0 * i);
+    r.core = i % 3;
+    r.addr = 0x1000u + static_cast<cache::Addr>(64 * i);
+    r.write = (i % 2) == 1;
+    r.criticality = i == 0 ? 1 : 0;
+    records.push_back(r);
+  }
+  const std::string text = platform::render_trace(records);
+  const auto back = platform::parse_trace(text);
+  ASSERT_TRUE(back) << back.error_message();
+  EXPECT_EQ(back.value(), records);
+
+  EXPECT_FALSE(platform::parse_trace("not a trace\n"));
+  EXPECT_FALSE(platform::parse_trace("# pap-trace-v1\nbogus header\n"));
+  const auto short_line = platform::parse_trace(
+      "# pap-trace-v1\ntime_ps,core,addr,size,write,crit\n1,2,3\n");
+  ASSERT_FALSE(short_line);
+  EXPECT_NE(short_line.error_message().find("line 3"), std::string::npos)
+      << short_line.error_message();
+}
+
+int run_cli(const std::string& cmd) {
+  const int rc = std::system(cmd.c_str());
+  return WIFEXITED(rc) ? WEXITSTATUS(rc) : -1;
+}
+
+TEST(ScenarioCli, MalformedInputExitsSixtyFour) {
+  const std::string tmp =
+      std::filesystem::temp_directory_path() / "scenario_cli_test";
+  std::filesystem::create_directories(tmp);
+  {
+    std::ofstream bad(tmp + "/bad.pap");
+    bad << "scenario soc\nhogs minus_one\n";
+  }
+  EXPECT_EQ(run_cli(std::string(PAP_SCENARIO_BIN) + " --scenario=" + tmp +
+                    "/bad.pap >/dev/null 2>&1"),
+            64);
+  EXPECT_EQ(run_cli(std::string(PAP_SCENARIO_BIN) + " --scenario=" + tmp +
+                    "/missing.pap >/dev/null 2>&1"),
+            64);
+  EXPECT_EQ(run_cli(std::string(PAP_SCENARIO_BIN) +
+                    " --scenario-family=no_such,seed=1 >/dev/null 2>&1"),
+            64);
+  EXPECT_EQ(run_cli(std::string(PAP_TRACEGEN_BIN) + " " + tmp +
+                    "/bad.pap " + tmp + "/out.trace >/dev/null 2>&1"),
+            64);
+  // tracegen only records soc scenarios.
+  EXPECT_EQ(run_cli(std::string(PAP_TRACEGEN_BIN) + " " +
+                    PAP_SCENARIO_EXAMPLES +
+                    "/fig5_watermark.pap " + tmp + "/out.trace "
+                    ">/dev/null 2>&1"),
+            64);
+}
+
+TEST(ScenarioCli, PrintEmitsTheCanonicalForm) {
+  const std::string tmp =
+      std::filesystem::temp_directory_path() / "scenario_cli_print";
+  std::filesystem::create_directories(tmp);
+  const std::string example =
+      std::string(PAP_SCENARIO_EXAMPLES) + "/fig6_admission.pap";
+  ASSERT_EQ(run_cli(std::string(PAP_SCENARIO_BIN) + " --scenario=" +
+                    example + " --print > " + tmp + "/canon.pap"),
+            0);
+  const auto parsed = load_scenario(example);
+  ASSERT_TRUE(parsed) << parsed.error_message();
+  EXPECT_EQ(slurp(tmp + "/canon.pap"), parsed.value().canonical());
+}
+
+}  // namespace
+}  // namespace pap::scenario

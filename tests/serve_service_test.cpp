@@ -111,6 +111,70 @@ TEST(Service, AnswersEveryEndpointAndControlOp) {
       << badparam;
 }
 
+TEST(Service, ScenarioSimAcceptsInlinePapText) {
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  AnalysisService svc(cfg);
+
+  // A full `.pap` scenario shipped in the request (docs/scenarios.md).
+  const std::string good = svc.handle(
+      R"({"id":1,"op":"scenario_sim","params":{)"
+      R"("scenario":"scenario soc\nname served\nsim_time 50us\nhogs 1\n"}})");
+  EXPECT_NE(good.find("\"id\":1,\"ok\":true"), good.npos) << good;
+  EXPECT_NE(good.find("\"label\":\"served\""), good.npos) << good;
+  EXPECT_NE(good.find("\"rt_p99\""), good.npos) << good;
+
+  // dram and admission kinds are served through the same door.
+  const std::string dram = svc.handle(
+      R"({"id":2,"op":"scenario_sim","params":{)"
+      R"("scenario":"scenario dram\nname d\nsim_time 100us\n"}})");
+  EXPECT_NE(dram.find("\"id\":2,\"ok\":true"), dram.npos) << dram;
+  EXPECT_NE(dram.find("\"read_p99\""), dram.npos) << dram;
+
+  // Parse failures are typed bad_request replies carrying line/column.
+  const std::string bad = svc.handle(
+      R"({"id":3,"op":"scenario_sim","params":{)"
+      R"("scenario":"scenario soc\nhogs minus_one\n"}})");
+  EXPECT_NE(bad.find("\"code\":\"bad_request\""), bad.npos) << bad;
+  EXPECT_NE(bad.find("line 2, col 6"), bad.npos) << bad;
+
+  // `scenario` is exclusive: mixing it with knob params is rejected.
+  const std::string mixed = svc.handle(
+      R"({"id":4,"op":"scenario_sim","params":{)"
+      R"("scenario":"scenario soc\n","hogs":2}})");
+  EXPECT_NE(mixed.find("\"code\":\"bad_request\""), mixed.npos) << mixed;
+
+  // Serving caps hold on the text path too: sim_time, trace masters.
+  const std::string capped = svc.handle(
+      R"({"id":5,"op":"scenario_sim","params":{)"
+      R"("scenario":"scenario soc\nsim_time 30ms\n"}})");
+  EXPECT_NE(capped.find("\"code\":\"bad_request\""), capped.npos) << capped;
+  EXPECT_NE(capped.find("serving cap"), capped.npos) << capped;
+
+  const std::string traced = svc.handle(
+      R"({"id":6,"op":"scenario_sim","params":{)"
+      R"("scenario":"scenario soc\nmaster t trace file=x.trace\n"}})");
+  EXPECT_NE(traced.find("\"code\":\"bad_request\""), traced.npos) << traced;
+  EXPECT_NE(traced.find("trace masters are not allowed"), traced.npos)
+      << traced;
+}
+
+TEST(Service, ScenarioSimTextSizeIsBounded) {
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.handlers.max_scenario_text = 64;
+  AnalysisService svc(cfg);
+  const std::string small = svc.handle(
+      R"({"id":1,"op":"scenario_sim","params":{)"
+      R"("scenario":"scenario soc\nsim_time 50us\n"}})");
+  EXPECT_NE(small.find("\"ok\":true"), small.npos) << small;
+  const std::string big = svc.handle(
+      R"({"id":2,"op":"scenario_sim","params":{"scenario":"scenario soc\n# )" +
+      std::string(80, 'x') + R"(\n"}})");
+  EXPECT_NE(big.find("\"code\":\"bad_request\""), big.npos) << big;
+  EXPECT_NE(big.find("exceeds 64 bytes"), big.npos) << big;
+}
+
 TEST(Service, WcdBoundPolicyAndDeviceAreStrictlyValidated) {
   ServiceConfig cfg;
   cfg.workers = 1;

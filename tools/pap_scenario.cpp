@@ -1,0 +1,127 @@
+// pap_scenario — run, print and generate `.pap` scenarios from the command
+// line (the scenario language's front door; docs/scenarios.md).
+//
+//   pap_scenario --scenario=FILE ...              run scenario file(s)
+//   pap_scenario --scenario=FILE --print          parse + canonical-print
+//                                                 (no simulation)
+//   pap_scenario --scenario-family=NAME,seed=S,n=K
+//                                                 run the family as an exp
+//                                                 sweep (CSV per family in
+//                                                 <out>; honours --jobs and
+//                                                 --cache; byte-identical
+//                                                 output for any --jobs)
+//   pap_scenario --scenario-family=... --gen      print the family members'
+//                                                 canonical text instead of
+//                                                 running them
+//
+// Malformed input — unknown flags, unparsable scenario text, unknown
+// family names — exits 64 (EX_USAGE) with the offending position on
+// stderr; nothing is simulated on a bad request.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "exp/runner.hpp"
+#include "exp/sink.hpp"
+#include "scenario/generate.hpp"
+#include "scenario/run.hpp"
+#include "scenario/scenario.hpp"
+
+using namespace pap;
+
+namespace {
+
+int usage_error(const std::string& msg) {
+  std::fprintf(stderr, "pap_scenario: %s\n", msg.c_str());
+  return 64;  // EX_USAGE
+}
+
+void print_result(const exp::Result& r) {
+  std::printf("[%s]\n", r.label().c_str());
+  for (const auto& [name, value] : r.metrics()) {
+    std::printf("  %-20s %s\n", name.c_str(), value.display().c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Tool-local modes, stripped before the shared exp CLI parse.
+  bool print_only = false;
+  bool gen_only = false;
+  std::vector<char*> rest;
+  for (int i = 0; i < argc; ++i) {
+    if (i > 0 && std::strcmp(argv[i], "--print") == 0) {
+      print_only = true;
+    } else if (i > 0 && std::strcmp(argv[i], "--gen") == 0) {
+      gen_only = true;
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  const auto cli =
+      exp::parse_cli(static_cast<int>(rest.size()), rest.data());
+  if (cli.scenarios.empty() && cli.scenario_families.empty()) {
+    return usage_error(
+        "nothing to do: pass --scenario=FILE and/or "
+        "--scenario-family=NAME[,seed=S][,n=K]"
+        " (add --print / --gen to emit canonical text without simulating)");
+  }
+  if (gen_only && cli.scenario_families.empty()) {
+    return usage_error("--gen needs at least one --scenario-family");
+  }
+
+  // Scenario files: parse strictly, then print or run.
+  for (const std::string& file : cli.scenarios) {
+    auto s = scenario::load_scenario(file);
+    if (!s) return usage_error(s.error_message());
+    if (print_only) {
+      std::fputs(s.value().canonical().c_str(), stdout);
+      continue;
+    }
+    auto result = scenario::run_parsed(s.value());
+    if (!result) {
+      return usage_error(file + ": " + result.error_message());
+    }
+    print_result(result.value());
+  }
+
+  // Families: --gen prints members' canonical text; otherwise each family
+  // runs as one exp sweep whose CSV is byte-identical for any --jobs.
+  for (const std::string& spec_text : cli.scenario_families) {
+    auto spec = scenario::parse_family_spec(spec_text);
+    if (!spec) return usage_error(spec.error_message());
+    if (gen_only || print_only) {
+      for (int i = 0; i < spec.value().count; ++i) {
+        auto s = scenario::generate_scenario(spec.value().family,
+                                             spec.value().seed, i);
+        if (!s) return usage_error(s.error_message());
+        std::fputs(s.value().canonical().c_str(), stdout);
+      }
+      continue;
+    }
+    auto sweep = scenario::family_sweep(spec.value());
+    if (!sweep) return usage_error(sweep.error_message());
+    const exp::Experiment experiment = scenario::family_experiment();
+    exp::CsvSink csv(cli.out_dir + "/scenario_" + spec.value().family +
+                     ".csv");
+    exp::JsonlSink jsonl(cli.out_dir + "/scenario_" + spec.value().family +
+                         ".jsonl");
+    jsonl.without_timing();  // byte-identical across --jobs and reruns
+    exp::Runner runner(exp::to_runner_options(cli));
+    runner.add_sink(&csv).add_sink(&jsonl);
+    const auto summary = runner.run(experiment, sweep.value());
+    std::printf("%s: %zu scenarios, %s\n", spec.value().family.c_str(),
+                summary.completed(), summary.timing_summary().c_str());
+    for (const auto& point : summary.points) {
+      if (point.result.find("error") != nullptr) {
+        std::fprintf(stderr, "pap_scenario: %s failed: %s\n",
+                     point.result.label().c_str(),
+                     point.result.at("error").as_string().c_str());
+        return 1;
+      }
+    }
+  }
+  return 0;
+}

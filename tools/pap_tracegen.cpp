@@ -1,0 +1,70 @@
+// pap_tracegen — record a scenario run as a `pap-trace-v1` trace file.
+//
+//   pap_tracegen SCENARIO.pap OUT.trace
+//
+// Runs the (soc-kind) scenario once with the Soc's access probe attached;
+// every memory access of the run lands in OUT.trace with its exact issue
+// picosecond, issuing core, address, size, direction and criticality.
+// Replaying OUT.trace through a scenario with the same isolation knobs
+// (`master ... trace file=OUT.trace`) reproduces the originating run's
+// per-access latencies ps-exact for regulation-free scenarios — the
+// contract pinned in tests/scenario_run_test.cpp and spelled out in
+// docs/scenarios.md.
+//
+// Malformed input (wrong arity, unparsable scenario, non-soc scenario)
+// exits 64 without writing anything.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "platform/trace_master.hpp"
+#include "scenario/run.hpp"
+#include "scenario/scenario.hpp"
+
+using namespace pap;
+
+namespace {
+
+int usage_error(const std::string& msg) {
+  std::fprintf(stderr,
+               "pap_tracegen: %s\nusage: pap_tracegen SCENARIO.pap "
+               "OUT.trace\n",
+               msg.c_str());
+  return 64;  // EX_USAGE
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    return usage_error(argc < 3 ? "missing arguments" : "too many arguments");
+  }
+  const std::string scenario_file = argv[1];
+  const std::string out_file = argv[2];
+
+  auto s = scenario::load_scenario(scenario_file);
+  if (!s) return usage_error(s.error_message());
+  if (s.value().kind != scenario::Kind::kSoc) {
+    return usage_error(scenario_file + ": only soc scenarios have a memory-"
+                       "access stream to record (this one is '" +
+                       scenario::to_string(s.value().kind) + "')");
+  }
+
+  std::vector<platform::TraceRecord> records;
+  scenario::RunOptions opts;
+  opts.record_trace = &records;
+  auto result = scenario::run_parsed(s.value(), opts);
+  if (!result) return usage_error(result.error_message());
+
+  if (const Status st = platform::write_trace(out_file, records);
+      !st.is_ok()) {
+    std::fprintf(stderr, "pap_tracegen: %s\n", st.message().c_str());
+    return 1;
+  }
+  std::printf("%s: recorded %zu accesses -> %s\n", s.value().name.c_str(),
+              records.size(), out_file.c_str());
+  for (const auto& [name, value] : result.value().metrics()) {
+    std::printf("  %-20s %s\n", name.c_str(), value.display().c_str());
+  }
+  return 0;
+}
