@@ -4,17 +4,22 @@
 
 namespace pap::core {
 
-AdmissionController::AdmissionController(PlatformModel model)
-    : analysis_(std::move(model)) {}
+AdmissionController::AdmissionController(PlatformModel model,
+                                         AdmissionEngine engine)
+    : analysis_(model) {
+  if (engine == AdmissionEngine::kIncremental) {
+    incremental_ = std::make_unique<admit::IncrementalAdmission>(std::move(model));
+  }
+}
 
 Expected<AdmissionGrant> AdmissionController::request(
     const AppRequirement& req) {
-  for (const auto& a : admitted_) {
-    if (a.app == req.app) {
-      ++rejections_;
-      return Expected<AdmissionGrant>::error("app " + std::to_string(req.app) +
-                                             " already admitted");
-    }
+  if (incremental_) return incremental_->request(req);
+
+  if (index_.count(req.app) != 0) {
+    ++rejections_;
+    return Expected<AdmissionGrant>::error("app " + std::to_string(req.app) +
+                                           " already admitted");
   }
 
   // Route computation (Sec. IV): try the requested dimension order first;
@@ -57,14 +62,17 @@ Expected<AdmissionGrant> AdmissionController::request(
       continue;
     }
 
-    // Swap (not move) so the old admitted_ buffer becomes next decision's
-    // tentative_ scratch instead of being freed.
+    // Swap (not move) so the old buffers become next decision's scratch
+    // instead of being freed; the tentative bounds are exactly the new
+    // mix's bounds, so they become the decision cache.
     std::swap(admitted_, tentative_);
+    std::swap(admitted_bounds_, bounds_);
+    index_.emplace(req.app, admitted_.size() - 1);
     ++admissions_;
     AdmissionGrant grant;
     grant.app = req.app;
     grant.noc_shaper = req.traffic;  // the contract becomes the enforced rate
-    grant.e2e_bound = *bounds_.back();
+    grant.e2e_bound = *admitted_bounds_.back();
     grant.route_order = admitted_.back().route_order;
     return grant;
   }
@@ -74,20 +82,38 @@ Expected<AdmissionGrant> AdmissionController::request(
 }
 
 Status AdmissionController::release(noc::AppId app) {
-  const auto before = admitted_.size();
-  std::erase_if(admitted_,
-                [&](const AppRequirement& a) { return a.app == app; });
-  if (admitted_.size() == before) {
+  if (incremental_) return incremental_->release(app);
+
+  const auto it = index_.find(app);
+  if (it == index_.end()) {
     return Status::error("app " + std::to_string(app) + " not admitted");
   }
+  const std::size_t pos = it->second;
+  admitted_.erase(admitted_.begin() + static_cast<std::ptrdiff_t>(pos));
+  index_.erase(it);
+  for (auto& [a, p] : index_) {
+    if (p > pos) --p;
+  }
+  // Refresh the cached bounds under the shrunken mix so current_bound
+  // reflects the freed capacity immediately.
+  analysis_.e2e_bounds_into(admitted_, &bounds_);
+  std::swap(admitted_bounds_, bounds_);
   return Status::ok();
 }
 
 std::optional<Time> AdmissionController::current_bound(noc::AppId app) const {
-  for (const auto& a : admitted_) {
-    if (a.app == app) return analysis_.e2e_bound(a, admitted_);
+  if (incremental_) return incremental_->current_bound(app);
+  const auto it = index_.find(app);
+  if (it == index_.end()) return std::nullopt;
+  return admitted_bounds_[it->second];
+}
+
+const std::vector<AppRequirement>& AdmissionController::admitted() const {
+  if (incremental_) {
+    gathered_ = incremental_->flows();
+    return gathered_;
   }
-  return std::nullopt;
+  return admitted_;
 }
 
 }  // namespace pap::core

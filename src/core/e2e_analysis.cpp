@@ -362,21 +362,46 @@ E2eAnalysis::PropagatedFlat E2eAnalysis::propagate_flat(
   const std::uint32_t* off = paths.off;
   const std::uint32_t total = off[nflows];
 
-  // Distinct links plus, per (flow, hop), the index of its link.
+  // Distinct links plus, per (flow, hop), the index of its link. Dedup is
+  // an arena-backed open-addressing table (load factor <= 1/2) keyed on the
+  // packed link id; indices are still assigned in first-occurrence order,
+  // so `links` matches the linear scan's output — and propagate()'s —
+  // exactly, while the scan drops from O(total * nlinks) to O(total).
   auto* links = arena.alloc<PathLink>(total);
   auto* link_of = arena.alloc<std::uint32_t>(total);
   std::uint32_t nlinks = 0;
+  std::uint32_t cap = 16;
+  while (cap < 2 * total) cap <<= 1;
+  auto* table = arena.alloc<std::uint32_t>(cap);
+  for (std::uint32_t i = 0; i < cap; ++i) table[i] = UINT32_MAX;
   for (std::uint32_t fh = 0; fh < total; ++fh) {
     const PathLink& l = paths.links[fh];
-    std::uint32_t idx = nlinks;
-    for (std::uint32_t k = 0; k < nlinks; ++k) {
-      if (links[k] == l) {
-        idx = k;
+    // Router id, direction (3 bits) and the injection flag pack into one
+    // word; splitmix64's finalizer spreads it over the table.
+    std::uint64_t key = (static_cast<std::uint64_t>(l.link.router) << 4) |
+                        (static_cast<std::uint64_t>(l.link.out) << 1) |
+                        (l.injection ? 1u : 0u);
+    key ^= key >> 30;
+    key *= 0xbf58476d1ce4e5b9ULL;
+    key ^= key >> 27;
+    key *= 0x94d049bb133111ebULL;
+    key ^= key >> 31;
+    std::uint32_t slot = static_cast<std::uint32_t>(key) & (cap - 1);
+    for (;;) {
+      const std::uint32_t k = table[slot];
+      if (k == UINT32_MAX) {
+        table[slot] = nlinks;
+        links[nlinks] = l;
+        link_of[fh] = nlinks;
+        ++nlinks;
         break;
       }
+      if (links[k] == l) {
+        link_of[fh] = k;
+        break;
+      }
+      slot = (slot + 1) & (cap - 1);
     }
-    if (idx == nlinks) links[nlinks++] = l;
-    link_of[fh] = idx;
   }
   // users[l] as a flat CSR list, filled in global (flow, hop) order — the
   // same order propagate() appends them, so the floating-point sums below
@@ -543,22 +568,37 @@ std::optional<nc::CurveView> E2eAnalysis::chain_view_for(
 nc::CurveView E2eAnalysis::dram_service_view(
     const AppRequirement& req, const std::vector<AppRequirement>& others,
     nc::Arena& arena) const {
-  // Mirror of dram_service() on arena curves.
-  nc::TokenBucket writes = model_.background_writes;
+  // Mirror of dram_service() on arena curves: the filter preserves vector
+  // order, so dram_service_from sums in the same order the scalar loops
+  // do. The pointer array lives in the arena — no heap traffic per call.
+  auto** dram_flows = arena.alloc<const AppRequirement*>(others.size());
+  std::size_t n = 0;
   for (const auto& o : others) {
-    if (o.app == req.app || !o.uses_dram) continue;
-    writes.burst += o.traffic.burst;
-    writes.rate += o.traffic.rate;
+    if (o.uses_dram) dram_flows[n++] = &o;
+  }
+  return dram_service_from(req, dram_flows, n, arena);
+}
+
+nc::CurveView E2eAnalysis::dram_service_from(const AppRequirement& req,
+                                             const AppRequirement* const* dram_flows,
+                                             std::size_t n, nc::Arena& arena) const {
+  nc::TokenBucket writes = model_.background_writes;
+  for (std::size_t i = 0; i < n; ++i) {
+    const AppRequirement* o = dram_flows[i];
+    if (o->app == req.app) continue;
+    writes.burst += o->traffic.burst;
+    writes.rate += o->traffic.rate;
   }
   dram::WcdAnalysis analysis(model_.dram, model_.dram_ctrl, writes);
   const nc::CurveView aggregate =
       analysis.service_curve_view(model_.dram_service_depth, arena);
   nc::CurveView cross_reads{};
   bool any = false;
-  for (const auto& o : others) {
-    if (o.app == req.app || !o.uses_dram) continue;
+  for (std::size_t i = 0; i < n; ++i) {
+    const AppRequirement* o = dram_flows[i];
+    if (o->app == req.app) continue;
     const nc::CurveView oc =
-        nc::affine_view(arena, o.traffic.burst, o.traffic.rate);
+        nc::affine_view(arena, o->traffic.burst, o->traffic.rate);
     cross_reads =
         any ? nc::combine_view(arena, cross_reads, oc, nc::CombineOp::kAdd)
             : oc;

@@ -108,28 +108,15 @@ class E2eAnalysis {
 
   const PlatformModel& model() const { return model_; }
 
- private:
-  /// Per-flow, per-hop burst sizes (in each flow's own packets) after the
-  /// link-delay fixpoint; empty optional when it diverges.
-  struct PropagatedBursts {
-    // bursts[f][h]: burst of flow f at its h-th link.
-    std::vector<std::vector<double>> bursts;
-    std::vector<bool> flow_unbounded;
-  };
-  std::optional<PropagatedBursts> propagate(
-      const std::vector<AppRequirement>& flows,
-      const std::vector<std::vector<PathLink>>& paths) const;
-
-  /// The residual NoC service chain of flows[self_idx], built from a
-  /// shared propagation result (`paths` parallel to `flows`).
-  std::optional<nc::Curve> chain_for(
-      const std::vector<AppRequirement>& flows, std::size_t self_idx,
-      const PropagatedBursts& propagated,
-      const std::vector<std::vector<PathLink>>& paths) const;
-
-  nc::Curve link_beta_flits(bool injection) const;
-
-  // --- arena path (e2e_bounds_into): flat storage, view kernels ---
+  // --- flow-set slice API (arena path) ---
+  //
+  // The building blocks of e2e_bounds_into, exposed so callers that manage
+  // their own flow-set slices — the incremental admission engine re-proves
+  // only the dirty connected component of a decision — can run the exact
+  // batch pipeline over a subset. The arithmetic is order-sensitive only in
+  // the per-link user summation, which follows the (vector index, hop)
+  // order of `flows`; a caller that presents flows in admission order gets
+  // bit-identical values to the full batch run (docs/admission.md).
 
   /// All flows' paths concatenated: flow f's links are
   /// links[off[f] .. off[f + 1]). Both arrays live in the arena.
@@ -161,6 +148,38 @@ class E2eAnalysis {
   nc::CurveView dram_service_view(const AppRequirement& req,
                                   const std::vector<AppRequirement>& others,
                                   nc::Arena& arena) const;
+
+  /// dram_service_view over a pre-filtered list: `dram_flows[0..n)` must
+  /// hold exactly the uses_dram flows of the set, in the same relative
+  /// order the full flow vector would present them (admission order);
+  /// `req` itself may appear and is skipped by app id. The write/read
+  /// aggregation then sums in the same order as dram_service_view over the
+  /// full vector, so the result is bit-identical. Pointers are borrowed
+  /// for the call.
+  nc::CurveView dram_service_from(const AppRequirement& req,
+                                  const AppRequirement* const* dram_flows,
+                                  std::size_t n, nc::Arena& arena) const;
+
+ private:
+  /// Per-flow, per-hop burst sizes (in each flow's own packets) after the
+  /// link-delay fixpoint; empty optional when it diverges.
+  struct PropagatedBursts {
+    // bursts[f][h]: burst of flow f at its h-th link.
+    std::vector<std::vector<double>> bursts;
+    std::vector<bool> flow_unbounded;
+  };
+  std::optional<PropagatedBursts> propagate(
+      const std::vector<AppRequirement>& flows,
+      const std::vector<std::vector<PathLink>>& paths) const;
+
+  /// The residual NoC service chain of flows[self_idx], built from a
+  /// shared propagation result (`paths` parallel to `flows`).
+  std::optional<nc::Curve> chain_for(
+      const std::vector<AppRequirement>& flows, std::size_t self_idx,
+      const PropagatedBursts& propagated,
+      const std::vector<std::vector<PathLink>>& paths) const;
+
+  nc::Curve link_beta_flits(bool injection) const;
 
   PlatformModel model_;
   noc::Mesh2D mesh_;

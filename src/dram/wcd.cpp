@@ -166,9 +166,16 @@ namespace {
 /// Assemble the service curve from its (t_N, N) points. The asymptotic rate
 /// comes from the last step (requests per ns under steady interference).
 nc::Curve curve_from_wcd_points(const std::vector<std::pair<Time, double>>& points,
-                                Time row_cycle) {
+                                Time row_cycle, bool truncated) {
+  // A truncated point list means the next queue position's window blew
+  // through the divergence cut-off: past write-service saturation no finite
+  // window serves it, so the curve ends flat — zero asymptotic rate — and
+  // an empty list is the all-zero service.
+  if (points.empty()) return nc::Curve::constant(0.0);
   double tail;
-  if (points.size() >= 2) {
+  if (truncated) {
+    tail = 0.0;
+  } else if (points.size() >= 2) {
     const double dt =
         (points.back().first - points[points.size() - 2].first).nanos();
     tail = dt > 0 ? 1.0 / dt : 0.0;
@@ -194,6 +201,7 @@ nc::Curve WcdAnalysis::service_curve(int max_n) const {
   std::vector<std::pair<Time, double>> points;
   points.reserve(static_cast<std::size_t>(max_n));
   Time prev = Time::zero();
+  bool truncated = false;
   for (int n = 1; n <= max_n; ++n) {
     const Time counted_base = miss_service_time(n) + hit_block;
     const Time warm =
@@ -205,10 +213,15 @@ nc::Curve WcdAnalysis::service_curve(int max_n) const {
       // redo this point cold so the curve matches the per-point analysis.
       window = fixpoint_from(counted_base, counted_base, &conv).first;
     }
+    if (!conv) {
+      // This and every deeper position diverged: the curve ends here.
+      truncated = true;
+      break;
+    }
     prev = window;
     points.emplace_back(window, static_cast<double>(n));
   }
-  return curve_from_wcd_points(points, t_.row_cycle());
+  return curve_from_wcd_points(points, t_.row_cycle(), truncated);
 }
 
 nc::CurveView WcdAnalysis::service_curve_view(int max_n,
@@ -221,6 +234,8 @@ nc::CurveView WcdAnalysis::service_curve_view(int max_n,
   auto* times = arena.alloc<Time>(static_cast<std::size_t>(max_n));
   auto* counts = arena.alloc<double>(static_cast<std::size_t>(max_n));
   Time prev = Time::zero();
+  bool truncated = false;
+  int npoints = 0;
   for (int n = 1; n <= max_n; ++n) {
     const Time counted_base = miss_service_time(n) + hit_block;
     const Time warm =
@@ -230,31 +245,45 @@ nc::CurveView WcdAnalysis::service_curve_view(int max_n,
     if (!conv && warm > counted_base) {
       window = fixpoint_from(counted_base, counted_base, &conv).first;
     }
+    if (!conv) {
+      truncated = true;
+      break;
+    }
     prev = window;
     times[n - 1] = window;
     counts[n - 1] = static_cast<double>(n);
+    ++npoints;
   }
+  if (npoints == 0) return nc::constant_view(arena, 0.0);
   double tail;
-  if (max_n >= 2) {
-    const double dt = (times[max_n - 1] - times[max_n - 2]).nanos();
+  if (truncated) {
+    tail = 0.0;
+  } else if (npoints >= 2) {
+    const double dt = (times[npoints - 1] - times[npoints - 2]).nanos();
     tail = dt > 0 ? 1.0 / dt : 0.0;
   } else {
     tail = 1.0 / t_.row_cycle().nanos();
   }
   auto* px = arena.alloc<double>(static_cast<std::size_t>(max_n));
-  for (int n = 0; n < max_n; ++n) px[n] = times[n].nanos();
+  for (int n = 0; n < npoints; ++n) px[n] = times[n].nanos();
   return nc::from_points_view(arena, px, counts,
-                              static_cast<std::uint32_t>(max_n), tail);
+                              static_cast<std::uint32_t>(npoints), tail);
 }
 
 nc::Curve WcdAnalysis::service_curve_reference(int max_n) const {
   PAP_CHECK(max_n >= 1);
   std::vector<std::pair<Time, double>> points;
   points.reserve(static_cast<std::size_t>(max_n));
+  bool truncated = false;
   for (int n = 1; n <= max_n; ++n) {
-    points.emplace_back(upper_bound(n), static_cast<double>(n));
+    const WcdBounds b = bounds(n);
+    if (!b.converged) {
+      truncated = true;
+      break;
+    }
+    points.emplace_back(b.upper, static_cast<double>(n));
   }
-  return curve_from_wcd_points(points, t_.row_cycle());
+  return curve_from_wcd_points(points, t_.row_cycle(), truncated);
 }
 
 Time WcdAnalysis::gap_bound() const {

@@ -249,9 +249,14 @@ std::optional<double> CurveView::inverse(double v) const {
   return std::nullopt;
 }
 
+// Mirror of Curve::is_concave/is_convex, including the looser shape
+// tolerance (see curve.cpp kShapeEps): slope order noise from closure
+// arithmetic must classify, not crash.
+constexpr double kShapeEps = 1e-6;
+
 bool CurveView::is_concave() const {
   for (std::uint32_t i = 1; i < n; ++i) {
-    if (slope[i] > slope[i - 1] + kEps) return false;
+    if (slope[i] > slope[i - 1] + kShapeEps) return false;
   }
   return true;
 }
@@ -259,7 +264,7 @@ bool CurveView::is_concave() const {
 bool CurveView::is_convex() const {
   if (y[0] > kEps) return false;
   for (std::uint32_t i = 1; i < n; ++i) {
-    if (slope[i] < slope[i - 1] - kEps) return false;
+    if (slope[i] < slope[i - 1] - kShapeEps) return false;
   }
   return true;
 }

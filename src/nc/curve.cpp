@@ -195,9 +195,17 @@ std::optional<double> Curve::Cursor::inverse(double y) {
   return std::nullopt;
 }
 
+// Shape classification tolerates slope wobble well above the value
+// tolerance: residual/closure arithmetic on segments with large x can
+// leave adjacent slopes out of order by ~1e-9 (Δy rounding divided by a
+// merely large Δx), and convolve_convex sorts pieces by slope anyway, so
+// sub-tolerance disorder never changes which algorithm is correct — a
+// strict gate only turns float noise into a crash.
+constexpr double kShapeEps = 1e-6;
+
 bool Curve::is_concave() const {
   for (std::size_t i = 1; i < segments_.size(); ++i) {
-    if (segments_[i].slope > segments_[i - 1].slope + kEps) return false;
+    if (segments_[i].slope > segments_[i - 1].slope + kShapeEps) return false;
   }
   return true;
 }
@@ -205,7 +213,7 @@ bool Curve::is_concave() const {
 bool Curve::is_convex() const {
   if (segments_.front().y > kEps) return false;
   for (std::size_t i = 1; i < segments_.size(); ++i) {
-    if (segments_[i].slope < segments_[i - 1].slope - kEps) return false;
+    if (segments_[i].slope < segments_[i - 1].slope - kShapeEps) return false;
   }
   return true;
 }

@@ -1,0 +1,130 @@
+#include "rm/federation.hpp"
+
+#include "common/check.hpp"
+
+namespace pap::rm {
+
+FederatedAdmission::FederatedAdmission(core::PlatformModel model,
+                                       std::vector<ClusterRect> clusters)
+    : analysis_(model), clusters_(std::move(clusters)) {
+  const int cols = model.noc.cols;
+  const int rows = model.noc.rows;
+  node_cluster_.assign(static_cast<std::size_t>(cols) * rows, -1);
+  PAP_CHECK(clusters_.size() < 0x7fff);
+  for (std::size_t c = 0; c < clusters_.size(); ++c) {
+    const ClusterRect& r = clusters_[c];
+    PAP_CHECK(r.x0 >= 0 && r.y0 >= 0 && r.x0 <= r.x1 && r.y0 <= r.y1 &&
+              r.x1 < cols && r.y1 < rows);
+    for (int y = r.y0; y <= r.y1; ++y) {
+      for (int x = r.x0; x <= r.x1; ++x) {
+        auto& owner = node_cluster_[static_cast<std::size_t>(y) * cols + x];
+        PAP_CHECK(owner == -1);  // rectangles must be disjoint
+        owner = static_cast<std::int16_t>(c);
+      }
+    }
+    cluster_rms_.push_back(std::make_unique<admit::IncrementalAdmission>(model));
+  }
+  global_rm_ = std::make_unique<admit::IncrementalAdmission>(std::move(model));
+}
+
+int FederatedAdmission::cluster_of(noc::NodeId node) const {
+  return node_cluster_[node];
+}
+
+int FederatedAdmission::owner_of(const core::AppRequirement& req) const {
+  // Local iff both endpoints sit in the same cluster and no globally
+  // shared resource is touched: XY/YX routes stay inside the endpoints'
+  // bounding box, so such a flow never leaves its cluster's link set.
+  if (req.uses_dram) return -1;
+  const int src = cluster_of(req.src);
+  if (src < 0 || src != cluster_of(req.dst)) return -1;
+  return src;
+}
+
+std::string FederatedAdmission::contract_violation(
+    const core::AppRequirement& req) const {
+  // The engine may retry the flipped dimension order, so both routes must
+  // avoid cluster-owned links (a link is owned by the cluster holding its
+  // source router — injection and ejection included).
+  for (int flip = 0; flip < 2; ++flip) {
+    core::AppRequirement probe = req;
+    if (flip == 1) {
+      probe.route_order = req.route_order == noc::Mesh2D::RouteOrder::kXY
+                              ? noc::Mesh2D::RouteOrder::kYX
+                              : noc::Mesh2D::RouteOrder::kXY;
+    }
+    for (const core::PathLink& l : analysis_.links_of(probe)) {
+      const int c = cluster_of(l.link.router);
+      if (c < 0) continue;
+      const int cols = analysis_.model().noc.cols;
+      return "flow '" + req.name +
+             "' violates the federation contract: its route crosses a link "
+             "at node (" +
+             std::to_string(l.link.router % cols) + "," +
+             std::to_string(l.link.router / cols) + ") owned by cluster " +
+             std::to_string(c) +
+             "; escalated flows must stay on shared routers";
+    }
+  }
+  return std::string();
+}
+
+Expected<core::AdmissionGrant> FederatedAdmission::request(
+    const core::AppRequirement& req) {
+  // Duplicate ids go to the owning engine so the rejection message and
+  // counters match the single-engine behaviour exactly.
+  const auto dup = owner_.find(req.app);
+  if (dup != owner_.end()) {
+    auto& engine =
+        dup->second < 0 ? *global_rm_ : *cluster_rms_[dup->second];
+    return engine.request(req);
+  }
+  const int c = owner_of(req);
+  if (c >= 0) {
+    auto r = cluster_rms_[c]->request(req);
+    if (r) {
+      owner_.emplace(req.app, c);
+      ++stats_.local_admissions;
+    } else {
+      ++stats_.local_rejections;
+    }
+    return r;
+  }
+  std::string violation = contract_violation(req);
+  if (!violation.empty()) {
+    ++stats_.contract_rejections;
+    return Expected<core::AdmissionGrant>::error(std::move(violation));
+  }
+  ++stats_.escalations;
+  auto r = global_rm_->request(req);
+  if (r) {
+    owner_.emplace(req.app, -1);
+    ++stats_.global_admissions;
+  } else {
+    ++stats_.global_rejections;
+  }
+  return r;
+}
+
+Status FederatedAdmission::release(noc::AppId app) {
+  const auto it = owner_.find(app);
+  if (it == owner_.end()) {
+    return Status::error("app " + std::to_string(app) + " not admitted");
+  }
+  auto& engine = it->second < 0 ? *global_rm_ : *cluster_rms_[it->second];
+  const Status s = engine.release(app);
+  if (s.is_ok()) {
+    owner_.erase(it);
+    ++stats_.releases;
+  }
+  return s;
+}
+
+std::optional<Time> FederatedAdmission::current_bound(noc::AppId app) const {
+  const auto it = owner_.find(app);
+  if (it == owner_.end()) return std::nullopt;
+  const auto& engine = it->second < 0 ? *global_rm_ : *cluster_rms_[it->second];
+  return engine.current_bound(app);
+}
+
+}  // namespace pap::rm

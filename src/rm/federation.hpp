@@ -1,0 +1,104 @@
+// Hierarchical (federated) resource-manager admission — the control plane
+// sharded like the data plane (docs/admission.md).
+//
+// The paper's RM is a single global arbiter; at platform scale the
+// admission control plane itself becomes the bottleneck. Following the
+// cluster-local-arbitration-under-a-global-contract shape (Deterministic
+// Memory Abstraction; Kim's compositional per-resource state), the mesh is
+// carved into disjoint rectangular *clusters*, each owned by a per-cluster
+// RM running its own admit::IncrementalAdmission over cluster-internal
+// resources. Flows whose endpoints live in one cluster and that touch no
+// globally shared resource are decided locally; everything else — DRAM
+// users, inter-cluster transmissions — escalates to a global RM that holds
+// the shared NoC/DRAM state.
+//
+// Federation contract: a cluster owns every link whose source router lies
+// inside its rectangle (injection and ejection included). Escalated flows
+// must not cross cluster-owned links on either XY or YX routing (the
+// admission engine may retry the flipped order, so both must be clean);
+// violations are rejected with a typed error, never analysed unsoundly.
+// Cluster-local flows keep both their route orders inside the rectangle by
+// construction, so the per-RM link sets are disjoint — which is exactly
+// why federated decisions and bounds are *identical* to one global engine
+// over the same history: no component ever spans two RMs
+// (tests/rm_federation_test.cpp pins this against the global engine and
+// the batch oracle).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "admit/incremental.hpp"
+#include "common/status.hpp"
+#include "core/e2e_analysis.hpp"
+#include "core/qos_spec.hpp"
+
+namespace pap::rm {
+
+/// Inclusive mesh rectangle owned by one cluster RM.
+struct ClusterRect {
+  int x0 = 0;
+  int y0 = 0;
+  int x1 = 0;
+  int y1 = 0;
+  bool contains(int x, int y) const {
+    return x >= x0 && x <= x1 && y >= y0 && y <= y1;
+  }
+};
+
+class FederatedAdmission {
+ public:
+  struct Stats {
+    std::uint64_t local_admissions = 0;
+    std::uint64_t local_rejections = 0;
+    std::uint64_t escalations = 0;  ///< requests sent to the global RM
+    std::uint64_t global_admissions = 0;
+    std::uint64_t global_rejections = 0;
+    std::uint64_t contract_rejections = 0;
+    std::uint64_t releases = 0;
+  };
+
+  /// `clusters` must be in-bounds and pairwise disjoint (checked).
+  /// Uncovered nodes form the shared region the global RM owns.
+  FederatedAdmission(core::PlatformModel model,
+                     std::vector<ClusterRect> clusters);
+
+  /// Decision-identical to one global IncrementalAdmission over the same
+  /// history for contract-conforming workloads; contract violations are
+  /// typed rejections that never reach an engine.
+  Expected<core::AdmissionGrant> request(const core::AppRequirement& req);
+  Status release(noc::AppId app);
+  std::optional<Time> current_bound(noc::AppId app) const;
+
+  /// Cluster owning `node`, or -1 for the shared region.
+  int cluster_of(noc::NodeId node) const;
+  /// Cluster that would decide `req` locally, or -1 for escalation.
+  int owner_of(const core::AppRequirement& req) const;
+  /// Non-empty iff an escalated `req` would cross a cluster-owned link on
+  /// either route order (the typed rejection message).
+  std::string contract_violation(const core::AppRequirement& req) const;
+
+  bool contains(noc::AppId app) const { return owner_.count(app) != 0; }
+  std::size_t size() const { return owner_.size(); }
+  std::size_t cluster_count() const { return cluster_rms_.size(); }
+  const admit::IncrementalAdmission& cluster_rm(std::size_t i) const {
+    return *cluster_rms_[i];
+  }
+  const admit::IncrementalAdmission& global_rm() const { return *global_rm_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  core::E2eAnalysis analysis_;  // links_of for contract checks
+  std::vector<ClusterRect> clusters_;
+  std::vector<std::int16_t> node_cluster_;  // per node; -1 = shared
+  std::vector<std::unique_ptr<admit::IncrementalAdmission>> cluster_rms_;
+  std::unique_ptr<admit::IncrementalAdmission> global_rm_;
+  std::unordered_map<noc::AppId, int> owner_;  // app -> cluster index or -1
+  Stats stats_;
+};
+
+}  // namespace pap::rm

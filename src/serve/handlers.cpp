@@ -15,113 +15,11 @@
 #include "rm/rate_table.hpp"
 #include "scenario/run.hpp"
 #include "scenario/scenario.hpp"
+#include "serve/param_reader.hpp"
 
 namespace pap::serve {
 
 namespace {
-
-/// Strict typed view over a flattened parameter map: every lookup is
-/// kind-checked (the underlying exp::Value accessors abort on kind
-/// mismatch, which a network-facing handler must never do), consumed keys
-/// are tracked, and `finish()` rejects any leftover — an unknown key is a
-/// client bug we surface instead of silently computing something else.
-class ParamReader {
- public:
-  explicit ParamReader(const exp::Params& p) : p_(p) {}
-
-  bool failed() const { return !error_.empty(); }
-  const std::string& error() const { return error_; }
-
-  std::int64_t get_int(const std::string& key, std::int64_t def,
-                       std::int64_t min, std::int64_t max) {
-    const exp::Value* v = take(key);
-    if (!v) return def;
-    if (v->kind() != exp::Value::Kind::kInt) {
-      fail("'" + key + "' must be an integer");
-      return def;
-    }
-    return checked_range(key, v->as_int(), min, max);
-  }
-
-  double get_double(const std::string& key, double def, double min,
-                    double max) {
-    const exp::Value* v = take(key);
-    if (!v) return def;
-    if (v->kind() != exp::Value::Kind::kInt &&
-        v->kind() != exp::Value::Kind::kDouble) {
-      fail("'" + key + "' must be a number");
-      return def;
-    }
-    const double x = v->as_double();
-    if (!std::isfinite(x) || x < min || x > max) {
-      fail("'" + key + "' out of range [" + std::to_string(min) + ", " +
-           std::to_string(max) + "]");
-      return def;
-    }
-    return x;
-  }
-
-  bool get_bool(const std::string& key, bool def) {
-    const exp::Value* v = take(key);
-    if (!v) return def;
-    if (v->kind() != exp::Value::Kind::kBool) {
-      fail("'" + key + "' must be a boolean");
-      return def;
-    }
-    return v->as_bool();
-  }
-
-  std::string get_string(const std::string& key, const std::string& def) {
-    const exp::Value* v = take(key);
-    if (!v) return def;
-    if (v->kind() != exp::Value::Kind::kString) {
-      fail("'" + key + "' must be a string");
-      return def;
-    }
-    return v->as_string();
-  }
-
-  bool has(const std::string& key) const { return p_.find(key) != nullptr; }
-
-  void require(const std::string& key) {
-    if (!has(key)) fail("missing required parameter '" + key + "'");
-  }
-
-  /// All keys consumed? Otherwise name the first unknown one.
-  void finish() {
-    if (failed()) return;
-    for (const auto& [key, v] : p_.entries()) {
-      if (!consumed_.count(key)) {
-        fail("unknown parameter '" + key + "'");
-        return;
-      }
-    }
-  }
-
- private:
-  const exp::Value* take(const std::string& key) {
-    consumed_.insert(key);
-    return p_.find(key);
-  }
-
-  std::int64_t checked_range(const std::string& key, std::int64_t v,
-                             std::int64_t min, std::int64_t max) {
-    if (v < min || v > max) {
-      fail("'" + key + "' out of range [" + std::to_string(min) + ", " +
-           std::to_string(max) + "]");
-      return min;
-    }
-    return v;
-  }
-
-  void fail(const std::string& msg) {
-    if (error_.empty()) error_ = msg;
-  }
-
-  const exp::Params& p_;
-  std::set<std::string> consumed_;
-  std::string error_;
-};
 
 HandlerOutcome bad(const std::string& msg) {
   return HandlerOutcome::fail(ErrorCode::kBadRequest, msg);

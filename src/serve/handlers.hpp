@@ -32,6 +32,12 @@ struct HandlerLimits {
   /// Cap on the inline `scenario` text of scenario_sim (the `.pap` source
   /// shipped in the request; docs/scenarios.md).
   std::size_t max_scenario_text = 16 * 1024;
+  /// Stateful admission sessions (serve/sessions.hpp): concurrently open
+  /// sessions per daemon, and resident flows per session. The flow cap
+  /// bounds session memory, not per-decision work — the incremental engine
+  /// keeps each decision's cost proportional to its dirty set.
+  int max_sessions = 8;
+  int max_session_flows = 1 << 20;
 };
 
 /// A handler outcome: either a Result to render, or (code, message).

@@ -16,6 +16,7 @@
 #include "common/stats.hpp"
 #include "nc/arena.hpp"
 #include "serve/diskcache.hpp"
+#include "serve/sessions.hpp"
 
 namespace pap::serve {
 
@@ -87,13 +88,15 @@ struct OpLatency {
 }  // namespace
 
 struct AnalysisService::State {
-  explicit State(const ServiceConfig& cfg) : config(cfg), disk(cfg.cache_dir) {
+  explicit State(const ServiceConfig& cfg)
+      : config(cfg), disk(cfg.cache_dir), sessions(cfg.handlers) {
     const std::size_t per_shard =
         cfg.cache_entries == 0
             ? 0
             : std::max<std::size_t>(1, cfg.cache_entries / kShards);
     for (auto& s : cache) s.set_capacity(per_shard);
     for (const auto& op : analysis_ops()) latency[op];  // materialize keys
+    for (const auto& op : SessionRegistry::session_ops()) latency[op];
   }
 
   struct Waiter {
@@ -107,6 +110,10 @@ struct AnalysisService::State {
     std::string op;
     exp::Params params;
     std::vector<Waiter> waiters;  // guarded by State::mu
+    /// Stateful session op: dispatched to the SessionRegistry with the
+    /// cache, coalescing and disk tiers all bypassed — two byte-identical
+    /// session requests are different decisions.
+    bool session = false;
   };
 
   const ServiceConfig config;
@@ -121,6 +128,7 @@ struct AnalysisService::State {
 
   std::array<LruShard, kShards> cache;
   const DiskCache disk;  // persistent tier under the LRU; no-op when disabled
+  SessionRegistry sessions;  // stateful admission sessions (thread-safe)
   trace::CounterRegistry counters;
   // Keys fixed at construction; the map itself is never mutated after, so
   // lock-free lookup is safe and each OpLatency has its own mutex.
@@ -175,7 +183,8 @@ void AnalysisService::submit_request(Request req, ReplyFn reply,
     reply(ok_reply(req.id, stats_json()));
     return;
   }
-  if (!is_analysis_op(req.op)) {
+  const bool session_op = SessionRegistry::is_session_op(req.op);
+  if (!session_op && !is_analysis_op(req.op)) {
     st.counters.add("serve", "service/bad_op");
     reply(error_reply(req.id, ErrorCode::kBadRequest,
                       "unknown op '" + req.op + "'"));
@@ -185,8 +194,9 @@ void AnalysisService::submit_request(Request req, ReplyFn reply,
   st.counters.add("serve", req.op + "/requests");
   const std::string key = req.key();
 
-  // Fast path: answered from the LRU on the submitting thread.
-  if (config_.cache_entries != 0) {
+  // Fast path: answered from the LRU on the submitting thread. Session ops
+  // never take it — a repeat of the same request line is a new decision.
+  if (!session_op && config_.cache_entries != 0) {
     if (auto hit = st.shard_of(key).get(key)) {
       st.counters.add("serve", req.op + "/cache_hits");
       st.counters.add("serve", req.op + "/ok");
@@ -207,6 +217,26 @@ void AnalysisService::submit_request(Request req, ReplyFn reply,
     if (st.stopping) {
       send_inline_error = true;
       inline_error = ErrorCode::kShuttingDown;
+    } else if (session_op) {
+      // Session jobs skip the in-flight index entirely: identical lines
+      // must each run, in queue order, so nothing may coalesce onto them
+      // and they must not shadow a cacheable job with the same key.
+      if (st.queue.size() >= config_.queue_capacity) {
+        send_inline_error = true;
+        inline_error = ErrorCode::kOverloaded;
+      } else {
+        auto job = std::make_shared<State::Job>();
+        job->key = key;
+        job->op = req.op;
+        job->params = std::move(req.params);
+        job->session = true;
+        job->waiters.push_back(State::Waiter{req.id, std::move(reply), t0});
+        st.queue.push_back(std::move(job));
+        st.queue_depth_gauge();
+        lk.unlock();
+        st.work_cv.notify_one();
+        return;
+      }
     } else if (config_.coalesce && st.inflight.count(key)) {
       // Batch: ride the in-flight computation for the same identity.
       st.inflight[key]->waiters.push_back(
@@ -291,23 +321,33 @@ void AnalysisService::worker_loop(std::shared_ptr<State> state) {
     bool from_disk = false;
     std::string payload;
     HandlerOutcome outcome;
-    if (st.disk.enabled()) {
-      if (auto hit = st.disk.load(job->key)) {
-        payload = std::move(*hit);
-        ok = true;
-        from_disk = true;
-      }
-    }
-    if (!from_disk) {
-      outcome = dispatch(job->op, job->params, st.config.handlers);
+    if (job->session) {
+      // Stateful decision: no disk probe, no cache fill — the answer is a
+      // function of the session history, not of the request bytes.
+      outcome = st.sessions.dispatch(job->op, job->params);
       ok = outcome.ok;
       if (ok) payload = render_result(outcome.result);
-    }
-    if (ok) {
-      // Populate the cache before unpublishing the in-flight entry so an
-      // identical request arriving in between hits one of the two.
-      if (st.config.cache_entries != 0) st.shard_of(job->key).put(job->key, payload);
-      if (!from_disk) st.disk.store(job->key, payload);  // no-op when off
+    } else {
+      if (st.disk.enabled()) {
+        if (auto hit = st.disk.load(job->key)) {
+          payload = std::move(*hit);
+          ok = true;
+          from_disk = true;
+        }
+      }
+      if (!from_disk) {
+        outcome = dispatch(job->op, job->params, st.config.handlers);
+        ok = outcome.ok;
+        if (ok) payload = render_result(outcome.result);
+      }
+      if (ok) {
+        // Populate the cache before unpublishing the in-flight entry so an
+        // identical request arriving in between hits one of the two.
+        if (st.config.cache_entries != 0) {
+          st.shard_of(job->key).put(job->key, payload);
+        }
+        if (!from_disk) st.disk.store(job->key, payload);  // no-op when off
+      }
     }
 
     std::vector<State::Waiter> waiters;
@@ -389,9 +429,13 @@ std::string AnalysisService::stats_json() const {
   out += ",\"cache_entries\":" + std::to_string(config_.cache_entries);
   out += ",\"queue_depth\":" + std::to_string(depth);
   out += std::string(",\"draining\":") + (draining ? "true" : "false");
+  out += ",\"open_sessions\":" + std::to_string(st.sessions.open_sessions());
   out += "},\"endpoints\":{";
+  std::vector<std::string> ops = analysis_ops();
+  ops.insert(ops.end(), SessionRegistry::session_ops().begin(),
+             SessionRegistry::session_ops().end());
   bool first_op = true;
-  for (const auto& op : analysis_ops()) {
+  for (const auto& op : ops) {
     if (!first_op) out += ',';
     first_op = false;
     out += json_quote(op) + ":{";

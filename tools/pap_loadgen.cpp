@@ -50,6 +50,7 @@ struct Options {
   int pipeline = 16;
   bool with_scenario = false;
   bool expect_overload = false;
+  bool churn = false;  ///< stateful admission-session mode (see run_churn)
   std::string dump_path;
   bool quiet = false;
 };
@@ -217,16 +218,162 @@ void run_connection(const Options& opt, const pap::serve::ShardRouter* router,
   }
 }
 
+/// Churn mode: one connection, one admission session, pipeline depth 1.
+///
+/// Stateful decisions are order-dependent, so unlike the stateless mix the
+/// client must not pipeline: each decision is sent only after the previous
+/// reply landed, making the reply transcript a pure function of the seeded
+/// step sequence. Two fresh daemons driven with the same --requests
+/// therefore produce byte-identical --dump files — the CI churn job
+/// asserts exactly that with `cmp`.
+int run_churn(const Options& opt) {
+  auto connected = opt.unix_path.empty()
+                       ? pap::serve::Client::connect_tcp(opt.host, opt.tcp_port)
+                       : pap::serve::Client::connect_unix(opt.unix_path);
+  if (!connected) {
+    std::fprintf(stderr, "pap_loadgen: %s\n",
+                 connected.error_message().c_str());
+    return 1;
+  }
+  pap::serve::Client client = std::move(connected.value());
+
+  pap::LatencyHistogram latency;
+  long ok = 0;
+  long errors = 0;
+  std::map<long, std::string> replies;
+  auto exchange = [&](long id, const std::string& line,
+                      std::string* reply_out) -> bool {
+    const auto sent_at = Clock::now();
+    const pap::Status sent = client.send_line(line);
+    if (!sent) {
+      std::fprintf(stderr, "pap_loadgen: %s\n", sent.message().c_str());
+      return false;
+    }
+    auto reply = client.read_line();
+    if (!reply) {
+      std::fprintf(stderr, "pap_loadgen: %s\n",
+                   reply.error_message().c_str());
+      return false;
+    }
+    const double us =
+        std::chrono::duration<double, std::micro>(Clock::now() - sent_at)
+            .count();
+    latency.add(pap::Time::from_ns(us * 1000.0));
+    const std::string& text = reply.value();
+    if (text.find("\"ok\":true") != std::string::npos) {
+      ++ok;
+    } else {
+      ++errors;
+    }
+    if (!opt.dump_path.empty()) replies.emplace(id, text);
+    if (reply_out != nullptr) *reply_out = text;
+    return true;
+  };
+
+  const auto t0 = Clock::now();
+  std::string opened;
+  if (!exchange(0,
+                "{\"id\":0,\"op\":\"admission_open\",\"params\":"
+                "{\"mesh_cols\":8,\"mesh_rows\":8}}",
+                &opened)) {
+    return 1;
+  }
+  // Recover the session id from the open reply (1 on a fresh daemon; the
+  // CI byte-compare relies on fresh daemons so ids line up across runs).
+  const auto at = opened.find("\"session\":");
+  if (at == std::string::npos) {
+    std::fprintf(stderr, "pap_loadgen: admission_open failed: %s\n",
+                 opened.c_str());
+    return 1;
+  }
+  const long session = std::strtol(opened.c_str() + at + 10, nullptr, 10);
+
+  // Seeded mix: ~1/3 releases (often of apps that are not resident — those
+  // replies are data too), admits over 48 app ids criss-crossing the mesh
+  // hard enough that grants, rejections and route fallbacks all occur.
+  std::uint32_t lcg = 0x9e3779b9u;
+  auto next = [&lcg] { return lcg = lcg * 1664525u + 1013904223u; };
+  for (long i = 1; i <= opt.requests; ++i) {
+    const long app = 1 + static_cast<long>(next() % 48);
+    std::string body;
+    if (next() % 3 == 0) {
+      body = "{\"id\":" + std::to_string(i) +
+             ",\"op\":\"admission_release\",\"params\":{\"session\":" +
+             std::to_string(session) + ",\"app\":" + std::to_string(app) +
+             "}}";
+    } else {
+      const double rate = 0.002 + 0.002 * static_cast<double>(next() % 12);
+      const long sx = next() % 8, sy = next() % 8;
+      const long dx = next() % 8, dy = next() % 8;
+      body = "{\"id\":" + std::to_string(i) +
+             ",\"op\":\"admission_admit\",\"params\":{\"session\":" +
+             std::to_string(session) + ",\"app\":" + std::to_string(app) +
+             ",\"rate\":" + std::to_string(rate) +
+             ",\"burst\":" + std::to_string(1 + next() % 6) +
+             ",\"src_x\":" + std::to_string(sx) +
+             ",\"src_y\":" + std::to_string(sy) +
+             ",\"dst_x\":" + std::to_string(dx) +
+             ",\"dst_y\":" + std::to_string(dy) +
+             ",\"deadline_ns\":" +
+             std::to_string(600.0 + 200.0 * static_cast<double>(next() % 8)) +
+             "}}";
+    }
+    if (!exchange(i, body, nullptr)) return 1;
+  }
+  if (!exchange(opt.requests + 1,
+                "{\"id\":" + std::to_string(opt.requests + 1) +
+                    ",\"op\":\"admission_stats\",\"params\":{\"session\":" +
+                    std::to_string(session) + "}}",
+                nullptr) ||
+      !exchange(opt.requests + 2,
+                "{\"id\":" + std::to_string(opt.requests + 2) +
+                    ",\"op\":\"admission_close\",\"params\":{\"session\":" +
+                    std::to_string(session) + "}}",
+                nullptr)) {
+    return 1;
+  }
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+
+  if (!opt.dump_path.empty()) {
+    std::FILE* f = std::fopen(opt.dump_path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "pap_loadgen: cannot write %s\n",
+                   opt.dump_path.c_str());
+      return 1;
+    }
+    for (const auto& [id, line] : replies) std::fprintf(f, "%s\n", line.c_str());
+    std::fclose(f);
+  }
+  if (!opt.quiet) {
+    std::printf("churn:      %ld decisions (%ld ok, %ld errors)\n",
+                opt.requests, ok, errors);
+    std::printf("elapsed:    %.3f s  (%.0f decisions/s)\n", seconds,
+                static_cast<double>(opt.requests) / seconds);
+    if (!latency.empty()) {
+      std::printf("latency us: p50 %.1f  p95 %.1f  p99 %.1f  max %.1f\n",
+                  latency.percentile(50).nanos() / 1000.0,
+                  latency.percentile(95).nanos() / 1000.0,
+                  latency.percentile(99).nanos() / 1000.0,
+                  latency.max().nanos() / 1000.0);
+    }
+  }
+  return errors > 0 ? 1 : 0;
+}
+
 void usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s (--unix PATH | --tcp PORT | --shard EP...) [--host ADDR]\n"
       "          [--requests N] [--connections C] [--pipeline P]\n"
-      "          [--with-scenario] [--expect-overload] [--dump FILE]\n"
-      "          [--quiet]\n"
+      "          [--with-scenario] [--expect-overload] [--churn]\n"
+      "          [--dump FILE] [--quiet]\n"
       "--shard EP (repeatable) drives a papd fleet; EP is unix:PATH,\n"
       "tcp:PORT or tcp:HOST:PORT. Requests route to their home shard by\n"
-      "consistent hash of the request identity.\n",
+      "consistent hash of the request identity.\n"
+      "--churn drives one stateful admission session (pipeline depth 1,\n"
+      "single connection, seeded admit/release mix); --requests counts\n"
+      "decisions. Incompatible with --shard.\n",
       argv0);
 }
 
@@ -268,6 +415,8 @@ int main(int argc, char** argv) {
       opt.with_scenario = true;
     } else if (arg == "--expect-overload") {
       opt.expect_overload = true;
+    } else if (arg == "--churn") {
+      opt.churn = true;
     } else if (arg == "--dump" && has_next) {
       opt.dump_path = argv[++i];
     } else if (arg == "--quiet") {
@@ -284,6 +433,15 @@ int main(int argc, char** argv) {
   if (opt.unix_path.empty() && opt.tcp_port < 0 && opt.shard_specs.empty()) {
     usage(argv[0]);
     return 2;
+  }
+  if (opt.churn) {
+    if (!opt.shard_specs.empty()) {
+      std::fprintf(stderr,
+                   "pap_loadgen: --churn needs a single endpoint (session "
+                   "state lives on one daemon), not --shard\n");
+      return 2;
+    }
+    return run_churn(opt);
   }
   if (opt.connections > opt.requests) {
     opt.connections = static_cast<int>(opt.requests);
